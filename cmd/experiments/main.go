@@ -1,0 +1,124 @@
+// Command experiments regenerates the paper's evaluation figures (§VII)
+// from the reproduction's workloads and algorithms.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, full paper sizes
+//	experiments -run fig8,fig13 -scale 0.25 -reps 3
+//	experiments -run baselines -csv results/
+//
+// Available experiments: fig8 (implies fig9), fig9, fig10, fig11 (implies
+// fig12), fig12, fig13, fig14, fig15, baselines, ablate, coords, all.
+//
+// Absolute times depend on the machine; the shapes are what reproduce the
+// paper (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"netembed/internal/exp"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiments to run")
+		scale   = flag.Float64("scale", 1.0, "network size multiplier (1.0 = paper sizes)")
+		reps    = flag.Int("reps", 5, "queries per data point")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-query timeout")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Reps: *reps, Timeout: *timeout, Seed: *seed}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	runners := map[string]func(exp.Config) []*exp.Table{
+		"fig8":      exp.Fig8And9,
+		"fig9":      exp.Fig8And9,
+		"fig10":     exp.Fig10,
+		"fig11":     exp.Fig11And12,
+		"fig12":     exp.Fig11And12,
+		"fig13":     exp.Fig13,
+		"fig14":     exp.Fig14,
+		"fig15":     exp.Fig15,
+		"baselines": exp.Baselines,
+		"ablate":    exp.Ablations,
+		"coords":    exp.Coords,
+	}
+	order := []string{"fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "baselines", "ablate", "coords"}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, n := range order {
+				want[n] = true
+			}
+			continue
+		}
+		// fig9 and fig12 ride along with fig8/fig11.
+		switch name {
+		case "fig9":
+			name = "fig8"
+		case "fig12":
+			name = "fig11"
+		}
+		if _, ok := runners[name]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		want[name] = true
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		fmt.Printf("=== %s (scale %.2f, %d reps, timeout %v) ===\n\n", name, *scale, *reps, *timeout)
+		tables := runners[name](cfg)
+		for _, t := range tables {
+			t.Render(os.Stdout)
+			if *csvDir != "" {
+				csvName := t.ID + ".csv"
+				f, err := os.Create(filepath.Join(*csvDir, csvName))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				t.CSV(f)
+				f.Close()
+				gp, err := os.Create(filepath.Join(*csvDir, t.ID+".gp"))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				if err := t.WriteGnuplot(gp, csvName); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				}
+				gp.Close()
+			}
+		}
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

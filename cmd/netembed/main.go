@@ -1,0 +1,126 @@
+// Command netembed embeds a query network into a hosting network, both
+// given as GraphML files, and prints the resulting mappings.
+//
+// Usage:
+//
+//	netembed -host host.graphml -query query.graphml \
+//	    -constraint 'rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay' \
+//	    -algo ecf -max 3 -timeout 10s
+//
+// The hosting network may also be the built-in synthetic PlanetLab trace
+// (-host planetlab) or a textual all-pairs trace (-trace file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"netembed"
+	"netembed/internal/graph"
+	"netembed/internal/trace"
+)
+
+func main() {
+	var (
+		hostPath   = flag.String("host", "", "hosting network GraphML file, or 'planetlab' for the built-in synthetic trace")
+		tracePath  = flag.String("trace", "", "hosting network as a textual all-pairs trace file")
+		queryPath  = flag.String("query", "", "query network GraphML file (required)")
+		edgeC      = flag.String("constraint", "", "edge constraint expression")
+		nodeC      = flag.String("node-constraint", "", "node constraint expression")
+		algo       = flag.String("algo", "ecf", "algorithm: ecf, rwb, lns, parallel-ecf")
+		maxResults = flag.Int("max", 1, "maximum embeddings to report (0 = all)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "search timeout")
+		seed       = flag.Int64("seed", 1, "random seed (rwb, planetlab host)")
+		verbose    = flag.Bool("v", false, "print search statistics")
+	)
+	flag.Parse()
+	if err := run(*hostPath, *tracePath, *queryPath, *edgeC, *nodeC, *algo, *maxResults, *timeout, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "netembed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hostPath, tracePath, queryPath, edgeC, nodeC, algo string, maxResults int, timeout time.Duration, seed int64, verbose bool) error {
+	if queryPath == "" {
+		return fmt.Errorf("-query is required")
+	}
+	host, err := loadHost(hostPath, tracePath, seed)
+	if err != nil {
+		return err
+	}
+	qf, err := os.Open(queryPath)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	query, err := netembed.DecodeGraphML(qf)
+	if err != nil {
+		return fmt.Errorf("query: %v", err)
+	}
+
+	model := netembed.NewModel(host)
+	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: timeout})
+	resp, err := svc.Embed(netembed.Request{
+		Query:          query,
+		EdgeConstraint: edgeC,
+		NodeConstraint: nodeC,
+		Algorithm:      netembed.Algorithm(algo),
+		Timeout:        timeout,
+		MaxResults:     maxResults,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("status: %s (%d embedding(s), %.1f ms)\n",
+		resp.Status, len(resp.Mappings), float64(resp.Elapsed)/float64(time.Millisecond))
+	for i, nm := range resp.Named {
+		fmt.Printf("embedding %d:\n", i+1)
+		keys := make([]string, 0, len(nm))
+		for k := range nm {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s -> %s\n", k, nm[k])
+		}
+	}
+	if verbose {
+		st := resp.Stats
+		fmt.Printf("stats: filter build %v, %d edge-pair evals, %d filter entries,\n",
+			st.FilterBuild, st.EdgePairsEval, st.FilterEntries)
+		fmt.Printf("       %d tree nodes visited, %d backtracks, first match after %v\n",
+			st.NodesVisited, st.Backtracks, st.TimeToFirst)
+	}
+	return nil
+}
+
+func loadHost(hostPath, tracePath string, seed int64) (*graph.Graph, error) {
+	switch {
+	case tracePath != "":
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAllPairs(f)
+	case hostPath == "planetlab":
+		return netembed.DefaultPlanetLab(seed), nil
+	case hostPath != "":
+		f, err := os.Open(hostPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := netembed.DecodeGraphML(f)
+		if err != nil {
+			return nil, fmt.Errorf("host: %v", err)
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("one of -host or -trace is required")
+}

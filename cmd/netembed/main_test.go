@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netembed"
+	"netembed/internal/trace"
+)
+
+// writeQuery produces a feasible query GraphML file against the built-in
+// planetlab host for a given seed.
+func writeQuery(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	host := netembed.DefaultPlanetLab(seed)
+	q, _, err := netembed.Subgraph(host, 6, 10, netembed.NewRand(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netembed.WidenDelayWindows(q, 0.1)
+	path := filepath.Join(dir, "query.graphml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := netembed.EncodeGraphML(f, q); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAgainstBuiltinHost(t *testing.T) {
+	dir := t.TempDir()
+	queryPath := writeQuery(t, dir, 1)
+	err := run("planetlab", "", queryPath,
+		"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay",
+		"", "lns", 1, 20*time.Second, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAgainstTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 30}, netembed.NewRand(2))
+	tracePath := filepath.Join(dir, "host.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteAllPairs(f, host); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	q, _, err := netembed.Subgraph(host, 4, 6, netembed.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netembed.WidenDelayWindows(q, 0.2)
+	queryPath := filepath.Join(dir, "q.graphml")
+	qf, err := os.Create(queryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netembed.EncodeGraphML(qf, q); err != nil {
+		t.Fatal(err)
+	}
+	qf.Close()
+
+	err = run("", tracePath, queryPath,
+		"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay",
+		"", "ecf", 2, 20*time.Second, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	queryPath := writeQuery(t, dir, 4)
+	if err := run("planetlab", "", "", "", "", "ecf", 1, time.Second, 1, false); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := run("", "", queryPath, "", "", "ecf", 1, time.Second, 1, false); err == nil {
+		t.Error("missing host accepted")
+	}
+	if err := run("planetlab", "", queryPath, "", "", "quantum", 1, time.Second, 1, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("planetlab", "", queryPath, "1 +", "", "ecf", 1, time.Second, 1, false); err == nil {
+		t.Error("bad constraint accepted")
+	}
+	if err := run("/nonexistent.graphml", "", queryPath, "", "", "ecf", 1, time.Second, 1, false); err == nil {
+		t.Error("missing host file accepted")
+	}
+	if err := run("planetlab", "", "/nonexistent.graphml", "", "", "ecf", 1, time.Second, 1, false); err == nil {
+		t.Error("missing query file accepted")
+	}
+}

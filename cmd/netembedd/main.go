@@ -1,0 +1,74 @@
+// Command netembedd serves the NETEMBED mapping service over HTTP (§III's
+// service deployment): it loads (or synthesizes) a hosting network,
+// optionally keeps it fresh with a simulated monitoring feed, and exposes
+// the JSON/GraphML API of internal/service/httpapi.
+//
+// Usage:
+//
+//	netembedd -listen :8080 -host planetlab
+//	netembedd -listen :8080 -host infra.graphml -monitor 5s
+//
+// Endpoints: GET /healthz, GET/PUT /model, POST /embed,
+// POST/DELETE /reserve. See internal/service/httpapi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"netembed"
+	"netembed/internal/service"
+	"netembed/internal/service/httpapi"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		hostPath = flag.String("host", "planetlab", "hosting network GraphML file, or 'planetlab'")
+		seed     = flag.Int64("seed", 1, "seed for the synthetic host")
+		monitor  = flag.Duration("monitor", 0, "enable the simulated monitoring feed with this period (0 = off)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	)
+	flag.Parse()
+
+	host, err := loadHost(*hostPath, *seed)
+	if err != nil {
+		log.Fatalf("netembedd: %v", err)
+	}
+	model := netembed.NewModel(host)
+	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: *timeout})
+
+	if *monitor > 0 {
+		mon := netembed.NewMonitor(model, service.MonitorConfig{Interval: *monitor, Seed: *seed})
+		stop := make(chan struct{})
+		defer close(stop)
+		go mon.Run(stop)
+		log.Printf("monitoring feed enabled, period %v", *monitor)
+	}
+
+	log.Printf("serving NETEMBED on %s (host: %d nodes, %d edges)",
+		*listen, host.NumNodes(), host.NumEdges())
+	if err := http.ListenAndServe(*listen, httpapi.New(svc)); err != nil {
+		log.Fatalf("netembedd: %v", err)
+	}
+}
+
+func loadHost(path string, seed int64) (*netembed.Graph, error) {
+	if path == "planetlab" {
+		return netembed.DefaultPlanetLab(seed), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := netembed.DecodeGraphML(f)
+	if err != nil {
+		return nil, fmt.Errorf("host %s: %v", path, err)
+	}
+	return g, nil
+}

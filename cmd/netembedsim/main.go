@@ -1,0 +1,72 @@
+// Command netembedsim replays a synthetic stream of arriving and
+// departing embedding requests against a NETEMBED service with virtual
+// time, reporting acceptance ratio and utilization — the long-run view of
+// the service that §VIII's scheduling discussion implies.
+//
+// Usage:
+//
+//	netembedsim -host planetlab -requests 500 -interarrival 1m -holding 45m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netembed"
+	"netembed/internal/service"
+	"netembed/internal/sim"
+)
+
+func main() {
+	var (
+		hostPath     = flag.String("host", "planetlab", "hosting network GraphML file, or 'planetlab'")
+		seed         = flag.Int64("seed", 1, "random seed")
+		requests     = flag.Int("requests", 200, "number of embedding requests to replay")
+		interarrival = flag.Duration("interarrival", 2*time.Minute, "mean virtual time between arrivals")
+		holding      = flag.Duration("holding", 30*time.Minute, "mean virtual lease duration")
+		minNodes     = flag.Int("min-nodes", 3, "smallest query size")
+		maxNodes     = flag.Int("max-nodes", 8, "largest query size")
+		algo         = flag.String("algo", "lns", "algorithm: ecf, rwb, lns, parallel-ecf")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-request search timeout")
+	)
+	flag.Parse()
+
+	host, err := loadHost(*hostPath, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netembedsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hosting network: %d nodes, %d links\n", host.NumNodes(), host.NumEdges())
+	fmt.Printf("workload: %d requests, 1/λ=%v, hold=%v, sizes %d-%d, algo %s\n\n",
+		*requests, *interarrival, *holding, *minNodes, *maxNodes, *algo)
+
+	metrics, err := sim.Run(host, sim.Config{
+		Requests:         *requests,
+		MeanInterarrival: *interarrival,
+		MeanHolding:      *holding,
+		QueryNodesMin:    *minNodes,
+		QueryNodesMax:    *maxNodes,
+		Algorithm:        service.Algorithm(*algo),
+		Timeout:          *timeout,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netembedsim:", err)
+		os.Exit(1)
+	}
+	metrics.Report(os.Stdout)
+}
+
+func loadHost(path string, seed int64) (*netembed.Graph, error) {
+	if path == "planetlab" {
+		return netembed.DefaultPlanetLab(seed), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return netembed.DecodeGraphML(f)
+}

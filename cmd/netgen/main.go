@@ -1,0 +1,177 @@
+// Command netgen generates hosting and query networks in GraphML (or the
+// textual all-pairs trace format) for use with netembed and netembedd.
+//
+// Usage:
+//
+//	netgen -kind planetlab -out host.graphml
+//	netgen -kind planetlab -format trace -out host.trace
+//	netgen -kind brite -n 1500 -e 3030 -out brite.graphml
+//	netgen -kind clique -n 8 -window 10,100 -out query.graphml
+//	netgen -kind composite -root ring -root-size 4 -leaf star -leaf-size 5 -out query.graphml
+//	netgen -kind subgraph -host host.graphml -n 40 -e 80 -slack 0.1 -out query.graphml
+//	netgen -kind planetlab -capacity 4 -out host.graphml   # consolidation-ready host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"netembed"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "", "planetlab | brite | ring | star | clique | line | composite | transit-stub | subgraph")
+		out      = flag.String("out", "-", "output file ('-' = stdout)")
+		format   = flag.String("format", "graphml", "graphml | trace (trace only for planetlab-style hosts)")
+		n        = flag.Int("n", 100, "node count (or clique/ring/star/line size)")
+		e        = flag.Int("e", 0, "edge count target (brite, subgraph)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		sites    = flag.Int("sites", 296, "planetlab: number of sites")
+		pairs    = flag.Int("pairs", 0, "planetlab: measured pairs (0 = paper density)")
+		window   = flag.String("window", "", "stamp every edge with a delay window 'lo,hi'")
+		capacity = flag.Float64("capacity", 0, "stamp every node with this capacity (consolidation hosts)")
+		demand   = flag.Float64("demand", 0, "stamp every node with this demand (consolidation queries)")
+		rootKind = flag.String("root", "ring", "composite: root structure")
+		rootSize = flag.Int("root-size", 4, "composite: root size")
+		leafKind = flag.String("leaf", "star", "composite: leaf structure")
+		leafSize = flag.Int("leaf-size", 4, "composite: leaf size")
+		hostPath = flag.String("host", "", "subgraph: hosting network GraphML to sample from")
+		slack    = flag.Float64("slack", 0.1, "subgraph: delay window widening")
+		model    = flag.String("model", "ba", "brite: ba | waxman")
+	)
+	flag.Parse()
+
+	g, err := generate(genArgs{
+		kind: *kind, n: *n, e: *e, seed: *seed, sites: *sites, pairs: *pairs,
+		rootKind: *rootKind, rootSize: *rootSize, leafKind: *leafKind, leafSize: *leafSize,
+		hostPath: *hostPath, slack: *slack, model: *model,
+	})
+	if err == nil && *window != "" {
+		err = applyWindow(g, *window)
+	}
+	if err == nil && *capacity > 0 {
+		stampNodes(g, "capacity", *capacity)
+	}
+	if err == nil && *demand > 0 {
+		stampNodes(g, "demand", *demand)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "graphml":
+		err = netembed.EncodeGraphML(w, g)
+	case "trace":
+		err = trace.WriteAllPairs(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+type genArgs struct {
+	kind               string
+	n, e               int
+	seed               int64
+	sites, pairs       int
+	rootKind, leafKind string
+	rootSize, leafSize int
+	hostPath           string
+	slack              float64
+	model              string
+}
+
+func generate(a genArgs) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(a.seed))
+	switch a.kind {
+	case "planetlab":
+		return trace.SyntheticPlanetLab(trace.Config{Sites: a.sites, Pairs: a.pairs}, rng), nil
+	case "brite":
+		m := topo.BarabasiAlbert
+		if a.model == "waxman" {
+			m = topo.Waxman
+		}
+		return topo.Brite(topo.BriteConfig{N: a.n, TargetEdges: a.e, Model: m}, rng)
+	case "ring", "star", "clique", "line":
+		return topo.Regular(topo.Kind(a.kind), a.n)
+	case "composite":
+		return topo.Composite(topo.Kind(a.rootKind), a.rootSize, topo.Kind(a.leafKind), a.leafSize)
+	case "transit-stub":
+		return topo.TransitStub(a.n, 2, 4, rng)
+	case "subgraph":
+		if a.hostPath == "" {
+			return nil, fmt.Errorf("subgraph needs -host")
+		}
+		f, err := os.Open(a.hostPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		host, err := netembed.DecodeGraphML(f)
+		if err != nil {
+			return nil, err
+		}
+		edges := a.e
+		if edges == 0 {
+			edges = 2 * a.n
+		}
+		q, _, err := topo.Subgraph(host, a.n, edges, rng)
+		if err != nil {
+			return nil, err
+		}
+		topo.WidenDelayWindows(q, a.slack)
+		return q, nil
+	case "":
+		return nil, fmt.Errorf("-kind is required")
+	}
+	return nil, fmt.Errorf("unknown kind %q", a.kind)
+}
+
+func applyWindow(g *graph.Graph, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("bad -window %q, want 'lo,hi'", spec)
+	}
+	lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return err
+	}
+	hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return err
+	}
+	topo.SetDelayWindow(g, lo, hi)
+	return nil
+}
+
+// stampNodes sets a numeric attribute on every node of g.
+func stampNodes(g *graph.Graph, name string, v float64) {
+	for i := 0; i < g.NumNodes(); i++ {
+		node := g.Node(graph.NodeID(i))
+		node.Attrs = node.Attrs.SetNum(name, v)
+	}
+}

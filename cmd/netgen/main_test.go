@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netembed"
+	"netembed/internal/graph"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		args genArgs
+		node int // expected node count, 0 = just non-empty
+	}{
+		{"planetlab", genArgs{kind: "planetlab", sites: 30, seed: 1}, 30},
+		{"brite", genArgs{kind: "brite", n: 50, e: 101, seed: 1, model: "ba"}, 50},
+		{"waxman", genArgs{kind: "brite", n: 50, seed: 1, model: "waxman"}, 50},
+		{"ring", genArgs{kind: "ring", n: 6}, 6},
+		{"star", genArgs{kind: "star", n: 6}, 6},
+		{"clique", genArgs{kind: "clique", n: 5}, 5},
+		{"line", genArgs{kind: "line", n: 4}, 4},
+		{"composite", genArgs{kind: "composite", rootKind: "ring", rootSize: 3, leafKind: "star", leafSize: 4}, 12},
+		{"transit-stub", genArgs{kind: "transit-stub", n: 3, seed: 1}, 0},
+	}
+	for _, c := range cases {
+		g, err := generate(c.args)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if c.node != 0 && g.NumNodes() != c.node {
+			t.Errorf("%s: nodes = %d, want %d", c.name, g.NumNodes(), c.node)
+		}
+		if c.node == 0 && g.NumNodes() == 0 {
+			t.Errorf("%s: empty graph", c.name)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, a := range []genArgs{
+		{kind: ""},
+		{kind: "heptagon"},
+		{kind: "subgraph"}, // missing -host
+		{kind: "brite", n: 1},
+	} {
+		if _, err := generate(a); err == nil {
+			t.Errorf("generate(%+v) succeeded, want error", a)
+		}
+	}
+}
+
+func TestGenerateSubgraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	hostPath := filepath.Join(dir, "host.graphml")
+	host, err := generate(genArgs{kind: "planetlab", sites: 30, seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(hostPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netembed.EncodeGraphML(f, host); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	q, err := generate(genArgs{kind: "subgraph", hostPath: hostPath, n: 6, seed: 3, slack: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumNodes() != 6 {
+		t.Errorf("subgraph nodes = %d", q.NumNodes())
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	g, _ := generate(genArgs{kind: "ring", n: 4})
+	if err := applyWindow(g, "10,100"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		lo, _ := g.Edge(graph.EdgeID(i)).Attrs.Float("minDelay")
+		hi, _ := g.Edge(graph.EdgeID(i)).Attrs.Float("maxDelay")
+		if lo != 10 || hi != 100 {
+			t.Fatalf("edge %d window [%v,%v]", i, lo, hi)
+		}
+	}
+	for _, bad := range []string{"10", "a,b", "1,b", ""} {
+		if err := applyWindow(g, bad); err == nil {
+			t.Errorf("applyWindow(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestStampNodes(t *testing.T) {
+	g, err := generate(genArgs{kind: "clique", n: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stampNodes(g, "capacity", 4)
+	stampNodes(g, "demand", 0.5)
+	for i := 0; i < g.NumNodes(); i++ {
+		attrs := g.Node(graph.NodeID(i)).Attrs
+		if c, ok := attrs.Float("capacity"); !ok || c != 4 {
+			t.Fatalf("node %d capacity = %v, %v", i, c, ok)
+		}
+		if d, ok := attrs.Float("demand"); !ok || d != 0.5 {
+			t.Fatalf("node %d demand = %v, %v", i, d, ok)
+		}
+	}
+}

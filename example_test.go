@@ -1,0 +1,167 @@
+package netembed_test
+
+import (
+	"fmt"
+	"sort"
+
+	"netembed"
+)
+
+// triangleHost builds a 4-node hosting network: a triangle of 15ms links
+// plus a spur node behind a 90ms link.
+func triangleHost() *netembed.Graph {
+	h := netembed.NewUndirected()
+	h.AddNode("paris", nil)
+	h.AddNode("berlin", nil)
+	h.AddNode("zurich", nil)
+	h.AddNode("tokyo", nil)
+	fast := func() netembed.Attrs { return netembed.Attrs{}.SetNum("avgDelay", 15) }
+	h.MustAddEdge(0, 1, fast())
+	h.MustAddEdge(1, 2, fast())
+	h.MustAddEdge(0, 2, fast())
+	h.MustAddEdge(2, 3, netembed.Attrs{}.SetNum("avgDelay", 90))
+	return h
+}
+
+// ExampleECF embeds a constrained triangle into a hosting network and
+// counts the feasible mappings.
+func ExampleECF() {
+	host := triangleHost()
+	query := netembed.Clique(3)
+	netembed.SetDelayWindow(query, 10, 20) // every link must be 10-20ms
+
+	constraint := netembed.MustCompile(
+		"rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	problem, err := netembed.NewProblem(query, host, constraint, nil)
+	if err != nil {
+		panic(err)
+	}
+	// The fast triangle admits every labeling of the 3 query nodes.
+	result := netembed.ECF(problem, netembed.Options{})
+	fmt.Println("status:", result.Status)
+	fmt.Println("embeddings:", len(result.Solutions))
+
+	// Output:
+	// status: complete
+	// embeddings: 6
+}
+
+// ExampleCompile evaluates a constraint expression against one edge
+// pairing.
+func ExampleCompile() {
+	prog, err := netembed.Compile(
+		"vEdge.avgDelay >= 0.9*rEdge.avgDelay && isBoundTo(vSource.osType, rSource.osType)")
+	if err != nil {
+		panic(err)
+	}
+	// Introspection: which attributes does the constraint touch?
+	for _, ref := range prog.Refs() {
+		fmt.Println(ref)
+	}
+	// Output:
+	// vEdge.avgDelay
+	// rEdge.avgDelay
+	// vSource.osType
+	// rSource.osType
+}
+
+// ExampleAutomorphisms shows symmetry reduction: a ring has 2n
+// automorphisms, so 6·8 raw embeddings collapse to orbit representatives.
+func ExampleAutomorphisms() {
+	ring := netembed.Ring(4)
+	autos := netembed.Automorphisms(ring)
+	fmt.Println("ring4 automorphisms:", len(autos)) // dihedral group D4
+
+	host := netembed.Clique(5)
+	problem, _ := netembed.NewProblem(ring, host, nil, nil)
+	raw := netembed.ECF(problem, netembed.Options{})
+	canon := netembed.CanonicalSolutions(raw.Solutions, autos)
+	fmt.Println("raw:", len(raw.Solutions), "canonical:", len(canon))
+	// Output:
+	// ring4 automorphisms: 8
+	// raw: 120 canonical: 15
+}
+
+// ExamplePathEmbed maps a logical link onto a multi-hop hosting path when
+// no single hop satisfies the delay window.
+func ExamplePathEmbed() {
+	host := netembed.Line(3) // a-b-c, 10ms per hop
+	for i := 0; i < host.NumEdges(); i++ {
+		host.Edge(netembed.EdgeID(i)).Attrs = netembed.Attrs{}.SetNum("avgDelay", 10)
+	}
+	link := netembed.Line(2)
+	link.Edge(0).Attrs = netembed.Attrs{}.SetNum("minDelay", 15).SetNum("maxDelay", 25)
+
+	problem, _ := netembed.NewProblem(link, host, nil, nil)
+	res := netembed.PathEmbed(problem, netembed.PathOptions{MaxHops: 2})
+	fmt.Println("solutions:", len(res.Solutions))
+	fmt.Println("witness hops:", len(res.Solutions[0].Paths[0].Edges))
+	// Output:
+	// solutions: 2
+	// witness hops: 2
+}
+
+// ExampleService_Embed runs an end-to-end service request with a node
+// constraint and prints the named mapping.
+func ExampleService_Embed() {
+	host := triangleHost()
+	host.Node(0).Attrs = netembed.Attrs{}.SetNum("cpu", 8)
+	host.Node(1).Attrs = netembed.Attrs{}.SetNum("cpu", 2)
+	host.Node(2).Attrs = netembed.Attrs{}.SetNum("cpu", 8)
+
+	svc := netembed.NewService(netembed.NewModel(host), netembed.ServiceConfig{})
+	query := netembed.Line(2)
+	netembed.SetDelayWindow(query, 10, 20)
+	query.Node(0).Attrs = netembed.Attrs{}.SetNum("cpu", 4)
+	query.Node(1).Attrs = netembed.Attrs{}.SetNum("cpu", 4)
+
+	resp, err := svc.Embed(netembed.Request{
+		Query:          query,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		NodeConstraint: "vNode.cpu <= rNode.cpu",
+		MaxResults:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Only paris and zurich have enough CPU, and they share a fast link.
+	var lines []string
+	for q, r := range resp.Named[0] {
+		lines = append(lines, q+" -> "+r)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// n0 -> paris
+	// n1 -> zurich
+}
+
+func ExampleConsolidate() {
+	// Two machines with two capacity slots each; a 10ms link between
+	// them. Four unit-demand query nodes in a line must share machines —
+	// the §VIII many-to-one extension.
+	host := netembed.NewUndirected()
+	host.AddNode("left", netembed.Attrs{}.SetNum("capacity", 2))
+	host.AddNode("right", netembed.Attrs{}.SetNum("capacity", 2))
+	host.MustAddEdge(0, 1, netembed.Attrs{}.SetNum("maxDelay", 10))
+
+	q := netembed.Line(4)
+	netembed.SetDelayWindow(q, 0, 50)
+
+	constraint := netembed.MustCompile("rEdge.maxDelay <= vEdge.maxDelay")
+	p, err := netembed.NewConsolidatedProblem(q, host, constraint, nil)
+	if err != nil {
+		panic(err)
+	}
+	res := netembed.Consolidate(p, netembed.Options{}, netembed.ConsolidateOptions{})
+	fmt.Printf("feasible packings: %d (status %s)\n", len(res.Solutions), res.Status)
+	for _, m := range res.Solutions {
+		if err := p.VerifyConsolidated(m, netembed.ConsolidateOptions{}); err != nil {
+			panic(err)
+		}
+	}
+	// Output:
+	// feasible packings: 6 (status complete)
+}

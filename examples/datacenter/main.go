@@ -1,0 +1,145 @@
+// Datacenter consolidation: pack a virtual cluster onto fewer machines
+// than it has nodes — the §VIII many-to-one extension ("allow
+// many-to-one mappings between virtual and real nodes"). Machines
+// advertise a capacity, virtual nodes a demand; query links between
+// co-located nodes ride the machine's loopback (delay 0), and the
+// constraint language decides whether that is acceptable per link.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netembed"
+)
+
+func main() {
+	host := buildRacks(3, 4) // 3 racks × 4 machines
+	fmt.Printf("datacenter: %d machines, %d links\n\n", host.NumNodes(), host.NumEdges())
+
+	// A 3-tier service: 2 load balancers, 6 app servers, 4 cache nodes;
+	// 12 virtual nodes on 12 machines would fit injectively, but demands
+	// let us pack it onto far fewer.
+	q := buildTiers()
+	fmt.Printf("virtual cluster: %d nodes, %d links, total demand %.1f\n",
+		q.NumNodes(), q.NumEdges(), totalDemand(q))
+
+	svc := netembed.NewService(netembed.NewModel(host), netembed.ServiceConfig{})
+	resp, err := svc.Embed(netembed.Request{
+		Query: q,
+		// App↔cache links tolerate loopback (maxDelay ceilings pass at
+		// 0ms); the LB↔app links demand real network separation: a
+		// minimum delay of 0.05ms no loopback can provide.
+		EdgeConstraint: "rEdge.maxDelay <= vEdge.maxDelay && rEdge.minDelay >= vEdge.minDelay",
+		Algorithm:      netembed.AlgoConsolidate,
+		MaxResults:     200,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(resp.Mappings) == 0 {
+		log.Fatalf("no consolidated placement (status %s)", resp.Status)
+	}
+	fmt.Printf("\nfeasible consolidated placements: %d (status %s, %v)\n",
+		len(resp.Mappings), resp.Status, resp.Elapsed.Round(time.Millisecond))
+
+	// Among the feasible packings, prefer the one using fewest machines.
+	best, bestMachines := resp.Named[0], machinesUsed(resp.Mappings[0])
+	for i, m := range resp.Mappings[1:] {
+		if used := machinesUsed(m); used < bestMachines {
+			bestMachines = used
+			best = resp.Named[i+1]
+		}
+	}
+	fmt.Printf("tightest packing uses %d of %d machines:\n", bestMachines, host.NumNodes())
+	byMachine := map[string][]string{}
+	for v, r := range best {
+		byMachine[r] = append(byMachine[r], v)
+	}
+	for r, vs := range byMachine {
+		fmt.Printf("  %-12s <- %v\n", r, vs)
+	}
+}
+
+// buildRacks makes racks of machines: intra-rack links at 0.1ms, a
+// rack-spine mesh at 0.5ms. Each machine has capacity 4.
+func buildRacks(racks, perRack int) *netembed.Graph {
+	g := netembed.NewUndirected()
+	link := func(delay float64) netembed.Attrs {
+		return netembed.Attrs{}.
+			SetNum("minDelay", delay).SetNum("avgDelay", delay).SetNum("maxDelay", delay)
+	}
+	for r := 0; r < racks; r++ {
+		for m := 0; m < perRack; m++ {
+			g.AddNode(fmt.Sprintf("rack%d-m%d", r, m),
+				netembed.Attrs{}.SetNum("capacity", 4).SetStr("rack", fmt.Sprintf("rack%d", r)))
+		}
+	}
+	id := func(r, m int) netembed.NodeID { return netembed.NodeID(r*perRack + m) }
+	for r := 0; r < racks; r++ {
+		for a := 0; a < perRack; a++ {
+			for b := a + 1; b < perRack; b++ {
+				g.MustAddEdge(id(r, a), id(r, b), link(0.1))
+			}
+		}
+	}
+	for ra := 0; ra < racks; ra++ {
+		for rb := ra + 1; rb < racks; rb++ {
+			for a := 0; a < perRack; a++ {
+				for b := 0; b < perRack; b++ {
+					g.MustAddEdge(id(ra, a), id(rb, b), link(0.5))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// buildTiers makes the 3-tier virtual cluster.
+func buildTiers() *netembed.Graph {
+	g := netembed.NewUndirected()
+	demand := func(d float64) netembed.Attrs { return netembed.Attrs{}.SetNum("demand", d) }
+	var lbs, apps, caches []netembed.NodeID
+	for i := 0; i < 2; i++ {
+		lbs = append(lbs, g.AddNode(fmt.Sprintf("lb%d", i), demand(1)))
+	}
+	for i := 0; i < 6; i++ {
+		apps = append(apps, g.AddNode(fmt.Sprintf("app%d", i), demand(1)))
+	}
+	for i := 0; i < 4; i++ {
+		caches = append(caches, g.AddNode(fmt.Sprintf("cache%d", i), demand(0.5)))
+	}
+	// LB↔app: must cross a real link (minDelay 0.05 excludes loopback).
+	separated := netembed.Attrs{}.SetNum("minDelay", 0.05).SetNum("maxDelay", 1)
+	// app↔cache: loopback-friendly (minDelay 0 ceiling 1ms).
+	colocatable := netembed.Attrs{}.SetNum("minDelay", 0).SetNum("maxDelay", 1)
+	for i, a := range apps {
+		g.MustAddEdge(lbs[i%2], a, separated.Clone())
+		g.MustAddEdge(a, caches[i%4], colocatable.Clone())
+	}
+	return g
+}
+
+func totalDemand(q *netembed.Graph) float64 {
+	var sum float64
+	for i := 0; i < q.NumNodes(); i++ {
+		d, ok := q.Node(netembed.NodeID(i)).Attrs.Float("demand")
+		if !ok {
+			d = 1
+		}
+		sum += d
+	}
+	return sum
+}
+
+func machinesUsed(m netembed.Mapping) int {
+	set := map[netembed.NodeID]bool{}
+	for _, r := range m {
+		set[r] = true
+	}
+	return len(set)
+}

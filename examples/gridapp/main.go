@@ -1,0 +1,134 @@
+// Gridapp: allocate compute clusters for a grid application (§III
+// scenario 5). Two jobs each need a clique of well-connected, beefy nodes
+// on a BRITE-style Internet topology; the second job must avoid the first
+// job's reservation, and a link-to-path embedding (the §VIII many-to-one
+// extension) rescues a job whose latency budget no single overlay hop can
+// satisfy.
+//
+// Run with: go run ./examples/gridapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netembed"
+)
+
+func main() {
+	// An Internet-like hosting network (BRITE BA model, §VII-C sizes
+	// scaled down for the example).
+	host, err := netembed.Brite(netembed.BriteConfig{N: 300, TargetEdges: 606}, netembed.NewRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hosting network: %d nodes, %d links (BRITE BA)\n\n", host.NumNodes(), host.NumEdges())
+
+	model := netembed.NewModel(host)
+	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: 15 * time.Second})
+
+	// Job A: 3 workers, pairwise-adjacent (a triangle in the overlay),
+	// every node with at least 4 CPUs.
+	job := netembed.Clique(3)
+	netembed.SetDelayWindow(job, 0.01, 10000) // any measured link qualifies
+	for i := 0; i < job.NumNodes(); i++ {
+		job.Node(netembed.NodeID(i)).Attrs = job.Node(netembed.NodeID(i)).Attrs.SetNum("cpu", 4)
+	}
+	req := netembed.Request{
+		Query:          job,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		NodeConstraint: "vNode.cpu <= rNode.cpu",
+		MaxResults:     1,
+	}
+	respA, err := svc.Embed(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(respA.Mappings) == 0 {
+		log.Fatalf("job A unplaceable (status %s)", respA.Status)
+	}
+	fmt.Println("job A placed on:", names(host, respA.Mappings[0]))
+	leaseA, err := svc.Ledger().Allocate(respA.Mappings[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Job B: same shape, must not share nodes with job A.
+	reqB := req
+	reqB.ExcludeReserved = true
+	respB, err := svc.Embed(reqB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(respB.Mappings) == 0 {
+		log.Fatalf("job B unplaceable (status %s)", respB.Status)
+	}
+	fmt.Println("job B placed on:", names(host, respB.Mappings[0]))
+	if overlaps(respA.Mappings[0], respB.Mappings[0]) {
+		log.Fatal("job B overlapped job A despite the reservation")
+	}
+	fmt.Println("jobs are node-disjoint ✓")
+
+	// Release job A; its machines become available again.
+	if err := svc.Ledger().Release(leaseA); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreleased lease %d; reserved nodes now: %d\n\n",
+		leaseA, len(svc.Ledger().ReservedNodes()))
+
+	// Job C wants a latency budget per logical link that no single
+	// overlay hop can meet on this sparse graph (a pipeline of 3 stages,
+	// each link within [t1, t2] where direct links are too fast or
+	// absent). The many-to-one extension maps each logical link onto a
+	// short hosting *path* whose accumulated delay fits the window.
+	pipeline := netembed.Line(3)
+	for i := 0; i < pipeline.NumEdges(); i++ {
+		pipeline.Edge(netembed.EdgeID(i)).Attrs = netembed.Attrs{}.
+			SetNum("minDelay", 60).SetNum("maxDelay", 220)
+	}
+	p, err := netembed.NewProblem(pipeline, host, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pres := netembed.PathEmbed(p, netembed.PathOptions{
+		MaxHops:      3,
+		MaxSolutions: 1,
+		Timeout:      15 * time.Second,
+	})
+	if len(pres.Solutions) == 0 {
+		log.Fatalf("pipeline unplaceable even with path mapping (status %s)", pres.Status)
+	}
+	sol := pres.Solutions[0]
+	fmt.Println("job C (link-to-path embedding):")
+	fmt.Println("  stages on:", names(host, sol.Nodes))
+	for eid, path := range sol.Paths {
+		fmt.Printf("  link %d rides a %d-hop path, accumulated delay %.1f ms\n",
+			eid, len(path.Edges), path.Cost)
+	}
+	if err := netembed.VerifyPathSolution(p, netembed.PathOptions{MaxHops: 3}, sol); err != nil {
+		log.Fatalf("path solution invalid: %v", err)
+	}
+	fmt.Println("path embedding verified ✓")
+}
+
+func names(g *netembed.Graph, m netembed.Mapping) []string {
+	out := make([]string, len(m))
+	for i, r := range m {
+		out[i] = g.Node(r).Name
+	}
+	return out
+}
+
+func overlaps(a, b netembed.Mapping) bool {
+	used := map[netembed.NodeID]bool{}
+	for _, r := range a {
+		used[r] = true
+	}
+	for _, r := range b {
+		if used[r] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// Multicast: configure an overlay distribution tree subject to QoS
+// constraints (§III scenario 1). A two-level tree — wide-area links
+// between relay sites, short local links to leaf receivers — is embedded
+// into PlanetLab, then the cheapest feasible tree (total delay) is chosen
+// among the candidates (§VIII's optimization stage).
+//
+// Run with: go run ./examples/multicast
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netembed"
+)
+
+func main() {
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{}, netembed.NewRand(1))
+	fmt.Printf("hosting network: %d sites, %d measured pairs\n", host.NumNodes(), host.NumEdges())
+
+	// The distribution tree: a source fanning out to 3 relays over
+	// wide-area links (75-350ms), each relay feeding 3 receivers over
+	// fast local links (1-75ms).
+	tree := netembed.NewUndirected()
+	source := tree.AddNode("source", nil)
+	wide := netembed.Attrs{}.SetNum("minDelay", 75).SetNum("maxDelay", 350)
+	local := netembed.Attrs{}.SetNum("minDelay", 1).SetNum("maxDelay", 75)
+	for r := 0; r < 3; r++ {
+		relay := tree.AddNode(fmt.Sprintf("relay%d", r), nil)
+		if _, err := tree.AddEdge(source, relay, wide.Clone()); err != nil {
+			log.Fatal(err)
+		}
+		for l := 0; l < 3; l++ {
+			leaf := tree.AddNode(fmt.Sprintf("recv%d.%d", r, l), nil)
+			if _, err := tree.AddEdge(relay, leaf, local.Clone()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("distribution tree: %d nodes, %d links\n\n", tree.NumNodes(), tree.NumEdges())
+
+	constraint := netembed.MustCompile(
+		"rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	problem, err := netembed.NewProblem(tree, host, constraint, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// LNS excels at under-constrained regular structures like this
+	// (§VII-D): gather a pool of candidate trees quickly.
+	result := netembed.LNS(problem, netembed.Options{
+		MaxSolutions: 200,
+		Timeout:      10 * time.Second,
+	})
+	if len(result.Solutions) == 0 {
+		log.Fatalf("no feasible tree (status %s)", result.Status)
+	}
+	fmt.Printf("found %d candidate trees in %v (status %s)\n",
+		len(result.Solutions), result.Stats.Elapsed.Round(time.Millisecond), result.Status)
+
+	// Optimization stage: among feasible trees, minimize total delay.
+	best, cost, err := netembed.SelectBest(tree, host, result.Solutions,
+		netembed.TotalEdgeAttrCost("avgDelay"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest tree (total path delay %.1f ms):\n", cost)
+	for q, r := range best {
+		fmt.Printf("  %-9s -> %-9s (region %s)\n",
+			tree.Node(netembed.NodeID(q)).Name,
+			host.Node(r).Name,
+			attrOr(host, r, "region"))
+	}
+	if err := problem.Verify(best); err != nil {
+		log.Fatalf("verifier rejected tree: %v", err)
+	}
+	fmt.Println("\nbest tree verified ✓")
+}
+
+func attrOr(g *netembed.Graph, n netembed.NodeID, attr string) string {
+	if s, ok := g.Node(n).Attrs.Text(attr); ok {
+		return s
+	}
+	return "?"
+}

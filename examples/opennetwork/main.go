@@ -1,0 +1,105 @@
+// Open network: embed queries into a hosting network that was never
+// fully measured. NETEMBED's §II point about open infrastructures (the
+// Internet, PlanetLab overlays) is that no monitor ever sees an all-pairs
+// characterization — so the service first embeds the measured delays into
+// a Vivaldi coordinate space (the paper's reference [30]) and completes
+// the model with coordinate-predicted delay windows for every unmeasured
+// pair. Queries can then match anywhere, and constraint expressions can
+// still opt back into measured-only links with !has(rEdge.predicted).
+//
+// Run with: go run ./examples/opennetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netembed"
+)
+
+func main() {
+	// A PlanetLab-like host where only 15% of pairs were ever probed:
+	// the realistic open-network regime.
+	rng := netembed.NewRand(7)
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 80}, rng)
+	full := host.NumEdges()
+	sparse := thinOut(host, 0.15, rng)
+	fmt.Printf("hosting network: %d sites, %d of %d pairs measured (%.0f%%)\n\n",
+		sparse.NumNodes(), sparse.NumEdges(), full,
+		100*float64(sparse.NumEdges())/float64(full))
+
+	model := netembed.NewModel(sparse)
+	svc := netembed.NewService(model, netembed.ServiceConfig{})
+
+	// A 5-clique of sub-300ms links: on the sparse measured graph such
+	// cliques are vanishingly rare.
+	q := netembed.Clique(5)
+	netembed.SetDelayWindow(q, 1, 300)
+	req := netembed.Request{
+		Query: q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && " +
+			"rEdge.avgDelay <= vEdge.maxDelay",
+		Algorithm:  netembed.AlgoLNS,
+		MaxResults: 1,
+		Timeout:    5 * time.Second,
+	}
+	before, err := svc.Embed(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before completion: %d embeddings (status %s)\n",
+		len(before.Mappings), before.Status)
+
+	// Complete the model: simulate a Vivaldi deployment over the
+	// measured edges, then synthesize delay windows for every
+	// unmeasured pair.
+	report, err := netembed.CompleteModel(model, netembed.CompletionConfig{
+		Embed: netembed.CoordEmbedConfig{
+			Rounds: 48,
+			Config: netembed.CoordConfig{Heights: true},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completion: +%d predicted edges, fit median error %.1f%% (p90 %.1f%%), model v%d\n",
+		report.Added, 100*report.Fit.Median, 100*report.Fit.P90, report.Version)
+
+	after, err := svc.Embed(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after completion:  %d embedding(s) (status %s)\n", len(after.Mappings), after.Status)
+	if len(after.Mappings) > 0 {
+		fmt.Printf("  placement: %v\n", after.Named[0])
+	}
+
+	// The predicted mark keeps the sparse semantics one clause away.
+	strict := req
+	strict.EdgeConstraint += " && !has(rEdge.predicted)"
+	measuredOnly, err := svc.Embed(strict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured-only:     %d embeddings (status %s) — the honest sparse answer\n",
+		len(measuredOnly.Mappings), measuredOnly.Status)
+}
+
+// thinOut keeps each measured edge with the given probability, returning
+// a new graph over the same sites.
+func thinOut(host *netembed.Graph, keep float64, rng interface{ Float64() float64 }) *netembed.Graph {
+	sparse := netembed.NewUndirected()
+	for i := 0; i < host.NumNodes(); i++ {
+		n := host.Node(netembed.NodeID(i))
+		sparse.AddNode(n.Name, n.Attrs.Clone())
+	}
+	for e := 0; e < host.NumEdges(); e++ {
+		if rng.Float64() > keep {
+			continue
+		}
+		ed := host.Edge(netembed.EdgeID(e))
+		sparse.MustAddEdge(ed.From, ed.To, ed.Attrs.Clone())
+	}
+	return sparse
+}

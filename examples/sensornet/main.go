@@ -1,0 +1,97 @@
+// Sensornet: allocate sensors with specific capabilities (§III scenario
+// 4, the SNBENCH setting of §VIII). A transit-stub field network hosts
+// nodes with sensing hardware; the query binds each virtual sensor to a
+// physical node with the right sensor type via isBoundTo, and the
+// embedding is scheduled into a time window using the integrated
+// mapping-and-scheduling extension.
+//
+// Run with: go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netembed"
+)
+
+func main() {
+	// The field network: 4 transit routers, each with 2 stub domains of 5
+	// nodes. Stub leaves get sensing hardware round-robin.
+	rng := netembed.NewRand(3)
+	host, err := netembed.TransitStub(4, 2, 5, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensorTypes := []string{"temperature", "humidity", "vibration"}
+	idx := 0
+	for i := 0; i < host.NumNodes(); i++ {
+		n := host.Node(netembed.NodeID(i))
+		if tier, _ := n.Attrs.Text("tier"); tier == "stub" {
+			n.Attrs = n.Attrs.SetStr("sensorType", sensorTypes[idx%len(sensorTypes)])
+			idx++
+		}
+	}
+	fmt.Printf("field network: %d nodes, %d links, %d sensor-equipped\n\n",
+		host.NumNodes(), host.NumEdges(), idx)
+
+	// The sensing task: a hub aggregating one sensor of each type, links
+	// tolerating up to 120ms.
+	task := netembed.Star(4)
+	netembed.SetDelayWindow(task, 0.1, 120)
+	task.Node(1).Attrs = task.Node(1).Attrs.SetStr("needType", "temperature")
+	task.Node(2).Attrs = task.Node(2).Attrs.SetStr("needType", "humidity")
+	task.Node(3).Attrs = task.Node(3).Attrs.SetStr("needType", "vibration")
+
+	model := netembed.NewModel(host)
+	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: 10 * time.Second})
+
+	req := netembed.Request{
+		Query:          task,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		// A virtual sensor with a needType must land on hardware of that
+		// type; the hub (no needType) is unconstrained.
+		NodeConstraint: "isBoundTo(vNode.needType, rNode.sensorType)",
+	}
+
+	// First, an immediate placement.
+	resp, err := svc.Embed(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(resp.Named) == 0 {
+		log.Fatalf("no feasible sensor allocation (status %s)", resp.Status)
+	}
+	fmt.Println("immediate allocation:")
+	printAllocation(task, host, resp.Mappings[0])
+
+	// Occupy those sensors for the next hour, then ask the scheduler for
+	// the earliest window for an identical second task: it must either
+	// find disjoint hardware now or wait for the lease to expire.
+	now := time.Date(2026, 6, 11, 9, 0, 0, 0, time.UTC)
+	svc.Ledger().SetClock(func() time.Time { return now })
+	if _, err := svc.Ledger().AllocateWindow(resp.Mappings[0], now, now.Add(time.Hour)); err != nil {
+		log.Fatal(err)
+	}
+
+	sched, err := svc.Schedule(netembed.ScheduleRequestOf(req, 30*time.Minute, 4*time.Hour, 15*time.Minute), now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecond task scheduled at %s (%d window(s) examined, lease %d):\n",
+		sched.Start.Format("15:04"), sched.WindowsTried, sched.Lease)
+	printAllocation(task, host, sched.Mapping)
+}
+
+func printAllocation(task, host *netembed.Graph, m netembed.Mapping) {
+	for q, r := range m {
+		want, _ := task.Node(netembed.NodeID(q)).Attrs.Text("needType")
+		got, _ := host.Node(r).Attrs.Text("sensorType")
+		if want == "" {
+			want, got = "hub", "-"
+		}
+		fmt.Printf("  %-4s (%-11s) -> %-12s [%s]\n",
+			task.Node(netembed.NodeID(q)).Name, want, host.Node(r).Name, got)
+	}
+}

@@ -1,0 +1,269 @@
+// End-to-end integration tests exercising the public façade the way a
+// downstream application would: generate networks, compile constraints,
+// search, verify, serialize, reserve, schedule, federate.
+package netembed_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"netembed"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+func TestEndToEndEmbedding(t *testing.T) {
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 50}, netembed.NewRand(1))
+	query, plant, err := netembed.Subgraph(host, 10, 18, netembed.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netembed.WidenDelayWindows(query, 0.1)
+
+	constraint := netembed.MustCompile(
+		"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay")
+	problem, err := netembed.NewProblem(query, host, constraint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The planted witness must verify; all three algorithms must find
+	// some embedding; everything they return must verify.
+	if err := problem.Verify(netembed.Mapping(plant)); err != nil {
+		t.Fatalf("planted mapping invalid: %v", err)
+	}
+	for name, res := range map[string]*netembed.Result{
+		"ECF":      netembed.ECF(problem, netembed.Options{MaxSolutions: 5}),
+		"RWB":      netembed.RWB(problem, netembed.Options{Seed: 3}),
+		"LNS":      netembed.LNS(problem, netembed.Options{MaxSolutions: 5}),
+		"parallel": netembed.ParallelECF(problem, netembed.Options{MaxSolutions: 5}),
+	} {
+		if len(res.Solutions) == 0 {
+			t.Fatalf("%s found nothing", name)
+		}
+		for _, m := range res.Solutions {
+			if err := problem.Verify(m); err != nil {
+				t.Fatalf("%s returned invalid mapping: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestEndToEndGraphMLRoundTripThroughSearch(t *testing.T) {
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 40}, netembed.NewRand(4))
+	query, _, err := netembed.Subgraph(host, 6, 9, netembed.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netembed.WidenDelayWindows(query, 0.1)
+
+	// Serialize both networks, read them back, and solve on the copies:
+	// results must match the originals exactly.
+	var hostML, queryML strings.Builder
+	if err := netembed.EncodeGraphML(&hostML, host); err != nil {
+		t.Fatal(err)
+	}
+	if err := netembed.EncodeGraphML(&queryML, query); err != nil {
+		t.Fatal(err)
+	}
+	host2, err := netembed.DecodeGraphML(strings.NewReader(hostML.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query2, err := netembed.DecodeGraphML(strings.NewReader(queryML.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	constraint := netembed.MustCompile(
+		"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay")
+	p1, err := netembed.NewProblem(query, host, constraint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := netembed.NewProblem(query2, host2, constraint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := netembed.ECF(p1, netembed.Options{})
+	r2 := netembed.ECF(p2, netembed.Options{})
+	if len(r1.Solutions) != len(r2.Solutions) {
+		t.Fatalf("round-trip changed the solution count: %d vs %d",
+			len(r1.Solutions), len(r2.Solutions))
+	}
+}
+
+func TestEndToEndServiceLifecycle(t *testing.T) {
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 40}, netembed.NewRand(6))
+	model := netembed.NewModel(host)
+	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: 5 * time.Second})
+	monitor := netembed.NewMonitor(model, netembed.MonitorConfig{Seed: 7})
+
+	query, _, err := netembed.Subgraph(host, 5, 8, netembed.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netembed.WidenDelayWindows(query, 0.3)
+	req := netembed.Request{
+		Query:          query,
+		EdgeConstraint: "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+	}
+
+	// Embed, reserve, embed disjointly, release.
+	resp, err := svc.Embed(req)
+	if err != nil || len(resp.Mappings) == 0 {
+		t.Fatalf("embed: %v (%d mappings)", err, len(resp.Mappings))
+	}
+	lease, err := svc.Ledger().Allocate(resp.Mappings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor.Step() // model drifts between requests
+
+	req2 := req
+	req2.ExcludeReserved = true
+	req2.Algorithm = netembed.AlgoLNS
+	resp2, err := svc.Embed(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.ModelVersion <= resp.ModelVersion {
+		t.Errorf("monitor step did not advance the model version: %d -> %d",
+			resp.ModelVersion, resp2.ModelVersion)
+	}
+	if len(resp2.Mappings) > 0 {
+		used := map[netembed.NodeID]bool{}
+		for _, r := range resp.Mappings[0] {
+			used[r] = true
+		}
+		for _, r := range resp2.Mappings[0] {
+			if used[r] {
+				t.Error("reservation not honored")
+			}
+		}
+	}
+	if err := svc.Ledger().Release(lease); err != nil {
+		t.Fatal(err)
+	}
+
+	// Windowed scheduling on the same service.
+	now := time.Date(2026, 6, 11, 10, 0, 0, 0, time.UTC)
+	svc.Ledger().SetClock(func() time.Time { return now })
+	sched, err := svc.Schedule(netembed.ScheduleRequestOf(req, time.Hour, 4*time.Hour, 30*time.Minute), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Start.Before(now) {
+		t.Errorf("scheduled in the past: %v", sched.Start)
+	}
+}
+
+func TestEndToEndFederation(t *testing.T) {
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 60}, netembed.NewRand(9))
+	fed, err := netembed.NewFederation(host, "region", netembed.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := netembed.Star(3)
+	netembed.SetDelayWindow(q, 1, 80)
+	resp, where, err := fed.Embed(netembed.Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Mappings) == 0 {
+		t.Fatal("federation found nothing")
+	}
+	if where == "" {
+		t.Error("no origin reported")
+	}
+}
+
+func TestEndToEndSymmetryReduction(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 30}, rand.New(rand.NewSource(10)))
+	ring := netembed.Ring(4)
+	netembed.SetDelayWindow(ring, 1, 500)
+	constraint := netembed.MustCompile(
+		"rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	p, err := netembed.NewProblem(ring, host, constraint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := netembed.ECF(p, netembed.Options{MaxSolutions: 2000, Timeout: 10 * time.Second})
+	if len(res.Solutions) < 8 {
+		t.Skip("not enough embeddings for a symmetry check")
+	}
+	autos := netembed.Automorphisms(ring)
+	if len(autos) != 8 {
+		t.Fatalf("ring4 automorphisms = %d, want 8", len(autos))
+	}
+	canon := netembed.CanonicalSolutions(res.Solutions, autos)
+	if len(canon) >= len(res.Solutions) {
+		t.Errorf("symmetry reduction did not shrink: %d -> %d", len(res.Solutions), len(canon))
+	}
+	for _, m := range canon {
+		if err := p.Verify(m); err != nil {
+			t.Fatalf("canonical mapping invalid: %v", err)
+		}
+	}
+}
+
+func TestEndToEndPathEmbedding(t *testing.T) {
+	host, err := netembed.Brite(netembed.BriteConfig{N: 100, TargetEdges: 202}, netembed.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := netembed.Line(3)
+	for i := 0; i < pipeline.NumEdges(); i++ {
+		pipeline.Edge(netembed.EdgeID(i)).Attrs = netembed.Attrs{}.
+			SetNum("minDelay", 0).SetNum("maxDelay", 500)
+	}
+	p, err := netembed.NewProblem(pipeline, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := netembed.PathEmbed(p, netembed.PathOptions{
+		MaxHops: 2, MaxSolutions: 3, Timeout: 10 * time.Second,
+	})
+	if len(res.Solutions) == 0 {
+		t.Fatal("path embedding found nothing")
+	}
+	for _, sol := range res.Solutions {
+		if err := netembed.VerifyPathSolution(p, netembed.PathOptions{MaxHops: 2}, sol); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEndToEndTraceFormats(t *testing.T) {
+	host := netembed.SyntheticPlanetLab(netembed.TraceConfig{Sites: 25}, netembed.NewRand(12))
+	var sb strings.Builder
+	if err := trace.WriteAllPairs(&sb, host); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadAllPairs(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := topo.Subgraph(back, 4, 6, netembed.NewRand(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netembed.WidenDelayWindows(q, 0.2)
+	constraint := netembed.MustCompile(
+		"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay")
+	p, err := netembed.NewProblem(q, back, constraint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := netembed.LNS(p, netembed.Options{MaxSolutions: 1}); len(res.Solutions) == 0 {
+		t.Fatal("no embedding on round-tripped trace")
+	}
+}

@@ -1,0 +1,313 @@
+// Package baseline re-implements the algorithmic cores of the prior
+// systems NETEMBED is evaluated against in §II and §VII-F:
+//
+//   - Annealer: simulated annealing over complete assignments, the
+//     optimization engine of Emulab's assign [13];
+//   - Genetic: a genetic algorithm over permutations, as in wanassign
+//     [10], whose published evaluations covered only tens of nodes;
+//   - NaiveDFS: brute-force permutation-tree search with constraint checks
+//     but neither filter matrices nor Lemma-1 ordering — the ablation that
+//     isolates the value of NETEMBED's pruning machinery;
+//   - Sword: a SWORD-style [17] two-phase matcher (group candidates, then
+//     bounded combination search with candidate pruning), which trades
+//     completeness for speed and can return false negatives;
+//   - ZhuAmmar: the stress-based virtual-network assigner of Zhu & Ammar
+//     [15], which balances substrate load instead of satisfying
+//     constraints — fast, but its assignments rarely pass tight delay
+//     windows, and its link-stress accounting presumes a closed network.
+//
+// All baselines consume the same core.Problem and report core.Result-like
+// outcomes so that the experiment harness can compare them head-to-head
+// with ECF/RWB/LNS.
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+)
+
+// Outcome reports one baseline run.
+type Outcome struct {
+	Solution   core.Mapping // nil when none found
+	Found      bool
+	Definitive bool          // true when "not found" proves infeasibility
+	Iterations int64         // algorithm-specific work counter
+	Elapsed    time.Duration // wall time
+}
+
+// cost counts constraint violations of a complete assignment: one unit per
+// query edge without a feasible host edge plus one per node-constraint
+// violation. Zero cost means a feasible embedding.
+func cost(p *core.Problem, m core.Mapping) int {
+	c := 0
+	for q := range m {
+		if !p.NodeFeasible(graph.NodeID(q), m[q]) {
+			c++
+		}
+	}
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		if !p.EdgeFeasible(qe, m[qe.From], m[qe.To]) {
+			c++
+		}
+	}
+	return c
+}
+
+// AnnealerConfig tunes the simulated-annealing baseline.
+type AnnealerConfig struct {
+	Steps    int     // total proposal count (default 200k)
+	T0       float64 // initial temperature (default 2.0)
+	Cooling  float64 // geometric cooling factor per step (default so T ~0.01 at the end)
+	Restarts int     // independent restarts (default 3)
+	Seed     int64
+	Timeout  time.Duration
+}
+
+func (c *AnnealerConfig) applyDefaults() {
+	if c.Steps == 0 {
+		c.Steps = 200_000
+	}
+	if c.T0 == 0 {
+		c.T0 = 2.0
+	}
+	if c.Cooling == 0 {
+		// Reach T≈0.01 by the final step.
+		c.Cooling = math.Pow(0.01/c.T0, 1/float64(c.Steps))
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 3
+	}
+}
+
+// Annealer searches for a zero-cost assignment by simulated annealing, the
+// strategy of assign [13]: moves reassign one query node to a fresh host
+// node or swap two query nodes' images; worsening moves are accepted with
+// probability exp(-Δ/T). Like all annealing approaches it offers no
+// completeness guarantee: a "not found" answer is never definitive.
+func Annealer(p *core.Problem, cfg AnnealerConfig) Outcome {
+	cfg.applyDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	var iters int64
+
+	if nq == 0 {
+		return Outcome{Solution: core.Mapping{}, Found: true, Definitive: true, Elapsed: time.Since(start)}
+	}
+
+	deadline := time.Time{}
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		m := core.RandomMapping(p, rng)
+		cur := cost(p, m)
+		if cur == 0 {
+			return Outcome{Solution: m, Found: true, Iterations: iters, Elapsed: time.Since(start)}
+		}
+		inUse := make([]bool, nr)
+		for _, r := range m {
+			inUse[r] = true
+		}
+		temp := cfg.T0
+		for step := 0; step < cfg.Steps; step++ {
+			iters++
+			if !deadline.IsZero() && iters%1024 == 0 && time.Now().After(deadline) {
+				return Outcome{Iterations: iters, Elapsed: time.Since(start)}
+			}
+			q := rng.Intn(nq)
+			old := m[q]
+			var alt graph.NodeID
+			if rng.Intn(2) == 0 && nq >= 2 {
+				// Swap with another query node's image.
+				q2 := rng.Intn(nq)
+				for q2 == q {
+					q2 = rng.Intn(nq)
+				}
+				m[q], m[q2] = m[q2], m[q]
+				next := cost(p, m)
+				if accept(next-cur, temp, rng) {
+					cur = next
+				} else {
+					m[q], m[q2] = m[q2], m[q]
+				}
+			} else {
+				// Move to an unused host node.
+				alt = graph.NodeID(rng.Intn(nr))
+				for inUse[alt] {
+					alt = graph.NodeID(rng.Intn(nr))
+				}
+				m[q] = alt
+				next := cost(p, m)
+				if accept(next-cur, temp, rng) {
+					cur = next
+					inUse[old] = false
+					inUse[alt] = true
+				} else {
+					m[q] = old
+				}
+			}
+			if cur == 0 {
+				return Outcome{Solution: m.Clone(), Found: true, Iterations: iters, Elapsed: time.Since(start)}
+			}
+			temp *= cfg.Cooling
+		}
+	}
+	return Outcome{Iterations: iters, Elapsed: time.Since(start)}
+}
+
+func accept(delta int, temp float64, rng *rand.Rand) bool {
+	if delta <= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-float64(delta)/temp)
+}
+
+// GeneticConfig tunes the genetic-algorithm baseline.
+type GeneticConfig struct {
+	Population  int // default 60
+	Generations int // default 400
+	TournamentK int // default 3
+	MutationPct int // per-individual mutation probability in percent (default 30)
+	Seed        int64
+	Timeout     time.Duration
+}
+
+func (c *GeneticConfig) applyDefaults() {
+	if c.Population == 0 {
+		c.Population = 60
+	}
+	if c.Generations == 0 {
+		c.Generations = 400
+	}
+	if c.TournamentK == 0 {
+		c.TournamentK = 3
+	}
+	if c.MutationPct == 0 {
+		c.MutationPct = 30
+	}
+}
+
+// Genetic evolves a population of injective assignments toward zero
+// constraint violations, following wanassign [10]: tournament selection,
+// a position-preserving crossover repaired to injectivity, and swap/move
+// mutations. No completeness guarantee.
+func Genetic(p *core.Problem, cfg GeneticConfig) Outcome {
+	cfg.applyDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	var iters int64
+
+	if nq == 0 {
+		return Outcome{Solution: core.Mapping{}, Found: true, Definitive: true, Elapsed: time.Since(start)}
+	}
+
+	deadline := time.Time{}
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+
+	pop := make([]core.Mapping, cfg.Population)
+	costs := make([]int, cfg.Population)
+	for i := range pop {
+		pop[i] = core.RandomMapping(p, rng)
+		costs[i] = cost(p, pop[i])
+		if costs[i] == 0 {
+			return Outcome{Solution: pop[i], Found: true, Iterations: iters, Elapsed: time.Since(start)}
+		}
+	}
+
+	pick := func() int {
+		best := rng.Intn(cfg.Population)
+		for k := 1; k < cfg.TournamentK; k++ {
+			c := rng.Intn(cfg.Population)
+			if costs[c] < costs[best] {
+				best = c
+			}
+		}
+		return best
+	}
+
+	child := make(core.Mapping, nq)
+	usedBy := make([]int32, nr) // host -> child query node + 1, 0 = free
+	for gen := 0; gen < cfg.Generations; gen++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		next := make([]core.Mapping, 0, cfg.Population)
+		nextCosts := make([]int, 0, cfg.Population)
+		// Elitism: carry the best individual over.
+		bestIdx := 0
+		for i := range costs {
+			if costs[i] < costs[bestIdx] {
+				bestIdx = i
+			}
+		}
+		next = append(next, pop[bestIdx].Clone())
+		nextCosts = append(nextCosts, costs[bestIdx])
+
+		for len(next) < cfg.Population {
+			iters++
+			a, b := pop[pick()], pop[pick()]
+			// Uniform crossover with injectivity repair.
+			for i := range usedBy {
+				usedBy[i] = 0
+			}
+			for q := 0; q < nq; q++ {
+				g := a[q]
+				if rng.Intn(2) == 1 {
+					g = b[q]
+				}
+				if usedBy[g] != 0 {
+					g = -1 // conflict: repair below
+				} else {
+					usedBy[g] = int32(q) + 1
+				}
+				child[q] = g
+			}
+			for q := 0; q < nq; q++ {
+				if child[q] >= 0 {
+					continue
+				}
+				r := graph.NodeID(rng.Intn(nr))
+				for usedBy[r] != 0 {
+					r = graph.NodeID(rng.Intn(nr))
+				}
+				child[q] = r
+				usedBy[r] = int32(q) + 1
+			}
+			// Mutation: swap two images or jump to a free host.
+			if rng.Intn(100) < cfg.MutationPct {
+				if rng.Intn(2) == 0 && nq >= 2 {
+					i, j := rng.Intn(nq), rng.Intn(nq)
+					child[i], child[j] = child[j], child[i]
+				} else {
+					q := rng.Intn(nq)
+					r := graph.NodeID(rng.Intn(nr))
+					for usedBy[r] != 0 {
+						r = graph.NodeID(rng.Intn(nr))
+					}
+					child[q] = r
+				}
+			}
+			c := cost(p, child)
+			if c == 0 {
+				return Outcome{Solution: child.Clone(), Found: true, Iterations: iters, Elapsed: time.Since(start)}
+			}
+			next = append(next, child.Clone())
+			nextCosts = append(nextCosts, c)
+		}
+		pop, costs = next, nextCosts
+	}
+	return Outcome{Iterations: iters, Elapsed: time.Since(start)}
+}

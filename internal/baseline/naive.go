@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+)
+
+// NaiveConfig tunes the unpruned exhaustive baseline.
+type NaiveConfig struct {
+	Timeout      time.Duration
+	MaxSolutions int // 0 = all
+}
+
+// NaiveResult reports a NaiveDFS run.
+type NaiveResult struct {
+	Solutions []core.Mapping
+	Exhausted bool
+	Visited   int64
+	Elapsed   time.Duration
+}
+
+// NaiveDFS is the ablation baseline: a depth-first search of the
+// permutations tree in natural node order that checks constraints on each
+// extension, but has neither precomputed filter matrices nor the Lemma-1
+// ordering nor candidate intersection — at every level it scans all unused
+// host nodes. Complete and correct like ECF, just much slower; the gap
+// between the two isolates the value of NETEMBED's machinery.
+func NaiveDFS(p *core.Problem, cfg NaiveConfig) NaiveResult {
+	start := time.Now()
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	res := NaiveResult{}
+	assign := make(core.Mapping, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, nr)
+
+	deadline := time.Time{}
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+	timedOut := false
+	stopped := false
+
+	// incident[q] = query edges whose later endpoint is q.
+	incident := make([][]graph.EdgeID, nq)
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		later := qe.From
+		if qe.To > later {
+			later = qe.To
+		}
+		incident[later] = append(incident[later], graph.EdgeID(i))
+	}
+
+	var rec func(q int)
+	rec = func(q int) {
+		if timedOut || stopped {
+			return
+		}
+		if q == nq {
+			res.Solutions = append(res.Solutions, assign.Clone())
+			if cfg.MaxSolutions > 0 && len(res.Solutions) >= cfg.MaxSolutions {
+				stopped = true
+			}
+			return
+		}
+		for r := 0; r < nr; r++ {
+			if used[r] {
+				continue
+			}
+			res.Visited++
+			if !deadline.IsZero() && res.Visited%512 == 0 && time.Now().After(deadline) {
+				timedOut = true
+				return
+			}
+			rid := graph.NodeID(r)
+			if !p.NodeFeasible(graph.NodeID(q), rid) {
+				continue
+			}
+			assign[q] = rid
+			ok := true
+			for _, eid := range incident[q] {
+				qe := p.Query.Edge(eid)
+				if !p.EdgeFeasible(qe, assign[qe.From], assign[qe.To]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				used[r] = true
+				rec(q + 1)
+				used[r] = false
+			}
+			assign[q] = -1
+			if timedOut || stopped {
+				return
+			}
+		}
+	}
+	rec(0)
+	res.Exhausted = !timedOut && !stopped
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+)
+
+// SwordConfig tunes the SWORD-style two-phase matcher.
+type SwordConfig struct {
+	// KeepTop bounds phase 1: only the KeepTop lowest-penalty candidates
+	// per query node survive into phase 2 (SWORD's "top five candidates"
+	// style pruning; default 5). Raising it trades speed for recall.
+	KeepTop int
+	// PhaseTimeout bounds each of the two phases (default 1s each).
+	PhaseTimeout time.Duration
+}
+
+func (c *SwordConfig) applyDefaults() {
+	if c.KeepTop == 0 {
+		c.KeepTop = 5
+	}
+	if c.PhaseTimeout == 0 {
+		c.PhaseTimeout = time.Second
+	}
+}
+
+// SwordResult reports a Sword run.
+type SwordResult struct {
+	Solution core.Mapping
+	Found    bool
+	// FalseNegativePossible is always true when Found is false: the
+	// per-node candidate pruning may have discarded every feasible
+	// combination, so "not found" proves nothing (§II's critique).
+	FalseNegativePossible bool
+	Elapsed               time.Duration
+}
+
+// Sword approximates SWORD's two-phase matcher [17] on a core.Problem.
+// Phase 1 scores every (query node, host node) pairing by a penalty — how
+// many of the query node's edges could not possibly be realized from that
+// host node — and keeps only the KeepTop best candidates per query node.
+// Phase 2 searches combinations of the surviving candidates under a
+// timeout. The aggressive phase-1 pruning is exactly what makes SWORD fast
+// and incomplete.
+func Sword(p *core.Problem, cfg SwordConfig) SwordResult {
+	cfg.applyDefaults()
+	start := time.Now()
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	if nq == 0 {
+		return SwordResult{Solution: core.Mapping{}, Found: true, Elapsed: time.Since(start)}
+	}
+
+	// Phase 1: per-node candidate scoring.
+	phase1Deadline := start.Add(cfg.PhaseTimeout)
+	type scored struct {
+		r       graph.NodeID
+		penalty int
+	}
+	cands := make([][]scored, nq)
+	for q := 0; q < nq; q++ {
+		qid := graph.NodeID(q)
+		var list []scored
+		for r := 0; r < nr; r++ {
+			rid := graph.NodeID(r)
+			if !p.NodeFeasible(qid, rid) {
+				continue
+			}
+			penalty := 0
+			for _, a := range p.Query.Arcs(qid) {
+				qe := p.Query.Edge(a.Edge)
+				realizable := false
+				for _, ha := range p.Host.Arcs(rid) {
+					rs, rt := rid, ha.To
+					if qe.From != qid {
+						rs, rt = ha.To, rid
+					}
+					if p.EdgeFeasible(qe, rs, rt) {
+						realizable = true
+						break
+					}
+				}
+				if !realizable {
+					penalty++
+				}
+			}
+			list = append(list, scored{rid, penalty})
+			if time.Now().After(phase1Deadline) {
+				break
+			}
+		}
+		sort.SliceStable(list, func(i, j int) bool { return list[i].penalty < list[j].penalty })
+		if len(list) > cfg.KeepTop {
+			list = list[:cfg.KeepTop] // the lossy pruning step
+		}
+		cands[q] = list
+	}
+
+	// Phase 2: bounded combination search over the surviving candidates.
+	phase2Deadline := time.Now().Add(cfg.PhaseTimeout)
+	assign := make(core.Mapping, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make(map[graph.NodeID]bool, nq)
+	var steps int64
+	var rec func(q int) bool
+	rec = func(q int) bool {
+		if q == nq {
+			return true
+		}
+		for _, c := range cands[q] {
+			steps++
+			if steps%256 == 0 && time.Now().After(phase2Deadline) {
+				return false
+			}
+			if used[c.r] {
+				continue
+			}
+			assign[q] = c.r
+			ok := true
+			for _, a := range p.Query.Arcs(graph.NodeID(q)) {
+				if a.To < graph.NodeID(q) || assign[a.To] >= 0 {
+					if assign[a.To] < 0 {
+						continue
+					}
+					qe := p.Query.Edge(a.Edge)
+					if !p.EdgeFeasible(qe, assign[qe.From], assign[qe.To]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				used[c.r] = true
+				if rec(q + 1) {
+					return true
+				}
+				delete(used, c.r)
+			}
+			assign[q] = -1
+		}
+		return false
+	}
+	if rec(0) {
+		return SwordResult{Solution: assign, Found: true, Elapsed: time.Since(start)}
+	}
+	return SwordResult{FalseNegativePossible: true, Elapsed: time.Since(start)}
+}

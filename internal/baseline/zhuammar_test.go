@@ -1,0 +1,253 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+func zaHost(t *testing.T) *graph.Graph {
+	t.Helper()
+	return trace.SyntheticPlanetLab(trace.Config{Sites: 30}, rand.New(rand.NewSource(61)))
+}
+
+func zaProblem(t *testing.T, host *graph.Graph, n int, seed int64) *core.Problem {
+	t.Helper()
+	q, _, err := topo.Subgraph(host, n, 2*n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.1)
+	prog := expr.MustCompile("rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay")
+	p, err := core.NewProblem(q, host, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestZhuAmmarAssignsEverything(t *testing.T) {
+	host := zaHost(t)
+	p := zaProblem(t, host, 8, 1)
+	res := ZhuAmmar(p, ZhuAmmarConfig{})
+	if !res.Assigned {
+		t.Fatal("assignment failed on an easy instance")
+	}
+	if len(res.Assignment) != p.Query.NumNodes() {
+		t.Fatalf("assignment covers %d nodes, want %d", len(res.Assignment), p.Query.NumNodes())
+	}
+	// Node mapping must be injective (VNA maps one virtual node per
+	// substrate node within a VN).
+	seen := map[graph.NodeID]bool{}
+	for _, r := range res.Assignment {
+		if seen[r] {
+			t.Fatalf("substrate node %d reused within one VN", r)
+		}
+		seen[r] = true
+	}
+	// Every virtual link has a path connecting its endpoints' hosts.
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		path := res.Paths[i]
+		if len(path) < 2 {
+			t.Fatalf("virtual link %d has no substrate path", i)
+		}
+		if path[0] != res.Assignment[qe.From] || path[len(path)-1] != res.Assignment[qe.To] {
+			t.Fatalf("path endpoints %v do not match assignment (%d,%d)",
+				path, res.Assignment[qe.From], res.Assignment[qe.To])
+		}
+		for j := 0; j+1 < len(path); j++ {
+			if !p.Host.HasEdge(path[j], path[j+1]) {
+				t.Fatalf("path hop %d-%d is not a substrate edge", path[j], path[j+1])
+			}
+		}
+	}
+	if res.AvgPathLen < 1 {
+		t.Fatalf("average path length %v < 1", res.AvgPathLen)
+	}
+}
+
+func TestZhuAmmarStressAccumulatesAndBalances(t *testing.T) {
+	host := zaHost(t)
+	st := &Stress{}
+	// Assign several virtual networks onto the shared substrate.
+	for vn := 0; vn < 5; vn++ {
+		p := zaProblem(t, host, 6, int64(10+vn))
+		res := ZhuAmmar(p, ZhuAmmarConfig{Prior: st})
+		if !res.Assigned {
+			t.Fatalf("VN %d failed to assign", vn)
+		}
+	}
+	total := 0
+	for _, v := range st.Node {
+		total += v
+	}
+	if total != 5*6 {
+		t.Fatalf("total node stress %d, want 30", total)
+	}
+	// Load balancing: 30 virtual nodes on 30 substrate nodes must not
+	// pile onto a few hosts. A first-fit assigner would reuse the same
+	// low-index nodes every time (max stress 5); the stress objective
+	// keeps the maximum far lower.
+	if st.MaxNode() > 2 {
+		t.Fatalf("max node stress %d — stress objective is not balancing", st.MaxNode())
+	}
+}
+
+func TestZhuAmmarRollbackOnFailure(t *testing.T) {
+	// Two disconnected substrate islands: a query edge spanning nodes
+	// whose only candidates sit on different islands cannot route, so the
+	// assignment fails — and must leave no residual stress behind.
+	host := graph.NewUndirected()
+	for i := 0; i < 6; i++ {
+		host.AddNode(fmt.Sprintf("h%d", i), nil)
+	}
+	link := func() graph.Attrs {
+		return graph.Attrs{}.SetNum("minDelay", 10).SetNum("maxDelay", 10)
+	}
+	host.MustAddEdge(0, 1, link())
+	host.MustAddEdge(1, 2, link())
+	host.MustAddEdge(3, 4, link())
+	host.MustAddEdge(4, 5, link())
+
+	q := graph.NewUndirected()
+	q.AddNode("a", graph.Attrs{}.SetStr("bindTo", "h0"))
+	q.AddNode("b", graph.Attrs{}.SetStr("bindTo", "h3"))
+	q.MustAddEdge(0, 1, graph.Attrs{}.SetNum("minDelay", 0).SetNum("maxDelay", 100))
+
+	nodeC := expr.MustCompile("isBoundTo(vNode.bindTo, rNode.name)")
+	// Node names are exposed via the "name" attribute by the service; in
+	// a bare Problem they are not, so bind by an explicit attribute.
+	for i := 0; i < host.NumNodes(); i++ {
+		host.Node(graph.NodeID(i)).Attrs = host.Node(graph.NodeID(i)).Attrs.
+			SetStr("name", host.Node(graph.NodeID(i)).Name)
+	}
+	p, err := core.NewProblem(q, host, nil, nodeC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stress{}
+	res := ZhuAmmar(p, ZhuAmmarConfig{Prior: st, Filter: true})
+	if res.Assigned {
+		t.Fatal("assignment across disconnected islands should fail")
+	}
+	for i, v := range st.Node {
+		if v != 0 {
+			t.Fatalf("residual node stress %d on host %d after failure", v, i)
+		}
+	}
+	for i, v := range st.Link {
+		if v != 0 {
+			t.Fatalf("residual link stress %d on edge %d after failure", v, i)
+		}
+	}
+}
+
+func TestZhuAmmarFilterRestrictsCandidates(t *testing.T) {
+	host := zaHost(t)
+	// Forbid everything: the filtered variant must fail, the unfiltered
+	// one must still assign.
+	q, _, err := topo.Subgraph(host, 5, 8, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := expr.MustCompile("1 > 2")
+	p, err := core.NewProblem(q, host, nil, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ZhuAmmar(p, ZhuAmmarConfig{Filter: true}); res.Assigned {
+		t.Fatal("filtered assigner ignored the node constraint")
+	}
+	if res := ZhuAmmar(p, ZhuAmmarConfig{}); !res.Assigned {
+		t.Fatal("unfiltered assigner should place nodes regardless")
+	}
+}
+
+func TestZhuAmmarFeasibilityContrast(t *testing.T) {
+	// §VII-F: on tightly delay-constrained queries the stress optimizer
+	// assigns quickly but its assignment rarely satisfies the windows,
+	// while ECF (complete search) always finds the planted embedding.
+	host := zaHost(t)
+	feasibleZA, feasibleECF := 0, 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		p := zaProblem(t, host, 8, int64(20+i))
+		if res := ZhuAmmar(p, ZhuAmmarConfig{}); res.Assigned && res.Feasible {
+			feasibleZA++
+		}
+		if ecf := core.ECF(p, core.Options{MaxSolutions: 1}); len(ecf.Solutions) > 0 {
+			feasibleECF++
+		}
+	}
+	if feasibleECF != trials {
+		t.Fatalf("ECF found %d/%d planted embeddings", feasibleECF, trials)
+	}
+	if feasibleZA >= feasibleECF {
+		t.Fatalf("stress optimizer matched complete search (%d vs %d) — the §VII-F contrast vanished",
+			feasibleZA, feasibleECF)
+	}
+}
+
+func TestZhuAmmarMaxPathHops(t *testing.T) {
+	// A line substrate: nodes at the two ends are 5 hops apart. With
+	// MaxPathHops 2 the only valid assignments keep endpoints close.
+	host := graph.NewUndirected()
+	for i := 0; i < 6; i++ {
+		host.AddNode("", nil)
+	}
+	for i := 0; i+1 < 6; i++ {
+		host.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), graph.Attrs{}.SetNum("maxDelay", 10))
+	}
+	q := graph.NewUndirected()
+	q.AddNode("", nil)
+	q.AddNode("", nil)
+	q.MustAddEdge(0, 1, graph.Attrs{}.SetNum("maxDelay", 100))
+	p, err := core.NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ZhuAmmar(p, ZhuAmmarConfig{MaxPathHops: 2})
+	if res.Assigned {
+		for i, path := range res.Paths {
+			if len(path)-1 > 2 {
+				t.Fatalf("virtual link %d routed over %d hops despite MaxPathHops=2", i, len(path)-1)
+			}
+		}
+	}
+}
+
+func TestZhuAmmarTimeout(t *testing.T) {
+	host := zaHost(t)
+	p := zaProblem(t, host, 10, 7)
+	res := ZhuAmmar(p, ZhuAmmarConfig{Timeout: time.Nanosecond})
+	if res.Assigned {
+		t.Skip("assignment finished before the first deadline check")
+	}
+	// Must not report feasibility and must leave clean stress.
+	if res.Feasible {
+		t.Fatal("timed-out run reported feasible")
+	}
+}
+
+func TestZhuAmmarDeterministic(t *testing.T) {
+	host := zaHost(t)
+	p := zaProblem(t, host, 8, 9)
+	a := ZhuAmmar(p, ZhuAmmarConfig{})
+	b := ZhuAmmar(p, ZhuAmmarConfig{})
+	if !a.Assigned || !b.Assigned {
+		t.Fatal("assignment failed")
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("non-deterministic assignment at node %d", i)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package coords
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netembed/internal/graph"
+	"netembed/internal/trace"
+)
+
+// planarHost builds an undirected graph whose edge delays are exact
+// Euclidean distances between random points in a plane — the ideal,
+// perfectly embeddable workload.
+func planarHost(n int, degree int, rng *rand.Rand) (*graph.Graph, [][2]float64) {
+	g := graph.NewUndirected()
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+		g.AddNode("", nil)
+	}
+	dist := func(a, b int) float64 {
+		dx := pts[a][0] - pts[b][0]
+		dy := pts[a][1] - pts[b][1]
+		return math.Hypot(dx, dy) + 1 // +1 keeps delays strictly positive
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < degree; k++ {
+			j := rng.Intn(n)
+			if j == i || g.HasEdge(graph.NodeID(i), graph.NodeID(j)) {
+				continue
+			}
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j),
+				graph.Attrs{}.SetNum("avgDelay", dist(i, j)))
+		}
+	}
+	return g, pts
+}
+
+// squash maps an arbitrary generated float64 into a numerically tame
+// range so coordinate arithmetic cannot overflow to ±Inf.
+func squash(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func squashCoord(v [3]float64, h float64) Coord {
+	return Coord{
+		Vec:    []float64{squash(v[0]), squash(v[1]), squash(v[2])},
+		Height: math.Abs(squash(h)),
+	}
+}
+
+func TestDistanceSymmetricNonNegative(t *testing.T) {
+	prop := func(a, b [3]float64, ha, hb float64) bool {
+		ca, cb := squashCoord(a, ha), squashCoord(b, hb)
+		d1, d2 := ca.Distance(cb), cb.Distance(ca)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	// Height-vector distances form a metric: heights are non-negative,
+	// so d(i,k) <= d(i,j) + d(j,k) always holds.
+	prop := func(a, b, c [3]float64, ha, hb, hc float64) bool {
+		ca, cb, cc := squashCoord(a, ha), squashCoord(b, hb), squashCoord(c, hc)
+		lhs, rhs := ca.Distance(cc), ca.Distance(cb)+cb.Distance(cc)
+		return lhs <= rhs+1e-6*math.Max(1, rhs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceSelfIsTwiceHeight(t *testing.T) {
+	c := Coord{Vec: []float64{3, 4}, Height: 2.5}
+	if got := c.Distance(c); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("self distance = %v, want 2·height = 5", got)
+	}
+}
+
+func TestObserveIgnoresBadSamples(t *testing.T) {
+	s := New(2, Config{Dim: 2})
+	before := s.Coord(0)
+	s.Observe(0, 0, 10)          // self
+	s.Observe(0, 1, 0)           // non-positive
+	s.Observe(0, 1, -3)          //
+	s.Observe(0, 1, math.NaN())  // NaN
+	s.Observe(0, 1, math.Inf(1)) // Inf
+	if s.Samples() != 0 {
+		t.Fatalf("bad samples were counted: %d", s.Samples())
+	}
+	after := s.Coord(0)
+	for k := range before.Vec {
+		if before.Vec[k] != after.Vec[k] {
+			t.Fatal("coordinate moved on rejected samples")
+		}
+	}
+}
+
+func TestObserveSeparatesColocatedNodes(t *testing.T) {
+	s := New(2, Config{Dim: 2, Seed: 7})
+	// Both nodes start at the origin; a positive RTT must push them
+	// apart via a random direction rather than dividing by zero.
+	s.Observe(0, 1, 50)
+	if d := s.Predict(0, 1); d <= 0 || math.IsNaN(d) {
+		t.Fatalf("predicted distance after separation = %v", d)
+	}
+}
+
+func TestErrorEstimateStaysInUnitRange(t *testing.T) {
+	s := New(3, Config{Dim: 2, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 5000; k++ {
+		i, j := rng.Intn(3), rng.Intn(3)
+		s.Observe(i, j, 1+rng.Float64()*1000)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if e := s.Error(i); e <= 0 || e > 1 {
+			t.Fatalf("node %d error estimate %v out of (0,1]", i, e)
+		}
+	}
+}
+
+func TestEmbedConvergesOnPlanarMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, _ := planarHost(60, 8, rng)
+	sys, traj, err := Embed(g, EmbedConfig{
+		Rounds:          80,
+		SamplesPerRound: 8,
+		Config:          Config{Dim: 2, Seed: 5},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 80 {
+		t.Fatalf("trajectory has %d rounds, want 80", len(traj))
+	}
+	final := Errors(sys, g, "avgDelay")
+	if final.Median > 0.15 {
+		t.Fatalf("median relative error %.3f on exactly-embeddable workload, want <= 0.15", final.Median)
+	}
+	if traj[len(traj)-1].MedianErr >= traj[0].MedianErr {
+		t.Fatalf("error did not decrease: round0 %.3f, final %.3f",
+			traj[0].MedianErr, traj[len(traj)-1].MedianErr)
+	}
+}
+
+func TestEmbedOnSyntheticPlanetLab(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 60}, rng)
+	sys, _, err := Embed(host, EmbedConfig{Rounds: 60, Config: Config{Heights: true, Seed: 9}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := Errors(sys, host, "avgDelay")
+	if es.Edges == 0 {
+		t.Fatal("no measured edges evaluated")
+	}
+	// Real(istic) delay matrices violate the triangle inequality, so the
+	// fit is imperfect — but it must stay far below the cold-start error
+	// of ~1.0 for the completion service to be useful.
+	if es.Median > 0.5 {
+		t.Fatalf("median relative error %.3f on synthetic PlanetLab, want <= 0.5", es.Median)
+	}
+}
+
+func TestEmbedErrorsWithoutAttribute(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddNodes(3)
+	g.MustAddEdge(0, 1, nil)
+	if _, _, err := Embed(g, EmbedConfig{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("Embed accepted a graph without delay measurements")
+	}
+}
+
+func TestDensifyCompletesMissingPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, _ := planarHost(30, 4, rng)
+	missing := 30*29/2 - g.NumEdges()
+	sys, _, err := Embed(g, EmbedConfig{Rounds: 40, Config: Config{Dim: 2}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := Densify(g, sys, DensifyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != missing {
+		t.Fatalf("Densify added %d edges, want %d", added, missing)
+	}
+	if g.NumEdges() != 30*29/2 {
+		t.Fatalf("graph has %d edges after completion, want full mesh", g.NumEdges())
+	}
+	// Every synthesized edge carries the mark and a consistent window.
+	marked := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		attrs := g.Edge(graph.EdgeID(e)).Attrs
+		if v := attrs.Get("predicted"); !v.IsMissing() {
+			marked++
+			lo, _ := attrs.Float("minDelay")
+			av, _ := attrs.Float("avgDelay")
+			hi, _ := attrs.Float("maxDelay")
+			if !(lo <= av && av <= hi) || av <= 0 {
+				t.Fatalf("synthesized window [%v %v %v] inconsistent", lo, av, hi)
+			}
+		}
+	}
+	if marked != added {
+		t.Fatalf("%d edges marked predicted, want %d", marked, added)
+	}
+}
+
+func TestDensifyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g, _ := planarHost(20, 3, rng)
+	sys, _, err := Embed(g, EmbedConfig{Rounds: 10, Config: Config{Dim: 2}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := Densify(g, sys, DensifyConfig{MaxEdges: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 {
+		t.Fatalf("MaxEdges ignored: added %d", added)
+	}
+}
+
+func TestDensifyRejectsMismatchedSystem(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddNodes(4)
+	if _, err := Densify(g, New(3, Config{}), DensifyConfig{}); err == nil {
+		t.Fatal("Densify accepted a system of the wrong size")
+	}
+	if _, err := Densify(g, nil, DensifyConfig{}); err != ErrNilSystem {
+		t.Fatalf("nil system: got %v, want ErrNilSystem", err)
+	}
+	d := graph.NewDirected()
+	d.AddNodes(2)
+	if _, err := Densify(d, New(2, Config{}), DensifyConfig{}); err == nil {
+		t.Fatal("Densify accepted a directed graph")
+	}
+}
+
+func TestDensifiedDelaysStayMetric(t *testing.T) {
+	// Coordinate predictions are distances in a metric space, so the
+	// completed delay matrix must satisfy the triangle inequality over
+	// predicted edges (measured edges may still violate it).
+	rng := rand.New(rand.NewSource(23))
+	g, _ := planarHost(15, 3, rng)
+	sys, _, err := Embed(g, EmbedConfig{Rounds: 30, Config: Config{Dim: 2}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				ab := sys.Predict(a, b)
+				bc := sys.Predict(b, c)
+				ac := sys.Predict(a, c)
+				if ac > ab+bc+1e-9 {
+					t.Fatalf("triangle violated: d(%d,%d)=%v > %v", a, c, ac, ab+bc)
+				}
+			}
+		}
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s := New(5, Config{Dim: 2})
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

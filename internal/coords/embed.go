@@ -1,0 +1,199 @@
+package coords
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netembed/internal/graph"
+	"netembed/internal/stats"
+)
+
+// EmbedConfig drives a simulated Vivaldi deployment over a hosting
+// network: every round, every node observes the measured delay to a few
+// random neighbors, exactly as deployed Vivaldi agents gossip with their
+// neighbor sets.
+type EmbedConfig struct {
+	// Attr is the edge attribute holding the measured delay
+	// (default "avgDelay", the PlanetLab trace convention).
+	Attr string
+	// Rounds of gossip (default 64).
+	Rounds int
+	// SamplesPerRound is how many neighbor observations each node makes
+	// per round (default 4).
+	SamplesPerRound int
+	// Config tunes the underlying coordinate system.
+	Config Config
+}
+
+func (c EmbedConfig) withDefaults() EmbedConfig {
+	if c.Attr == "" {
+		c.Attr = "avgDelay"
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 64
+	}
+	if c.SamplesPerRound <= 0 {
+		c.SamplesPerRound = 4
+	}
+	return c
+}
+
+// RoundStats records the fit quality after one gossip round.
+type RoundStats struct {
+	Round     int
+	MedianErr float64 // median relative error over measured edges
+	MeanErr   float64
+}
+
+// Embed runs the simulated deployment and returns the converged system
+// together with the per-round error trajectory. It fails when the graph
+// has no edge carrying the configured delay attribute.
+func Embed(g *graph.Graph, cfg EmbedConfig, rng *rand.Rand) (*System, []RoundStats, error) {
+	cfg = cfg.withDefaults()
+	sys := New(g.NumNodes(), cfg.Config)
+
+	measured := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if _, ok := g.Edge(graph.EdgeID(e)).Attrs.Float(cfg.Attr); ok {
+			measured++
+		}
+	}
+	if measured == 0 {
+		return nil, nil, fmt.Errorf("coords: no edge carries attribute %q", cfg.Attr)
+	}
+
+	trajectory := make([]RoundStats, 0, cfg.Rounds)
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < g.NumNodes(); i++ {
+			arcs := g.Arcs(graph.NodeID(i))
+			if len(arcs) == 0 {
+				continue
+			}
+			for s := 0; s < cfg.SamplesPerRound; s++ {
+				a := arcs[rng.Intn(len(arcs))]
+				rtt, ok := g.Edge(a.Edge).Attrs.Float(cfg.Attr)
+				if !ok {
+					continue
+				}
+				sys.Observe(i, int(a.To), rtt)
+			}
+		}
+		es := Errors(sys, g, cfg.Attr)
+		trajectory = append(trajectory, RoundStats{
+			Round:     round,
+			MedianErr: es.Median,
+			MeanErr:   es.Summary.Mean,
+		})
+	}
+	return sys, trajectory, nil
+}
+
+// ErrorStats quantifies how well a coordinate system reproduces the
+// measured delays of a graph.
+type ErrorStats struct {
+	Summary stats.Summary // over per-edge relative errors
+	Median  float64
+	P90     float64
+	Edges   int // measured edges evaluated
+}
+
+// Errors computes the relative prediction error |pred-measured|/measured
+// over every edge of g carrying the delay attribute.
+func Errors(sys *System, g *graph.Graph, attr string) ErrorStats {
+	if attr == "" {
+		attr = "avgDelay"
+	}
+	var errs []float64
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		rtt, ok := ed.Attrs.Float(attr)
+		if !ok || rtt <= 0 {
+			continue
+		}
+		pred := sys.Predict(int(ed.From), int(ed.To))
+		errs = append(errs, math.Abs(pred-rtt)/rtt)
+	}
+	if len(errs) == 0 {
+		return ErrorStats{}
+	}
+	return ErrorStats{
+		Summary: stats.Summarize(errs),
+		Median:  stats.Percentile(errs, 0.5),
+		P90:     stats.Percentile(errs, 0.9),
+		Edges:   len(errs),
+	}
+}
+
+// DensifyConfig controls coordinate-based completion of a partially
+// measured hosting network.
+type DensifyConfig struct {
+	// Spread widens the predicted delay into a [min,max] window:
+	// minDelay = pred·(1−Spread), maxDelay = pred·(1+Spread)
+	// (default 0.15 — network coordinates are estimates, and embedding
+	// constraints should see an honest uncertainty band).
+	Spread float64
+	// MarkAttr names the boolean attribute stamped on synthesized edges
+	// so queries can exclude estimated links (default "predicted";
+	// disable with "-").
+	MarkAttr string
+	// MaxEdges bounds how many predicted edges are added (0 = no bound).
+	MaxEdges int
+}
+
+func (c DensifyConfig) withDefaults() DensifyConfig {
+	if c.Spread <= 0 {
+		c.Spread = 0.15
+	}
+	if c.MarkAttr == "" {
+		c.MarkAttr = "predicted"
+	}
+	return c
+}
+
+// ErrNilSystem reports a Densify call without a coordinate system.
+var ErrNilSystem = errors.New("coords: nil system")
+
+// Densify adds an edge for every unmeasured node pair of g, stamped with
+// the coordinate-predicted delay window (minDelay/avgDelay/maxDelay) and
+// the MarkAttr flag. It returns the number of edges added. The input
+// graph is modified in place; callers wanting to preserve the sparse
+// original should Clone first (the service layer does).
+func Densify(g *graph.Graph, sys *System, cfg DensifyConfig) (int, error) {
+	if sys == nil {
+		return 0, ErrNilSystem
+	}
+	if sys.Len() != g.NumNodes() {
+		return 0, fmt.Errorf("coords: system covers %d nodes, graph has %d", sys.Len(), g.NumNodes())
+	}
+	if g.Directed() {
+		return 0, errors.New("coords: Densify requires an undirected hosting network")
+	}
+	cfg = cfg.withDefaults()
+	added := 0
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				continue
+			}
+			if cfg.MaxEdges > 0 && added >= cfg.MaxEdges {
+				return added, nil
+			}
+			pred := sys.Predict(u, v)
+			attrs := graph.Attrs{}.
+				SetNum("minDelay", pred*(1-cfg.Spread)).
+				SetNum("avgDelay", pred).
+				SetNum("maxDelay", pred*(1+cfg.Spread))
+			if cfg.MarkAttr != "-" {
+				attrs = attrs.SetBool(cfg.MarkAttr, true)
+			}
+			if _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), attrs); err != nil {
+				return added, err
+			}
+			added++
+		}
+	}
+	return added, nil
+}

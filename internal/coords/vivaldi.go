@@ -1,0 +1,232 @@
+// Package coords implements the Vivaldi decentralized network coordinate
+// system (Dabek, Cox, Kaashoek and Morris, SIGCOMM 2004 — reference [30]
+// of the NETEMBED paper).
+//
+// NETEMBED's service model (§III, Figure 1) depends on "a model of the
+// real network that characterizes the resources available", maintained by
+// a monitoring service. On closed testbeds that model can be measured
+// exhaustively, but §II points out that open networks (the Internet,
+// PlanetLab overlays) never expose a complete all-pairs characterization.
+// Network coordinates close the gap: after embedding the nodes into a
+// low-dimensional metric space from a sparse sample of measured delays,
+// the coordinate distance predicts the delay of every unmeasured pair, so
+// the mapping service can answer queries over edges no monitor ever
+// probed. Densify applies exactly that completion to a hosting network.
+//
+// The implementation follows the Vivaldi paper: spring-relaxation updates
+// with an adaptive timestep weighted by per-node error estimates, and the
+// "height vector" augmentation that models the access-link penalty which
+// plain Euclidean spaces cannot express.
+package coords
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Coord is one node's network coordinate: a point in a low-dimensional
+// Euclidean space plus a non-negative height. Under the height-vector
+// model the predicted latency between two nodes is the Euclidean distance
+// between their points plus both heights.
+type Coord struct {
+	Vec    []float64 // Euclidean component
+	Height float64   // access-link penalty (0 when heights are disabled)
+}
+
+// Clone returns an independent copy of c.
+func (c Coord) Clone() Coord {
+	v := make([]float64, len(c.Vec))
+	copy(v, c.Vec)
+	return Coord{Vec: v, Height: c.Height}
+}
+
+// Distance returns the predicted latency between c and o: the Euclidean
+// distance between the vector parts plus both heights.
+func (c Coord) Distance(o Coord) float64 {
+	var s float64
+	for i := range c.Vec {
+		d := c.Vec[i] - o.Vec[i]
+		s += d * d
+	}
+	return math.Sqrt(s) + c.Height + o.Height
+}
+
+// magnitude of the Euclidean part only.
+func (c Coord) magnitude() float64 {
+	var s float64
+	for _, x := range c.Vec {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Config tunes a coordinate System. The zero value selects the constants
+// recommended by the Vivaldi paper.
+type Config struct {
+	// Dim is the dimensionality of the Euclidean component (default 3;
+	// the Vivaldi paper finds 2–3 dimensions plus height sufficient for
+	// Internet RTTs).
+	Dim int
+	// Ce dampens the moving average over per-node error estimates
+	// (default 0.25).
+	Ce float64
+	// Cc scales the adaptive timestep (default 0.25).
+	Cc float64
+	// Heights enables the height-vector model. Disable for synthetic
+	// workloads that are exactly Euclidean.
+	Heights bool
+	// MinHeight floors the height when heights are enabled (default 100µs
+	// in the Vivaldi paper; expressed here in the same unit as the RTT
+	// samples, default 0.1).
+	MinHeight float64
+	// Seed drives the random unit vectors used to separate co-located
+	// nodes (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 3
+	}
+	if c.Ce <= 0 {
+		c.Ce = 0.25
+	}
+	if c.Cc <= 0 {
+		c.Cc = 0.25
+	}
+	if c.MinHeight <= 0 {
+		c.MinHeight = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// System holds the evolving coordinates of a set of nodes. It is the
+// state a monitoring layer keeps per hosting network. A System is not
+// safe for concurrent use; monitors own one goroutine each.
+type System struct {
+	cfg     Config
+	coords  []Coord
+	errs    []float64 // per-node error estimate in (0, 1]
+	samples int64
+	rng     *rand.Rand
+}
+
+// New returns a System for n nodes, all starting at the origin with
+// maximal error, per the Vivaldi paper's cold-start rule.
+func New(n int, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:    cfg,
+		coords: make([]Coord, n),
+		errs:   make([]float64, n),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range s.coords {
+		s.coords[i] = Coord{Vec: make([]float64, cfg.Dim)}
+		if cfg.Heights {
+			s.coords[i].Height = cfg.MinHeight
+		}
+		s.errs[i] = 1
+	}
+	return s
+}
+
+// Len returns the number of nodes in the system.
+func (s *System) Len() int { return len(s.coords) }
+
+// Samples returns the number of RTT observations applied so far.
+func (s *System) Samples() int64 { return s.samples }
+
+// Coord returns a copy of node i's current coordinate.
+func (s *System) Coord(i int) Coord { return s.coords[i].Clone() }
+
+// Error returns node i's current error estimate in (0, 1].
+func (s *System) Error(i int) float64 { return s.errs[i] }
+
+// Predict returns the latency the coordinate space predicts between nodes
+// i and j.
+func (s *System) Predict(i, j int) float64 {
+	return s.coords[i].Distance(s.coords[j])
+}
+
+// Observe applies one RTT measurement from node i to node j, moving i
+// (and only i — Vivaldi is fully decentralized, each endpoint reacts to
+// its own samples) along the spring force between the two coordinates.
+// Non-positive or non-finite RTTs are ignored.
+func (s *System) Observe(i, j int, rtt float64) {
+	if i == j || rtt <= 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return
+	}
+	s.samples++
+	ci, cj := &s.coords[i], &s.coords[j]
+
+	// Confidence weight: how much i trusts this sample relative to its
+	// own accumulated error.
+	w := s.errs[i] / (s.errs[i] + s.errs[j])
+
+	dist := ci.Distance(*cj)
+	sampleErr := math.Abs(dist-rtt) / rtt
+
+	// Exponentially-weighted moving average over the relative error.
+	alpha := s.cfg.Ce * w
+	s.errs[i] = sampleErr*alpha + s.errs[i]*(1-alpha)
+	if s.errs[i] > 1 {
+		s.errs[i] = 1
+	}
+
+	// Adaptive timestep: move further when uncertain, settle when
+	// confident.
+	delta := s.cfg.Cc * w
+	force := delta * (rtt - dist)
+
+	// Unit vector from j towards i in the Euclidean part; a random
+	// direction separates co-located nodes.
+	dir := make([]float64, len(ci.Vec))
+	var mag float64
+	for k := range dir {
+		dir[k] = ci.Vec[k] - cj.Vec[k]
+		mag += dir[k] * dir[k]
+	}
+	mag = math.Sqrt(mag)
+	if mag < 1e-9 {
+		mag = 0
+		for k := range dir {
+			dir[k] = s.rng.NormFloat64()
+			mag += dir[k] * dir[k]
+		}
+		mag = math.Sqrt(mag)
+	}
+	for k := range dir {
+		ci.Vec[k] += force * dir[k] / mag
+	}
+	if s.cfg.Heights {
+		// Height vectors stretch along the "vertical" axis: the height
+		// component of the unit vector is h_i + h_j over the full
+		// distance (Vivaldi §5.4); pulling closer shrinks the height,
+		// pushing apart grows it.
+		if dist > 0 {
+			ci.Height += force * (ci.Height + cj.Height) / dist
+		}
+		if ci.Height < s.cfg.MinHeight {
+			ci.Height = s.cfg.MinHeight
+		}
+	}
+}
+
+// String summarizes the system state.
+func (s *System) String() string {
+	var sum float64
+	for _, e := range s.errs {
+		sum += e
+	}
+	mean := 0.0
+	if len(s.errs) > 0 {
+		mean = sum / float64(len(s.errs))
+	}
+	return fmt.Sprintf("coords.System{nodes: %d, dim: %d, samples: %d, meanErr: %.3f}",
+		len(s.coords), s.cfg.Dim, s.samples, mean)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"netembed/internal/graph"
+)
+
+// Automorphisms returns every attribute-preserving automorphism of g: a
+// bijection of g's nodes onto themselves that preserves adjacency, node
+// attribute bags and edge attribute bags exactly.
+//
+// This powers the symmetry-reduction technique of Considine & Byers
+// (related work, §II): regular query topologies (rings, stars, cliques)
+// have large automorphism groups, and every automorphism turns one
+// feasible embedding into another that occupies the same hosting
+// resources. Reporting one representative per orbit keeps result sets
+// proportional to genuinely distinct resource selections.
+func Automorphisms(g *graph.Graph) []Mapping {
+	autos, _ := AutomorphismsBounded(g, Options{})
+	return autos
+}
+
+// AutomorphismsBounded is Automorphisms under search Options (timeout,
+// solution cap). The second result reports whether the returned group is
+// provably complete; service layers skip symmetry reduction otherwise
+// (deduplicating with a partial group would be unsound only in the sense
+// of under-merging, but the caller deserves to know).
+func AutomorphismsBounded(g *graph.Graph, opt Options) ([]Mapping, bool) {
+	if g.NumNodes() == 0 {
+		return []Mapping{{}}, true
+	}
+	// A monomorphism of g into itself over the full node set maps edges
+	// injectively into the same finite edge set, so it is automatically
+	// onto: every adjacency-preserving self-embedding is an automorphism
+	// of the underlying graph. ECF enumerates those; attribute equality
+	// is enforced afterwards.
+	p := &Problem{Query: g, Host: g}
+	opt.OnSolution = nil
+	res := ECF(p, opt)
+	autos := res.Solutions[:0]
+	for _, m := range res.Solutions {
+		if attrPreserving(g, m) {
+			autos = append(autos, m)
+		}
+	}
+	return autos, res.Exhausted
+}
+
+// attrPreserving reports whether mapping m preserves node and edge
+// attribute bags exactly.
+func attrPreserving(g *graph.Graph, m Mapping) bool {
+	for q := range m {
+		if !attrsEqual(g.Node(graph.NodeID(q)).Attrs, g.Node(m[q]).Attrs) {
+			return false
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		img, ok := g.EdgeBetween(m[e.From], m[e.To])
+		if !ok {
+			return false
+		}
+		if !attrsEqual(e.Attrs, g.Edge(img).Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+func attrsEqual(a, b graph.Attrs) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !v.Equal(b.Get(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalSolutions deduplicates embeddings that are equivalent up to a
+// query automorphism: m and m∘σ select the same hosting resources with
+// relabeled query roles. The representative kept for each orbit is the
+// lexicographically smallest composition; output order follows the first
+// appearance of each orbit. autos must include the identity (as returned
+// by Automorphisms).
+func CanonicalSolutions(solutions []Mapping, autos []Mapping) []Mapping {
+	if len(autos) <= 1 {
+		return solutions
+	}
+	seen := make(map[string]bool, len(solutions))
+	var out []Mapping
+	for _, m := range solutions {
+		rep := canonicalForm(m, autos)
+		key := mapKey(rep)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// canonicalForm returns the lexicographically smallest m∘σ over autos.
+func canonicalForm(m Mapping, autos []Mapping) Mapping {
+	best := m
+	composed := make(Mapping, len(m))
+	for _, sigma := range autos {
+		// (m ∘ σ)[q] = m[σ[q]]
+		for q := range composed {
+			composed[q] = m[sigma[q]]
+		}
+		if lexLess(composed, best) {
+			best = composed.Clone()
+		}
+	}
+	return best
+}
+
+func lexLess(a, b Mapping) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func mapKey(m Mapping) string {
+	buf := make([]byte, 0, len(m)*4)
+	for _, r := range m {
+		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return string(buf)
+}
+
+// OrbitCount returns the number of distinct resource selections among
+// solutions under the query's automorphism group — the size of
+// CanonicalSolutions without materializing it.
+func OrbitCount(solutions []Mapping, autos []Mapping) int {
+	if len(autos) <= 1 {
+		return len(solutions)
+	}
+	seen := make(map[string]bool, len(solutions))
+	for _, m := range solutions {
+		seen[mapKey(canonicalForm(m, autos))] = true
+	}
+	return len(seen)
+}
+
+// SortMappings orders embeddings lexicographically in place (exported
+// counterpart of the parallel driver's determinism helper).
+func SortMappings(ms []Mapping) {
+	sort.Slice(ms, func(i, j int) bool { return lexLess(ms[i], ms[j]) })
+}

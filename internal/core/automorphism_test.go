@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"ring5", topo.Ring(5), 10},           // dihedral group: 2n
+		{"ring6", topo.Ring(6), 12},           // 2n
+		{"star5", topo.Star(5), factorial(4)}, // leaves permute freely
+		{"clique4", topo.Clique(4), factorial(4)},
+		{"line4", topo.Line(4), 2}, // identity + reversal
+		{"single", singleNode(), 1},
+	}
+	for _, c := range cases {
+		autos := Automorphisms(c.g)
+		if len(autos) != c.want {
+			t.Errorf("%s: %d automorphisms, want %d", c.name, len(autos), c.want)
+		}
+		// Every automorphism must be a valid permutation preserving
+		// adjacency (spot-check via the problem verifier).
+		p := &Problem{Query: c.g, Host: c.g}
+		for _, a := range autos {
+			if err := p.Verify(a); err != nil {
+				t.Errorf("%s: invalid automorphism %v: %v", c.name, a, err)
+			}
+		}
+	}
+}
+
+func singleNode() *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNode("only", nil)
+	return g
+}
+
+func TestAutomorphismsRespectAttributes(t *testing.T) {
+	// A triangle with one distinguished node: only the swap of the two
+	// identical nodes (plus identity) survives.
+	g := topo.Clique(3)
+	g.Node(0).Attrs = graph.Attrs{}.SetStr("role", "hub")
+	autos := Automorphisms(g)
+	if len(autos) != 2 {
+		t.Fatalf("attributed triangle: %d automorphisms, want 2", len(autos))
+	}
+	for _, a := range autos {
+		if a[0] != 0 {
+			t.Errorf("automorphism moved the distinguished node: %v", a)
+		}
+	}
+
+	// Distinguishing an edge also breaks symmetry: of ring4's 8
+	// automorphisms only those mapping the marked edge onto itself
+	// survive — the identity and the reflection swapping its endpoints.
+	r := topo.Ring(4)
+	r.Edge(0).Attrs = graph.Attrs{}.SetNum("special", 1)
+	autos = Automorphisms(r)
+	for _, a := range autos {
+		e := r.Edge(0)
+		img, ok := r.EdgeBetween(a[e.From], a[e.To])
+		if !ok || !r.Edge(img).Attrs.Has("special") {
+			t.Errorf("automorphism does not preserve the special edge: %v", a)
+		}
+	}
+	if len(autos) != 2 {
+		t.Errorf("edge-marked ring4: %d automorphisms, want 2", len(autos))
+	}
+}
+
+func TestAutomorphismsEmptyGraph(t *testing.T) {
+	autos := Automorphisms(graph.NewUndirected())
+	if len(autos) != 1 || len(autos[0]) != 0 {
+		t.Errorf("empty graph autos = %v", autos)
+	}
+}
+
+func TestCanonicalSolutionsTriangleInK4(t *testing.T) {
+	query := topo.Clique(3)
+	host := topo.Clique(4)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ECF(p, Options{})
+	// 4 choose 3 node sets × 3! labelings = 24 raw embeddings.
+	if len(res.Solutions) != 24 {
+		t.Fatalf("raw embeddings = %d, want 24", len(res.Solutions))
+	}
+	autos := Automorphisms(query)
+	if len(autos) != 6 {
+		t.Fatalf("triangle autos = %d, want 6", len(autos))
+	}
+	canon := CanonicalSolutions(res.Solutions, autos)
+	if len(canon) != 4 {
+		t.Fatalf("canonical embeddings = %d, want 4 (one per node set)", len(canon))
+	}
+	if got := OrbitCount(res.Solutions, autos); got != 4 {
+		t.Errorf("OrbitCount = %d, want 4", got)
+	}
+	// Representatives must be valid embeddings and pairwise distinct as
+	// node sets.
+	sets := map[string]bool{}
+	for _, m := range canon {
+		if err := p.Verify(m); err != nil {
+			t.Errorf("canonical rep invalid: %v", err)
+		}
+		s := m.Clone()
+		SortMappings([]Mapping{}) // no-op sanity
+		sortIDs(s)
+		sets[mapKey(s)] = true
+	}
+	if len(sets) != 4 {
+		t.Errorf("canonical reps cover %d node sets, want 4", len(sets))
+	}
+}
+
+func sortIDs(m Mapping) {
+	for i := 1; i < len(m); i++ {
+		for j := i; j > 0 && m[j-1] > m[j]; j-- {
+			m[j-1], m[j] = m[j], m[j-1]
+		}
+	}
+}
+
+func TestCanonicalSolutionsNoAutosPassThrough(t *testing.T) {
+	sols := []Mapping{{1, 2}, {2, 1}}
+	out := CanonicalSolutions(sols, []Mapping{{0, 1}}) // identity only
+	if len(out) != 2 {
+		t.Errorf("identity-only dedupe changed the set: %v", out)
+	}
+	out = CanonicalSolutions(sols, nil)
+	if len(out) != 2 {
+		t.Errorf("nil autos dedupe changed the set: %v", out)
+	}
+}
+
+func TestCanonicalRepresentativeIsOrbitMinimum(t *testing.T) {
+	// Ring4 into clique5: group the 5·4·3·2/... embeddings and check that
+	// each representative is <= every member of its orbit.
+	query := topo.Ring(4)
+	host := topo.Clique(5)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ECF(p, Options{})
+	autos := Automorphisms(query)
+	canon := CanonicalSolutions(res.Solutions, autos)
+	for _, rep := range canon {
+		for _, sigma := range autos {
+			composed := make(Mapping, len(rep))
+			for q := range composed {
+				composed[q] = rep[sigma[q]]
+			}
+			if lexLess(composed, rep) {
+				t.Fatalf("representative %v not minimal: %v is smaller", rep, composed)
+			}
+		}
+	}
+	// Orbit sizes must sum back to the raw count.
+	if len(res.Solutions)%len(canon) != 0 {
+		t.Logf("note: orbits of unequal size (fine when stabilizers differ)")
+	}
+	if got := OrbitCount(res.Solutions, autos); got != len(canon) {
+		t.Errorf("OrbitCount %d != canonical count %d", got, len(canon))
+	}
+}
+
+func TestSortMappingsExported(t *testing.T) {
+	ms := []Mapping{{3, 1}, {1, 5}, {1, 2}}
+	SortMappings(ms)
+	if !lexLess(ms[0], ms[1]) || !lexLess(ms[1], ms[2]) {
+		t.Errorf("not sorted: %v", ms)
+	}
+}

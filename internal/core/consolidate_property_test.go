@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"netembed/internal/graph"
+)
+
+// bruteConsolidated enumerates every assignment vector of query nodes to
+// host nodes and keeps those VerifyConsolidated accepts — the oracle the
+// search is checked against. Only viable for tiny instances (n^k grows
+// fast).
+func bruteConsolidated(p *Problem, copt ConsolidateOptions) []Mapping {
+	nq, nh := p.Query.NumNodes(), p.Host.NumNodes()
+	var out []Mapping
+	assign := make(Mapping, nq)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == nq {
+			if p.VerifyConsolidated(assign, copt) == nil {
+				out = append(out, assign.Clone())
+			}
+			return
+		}
+		for r := 0; r < nh; r++ {
+			assign[d] = graph.NodeID(r)
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// randomConsInstance builds a small random problem with random capacities
+// (1..3) and demands (0.5, 1 or 1.5), and a delay-window constraint that
+// some loopbacks pass and some real edges fail.
+func randomConsInstance(rng *rand.Rand) *Problem {
+	nh := 3 + rng.Intn(3) // 3..5 hosts
+	host := graph.NewUndirected()
+	for i := 0; i < nh; i++ {
+		host.AddNode("", graph.Attrs{}.SetNum("capacity", float64(1+rng.Intn(3))))
+	}
+	for i := 0; i < nh; i++ {
+		for j := i + 1; j < nh; j++ {
+			if rng.Float64() < 0.7 {
+				host.MustAddEdge(graph.NodeID(i), graph.NodeID(j), graph.Attrs{}.
+					SetNum("maxDelay", 5+rng.Float64()*40))
+			}
+		}
+	}
+	nq := 2 + rng.Intn(3) // 2..4 query nodes
+	q := graph.NewUndirected()
+	demands := []float64{0.5, 1, 1.5}
+	for i := 0; i < nq; i++ {
+		q.AddNode("", graph.Attrs{}.SetNum("demand", demands[rng.Intn(len(demands))]))
+	}
+	for i := 1; i < nq; i++ {
+		q.MustAddEdge(graph.NodeID(i), graph.NodeID(rng.Intn(i)), graph.Attrs{}.
+			SetNum("maxDelay", 10+rng.Float64()*30))
+	}
+	for i := 0; i < nq; i++ {
+		for j := i + 1; j < nq; j++ {
+			if !q.HasEdge(graph.NodeID(i), graph.NodeID(j)) && rng.Float64() < 0.3 {
+				q.MustAddEdge(graph.NodeID(i), graph.NodeID(j), graph.Attrs{}.
+					SetNum("maxDelay", 10+rng.Float64()*30))
+			}
+		}
+	}
+	p, err := NewConsolidatedProblem(q, host, ceilingConstraint, nil)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestConsolidatePropertyMatchesBruteForce checks completeness and
+// correctness of the many-to-one search against exhaustive enumeration on
+// 60 random instances: identical solution sets, every solution verified.
+func TestConsolidatePropertyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	copt := ConsolidateOptions{}
+	for trial := 0; trial < 60; trial++ {
+		p := randomConsInstance(rng)
+		want := solutionSet(bruteConsolidated(p, copt))
+		res := Consolidate(p, Options{}, copt)
+		got := solutionSet(res.Solutions)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: search found %d solutions, brute force %d (query %d nodes, host %d nodes)",
+				trial, len(got), len(want), p.Query.NumNodes(), p.Host.NumNodes())
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: brute-force solution %s missed by the search", trial, k)
+			}
+		}
+		if !res.Exhausted || res.Status == StatusPartial {
+			t.Fatalf("trial %d: untimed run not exhaustive (status %v)", trial, res.Status)
+		}
+	}
+}

@@ -1,0 +1,668 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+// delayWindow is the constraint used by most experiments: the hosting
+// link's measured delay range must lie inside the query link's window.
+var delayWindow = expr.MustCompile(
+	"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay")
+
+// avgWindow accepts hosting links whose average delay is inside the query
+// window, the clique-experiment constraint.
+var avgWindow = expr.MustCompile(
+	"rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+
+// naiveEmbeddings enumerates every feasible embedding by unpruned
+// backtracking over all injective assignments in natural node order. It is
+// the reference implementation for completeness tests; only run it on tiny
+// instances.
+func naiveEmbeddings(p *Problem) []Mapping {
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	var out []Mapping
+	assign := make(Mapping, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, nr)
+	var rec func(q int)
+	rec = func(q int) {
+		if q == nq {
+			out = append(out, assign.Clone())
+			return
+		}
+		for r := 0; r < nr; r++ {
+			if used[r] {
+				continue
+			}
+			assign[q] = graph.NodeID(r)
+			used[r] = true
+			if partialOK(p, assign, q) {
+				rec(q + 1)
+			}
+			used[r] = false
+			assign[q] = -1
+		}
+	}
+	rec(0)
+	return out
+}
+
+// partialOK checks constraints touching query node q against the partial
+// assignment of nodes 0..q.
+func partialOK(p *Problem, m Mapping, q int) bool {
+	qid := graph.NodeID(q)
+	if !p.nodeOK(qid, m[q]) {
+		return false
+	}
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		if qe.From != qid && qe.To != qid {
+			continue
+		}
+		other := qe.From
+		if other == qid {
+			other = qe.To
+		}
+		if int(other) > q || m[other] < 0 {
+			continue // the later endpoint will check this edge
+		}
+		rs, rt := m[qe.From], m[qe.To]
+		reID, ok := p.Host.EdgeBetween(rs, rt)
+		if !ok || !p.edgeOK(qe, p.Host.Edge(reID), rs, rt) {
+			return false
+		}
+	}
+	return true
+}
+
+// mappingKey canonicalizes an embedding for set comparison.
+func mappingKey(m Mapping) string {
+	return fmt.Sprint([]graph.NodeID(m))
+}
+
+func solutionSet(ms []Mapping) map[string]bool {
+	s := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		s[mappingKey(m)] = true
+	}
+	return s
+}
+
+func sameSolutionSets(t *testing.T, label string, got, want []Mapping) {
+	t.Helper()
+	gs, ws := solutionSet(got), solutionSet(want)
+	if len(gs) != len(got) {
+		t.Errorf("%s: returned duplicate embeddings", label)
+	}
+	if len(gs) != len(ws) {
+		t.Errorf("%s: %d embeddings, want %d", label, len(gs), len(ws))
+		return
+	}
+	for k := range ws {
+		if !gs[k] {
+			t.Errorf("%s: missing embedding %s", label, k)
+		}
+	}
+}
+
+// smallProblem builds a random small instance with a delay-window
+// constraint for cross-checking against the naive enumerator.
+func smallProblem(t *testing.T, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	host := graph.NewUndirected()
+	nr := 5 + rng.Intn(4)
+	for i := 0; i < nr; i++ {
+		host.AddNode("", graph.Attrs{}.SetNum("cpu", float64(1+rng.Intn(4))))
+	}
+	for u := 0; u < nr; u++ {
+		for v := u + 1; v < nr; v++ {
+			if rng.Float64() < 0.5 {
+				d := 1 + rng.Float64()*99
+				host.MustAddEdge(graph.NodeID(u), graph.NodeID(v), graph.Attrs{}.
+					SetNum("minDelay", d*0.9).SetNum("avgDelay", d).SetNum("maxDelay", d*1.2))
+			}
+		}
+	}
+	query := graph.NewUndirected()
+	nq := 2 + rng.Intn(3)
+	for i := 0; i < nq; i++ {
+		query.AddNode("", nil)
+	}
+	// Random connected-ish query with loose/tight windows.
+	for i := 1; i < nq; i++ {
+		lo, hi := rng.Float64()*40, 60+rng.Float64()*80
+		query.MustAddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), graph.Attrs{}.
+			SetNum("minDelay", lo).SetNum("maxDelay", hi))
+	}
+	if nq > 2 && rng.Float64() < 0.5 {
+		lo, hi := rng.Float64()*40, 60+rng.Float64()*80
+		query.AddEdge(0, graph.NodeID(nq-1), graph.Attrs{}.
+			SetNum("minDelay", lo).SetNum("maxDelay", hi))
+	}
+	p, err := NewProblem(query, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	und, dir := graph.NewUndirected(), graph.NewDirected()
+	und.AddNodes(2)
+	dir.AddNodes(2)
+	if _, err := NewProblem(nil, und, nil, nil); err != ErrNilGraph {
+		t.Errorf("nil graph: %v", err)
+	}
+	if _, err := NewProblem(und, dir, nil, nil); err != ErrMixedDirection {
+		t.Errorf("mixed direction: %v", err)
+	}
+	big := graph.NewUndirected()
+	big.AddNodes(3)
+	if _, err := NewProblem(big, und, nil, nil); err != ErrQueryTooLarge {
+		t.Errorf("query too large: %v", err)
+	}
+	nodeProg := expr.MustCompile("vNode.cpu <= rNode.cpu")
+	if _, err := NewProblem(und, und.Clone(), nodeProg, nil); err == nil {
+		t.Error("node program accepted as edge constraint")
+	}
+	edgeProg := expr.MustCompile("vEdge.d < 1")
+	if _, err := NewProblem(und, und.Clone(), nil, edgeProg); err == nil {
+		t.Error("edge program accepted as node constraint")
+	}
+	if _, err := NewProblem(und, und.Clone(), edgeProg, nodeProg); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	host := topo.Clique(4)
+	for i := 0; i < host.NumEdges(); i++ {
+		host.Edge(graph.EdgeID(i)).Attrs = graph.Attrs{}.
+			SetNum("minDelay", 10).SetNum("maxDelay", 20)
+	}
+	query := topo.Line(3)
+	topo.SetDelayWindow(query, 5, 25)
+	p, err := NewProblem(query, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(Mapping{0, 1, 2}); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+	if err := p.Verify(Mapping{0, 1}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if err := p.Verify(Mapping{0, 0, 1}); err == nil {
+		t.Error("non-injective mapping accepted")
+	}
+	if err := p.Verify(Mapping{0, 1, 99}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+	// Violating constraint: tighten the query window.
+	topo.SetDelayWindow(query, 15, 18)
+	if err := p.Verify(Mapping{0, 1, 2}); err == nil {
+		t.Error("constraint-violating mapping accepted")
+	}
+}
+
+func TestAlgorithmsMatchNaiveReference(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := smallProblem(t, seed)
+		want := naiveEmbeddings(p)
+
+		ecf := ECF(p, Options{})
+		if ecf.Status != StatusComplete || !ecf.Exhausted {
+			t.Fatalf("seed %d: ECF status %v", seed, ecf.Status)
+		}
+		sameSolutionSets(t, fmt.Sprintf("seed %d ECF", seed), ecf.Solutions, want)
+
+		lns := LNS(p, Options{})
+		if lns.Status != StatusComplete {
+			t.Fatalf("seed %d: LNS status %v", seed, lns.Status)
+		}
+		sameSolutionSets(t, fmt.Sprintf("seed %d LNS", seed), lns.Solutions, want)
+
+		dyn := DynamicECF(p, Options{})
+		if dyn.Status != StatusComplete {
+			t.Fatalf("seed %d: DynamicECF status %v", seed, dyn.Status)
+		}
+		sameSolutionSets(t, fmt.Sprintf("seed %d DynamicECF", seed), dyn.Solutions, want)
+
+		rwb := RWB(p, Options{MaxSolutions: 1 << 30, Seed: seed})
+		sameSolutionSets(t, fmt.Sprintf("seed %d RWB", seed), rwb.Solutions, want)
+
+		par := ParallelECF(p, Options{Workers: 4})
+		sameSolutionSets(t, fmt.Sprintf("seed %d ParallelECF", seed), par.Solutions, want)
+
+		for _, m := range ecf.Solutions {
+			if err := p.Verify(m); err != nil {
+				t.Fatalf("seed %d: ECF returned invalid mapping: %v", seed, err)
+			}
+		}
+		for _, m := range lns.Solutions {
+			if err := p.Verify(m); err != nil {
+				t.Fatalf("seed %d: LNS returned invalid mapping: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestOrderAndFilterVariantsAgree(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := smallProblem(t, seed)
+		base := ECF(p, Options{})
+		for _, opt := range []Options{
+			{Order: OrderNatural},
+			{Order: OrderDescending},
+			{Order: OrderUnconnected},
+			{LooseRoot: true},
+			{NoDegreeFilter: true},
+			{Order: OrderNatural, LooseRoot: true, NoDegreeFilter: true},
+		} {
+			got := ECF(p, opt)
+			sameSolutionSets(t, fmt.Sprintf("seed %d opts %+v", seed, opt), got.Solutions, base.Solutions)
+		}
+	}
+}
+
+func TestPlantedSubgraphAlwaysFound(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 60}, rand.New(rand.NewSource(1)))
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, plant, err := topo.Subgraph(host, 8, 11, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo.WidenDelayWindows(q, 0.05)
+		p, err := NewProblem(q, host, delayWindow, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() *Result{
+			"ECF":     func() *Result { return ECF(p, Options{MaxSolutions: 1}) },
+			"RWB":     func() *Result { return RWB(p, Options{Seed: seed}) },
+			"LNS":     func() *Result { return LNS(p, Options{MaxSolutions: 1}) },
+			"Dynamic": func() *Result { return DynamicECF(p, Options{MaxSolutions: 1}) },
+		} {
+			res := run()
+			if len(res.Solutions) == 0 {
+				t.Fatalf("seed %d: %s missed the planted embedding", seed, name)
+			}
+			if err := p.Verify(res.Solutions[0]); err != nil {
+				t.Fatalf("seed %d: %s invalid: %v", seed, name, err)
+			}
+		}
+		// The planted mapping itself must verify.
+		if err := p.Verify(Mapping(plant)); err != nil {
+			t.Fatalf("seed %d: planted mapping invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestInfeasibleQueryIsDefinitiveNoMatch(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 40}, rand.New(rand.NewSource(2)))
+	rng := rand.New(rand.NewSource(3))
+	q, _, err := topo.Subgraph(host, 6, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.05)
+	topo.MakeInfeasible(q, 2, rng)
+	p, err := NewProblem(q, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{
+		"ECF": ECF(p, Options{}),
+		"RWB": RWB(p, Options{}),
+		"LNS": LNS(p, Options{}),
+	} {
+		if len(res.Solutions) != 0 {
+			t.Errorf("%s: found %d embeddings of an infeasible query", name, len(res.Solutions))
+		}
+		if res.Status != StatusComplete || !res.Exhausted {
+			t.Errorf("%s: status %v exhausted %v, want definitive no-match", name, res.Status, res.Exhausted)
+		}
+	}
+}
+
+func TestMaxSolutionsAndStreaming(t *testing.T) {
+	host := topo.Clique(6)
+	query := topo.Ring(4)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ECF(p, Options{})
+	// C(6,4) node subsets × ring embeddings: just require "many".
+	if len(all.Solutions) < 40 {
+		t.Fatalf("expected many ring embeddings in K6, got %d", len(all.Solutions))
+	}
+	capped := ECF(p, Options{MaxSolutions: 7})
+	if len(capped.Solutions) != 7 {
+		t.Errorf("MaxSolutions: got %d", len(capped.Solutions))
+	}
+	if capped.Status != StatusPartial {
+		t.Errorf("capped status = %v, want partial", capped.Status)
+	}
+
+	var streamed int
+	res := ECF(p, Options{OnSolution: func(m Mapping) bool {
+		streamed++
+		return streamed < 5
+	}})
+	if streamed != 5 {
+		t.Errorf("streaming stopped after %d", streamed)
+	}
+	if len(res.Solutions) != 0 {
+		t.Error("OnSolution should suppress solution collection")
+	}
+	if res.Status != StatusPartial {
+		t.Errorf("streamed status = %v", res.Status)
+	}
+}
+
+func TestTimeoutClassification(t *testing.T) {
+	// A large under-constrained clique query forces a long enumeration.
+	host := topo.Clique(24)
+	query := topo.Clique(10)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ECF(p, Options{Timeout: 20 * time.Millisecond})
+	if res.Exhausted {
+		t.Skip("machine too fast to exercise the timeout on this instance")
+	}
+	if res.Status != StatusPartial && res.Status != StatusInconclusive {
+		t.Errorf("status = %v after timeout", res.Status)
+	}
+	if res.Status == StatusPartial && len(res.Solutions) == 0 {
+		t.Error("partial status with no solutions")
+	}
+}
+
+func TestNodeConstraint(t *testing.T) {
+	host := topo.Clique(5)
+	for i := 0; i < host.NumNodes(); i++ {
+		host.Node(graph.NodeID(i)).Attrs = graph.Attrs{}.SetNum("cpu", float64(i))
+	}
+	query := topo.Line(2)
+	query.Node(0).Attrs = graph.Attrs{}.SetNum("cpu", 3)
+	query.Node(1).Attrs = graph.Attrs{}.SetNum("cpu", 0)
+	nodeC := expr.MustCompile("vNode.cpu <= rNode.cpu")
+	p, err := NewProblem(query, host, nil, nodeC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ECF(p, Options{})
+	// Query node 0 needs cpu>=3: hosts {3,4}. Node 1 needs cpu>=0: any
+	// remaining. 2*4 = 8 embeddings.
+	if len(res.Solutions) != 8 {
+		t.Errorf("embeddings = %d, want 8", len(res.Solutions))
+	}
+	for _, m := range res.Solutions {
+		if m[0] < 3 {
+			t.Errorf("node constraint violated: %v", m)
+		}
+	}
+	lns := LNS(p, Options{})
+	sameSolutionSets(t, "LNS node constraint", lns.Solutions, res.Solutions)
+}
+
+func TestDirectedEmbedding(t *testing.T) {
+	// Host: directed triangle 0->1->2->0 plus reverse chord 1->0.
+	host := graph.NewDirected()
+	host.AddNodes(3)
+	host.MustAddEdge(0, 1, nil)
+	host.MustAddEdge(1, 2, nil)
+	host.MustAddEdge(2, 0, nil)
+	host.MustAddEdge(1, 0, nil)
+	// Query: directed path a->b.
+	query := graph.NewDirected()
+	query.AddNodes(2)
+	query.MustAddEdge(0, 1, nil)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveEmbeddings(p) // 4 directed host arcs -> 4 embeddings
+	if len(want) != 4 {
+		t.Fatalf("naive found %d, want 4", len(want))
+	}
+	sameSolutionSets(t, "ECF directed", ECF(p, Options{}).Solutions, want)
+	sameSolutionSets(t, "LNS directed", LNS(p, Options{}).Solutions, want)
+
+	// Query requiring a 2-cycle: only 0<->1 qualifies.
+	q2 := graph.NewDirected()
+	q2.AddNodes(2)
+	q2.MustAddEdge(0, 1, nil)
+	q2.MustAddEdge(1, 0, nil)
+	p2, err := NewProblem(q2, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := naiveEmbeddings(p2)
+	if len(want2) != 2 {
+		t.Fatalf("naive 2-cycle found %d, want 2", len(want2))
+	}
+	sameSolutionSets(t, "ECF 2-cycle", ECF(p2, Options{}).Solutions, want2)
+	sameSolutionSets(t, "LNS 2-cycle", LNS(p2, Options{}).Solutions, want2)
+}
+
+func TestDirectedRandomAgainstNaive(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		host := graph.NewDirected()
+		nr := 4 + rng.Intn(4)
+		host.AddNodes(nr)
+		for u := 0; u < nr; u++ {
+			for v := 0; v < nr; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					host.AddEdge(graph.NodeID(u), graph.NodeID(v), nil)
+				}
+			}
+		}
+		query := graph.NewDirected()
+		nq := 2 + rng.Intn(2)
+		query.AddNodes(nq)
+		for i := 1; i < nq; i++ {
+			if rng.Intn(2) == 0 {
+				query.MustAddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), nil)
+			} else {
+				query.MustAddEdge(graph.NodeID(i), graph.NodeID(rng.Intn(i)), nil)
+			}
+		}
+		p, err := NewProblem(query, host, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveEmbeddings(p)
+		sameSolutionSets(t, fmt.Sprintf("seed %d ECF", seed), ECF(p, Options{}).Solutions, want)
+		sameSolutionSets(t, fmt.Sprintf("seed %d LNS", seed), LNS(p, Options{}).Solutions, want)
+	}
+}
+
+func TestDisconnectedQuery(t *testing.T) {
+	host := topo.Clique(5)
+	query := graph.NewUndirected()
+	query.AddNodes(4)
+	query.MustAddEdge(0, 1, nil)
+	query.MustAddEdge(2, 3, nil)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveEmbeddings(p) // 5*4*3*2 = 120, all injective pairs of edges
+	sameSolutionSets(t, "ECF disconnected", ECF(p, Options{}).Solutions, want)
+	sameSolutionSets(t, "LNS disconnected", LNS(p, Options{}).Solutions, want)
+}
+
+func TestSingleNodeAndEmptyQuery(t *testing.T) {
+	host := topo.Ring(4)
+	single := graph.NewUndirected()
+	single.AddNode("only", nil)
+	p, err := NewProblem(single, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ECF(p, Options{})
+	if len(res.Solutions) != 4 {
+		t.Errorf("single-node embeddings = %d, want 4", len(res.Solutions))
+	}
+	lns := LNS(p, Options{})
+	if len(lns.Solutions) != 4 {
+		t.Errorf("LNS single-node embeddings = %d, want 4", len(lns.Solutions))
+	}
+
+	empty := graph.NewUndirected()
+	pe, err := NewProblem(empty, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ECF(pe, Options{}); len(res.Solutions) != 1 || len(res.Solutions[0]) != 0 {
+		t.Errorf("empty query: %v", res.Solutions)
+	}
+	if res := ParallelECF(pe, Options{}); len(res.Solutions) != 1 {
+		t.Errorf("parallel empty query: %v", res.Solutions)
+	}
+}
+
+func TestParallelECFEqualsSequentialOnTrace(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 50}, rand.New(rand.NewSource(4)))
+	rng := rand.New(rand.NewSource(5))
+	q, _, err := topo.Subgraph(host, 7, 9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.15)
+	p, err := NewProblem(q, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ECF(p, Options{})
+	for _, workers := range []int{1, 2, 4, 8} {
+		par := ParallelECF(p, Options{Workers: workers})
+		sameSolutionSets(t, fmt.Sprintf("workers=%d", workers), par.Solutions, seq.Solutions)
+		if par.Status != StatusComplete {
+			t.Errorf("workers=%d status %v", workers, par.Status)
+		}
+	}
+	// Capped parallel run respects the global budget.
+	if len(seq.Solutions) > 3 {
+		capped := ParallelECF(p, Options{Workers: 4, MaxSolutions: 3})
+		if len(capped.Solutions) != 3 {
+			t.Errorf("parallel cap: %d solutions", len(capped.Solutions))
+		}
+		for _, m := range capped.Solutions {
+			if err := p.Verify(m); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestRWBIsSeedDeterministic(t *testing.T) {
+	p := smallProblem(t, 99)
+	a := RWB(p, Options{Seed: 42})
+	b := RWB(p, Options{Seed: 42})
+	if len(a.Solutions) != len(b.Solutions) {
+		t.Fatal("same seed, different outcomes")
+	}
+	for i := range a.Solutions {
+		if mappingKey(a.Solutions[i]) != mappingKey(b.Solutions[i]) {
+			t.Fatal("same seed, different solutions")
+		}
+	}
+}
+
+func TestCliqueQueryOnTraceWindow(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 60}, rand.New(rand.NewSource(6)))
+	q := topo.Clique(4)
+	topo.SetDelayWindow(q, 10, 100)
+	p, err := NewProblem(q, host, avgWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LNS(p, Options{MaxSolutions: 1, Timeout: 5 * time.Second})
+	if len(res.Solutions) == 1 {
+		if err := p.Verify(res.Solutions[0]); err != nil {
+			t.Errorf("LNS clique solution invalid: %v", err)
+		}
+	}
+	// ECF must agree with LNS about feasibility.
+	ecf := ECF(p, Options{MaxSolutions: 1, Timeout: 5 * time.Second})
+	if (len(res.Solutions) == 0 && res.Exhausted) != (len(ecf.Solutions) == 0 && ecf.Exhausted) {
+		t.Errorf("LNS and ECF disagree on clique feasibility")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := smallProblem(t, 7)
+	res := ECF(p, Options{})
+	if res.Stats.EdgePairsEval == 0 && p.Query.NumEdges() > 0 {
+		t.Error("EdgePairsEval = 0")
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Error("Elapsed not set")
+	}
+	if len(res.Solutions) > 0 && res.Stats.TimeToFirst <= 0 {
+		t.Error("TimeToFirst not set despite solutions")
+	}
+	lns := LNS(p, Options{})
+	if len(lns.Solutions) > 0 && lns.Stats.ConstraintChk == 0 {
+		t.Error("LNS ConstraintChk = 0 with solutions present")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusComplete.String() != "complete" ||
+		StatusPartial.String() != "partial" ||
+		StatusInconclusive.String() != "inconclusive" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status string wrong")
+	}
+}
+
+func TestSortMappingsDeterminism(t *testing.T) {
+	ms := []Mapping{{2, 1}, {1, 2}, {1, 0}}
+	sortMappings(ms)
+	if !sort.SliceIsSorted(ms, func(i, j int) bool {
+		return mappingKey(ms[i]) < mappingKey(ms[j])
+	}) {
+		t.Errorf("not sorted: %v", ms)
+	}
+}
+
+func TestRandomMappingInjective(t *testing.T) {
+	host := topo.Clique(10)
+	query := topo.Ring(6)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		m := RandomMapping(p, rng)
+		seen := map[graph.NodeID]bool{}
+		for _, r := range m {
+			if seen[r] {
+				t.Fatal("RandomMapping not injective")
+			}
+			seen[r] = true
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// ECF is Exhaustive Search with Constraint Filtering (§V-A): it builds the
+// filter matrices, orders the query nodes by ascending candidate count
+// (Lemma 1), and runs a depth-first search of the permutations tree where
+// each node's candidates come from intersecting the filter rows of its
+// already-placed neighbors (formula (2)). ECF enumerates every feasible
+// embedding unless Options caps or times the run.
+func ECF(p *Problem, opt Options) *Result {
+	start := time.Now()
+	f := BuildFilters(p, &opt)
+	res := searchWithFilters(p, f, opt, nil, start)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// RWB is Random Walk search with Backtracking (§V-B): the same filters and
+// pruning as ECF, but candidates at every level are tried in random order
+// and the search stops at the first embedding (unless Options.MaxSolutions
+// asks for more). With no feasible embedding it backtracks exhaustively to
+// a definitive no-match answer, exactly like ECF.
+func RWB(p *Problem, opt Options) *Result {
+	if opt.MaxSolutions == 0 {
+		opt.MaxSolutions = 1 // the paper's RWB returns the first solution
+	}
+	start := time.Now()
+	f := BuildFilters(p, &opt)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := searchWithFilters(p, f, opt, rng, start)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// preArc names one filter table constraining the node at some depth, fed
+// by an earlier-placed neighbor.
+type preArc struct {
+	tail  graph.NodeID // the already-placed query neighbor
+	table int32
+}
+
+// searcher carries the state of one filter-driven DFS.
+type searcher struct {
+	p   *Problem
+	f   *Filters
+	opt Options
+	rng *rand.Rand // nil for ECF, set for RWB
+
+	order   []graph.NodeID // order[d] = query node expanded at depth d
+	preArcs [][]preArc     // preArcs[d] = filters from earlier neighbors
+
+	assign Mapping
+	used   *sets.Bits
+
+	scratch   [][]int32 // per-depth candidate buffers
+	interBuf  sets.Set
+	interBuf2 sets.Set
+	rows      []sets.Set
+
+	deadline    time.Time
+	hasDeadline bool
+	sinceCheck  int
+	timedOut    bool
+	stopped     bool
+
+	started   time.Time
+	solutions []Mapping
+	nSol      int
+	stats     Stats
+}
+
+// searchWithFilters runs the shared ECF/RWB depth-first search. The start
+// time anchors both TimeToFirst and the timeout deadline, so filter
+// construction counts toward the query's budget, exactly as the paper's
+// end-to-end response times do.
+func searchWithFilters(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time) *Result {
+	s := newSearcher(p, f, opt, rng, start)
+	s.search(0)
+	return s.result()
+}
+
+func newSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time) *searcher {
+	nq := p.Query.NumNodes()
+	s := &searcher{
+		p:       p,
+		f:       f,
+		opt:     opt,
+		rng:     rng,
+		assign:  make(Mapping, nq),
+		used:    sets.NewBits(p.Host.NumNodes()),
+		scratch: make([][]int32, nq),
+		started: start,
+		stats:   f.Stats(),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	if opt.Timeout > 0 {
+		s.deadline = s.started.Add(opt.Timeout)
+		s.hasDeadline = true
+	}
+	s.order = searchOrder(f, opt.Order)
+	s.preArcs = buildPreArcs(p, f, s.order)
+	return s
+}
+
+// searchOrder realizes Lemma 1: examining query nodes in ascending order
+// of candidate count minimizes the permutations tree. The default mode
+// additionally keeps the ordered prefix connected so that every placement
+// after the seed intersects at least one filter row (see OrderAscending).
+func searchOrder(f *Filters, mode OrderMode) []graph.NodeID {
+	nq := f.nq
+	order := make([]graph.NodeID, nq)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	switch mode {
+	case OrderNatural:
+		return order
+	case OrderDescending:
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := len(f.base[order[a]]), len(f.base[order[b]])
+			if ca != cb {
+				return ca > cb
+			}
+			return f.p.Query.Degree(order[a]) > f.p.Query.Degree(order[b])
+		})
+		return order
+	case OrderUnconnected:
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := len(f.base[order[a]]), len(f.base[order[b]])
+			if ca != cb {
+				return ca < cb
+			}
+			return f.p.Query.Degree(order[a]) > f.p.Query.Degree(order[b])
+		})
+		return order
+	default:
+		return connectedAscendingOrder(f)
+	}
+}
+
+// connectedAscendingOrder grows the order greedily: seed with the
+// globally most-constrained node, then repeatedly take the node with the
+// most edges into the ordered prefix, breaking ties by fewer base
+// candidates and then higher query degree. Disconnected queries restart
+// the seed rule per component.
+func connectedAscendingOrder(f *Filters) []graph.NodeID {
+	q := f.p.Query
+	nq := f.nq
+	picked := make([]bool, nq)
+	prefixEdges := make([]int, nq) // edges from node into the ordered prefix
+	order := make([]graph.NodeID, 0, nq)
+
+	better := func(i, best graph.NodeID) bool {
+		if best < 0 {
+			return true
+		}
+		ci, cb := prefixEdges[i] > 0, prefixEdges[best] > 0
+		if ci != cb {
+			return ci // connected to the prefix wins
+		}
+		if ci && prefixEdges[i] != prefixEdges[best] {
+			return prefixEdges[i] > prefixEdges[best] // tighter intersection
+		}
+		if len(f.base[i]) != len(f.base[best]) {
+			return len(f.base[i]) < len(f.base[best]) // Lemma 1
+		}
+		return q.Degree(i) > q.Degree(best)
+	}
+
+	for len(order) < nq {
+		best := graph.NodeID(-1)
+		for i := graph.NodeID(0); int(i) < nq; i++ {
+			if !picked[i] && better(i, best) {
+				best = i
+			}
+		}
+		picked[best] = true
+		order = append(order, best)
+		for _, a := range q.Arcs(best) {
+			prefixEdges[a.To]++
+		}
+		if q.Directed() {
+			for _, a := range q.InArcs(best) {
+				prefixEdges[a.To]++
+			}
+		}
+	}
+	return order
+}
+
+// buildPreArcs precomputes, for each depth, the filter tables fed by
+// neighbors that the order places earlier. Every query edge appears at
+// exactly one depth: the one where its later endpoint is expanded, which
+// is where adjacency and the edge constraint get enforced.
+func buildPreArcs(p *Problem, f *Filters, order []graph.NodeID) [][]preArc {
+	pos := make([]int, len(order))
+	for d, q := range order {
+		pos[q] = d
+	}
+	pre := make([][]preArc, len(order))
+	for d, q := range order {
+		seen := map[int32]bool{}
+		add := func(nbr graph.NodeID) {
+			if pos[nbr] >= d {
+				return
+			}
+			for _, t := range f.arcTables[arcKey(nbr, q)] {
+				if !seen[t] {
+					seen[t] = true
+					pre[d] = append(pre[d], preArc{tail: nbr, table: t})
+				}
+			}
+		}
+		for _, a := range p.Query.Arcs(q) {
+			add(a.To)
+		}
+		if p.Query.Directed() {
+			for _, a := range p.Query.InArcs(q) {
+				add(a.To)
+			}
+		}
+	}
+	return pre
+}
+
+// checkDeadline returns true when the search must stop on timeout. The
+// clock is sampled every 256 steps to keep the hot loop cheap.
+func (s *searcher) checkDeadline() bool {
+	if !s.hasDeadline || s.timedOut {
+		return s.timedOut
+	}
+	s.sinceCheck++
+	if s.sinceCheck >= 256 {
+		s.sinceCheck = 0
+		if time.Now().After(s.deadline) {
+			s.timedOut = true
+		}
+	}
+	return s.timedOut
+}
+
+// candidates computes formula (2) for the node at depth d: the
+// intersection of the filter rows selected by every earlier-placed
+// neighbor, minus hosts already in use. Nodes with no earlier neighbors
+// fall back to their base candidate set (formula (1)).
+func (s *searcher) candidates(d int) []int32 {
+	node := s.order[d]
+	buf := s.scratch[d][:0]
+	pres := s.preArcs[d]
+	if len(pres) == 0 {
+		for _, r := range s.f.base[node] {
+			if !s.used.Has(r) {
+				buf = append(buf, r)
+			}
+		}
+		s.scratch[d] = buf
+		return buf
+	}
+	s.rows = s.rows[:0]
+	for _, pa := range pres {
+		row := s.f.tables[pa.table][s.assign[pa.tail]]
+		if len(row) == 0 {
+			s.scratch[d] = buf
+			return buf
+		}
+		s.rows = append(s.rows, row)
+	}
+	// Intersect all rows, ping-ponging between two owned buffers so that
+	// the buffer being written never aliases the current intersection.
+	cur := s.rows[0]
+	a, b := s.interBuf, s.interBuf2
+	for i := 1; i < len(s.rows) && len(cur) > 0; i++ {
+		a = sets.IntersectInto(a[:0], cur, s.rows[i])
+		cur = a
+		a, b = b, a
+	}
+	s.interBuf, s.interBuf2 = a, b
+	for _, r := range cur {
+		if !s.used.Has(r) {
+			buf = append(buf, r)
+		}
+	}
+	s.scratch[d] = buf
+	return buf
+}
+
+func (s *searcher) search(d int) {
+	if s.timedOut || s.stopped {
+		return
+	}
+	if d == len(s.order) {
+		s.record()
+		return
+	}
+	cands := s.candidates(d)
+	if len(cands) == 0 {
+		s.stats.Backtracks++
+		return
+	}
+	if s.rng != nil {
+		s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	node := s.order[d]
+	for _, r := range cands {
+		if s.checkDeadline() || s.stopped {
+			return
+		}
+		s.stats.NodesVisited++
+		s.assign[node] = r
+		s.used.Set(r)
+		s.search(d + 1)
+		s.used.Clear(r)
+		s.assign[node] = -1
+	}
+}
+
+func (s *searcher) record() {
+	if s.nSol == 0 {
+		s.stats.TimeToFirst = time.Since(s.started)
+	}
+	s.nSol++
+	if s.opt.OnSolution != nil {
+		if !s.opt.OnSolution(s.assign) {
+			s.stopped = true
+		}
+	} else {
+		s.solutions = append(s.solutions, s.assign.Clone())
+	}
+	if s.opt.MaxSolutions > 0 && s.nSol >= s.opt.MaxSolutions {
+		s.stopped = true
+	}
+}
+
+func (s *searcher) result() *Result {
+	exhausted := !s.timedOut && !s.stopped
+	res := &Result{
+		Solutions: s.solutions,
+		Exhausted: exhausted,
+		Status:    classify(exhausted, s.nSol),
+		Stats:     s.stats,
+	}
+	res.Stats.Elapsed = time.Since(s.started)
+	return res
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// Filters is the paper's sparse 3-D filter construction (§V-A). The cell
+// F[v, r, vs] — "candidate mappings for query node vs when query node v is
+// mapped to host node r" — is laid out as one table per *directed query
+// arc* (v → vs), indexed by r, holding a sorted candidate set. The
+// companion non-match filter F̄ is derivable as the complement against the
+// host adjacency; BuildFilters tracks only its aggregate size, since the
+// search needs just the positive sets.
+//
+// Base candidate sets realize formula (1): by default tightened to the
+// intersection of per-neighbor unions (still a superset of any feasible
+// root assignment, so completeness is preserved); Options.LooseRoot keeps
+// the paper's literal union.
+type Filters struct {
+	p  *Problem
+	nq int
+	nr int
+
+	// arcTables[key(u,v)] lists table indices applying when u is placed
+	// and v's candidates are needed (two entries only if the digraph has
+	// both (u,v) and (v,u) edges).
+	arcTables map[uint64][]int32
+	// tables[t][r] = sorted candidate set for the arc's head when its tail
+	// is placed at host node r.
+	tables [][]sets.Set
+
+	// base[q] = candidate host nodes for query node q before any
+	// neighbor is placed.
+	base []sets.Set
+
+	// nodePass[q] = host nodes passing the node constraint and degree
+	// filter for q (nil when no filtering applies).
+	nodePass []sets.Set
+
+	stats Stats
+}
+
+func arcKey(u, v graph.NodeID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// BuildFilters evaluates the edge constraint over every (query edge, host
+// edge) pair — the first stage of ECF/RWB — and assembles the filter
+// tables and base candidate sets.
+func BuildFilters(p *Problem, opt *Options) *Filters {
+	start := time.Now()
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	f := &Filters{
+		p:         p,
+		nq:        nq,
+		nr:        nr,
+		arcTables: make(map[uint64][]int32, 2*p.Query.NumEdges()),
+	}
+
+	// Per-node admissibility: node constraint ∧ degree filter.
+	f.nodePass = make([]sets.Set, nq)
+	useDegree := !opt.NoDegreeFilter
+	for q := 0; q < nq; q++ {
+		qid := graph.NodeID(q)
+		var pass sets.Set
+		degQ := p.Query.Degree(qid)
+		outQ := p.Query.OutDegree(qid)
+		for r := 0; r < nr; r++ {
+			rid := graph.NodeID(r)
+			if useDegree {
+				if p.Host.Degree(rid) < degQ || p.Host.OutDegree(rid) < outQ {
+					continue
+				}
+			}
+			if !p.nodeOK(qid, rid) {
+				continue
+			}
+			pass = append(pass, rid)
+		}
+		f.nodePass[q] = pass
+	}
+	passBits := make([]*sets.Bits, nq)
+	for q := range passBits {
+		passBits[q] = sets.NewBits(nr)
+		for _, r := range f.nodePass[q] {
+			passBits[q].Set(r)
+		}
+	}
+
+	// One table per directed query arc, allocated serially so table IDs
+	// and the arc index are deterministic; the expensive fill loop over
+	// (query edge × host edge) pairs is then sharded per query edge
+	// across Options.Workers goroutines — each edge owns its two tables,
+	// so workers never share mutable state beyond the stats counters.
+	newTable := func(u, v graph.NodeID) int32 {
+		id := int32(len(f.tables))
+		f.tables = append(f.tables, make([]sets.Set, nr))
+		k := arcKey(u, v)
+		f.arcTables[k] = append(f.arcTables[k], id)
+		return id
+	}
+	type edgeTables struct{ fwd, bwd int32 }
+	tableOf := make([]edgeTables, p.Query.NumEdges())
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		tableOf[i] = edgeTables{
+			fwd: newTable(qe.From, qe.To), // From placed -> candidates for To
+			bwd: newTable(qe.To, qe.From), // To placed -> candidates for From
+		}
+	}
+
+	var pairsEval, entries atomic.Int64
+	fillEdge := func(i int) {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		fwd, bwd := f.tables[tableOf[i].fwd], f.tables[tableOf[i].bwd]
+		var localPairs, localEntries int64
+
+		admit := func(rs, rt graph.NodeID, re *graph.Edge) {
+			// Check endpoint admissibility first: a candidate that fails
+			// its node filter can never appear in a mapping.
+			if !passBits[qe.From].Has(rs) || !passBits[qe.To].Has(rt) {
+				return
+			}
+			localPairs++
+			if !p.edgeOK(qe, re, rs, rt) {
+				return
+			}
+			fwd[rs] = append(fwd[rs], rt)
+			bwd[rt] = append(bwd[rt], rs)
+			localEntries += 2
+		}
+
+		for j := 0; j < p.Host.NumEdges(); j++ {
+			re := p.Host.Edge(graph.EdgeID(j))
+			admit(re.From, re.To, re)
+			if !p.Host.Directed() {
+				// The undirected host edge also matches with swapped roles.
+				admit(re.To, re.From, re)
+			}
+		}
+		for r := 0; r < nr; r++ {
+			fwd[r] = sets.FromUnsorted(fwd[r])
+			bwd[r] = sets.FromUnsorted(bwd[r])
+		}
+		pairsEval.Add(localPairs)
+		entries.Add(localEntries)
+	}
+
+	if workers := opt.Workers; workers > 1 && p.Query.NumEdges() > 1 {
+		var wg sync.WaitGroup
+		next := atomic.Int64{}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= p.Query.NumEdges() {
+						return
+					}
+					fillEdge(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < p.Query.NumEdges(); i++ {
+			fillEdge(i)
+		}
+	}
+	f.stats.EdgePairsEval = pairsEval.Load()
+	f.stats.FilterEntries = entries.Load()
+
+	f.buildBase(opt.LooseRoot)
+	f.stats.FilterBuild = time.Since(start)
+	return f
+}
+
+// buildBase computes the per-node base candidate sets (formula (1)).
+func (f *Filters) buildBase(loose bool) {
+	f.base = make([]sets.Set, f.nq)
+	var scratchA, scratchB sets.Set
+	for q := 0; q < f.nq; q++ {
+		qid := graph.NodeID(q)
+		arcs := f.incomingArcTables(qid)
+		if len(arcs) == 0 {
+			// Isolated query node: only the node filter constrains it.
+			f.base[q] = sets.Clone(f.nodePass[q])
+			continue
+		}
+		var acc sets.Set
+		for i, t := range arcs {
+			// per-arc union: every host node that appears as a candidate
+			// for q in any row of this arc's table.
+			var u sets.Set
+			for r := 0; r < f.nr; r++ {
+				if len(f.tables[t][r]) > 0 {
+					scratchA = sets.UnionInto(scratchA[:0], u, f.tables[t][r])
+					u, scratchA = scratchA, u
+				}
+			}
+			if i == 0 {
+				acc = sets.Clone(u)
+				continue
+			}
+			if loose {
+				scratchB = sets.UnionInto(scratchB[:0], acc, u)
+			} else {
+				scratchB = sets.IntersectInto(scratchB[:0], acc, u)
+			}
+			acc, scratchB = scratchB, acc
+		}
+		f.base[q] = sets.Clone(acc)
+	}
+}
+
+// incomingArcTables returns the table indices of every arc whose head is
+// q, i.e. the filters constraining q's candidates once a neighbor is
+// placed.
+func (f *Filters) incomingArcTables(q graph.NodeID) []int32 {
+	var out []int32
+	seen := map[int32]bool{}
+	appendTables := func(u graph.NodeID) {
+		for _, t := range f.arcTables[arcKey(u, q)] {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	for _, a := range f.p.Query.Arcs(q) {
+		appendTables(a.To)
+	}
+	if f.p.Query.Directed() {
+		for _, a := range f.p.Query.InArcs(q) {
+			appendTables(a.To)
+		}
+	}
+	return out
+}
+
+// Base returns the base candidate set for query node q (do not modify).
+func (f *Filters) Base(q graph.NodeID) sets.Set { return f.base[q] }
+
+// CandidatesGiven returns the filter row for query node head given that
+// query node tail has been placed at host node r, one sorted set per arc
+// table relating the two nodes. An empty result means the pair of nodes is
+// not adjacent in the query.
+func (f *Filters) CandidatesGiven(tail, head graph.NodeID, r graph.NodeID) []sets.Set {
+	ts := f.arcTables[arcKey(tail, head)]
+	if len(ts) == 0 {
+		return nil
+	}
+	rows := make([]sets.Set, len(ts))
+	for i, t := range ts {
+		rows[i] = f.tables[t][r]
+	}
+	return rows
+}
+
+// Stats returns the filter-construction counters.
+func (f *Filters) Stats() Stats { return f.stats }

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// LNS is Lazy Neighborhood Search (§V-C). Instead of precomputing filter
+// matrices, it maintains three sets of query nodes — Covered (already
+// matched), Neighbors (adjacent to a covered node) and External — and
+// grows a valid partial match one neighbor at a time, evaluating
+// constraints on demand only for the edges that connect the chosen
+// neighbor to the covered set. Its working memory is O(|Q| + |R|),
+// trading the ECF/RWB filter space for repeated constraint evaluations.
+//
+// Heuristics (as in the paper): the seed vertex is the largest-degree
+// query node, and each step expands the neighbor with the most links into
+// the covered set, maximizing the conjunction of constraints that prunes
+// candidates.
+func LNS(p *Problem, opt Options) *Result {
+	start := time.Now()
+	s := &lnsSearcher{
+		p:       p,
+		opt:     opt,
+		nq:      p.Query.NumNodes(),
+		nr:      p.Host.NumNodes(),
+		started: start,
+	}
+	s.init()
+	s.search()
+	res := &Result{
+		Solutions: s.solutions,
+		Exhausted: !s.timedOut && !s.stopped,
+		Stats:     s.stats,
+	}
+	res.Status = classify(res.Exhausted, s.nSol)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// lnsState is the per-query-node frontier state.
+type lnsState uint8
+
+const (
+	lnsExternal lnsState = iota
+	lnsNeighbor
+	lnsCovered
+)
+
+type lnsSearcher struct {
+	p   *Problem
+	opt Options
+	nq  int
+	nr  int
+
+	state   []lnsState
+	links   []int // links[q] = edges from q into the covered set
+	assign  Mapping
+	used    *sets.Bits
+	covered int
+
+	nodePass []*sets.Bits // admissible hosts per query node
+
+	deadline    time.Time
+	hasDeadline bool
+	sinceCheck  int
+	timedOut    bool
+	stopped     bool
+
+	started   time.Time
+	solutions []Mapping
+	nSol      int
+	stats     Stats
+}
+
+func (s *lnsSearcher) init() {
+	s.state = make([]lnsState, s.nq)
+	s.links = make([]int, s.nq)
+	s.assign = make(Mapping, s.nq)
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	s.used = sets.NewBits(s.nr)
+	if s.opt.Timeout > 0 {
+		s.deadline = s.started.Add(s.opt.Timeout)
+		s.hasDeadline = true
+	}
+	// Node admissibility bitmaps: the only precomputation LNS performs.
+	s.nodePass = make([]*sets.Bits, s.nq)
+	useDegree := !s.opt.NoDegreeFilter
+	for q := 0; q < s.nq; q++ {
+		qid := graph.NodeID(q)
+		b := sets.NewBits(s.nr)
+		degQ := s.p.Query.Degree(qid)
+		outQ := s.p.Query.OutDegree(qid)
+		for r := 0; r < s.nr; r++ {
+			rid := graph.NodeID(r)
+			if useDegree && (s.p.Host.Degree(rid) < degQ || s.p.Host.OutDegree(rid) < outQ) {
+				continue
+			}
+			if !s.p.nodeOK(qid, rid) {
+				continue
+			}
+			b.Set(rid)
+		}
+		s.nodePass[q] = b
+	}
+}
+
+func (s *lnsSearcher) checkDeadline() bool {
+	if !s.hasDeadline || s.timedOut {
+		return s.timedOut
+	}
+	s.sinceCheck++
+	if s.sinceCheck >= 256 {
+		s.sinceCheck = 0
+		if time.Now().After(s.deadline) {
+			s.timedOut = true
+		}
+	}
+	return s.timedOut
+}
+
+// queryNeighbors visits every query node adjacent to q (both directions
+// when directed).
+func (s *lnsSearcher) queryNeighbors(q graph.NodeID, visit func(nbr graph.NodeID)) {
+	for _, a := range s.p.Query.Arcs(q) {
+		visit(a.To)
+	}
+	if s.p.Query.Directed() {
+		for _, a := range s.p.Query.InArcs(q) {
+			visit(a.To)
+		}
+	}
+}
+
+// cover moves q into the covered set mapped to r and updates the frontier;
+// it returns an undo closure restoring the previous states.
+func (s *lnsSearcher) cover(q graph.NodeID, r graph.NodeID) func() {
+	prevState := s.state[q]
+	s.state[q] = lnsCovered
+	s.assign[q] = r
+	s.used.Set(r)
+	s.covered++
+	var promoted []graph.NodeID
+	s.queryNeighbors(q, func(nbr graph.NodeID) {
+		s.links[nbr]++
+		if s.state[nbr] == lnsExternal {
+			s.state[nbr] = lnsNeighbor
+			promoted = append(promoted, nbr)
+		}
+	})
+	return func() {
+		s.queryNeighbors(q, func(nbr graph.NodeID) {
+			s.links[nbr]--
+		})
+		for _, nbr := range promoted {
+			s.state[nbr] = lnsExternal
+		}
+		s.state[q] = prevState
+		s.assign[q] = -1
+		s.used.Clear(r)
+		s.covered--
+	}
+}
+
+// pickNext selects the next query node to match: the neighbor with the
+// most links into the covered set (paper heuristic 2), falling back to the
+// highest-degree external node when the frontier is empty (fresh seed, or
+// a new connected component of a disconnected query).
+func (s *lnsSearcher) pickNext() (graph.NodeID, bool) {
+	best := graph.NodeID(-1)
+	bestLinks := -1
+	for q := 0; q < s.nq; q++ {
+		if s.state[q] != lnsNeighbor {
+			continue
+		}
+		qid := graph.NodeID(q)
+		if s.links[q] > bestLinks ||
+			(s.links[q] == bestLinks && s.p.Query.Degree(qid) > s.p.Query.Degree(best)) {
+			best, bestLinks = qid, s.links[q]
+		}
+	}
+	if best >= 0 {
+		return best, false
+	}
+	// Frontier empty: seed (paper heuristic 1: largest degree first).
+	bestDeg := -1
+	for q := 0; q < s.nq; q++ {
+		if s.state[q] != lnsExternal {
+			continue
+		}
+		qid := graph.NodeID(q)
+		if d := s.p.Query.Degree(qid); d > bestDeg {
+			best, bestDeg = qid, d
+		}
+	}
+	return best, true
+}
+
+// connOK verifies every edge between query node q (about to be placed at
+// host node r) and its covered neighbors: host adjacency in the correct
+// orientation plus the edge constraint (paper step 7).
+func (s *lnsSearcher) connOK(q graph.NodeID, r graph.NodeID) bool {
+	ok := true
+	check := func(qe *graph.Edge, rs, rt graph.NodeID) {
+		if !ok {
+			return
+		}
+		reID, exists := s.p.Host.EdgeBetween(rs, rt)
+		if !exists {
+			ok = false
+			return
+		}
+		s.stats.ConstraintChk++
+		if !s.p.edgeOK(qe, s.p.Host.Edge(reID), rs, rt) {
+			ok = false
+		}
+	}
+	for _, a := range s.p.Query.Arcs(q) {
+		if s.state[a.To] == lnsCovered {
+			qe := s.p.Query.Edge(a.Edge)
+			if qe.From == q {
+				check(qe, r, s.assign[a.To])
+			} else {
+				check(qe, s.assign[a.To], r)
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	if s.p.Query.Directed() {
+		for _, a := range s.p.Query.InArcs(q) {
+			if s.state[a.To] == lnsCovered {
+				qe := s.p.Query.Edge(a.Edge)
+				check(qe, s.assign[a.To], r)
+				if !ok {
+					return false
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// candidateHosts enumerates plausible host nodes for q: when q has covered
+// neighbors, the host neighbors of the covered image with the smallest
+// degree (every valid image must be adjacent to all covered images);
+// otherwise every admissible host node.
+func (s *lnsSearcher) candidateHosts(q graph.NodeID, isSeed bool, visit func(r graph.NodeID) bool) {
+	if !isSeed {
+		// Anchor on the covered neighbor whose image has fewest host arcs.
+		anchor := graph.NodeID(-1)
+		bestDeg := int(^uint(0) >> 1)
+		consider := func(nbr graph.NodeID) {
+			if s.state[nbr] != lnsCovered {
+				return
+			}
+			img := s.assign[nbr]
+			d := len(s.p.Host.Arcs(img))
+			if s.p.Host.Directed() {
+				d += len(s.p.Host.InArcs(img))
+			}
+			if d < bestDeg {
+				anchor, bestDeg = img, d
+			}
+		}
+		s.queryNeighbors(q, consider)
+		seen := sets.NewBits(s.nr)
+		emit := func(r graph.NodeID) bool {
+			if seen.Has(r) || s.used.Has(r) || !s.nodePass[q].Has(r) {
+				return true
+			}
+			seen.Set(r)
+			return visit(r)
+		}
+		for _, a := range s.p.Host.Arcs(anchor) {
+			if !emit(a.To) {
+				return
+			}
+		}
+		if s.p.Host.Directed() {
+			for _, a := range s.p.Host.InArcs(anchor) {
+				if !emit(a.To) {
+					return
+				}
+			}
+		}
+		return
+	}
+	for r := 0; r < s.nr; r++ {
+		rid := graph.NodeID(r)
+		if s.used.Has(rid) || !s.nodePass[q].Has(rid) {
+			continue
+		}
+		if !visit(rid) {
+			return
+		}
+	}
+}
+
+func (s *lnsSearcher) search() {
+	if s.timedOut || s.stopped {
+		return
+	}
+	if s.covered == s.nq {
+		s.record()
+		return
+	}
+	q, isSeed := s.pickNext()
+	found := false
+	s.candidateHosts(q, isSeed, func(r graph.NodeID) bool {
+		if s.checkDeadline() || s.stopped {
+			return false
+		}
+		s.stats.NodesVisited++
+		if !s.connOK(q, r) {
+			return true
+		}
+		found = true
+		undo := s.cover(q, r)
+		s.search()
+		undo()
+		return !s.timedOut && !s.stopped
+	})
+	if !found {
+		s.stats.Backtracks++
+	}
+}
+
+func (s *lnsSearcher) record() {
+	if s.nSol == 0 {
+		s.stats.TimeToFirst = time.Since(s.started)
+	}
+	s.nSol++
+	if s.opt.OnSolution != nil {
+		if !s.opt.OnSolution(s.assign) {
+			s.stopped = true
+		}
+	} else {
+		s.solutions = append(s.solutions, s.assign.Clone())
+	}
+	if s.opt.MaxSolutions > 0 && s.nSol >= s.opt.MaxSolutions {
+		s.stopped = true
+	}
+}

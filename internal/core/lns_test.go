@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+// newLNS builds an initialized LNS searcher for white-box heuristic tests.
+func newLNS(t *testing.T, q, h *graph.Graph) *lnsSearcher {
+	t.Helper()
+	p, err := NewProblem(q, h, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &lnsSearcher{
+		p:       p,
+		opt:     Options{},
+		nq:      q.NumNodes(),
+		nr:      h.NumNodes(),
+		started: time.Now(),
+	}
+	s.init()
+	return s
+}
+
+// TestLNSSeedIsMaxDegree verifies paper heuristic 1: the first vertex
+// moved to Covered is the largest-degree query node.
+func TestLNSSeedIsMaxDegree(t *testing.T) {
+	q := topo.Star(5) // hub 0 has degree 4
+	h := topo.Clique(6)
+	s := newLNS(t, q, h)
+	seed, isSeed := s.pickNext()
+	if !isSeed {
+		t.Fatal("first pick not flagged as seed")
+	}
+	if seed != 0 {
+		t.Errorf("seed = %d, want the hub 0", seed)
+	}
+}
+
+// TestLNSPickNextPrefersMostCoveredLinks verifies paper heuristic 2: the
+// next vertex is the neighbor with the most links into the covered set.
+func TestLNSPickNextPrefersMostCoveredLinks(t *testing.T) {
+	// Query: nodes 0,1 covered; node 2 adjacent to both; node 3 adjacent
+	// to only one.
+	q := graph.NewUndirected()
+	q.AddNodes(4)
+	q.MustAddEdge(0, 1, nil)
+	q.MustAddEdge(0, 2, nil)
+	q.MustAddEdge(1, 2, nil)
+	q.MustAddEdge(1, 3, nil)
+	h := topo.Clique(6)
+	s := newLNS(t, q, h)
+
+	undo0 := s.cover(0, 0)
+	undo1 := s.cover(1, 1)
+	next, isSeed := s.pickNext()
+	if isSeed {
+		t.Fatal("pick after covering should not be a seed")
+	}
+	if next != 2 {
+		t.Errorf("next = %d, want 2 (two links to covered vs one)", next)
+	}
+	undo1()
+	// With only node 0 covered, nodes 1 and 2 tie on links (1 each);
+	// the higher-degree node 1 (degree 3) wins over node 2 (degree 2).
+	next, _ = s.pickNext()
+	if next != 1 {
+		t.Errorf("after undo, next = %d, want 1 (degree tiebreak)", next)
+	}
+	undo0()
+	// Fully undone: seeding again from scratch.
+	if _, isSeed := s.pickNext(); !isSeed {
+		t.Error("after full undo pickNext should reseed")
+	}
+}
+
+// TestLNSCoverUndoRestoresState: cover/undo is an exact inverse on the
+// frontier bookkeeping.
+func TestLNSCoverUndoRestoresState(t *testing.T) {
+	q := topo.Ring(5)
+	h := topo.Clique(7)
+	s := newLNS(t, q, h)
+
+	snapshotLinks := append([]int(nil), s.links...)
+	snapshotState := append([]lnsState(nil), s.state...)
+
+	undo2 := s.cover(2, 4)
+	if s.state[2] != lnsCovered || s.assign[2] != 4 || !s.used.Has(4) {
+		t.Fatal("cover did not apply")
+	}
+	if s.state[1] != lnsNeighbor || s.state[3] != lnsNeighbor {
+		t.Fatal("neighbors not promoted")
+	}
+	if s.links[1] != 1 || s.links[3] != 1 {
+		t.Fatalf("links = %v", s.links)
+	}
+	undo3 := s.cover(3, 5)
+	if s.links[2] != 1 || s.links[4] != 1 {
+		t.Fatalf("links after second cover = %v", s.links)
+	}
+	undo3()
+	undo2()
+
+	for i := range snapshotLinks {
+		if s.links[i] != snapshotLinks[i] {
+			t.Fatalf("links not restored: %v", s.links)
+		}
+		if s.state[i] != snapshotState[i] {
+			t.Fatalf("state not restored: %v", s.state)
+		}
+	}
+	if s.used.Count() != 0 || s.covered != 0 {
+		t.Fatal("used/covered not restored")
+	}
+	for _, a := range s.assign {
+		if a != -1 {
+			t.Fatal("assign not restored")
+		}
+	}
+}
+
+// TestLNSCandidateAnchorUsesSmallestDegreeImage: candidates for a
+// non-seed node enumerate the host neighbors of the covered image with
+// the fewest arcs.
+func TestLNSCandidateAnchorUsesSmallestDegreeImage(t *testing.T) {
+	q := topo.Line(3) // 0-1-2
+	// Host: node 0 has degree 1 (only to 1); node 1 has high degree.
+	h := graph.NewUndirected()
+	h.AddNodes(6)
+	h.MustAddEdge(0, 1, nil)
+	h.MustAddEdge(1, 2, nil)
+	h.MustAddEdge(1, 3, nil)
+	h.MustAddEdge(1, 4, nil)
+	h.MustAddEdge(1, 5, nil)
+	s := newLNS(t, q, h)
+
+	// Cover query 0 -> host 0 (degree 1) and query 2 -> host 2. Query 1
+	// is adjacent to both; the anchor must be host 0 (fewest arcs), so
+	// the only candidate enumerated is host 1.
+	s.cover(0, 0)
+	s.cover(2, 2)
+	var seen []graph.NodeID
+	s.candidateHosts(1, false, func(r graph.NodeID) bool {
+		seen = append(seen, r)
+		return true
+	})
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Errorf("candidates = %v, want [1]", seen)
+	}
+}
+
+// TestLNSTimeToFirstExcludesNoBuildPhase: LNS has no filter-construction
+// phase, so its first solution on an easy instance arrives in
+// microseconds — the Fig 13b/14 advantage.
+func TestLNSTimeToFirstIsImmediate(t *testing.T) {
+	host := topo.Clique(30)
+	q := topo.Ring(4)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LNS(p, Options{MaxSolutions: 1})
+	if len(res.Solutions) != 1 {
+		t.Fatal("no solution")
+	}
+	if res.Stats.TimeToFirst > 50*time.Millisecond {
+		t.Errorf("LNS first took %v, expected near-immediate", res.Stats.TimeToFirst)
+	}
+	if res.Stats.FilterBuild != 0 {
+		t.Errorf("LNS reported filter build time %v", res.Stats.FilterBuild)
+	}
+}

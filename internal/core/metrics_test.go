@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+// metricHost builds a line 0-1-2-3: each hop 10ms delay, bandwidths
+// 100/50/100 Mbit, availability 0.99 per hop.
+func metricHost() *graph.Graph {
+	h := topo.Line(4)
+	bw := []float64{100, 50, 100}
+	for i := 0; i < h.NumEdges(); i++ {
+		h.Edge(graph.EdgeID(i)).Attrs = graph.Attrs{}.
+			SetNum("avgDelay", 10).
+			SetNum("bandwidth", bw[i]).
+			SetNum("availability", 0.99)
+	}
+	return h
+}
+
+func TestComposeRules(t *testing.T) {
+	h := metricHost()
+	edges := []graph.EdgeID{0, 1, 2}
+
+	if v, ok := (MetricSpec{Attr: "avgDelay", Rule: Additive}).composeAlong(h, edges); !ok || v != 30 {
+		t.Errorf("additive = %v,%v want 30", v, ok)
+	}
+	if v, ok := (MetricSpec{Attr: "bandwidth", Rule: Bottleneck}).composeAlong(h, edges); !ok || v != 50 {
+		t.Errorf("bottleneck = %v,%v want 50", v, ok)
+	}
+	spec := MetricSpec{Attr: "availability", Rule: Multiplicative}
+	if v, ok := spec.composeAlong(h, edges); !ok || v < 0.9702 || v > 0.9703 {
+		t.Errorf("multiplicative = %v,%v want ≈0.9703", v, ok)
+	}
+	// Empty path: neutral elements.
+	if v, _ := (MetricSpec{Rule: Additive}).composeAlong(h, nil); v != 0 {
+		t.Errorf("empty additive = %v", v)
+	}
+	if v, _ := (MetricSpec{Rule: Multiplicative}).composeAlong(h, nil); v != 1 {
+		t.Errorf("empty multiplicative = %v", v)
+	}
+}
+
+func TestComposeMissingAttr(t *testing.T) {
+	h := metricHost()
+	h.Edge(1).Attrs = graph.Attrs{}.SetNum("avgDelay", 10) // no bandwidth
+	edges := []graph.EdgeID{0, 1, 2}
+
+	strict := MetricSpec{Attr: "bandwidth", Rule: Bottleneck, MissingFails: true}
+	if _, ok := strict.composeAlong(h, edges); ok {
+		t.Error("MissingFails did not reject")
+	}
+	lenient := MetricSpec{Attr: "bandwidth", Rule: Bottleneck, MissingEdge: 25}
+	if v, ok := lenient.composeAlong(h, edges); !ok || v != 25 {
+		t.Errorf("lenient bottleneck = %v,%v want 25", v, ok)
+	}
+}
+
+func TestWithinWindow(t *testing.T) {
+	qe := &graph.Edge{Attrs: graph.Attrs{}.SetNum("minBw", 40).SetNum("maxDelay", 35)}
+	bwSpec := MetricSpec{LoAttr: "minBw"}
+	if !bwSpec.withinWindow(qe, 50) {
+		t.Error("50 >= 40 rejected")
+	}
+	if bwSpec.withinWindow(qe, 30) {
+		t.Error("30 < 40 accepted")
+	}
+	dSpec := MetricSpec{HiAttr: "maxDelay"}
+	if !dSpec.withinWindow(qe, 30) {
+		t.Error("30 <= 35 rejected")
+	}
+	if dSpec.withinWindow(qe, 40) {
+		t.Error("40 > 35 accepted")
+	}
+	// Absent window attributes are unbounded.
+	open := MetricSpec{LoAttr: "noSuch", HiAttr: ""}
+	if !open.withinWindow(qe, 1e12) {
+		t.Error("unbounded window rejected")
+	}
+}
+
+func TestComposeString(t *testing.T) {
+	if Additive.String() != "additive" || Bottleneck.String() != "bottleneck" ||
+		Multiplicative.String() != "multiplicative" {
+		t.Error("compose names wrong")
+	}
+	if Compose(7).String() != "Compose(7)" {
+		t.Error("unknown compose name wrong")
+	}
+}
+
+func TestPathEmbedMultiMetric(t *testing.T) {
+	host := metricHost()
+	// One logical link: needs 20-40ms accumulated delay AND >= 60 Mbit
+	// bottleneck bandwidth. The 3-hop path 0..3 has delay 30 ✓ but
+	// bandwidth 50 ✗; the 2-hop path 0..2 has delay 20 ✓ and bandwidth
+	// min(100,50) = 50 ✗; only... no path satisfies both.
+	q := topo.Line(2)
+	q.Edge(0).Attrs = graph.Attrs{}.
+		SetNum("minDelay", 20).SetNum("maxDelay", 40).
+		SetNum("minBw", 60)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []MetricSpec{
+		DefaultDelaySpec("avgDelay", "minDelay", "maxDelay"),
+		{Attr: "bandwidth", Rule: Bottleneck, LoAttr: "minBw", MissingFails: true},
+	}
+	res := PathEmbed(p, PathOptions{MaxHops: 3, Metrics: specs})
+	if len(res.Solutions) != 0 {
+		t.Fatalf("bandwidth bottleneck should kill every window-satisfying path, got %d", len(res.Solutions))
+	}
+
+	// Relax bandwidth to 40: the 2-hop paths through edge pairs with
+	// min bandwidth 50 now qualify.
+	q.Edge(0).Attrs.SetNum("minBw", 40)
+	res = PathEmbed(p, PathOptions{MaxHops: 3, Metrics: specs})
+	if len(res.Solutions) == 0 {
+		t.Fatal("relaxed bandwidth found nothing")
+	}
+	for _, sol := range res.Solutions {
+		if err := VerifyPathSolution(p, PathOptions{MaxHops: 3, Metrics: specs}, sol); err != nil {
+			t.Errorf("multi-metric witness invalid: %v", err)
+		}
+		// Independently recheck both composed metrics.
+		for eid, path := range sol.Paths {
+			qe := p.Query.Edge(eid)
+			if !pathMetricsOK(host, qe, path.Edges, specs) {
+				t.Errorf("witness fails metric recheck: %v", path)
+			}
+		}
+	}
+}
+
+func TestPathEmbedAvailabilityMetric(t *testing.T) {
+	host := metricHost()
+	q := topo.Line(2)
+	// Require end-to-end availability >= 0.985: single hops (0.99)
+	// qualify, 2-hop paths (0.9801) do not.
+	q.Edge(0).Attrs = graph.Attrs{}.SetNum("minAvail", 0.985)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []MetricSpec{{
+		Attr: "availability", Rule: Multiplicative,
+		LoAttr: "minAvail", MissingFails: true,
+	}}
+	res := PathEmbed(p, PathOptions{MaxHops: 2, Metrics: specs})
+	if len(res.Solutions) == 0 {
+		t.Fatal("availability embedding found nothing")
+	}
+	for _, sol := range res.Solutions {
+		if len(sol.Paths[0].Edges) != 1 {
+			t.Errorf("multi-hop witness passed the availability floor: %v", sol.Paths[0])
+		}
+	}
+}

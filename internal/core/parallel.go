@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netembed/internal/graph"
+)
+
+// ParallelECF shards the first level of the ECF permutation tree — the
+// candidate assignments of the root query node — across Options.Workers
+// goroutines (default GOMAXPROCS). All workers share the immutable filter
+// matrices; each explores a disjoint subtree, so the union of their
+// solutions equals sequential ECF's solution set. Solutions are returned
+// sorted for determinism.
+//
+// With Options.MaxSolutions set, the cap applies globally across workers,
+// but which embeddings fill the quota depends on scheduling.
+func ParallelECF(p *Problem, opt Options) *Result {
+	workers := opt.Workers
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	f := BuildFilters(p, &opt)
+
+	if p.Query.NumNodes() == 0 {
+		// Degenerate: the empty query has exactly the empty embedding.
+		return &Result{
+			Solutions: []Mapping{{}},
+			Status:    StatusComplete,
+			Exhausted: true,
+			Stats:     withElapsed(f.Stats(), start),
+		}
+	}
+
+	order := searchOrder(f, opt.Order)
+	root := order[0]
+	rootCands := f.Base(root)
+
+	// Round-robin sharding keeps per-worker load roughly even when
+	// candidate hardness correlates with position.
+	shards := make([][]int32, workers)
+	for i, r := range rootCands {
+		w := i % workers
+		shards[w] = append(shards[w], r)
+	}
+
+	var (
+		mu        sync.Mutex
+		solutions []Mapping
+		first     atomic.Int64 // earliest TimeToFirst in ns, 0 = none
+		taken     atomic.Int64 // global solution count toward MaxSolutions
+		timedOut  atomic.Bool
+		stopped   atomic.Bool
+		visited   atomic.Int64
+		backtrack atomic.Int64
+	)
+	budget := int64(opt.MaxSolutions)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shard := shards[w]
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wopt := opt
+			wopt.MaxSolutions = 0 // global budget handled below
+			wopt.OnSolution = nil
+			s := newSearcher(p, f, wopt, nil, start)
+			s.opt.OnSolution = func(m Mapping) bool {
+				n := taken.Add(1)
+				if budget > 0 && n > budget {
+					return false // quota consumed by other workers
+				}
+				ns := time.Since(start).Nanoseconds()
+				if !first.CompareAndSwap(0, ns) {
+					for {
+						cur := first.Load()
+						if cur <= ns || first.CompareAndSwap(cur, ns) {
+							break
+						}
+					}
+				}
+				mu.Lock()
+				solutions = append(solutions, m.Clone())
+				mu.Unlock()
+				if budget > 0 && n >= budget {
+					stopped.Store(true)
+					return false
+				}
+				return true
+			}
+			// Restrict the root level to this worker's shard.
+			s.scratch[0] = append(s.scratch[0][:0], shard...)
+			s.searchShard(shard)
+			if s.timedOut {
+				timedOut.Store(true)
+			}
+			if s.stopped {
+				stopped.Store(true)
+			}
+			visited.Add(s.stats.NodesVisited)
+			backtrack.Add(s.stats.Backtracks)
+		}()
+	}
+	wg.Wait()
+
+	sortMappings(solutions)
+	stats := withElapsed(f.Stats(), start)
+	stats.NodesVisited += visited.Load()
+	stats.Backtracks += backtrack.Load()
+	stats.TimeToFirst = time.Duration(first.Load())
+
+	exhausted := !timedOut.Load() && !stopped.Load()
+	n := len(solutions)
+	return &Result{
+		Solutions: solutions,
+		Exhausted: exhausted,
+		Status:    classify(exhausted, n),
+		Stats:     stats,
+	}
+}
+
+// searchShard runs the standard DFS with the root level fixed to the given
+// candidate subset.
+func (s *searcher) searchShard(shard []int32) {
+	if len(s.order) == 0 {
+		return
+	}
+	node := s.order[0]
+	for _, r := range shard {
+		if s.checkDeadline() || s.stopped {
+			return
+		}
+		s.stats.NodesVisited++
+		s.assign[node] = r
+		s.used.Set(r)
+		s.search(1)
+		s.used.Clear(r)
+		s.assign[node] = -1
+	}
+}
+
+func withElapsed(st Stats, start time.Time) Stats {
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// sortMappings orders embeddings lexicographically so parallel runs return
+// deterministic output regardless of worker interleaving.
+func sortMappings(ms []Mapping) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// RandomMapping returns a uniformly random injective (not necessarily
+// feasible) assignment, used by baselines and tests as a starting point.
+func RandomMapping(p *Problem, rng *rand.Rand) Mapping {
+	nr := p.Host.NumNodes()
+	perm := rng.Perm(nr)
+	m := make(Mapping, p.Query.NumNodes())
+	for q := range m {
+		m[q] = graph.NodeID(perm[q])
+	}
+	return m
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// PathOptions tunes PathEmbed, the many-to-one extension of §VIII: a
+// query edge may ride on a hosting *path* instead of a single hosting
+// edge.
+type PathOptions struct {
+	// MaxHops bounds witness path length in edges (default 3).
+	MaxHops int
+	// DelayAttr is the numeric edge attribute accumulated along a path
+	// (default "avgDelay").
+	DelayAttr string
+	// WindowLo/WindowHi name the query-edge attributes bounding the
+	// accumulated delay (defaults "minDelay"/"maxDelay"). A query edge
+	// without the attributes accepts any path within MaxHops.
+	WindowLo, WindowHi string
+	// Metrics, when non-empty, replaces the single delay window with a
+	// conjunction of composed-metric constraints (additive delay,
+	// bottleneck bandwidth, multiplicative availability, ...). The
+	// DelayAttr/WindowLo/WindowHi fields are then ignored.
+	Metrics []MetricSpec
+	// Timeout bounds the search (0 = none).
+	Timeout time.Duration
+	// MaxSolutions caps returned embeddings (0 = all).
+	MaxSolutions int
+}
+
+func (o *PathOptions) applyDefaults() {
+	if o.MaxHops == 0 {
+		o.MaxHops = 3
+	}
+	if o.DelayAttr == "" {
+		o.DelayAttr = "avgDelay"
+	}
+	if o.WindowLo == "" {
+		o.WindowLo = "minDelay"
+	}
+	if o.WindowHi == "" {
+		o.WindowHi = "maxDelay"
+	}
+	if len(o.Metrics) == 0 {
+		o.Metrics = []MetricSpec{DefaultDelaySpec(o.DelayAttr, o.WindowLo, o.WindowHi)}
+	}
+}
+
+// PathSolution is one many-to-one embedding: an injective node mapping
+// plus, for every query edge, the witness hosting path carrying it.
+// Intermediate path nodes may be shared between paths and with mapped
+// nodes (standard VNE link-mapping semantics); only the endpoint images
+// are injective.
+type PathSolution struct {
+	Nodes Mapping
+	Paths map[graph.EdgeID]graph.Path
+}
+
+// PathResult reports a PathEmbed run.
+type PathResult struct {
+	Solutions []PathSolution
+	Status    Status
+	Exhausted bool
+	Elapsed   time.Duration
+}
+
+// PathEmbed searches for embeddings where query edges map to hosting
+// paths of at most MaxHops edges whose accumulated delay lies within the
+// query edge's window. The node constraint of the Problem applies to node
+// images; the edge constraint program is not consulted (path acceptance
+// is defined by the window attributes). Solutions enumerate node
+// mappings; each carries one witness path per query edge.
+func PathEmbed(p *Problem, opt PathOptions) *PathResult {
+	opt.applyDefaults()
+	start := time.Now()
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+
+	res := &PathResult{}
+	deadline := time.Time{}
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+	timedOut, stopped := false, false
+
+	// Order query nodes by descending degree (LNS heuristic 1) but keep
+	// each node adjacent to at least one predecessor when possible.
+	order := pathOrder(p.Query)
+	pos := make([]int, nq)
+	for i, q := range order {
+		pos[q] = i
+	}
+
+	assign := make(Mapping, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := sets.NewBits(nr)
+	paths := map[graph.EdgeID]graph.Path{}
+	steps := 0
+
+	checkDeadline := func() bool {
+		if deadline.IsZero() || timedOut {
+			return timedOut
+		}
+		steps++
+		if steps%128 == 0 && time.Now().After(deadline) {
+			timedOut = true
+		}
+		return timedOut
+	}
+
+	// witnessPath finds a path from rs to rt satisfying every composed
+	// metric window of query edge qe, or ok=false.
+	witnessPath := func(qe *graph.Edge, rs, rt graph.NodeID) (graph.Path, bool) {
+		var found graph.Path
+		ok := false
+		p.Host.PathsWithin(rs, rt, opt.MaxHops, func(path graph.Path) bool {
+			if !pathMetricsOK(p.Host, qe, path.Edges, opt.Metrics) {
+				return true
+			}
+			// Cost records the first metric's composed value (the
+			// accumulated delay under the default spec).
+			path.Cost, _ = opt.Metrics[0].composeAlong(p.Host, path.Edges)
+			found, ok = path, true
+			return false // first witness suffices
+		})
+		return found, ok
+	}
+
+	var rec func(d int)
+	rec = func(d int) {
+		if timedOut || stopped {
+			return
+		}
+		if d == nq {
+			sol := PathSolution{Nodes: assign.Clone(), Paths: make(map[graph.EdgeID]graph.Path, len(paths))}
+			for k, v := range paths {
+				sol.Paths[k] = v
+			}
+			res.Solutions = append(res.Solutions, sol)
+			if opt.MaxSolutions > 0 && len(res.Solutions) >= opt.MaxSolutions {
+				stopped = true
+			}
+			return
+		}
+		q := order[d]
+		for r := graph.NodeID(0); int(r) < nr; r++ {
+			if checkDeadline() || stopped {
+				return
+			}
+			if used.Has(r) || !p.nodeOK(q, r) {
+				continue
+			}
+			// Every edge to an already-assigned neighbor needs a witness.
+			type chosen struct {
+				edge graph.EdgeID
+				path graph.Path
+			}
+			var witnesses []chosen
+			ok := true
+			visit := func(a graph.Arc, qeFromQ bool) {
+				if !ok || assign[a.To] < 0 {
+					return
+				}
+				qe := p.Query.Edge(a.Edge)
+				rs, rt := r, assign[a.To]
+				if !qeFromQ {
+					rs, rt = assign[a.To], r
+				}
+				if path, found := witnessPath(qe, rs, rt); found {
+					witnesses = append(witnesses, chosen{a.Edge, path})
+				} else {
+					ok = false
+				}
+			}
+			for _, a := range p.Query.Arcs(q) {
+				visit(a, p.Query.Edge(a.Edge).From == q)
+			}
+			if p.Query.Directed() {
+				for _, a := range p.Query.InArcs(q) {
+					visit(a, false)
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[q] = r
+			used.Set(r)
+			for _, w := range witnesses {
+				paths[w.edge] = w.path
+			}
+			rec(d + 1)
+			for _, w := range witnesses {
+				delete(paths, w.edge)
+			}
+			used.Clear(r)
+			assign[q] = -1
+		}
+	}
+	rec(0)
+
+	res.Exhausted = !timedOut && !stopped
+	res.Status = classify(res.Exhausted, len(res.Solutions))
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// pathOrder orders query nodes by descending degree, then keeps the
+// sequence connected when possible so witnesses are checked early.
+func pathOrder(q *graph.Graph) []graph.NodeID {
+	nq := q.NumNodes()
+	order := make([]graph.NodeID, 0, nq)
+	picked := make([]bool, nq)
+	for len(order) < nq {
+		best := graph.NodeID(-1)
+		bestDeg := -1
+		connected := false
+		for i := 0; i < nq; i++ {
+			if picked[i] {
+				continue
+			}
+			id := graph.NodeID(i)
+			conn := false
+			for _, a := range q.Arcs(id) {
+				if picked[a.To] {
+					conn = true
+					break
+				}
+			}
+			if !conn && q.Directed() {
+				for _, a := range q.InArcs(id) {
+					if picked[a.To] {
+						conn = true
+						break
+					}
+				}
+			}
+			deg := q.Degree(id)
+			if (conn && !connected) || (conn == connected && deg > bestDeg) {
+				best, bestDeg, connected = id, deg, conn
+			}
+		}
+		picked[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// VerifyPathSolution checks a PathSolution independently: injective
+// endpoint images, node constraints, and per-edge witness paths that are
+// real host walks within the delay window.
+func VerifyPathSolution(p *Problem, opt PathOptions, sol PathSolution) error {
+	opt.applyDefaults()
+	if err := verifyNodesOnly(p, sol.Nodes); err != nil {
+		return err
+	}
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		path, ok := sol.Paths[graph.EdgeID(i)]
+		if !ok {
+			return errMissingPath(i)
+		}
+		if len(path.Nodes) < 2 ||
+			path.Nodes[0] != sol.Nodes[qe.From] ||
+			path.Nodes[len(path.Nodes)-1] != sol.Nodes[qe.To] {
+			return errBadPathEndpoints(i)
+		}
+		if len(path.Edges) > opt.MaxHops {
+			return errPathTooLong(i, len(path.Edges), opt.MaxHops)
+		}
+		for j, e := range path.Edges {
+			u, v := path.Nodes[j], path.Nodes[j+1]
+			id, ok := p.Host.EdgeBetween(u, v)
+			if !ok || id != e {
+				return errBadPathEdge(i, j)
+			}
+		}
+		if !pathMetricsOK(p.Host, qe, path.Edges, opt.Metrics) {
+			composed, _ := opt.Metrics[0].composeAlong(p.Host, path.Edges)
+			return errPathWindow(i, composed)
+		}
+	}
+	return nil
+}
+
+// verifyNodesOnly checks injectivity, ranges and node constraints without
+// requiring single-edge adjacency (paths provide it instead).
+func verifyNodesOnly(p *Problem, m Mapping) error {
+	if len(m) != p.Query.NumNodes() {
+		return errMappingSize(len(m), p.Query.NumNodes())
+	}
+	seen := map[graph.NodeID]bool{}
+	for q, r := range m {
+		if r < 0 || int(r) >= p.Host.NumNodes() {
+			return errMappingRange(q, r)
+		}
+		if seen[r] {
+			return errMappingDup(r)
+		}
+		seen[r] = true
+		if !p.nodeOK(graph.NodeID(q), r) {
+			return errMappingNode(q, r)
+		}
+	}
+	return nil
+}
+
+// Error constructors for path-solution verification.
+func errMissingPath(edge int) error {
+	return fmt.Errorf("core: query edge %d has no witness path", edge)
+}
+
+func errBadPathEndpoints(edge int) error {
+	return fmt.Errorf("core: witness path for query edge %d does not join the mapped endpoints", edge)
+}
+
+func errPathTooLong(edge, hops, max int) error {
+	return fmt.Errorf("core: witness path for query edge %d has %d hops, max %d", edge, hops, max)
+}
+
+func errBadPathEdge(edge, step int) error {
+	return fmt.Errorf("core: witness path for query edge %d is not a host walk at step %d", edge, step)
+}
+
+func errPathWindow(edge int, total float64) error {
+	return fmt.Errorf("core: witness path for query edge %d has delay %.2f outside the window", edge, total)
+}
+
+func errMappingSize(got, want int) error {
+	return fmt.Errorf("core: mapping has %d entries, query has %d nodes", got, want)
+}
+
+func errMappingRange(q int, r graph.NodeID) error {
+	return fmt.Errorf("core: query node %d mapped to invalid host node %d", q, r)
+}
+
+func errMappingDup(r graph.NodeID) error {
+	return fmt.Errorf("core: host node %d assigned twice", r)
+}
+
+func errMappingNode(q int, r graph.NodeID) error {
+	return fmt.Errorf("core: node constraint rejects %d -> %d", q, r)
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+// pathHost builds a line host 0-1-2-3 with 10ms per hop.
+func pathHost() *graph.Graph {
+	h := topo.Line(4)
+	for i := 0; i < h.NumEdges(); i++ {
+		h.Edge(graph.EdgeID(i)).Attrs = graph.Attrs{}.SetNum("avgDelay", 10)
+	}
+	return h
+}
+
+func TestPathEmbedMapsEdgeToPath(t *testing.T) {
+	host := pathHost()
+	// Query: single edge demanding 15..25ms — no single 10ms hop
+	// qualifies, but any 2-hop path (20ms) does.
+	q := topo.Line(2)
+	q.Edge(0).Attrs = graph.Attrs{}.SetNum("minDelay", 15).SetNum("maxDelay", 25)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain one-to-one embedding must fail: every host edge is 10ms.
+	avgWin := mustEdgeWindowProblem(t, q, host)
+	if res := ECF(avgWin, Options{}); len(res.Solutions) != 0 {
+		t.Fatalf("single-edge embedding unexpectedly feasible: %v", res.Solutions)
+	}
+
+	res := PathEmbed(p, PathOptions{MaxHops: 2})
+	if len(res.Solutions) == 0 {
+		t.Fatal("path embedding found nothing")
+	}
+	if res.Status != StatusComplete {
+		t.Errorf("status = %v", res.Status)
+	}
+	for _, sol := range res.Solutions {
+		if err := VerifyPathSolution(p, PathOptions{MaxHops: 2}, sol); err != nil {
+			t.Errorf("invalid path solution: %v", err)
+		}
+		path := sol.Paths[0]
+		if len(path.Edges) != 2 {
+			t.Errorf("witness path hops = %d, want 2", len(path.Edges))
+		}
+	}
+}
+
+func mustEdgeWindowProblem(t *testing.T, q, host *graph.Graph) *Problem {
+	t.Helper()
+	p, err := NewProblem(q, host, avgWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPathEmbedHopLimit(t *testing.T) {
+	host := pathHost()
+	q := topo.Line(2)
+	// 25..35ms needs a 3-hop path; MaxHops 2 must fail, 3 must succeed.
+	q.Edge(0).Attrs = graph.Attrs{}.SetNum("minDelay", 25).SetNum("maxDelay", 35)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := PathEmbed(p, PathOptions{MaxHops: 2}); len(res.Solutions) != 0 {
+		t.Error("2-hop limit should make the query infeasible")
+	}
+	res := PathEmbed(p, PathOptions{MaxHops: 3})
+	if len(res.Solutions) == 0 {
+		t.Fatal("3-hop path embedding found nothing")
+	}
+	for _, sol := range res.Solutions {
+		if err := VerifyPathSolution(p, PathOptions{MaxHops: 3}, sol); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPathEmbedWindowlessEdgeAcceptsAnyPath(t *testing.T) {
+	host := pathHost()
+	q := topo.Line(2) // no window attributes at all
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PathEmbed(p, PathOptions{MaxHops: 1})
+	// With MaxHops=1 this degenerates to ordinary unconstrained edge
+	// embedding: 3 host edges × 2 orientations.
+	if len(res.Solutions) != 6 {
+		t.Errorf("solutions = %d, want 6", len(res.Solutions))
+	}
+}
+
+func TestPathEmbedRespectsNodeConstraintAndInjectivity(t *testing.T) {
+	host := pathHost()
+	host.Node(0).Attrs = graph.Attrs{}.SetStr("osType", "linux")
+	q := topo.Line(2)
+	q.Node(0).Attrs = graph.Attrs{}.SetStr("osType", "linux")
+	nodeC := expr.MustCompile("isBoundTo(vNode.osType, rNode.osType)")
+	p, err := NewProblem(q, host, nil, nodeC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PathEmbed(p, PathOptions{MaxHops: 2})
+	for _, sol := range res.Solutions {
+		if sol.Nodes[0] != 0 {
+			t.Errorf("node constraint violated: %v", sol.Nodes)
+		}
+		if sol.Nodes[0] == sol.Nodes[1] {
+			t.Errorf("injectivity violated: %v", sol.Nodes)
+		}
+	}
+	if len(res.Solutions) == 0 {
+		t.Error("constrained path embedding found nothing")
+	}
+}
+
+func TestPathEmbedTimeoutAndCap(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 30}, rand.New(rand.NewSource(1)))
+	q := topo.Ring(4)
+	topo.SetDelayWindow(q, 1, 10000)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := PathEmbed(p, PathOptions{MaxHops: 2, MaxSolutions: 5})
+	if len(capped.Solutions) != 5 {
+		t.Errorf("cap: %d solutions", len(capped.Solutions))
+	}
+	if capped.Status != StatusPartial {
+		t.Errorf("capped status = %v", capped.Status)
+	}
+	start := time.Now()
+	PathEmbed(p, PathOptions{MaxHops: 3, Timeout: 30 * time.Millisecond})
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout not honored")
+	}
+}
+
+func TestVerifyPathSolutionRejectsBadWitness(t *testing.T) {
+	host := pathHost()
+	q := topo.Line(2)
+	q.Edge(0).Attrs = graph.Attrs{}.SetNum("minDelay", 15).SetNum("maxDelay", 25)
+	p, err := NewProblem(q, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PathEmbed(p, PathOptions{MaxHops: 2})
+	if len(res.Solutions) == 0 {
+		t.Fatal("need a solution to corrupt")
+	}
+	sol := res.Solutions[0]
+
+	// Missing path.
+	broken := PathSolution{Nodes: sol.Nodes.Clone(), Paths: map[graph.EdgeID]graph.Path{}}
+	if err := VerifyPathSolution(p, PathOptions{MaxHops: 2}, broken); err == nil {
+		t.Error("missing witness accepted")
+	}
+	// Wrong endpoints.
+	bad := sol.Paths[0]
+	badPath := graph.Path{Nodes: append([]graph.NodeID(nil), bad.Nodes...), Edges: append([]graph.EdgeID(nil), bad.Edges...)}
+	badPath.Nodes[0] = badPath.Nodes[0] + 1%4
+	broken.Paths[0] = badPath
+	if err := VerifyPathSolution(p, PathOptions{MaxHops: 2}, broken); err == nil {
+		t.Error("bad endpoints accepted")
+	}
+	// Hop limit.
+	if err := VerifyPathSolution(p, PathOptions{MaxHops: 1}, sol); err == nil {
+		t.Error("over-length witness accepted")
+	}
+	// Non-injective node mapping.
+	dup := PathSolution{Nodes: Mapping{1, 1}, Paths: sol.Paths}
+	if err := VerifyPathSolution(p, PathOptions{MaxHops: 2}, dup); err == nil {
+		t.Error("non-injective mapping accepted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements NETEMBED's network embedding algorithms: the
+// filter-matrix construction shared by ECF and RWB, the three search
+// algorithms of §V (Exhaustive search with Constraint Filtering, Random
+// Walk with Backtracking, Lazy Neighborhood Search), an independent
+// mapping verifier, a parallel ECF variant, and the link-to-path
+// (many-to-one) extension sketched in §VIII.
+//
+// A Problem pairs a query (virtual) network with a hosting (real) network
+// and the constraint programs that define acceptable pairings. A Mapping
+// assigns every query node an injective image among host nodes such that
+// every query edge lands on a host edge satisfying the edge constraint.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+)
+
+// Mapping is an embedding: Mapping[q] is the hosting-network node assigned
+// to query node q. A complete mapping has one entry per query node.
+type Mapping []graph.NodeID
+
+// Clone returns a copy of m.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	copy(out, m)
+	return out
+}
+
+// Problem is one embedding instance: find injective node mappings from
+// Query into Host preserving adjacency under the constraints.
+type Problem struct {
+	Query *graph.Graph
+	Host  *graph.Graph
+
+	// EdgeConstraint is evaluated for every (query edge, host edge)
+	// pairing; nil accepts all pairings (topology-only embedding).
+	EdgeConstraint *expr.Program
+	// NodeConstraint is evaluated for every (query node, host node)
+	// pairing; nil accepts all pairings.
+	NodeConstraint *expr.Program
+}
+
+// Problem construction errors.
+var (
+	ErrNilGraph       = errors.New("core: query and host graphs are required")
+	ErrMixedDirection = errors.New("core: query and host must both be directed or both undirected")
+	ErrQueryTooLarge  = errors.New("core: query has more nodes than host")
+)
+
+// NewProblem validates and assembles an injective embedding problem.
+func NewProblem(query, host *graph.Graph, edgeConstraint, nodeConstraint *expr.Program) (*Problem, error) {
+	p, err := newProblem(query, host, edgeConstraint, nodeConstraint)
+	if err != nil {
+		return nil, err
+	}
+	if query.NumNodes() > host.NumNodes() {
+		return nil, ErrQueryTooLarge
+	}
+	return p, nil
+}
+
+// NewConsolidatedProblem assembles a many-to-one embedding problem for
+// Consolidate: identical validation to NewProblem except that the query
+// may have more nodes than the host, since node consolidation can pack
+// several query nodes onto one hosting node (§VIII).
+func NewConsolidatedProblem(query, host *graph.Graph, edgeConstraint, nodeConstraint *expr.Program) (*Problem, error) {
+	return newProblem(query, host, edgeConstraint, nodeConstraint)
+}
+
+func newProblem(query, host *graph.Graph, edgeConstraint, nodeConstraint *expr.Program) (*Problem, error) {
+	if query == nil || host == nil {
+		return nil, ErrNilGraph
+	}
+	if query.Directed() != host.Directed() {
+		return nil, ErrMixedDirection
+	}
+	if edgeConstraint != nil {
+		if err := edgeConstraint.CheckEdgeContext(); err != nil {
+			return nil, err
+		}
+	}
+	if nodeConstraint != nil {
+		if err := nodeConstraint.CheckNodeContext(); err != nil {
+			return nil, err
+		}
+	}
+	return &Problem{Query: query, Host: host, EdgeConstraint: edgeConstraint, NodeConstraint: nodeConstraint}, nil
+}
+
+// edgeOK evaluates the edge constraint for query edge qe mapped onto host
+// edge re with the given orientation: query From ↦ host node rs, query To
+// ↦ host node rt (rs/rt are re's endpoints, possibly swapped when the
+// graphs are undirected).
+func (p *Problem) edgeOK(qe *graph.Edge, re *graph.Edge, rs, rt graph.NodeID) bool {
+	if p.EdgeConstraint == nil {
+		return true
+	}
+	b := expr.EdgeBinding{
+		VEdge:   qe.Attrs,
+		REdge:   re.Attrs,
+		VSource: p.Query.Node(qe.From).Attrs,
+		VTarget: p.Query.Node(qe.To).Attrs,
+		RSource: p.Host.Node(rs).Attrs,
+		RTarget: p.Host.Node(rt).Attrs,
+	}
+	return p.EdgeConstraint.EvalEdge(&b)
+}
+
+// nodeOK evaluates the node constraint for query node q mapped onto host
+// node r.
+func (p *Problem) nodeOK(q, r graph.NodeID) bool {
+	if p.NodeConstraint == nil {
+		return true
+	}
+	b := expr.NodeBinding{
+		VNode: p.Query.Node(q).Attrs,
+		RNode: p.Host.Node(r).Attrs,
+	}
+	return p.NodeConstraint.EvalNode(&b)
+}
+
+// NodeFeasible reports whether mapping query node q onto host node r
+// satisfies the node constraint. Exported for baselines and diagnostics.
+func (p *Problem) NodeFeasible(q, r graph.NodeID) bool { return p.nodeOK(q, r) }
+
+// EdgeFeasible reports whether query edge qe can ride on a host edge
+// between rs and rt (in that orientation): the host edge must exist and
+// satisfy the edge constraint. Exported for baselines and diagnostics.
+func (p *Problem) EdgeFeasible(qe *graph.Edge, rs, rt graph.NodeID) bool {
+	reID, ok := p.Host.EdgeBetween(rs, rt)
+	if !ok {
+		return false
+	}
+	return p.edgeOK(qe, p.Host.Edge(reID), rs, rt)
+}
+
+// Verify independently checks that m is a correct embedding for p: it is
+// complete, injective, maps every query edge onto an existing host edge in
+// the right orientation, and satisfies both constraint programs. It is the
+// ground truth used by tests and the service layer.
+func (p *Problem) Verify(m Mapping) error {
+	nq := p.Query.NumNodes()
+	if len(m) != nq {
+		return fmt.Errorf("core: mapping has %d entries, query has %d nodes", len(m), nq)
+	}
+	used := make(map[graph.NodeID]graph.NodeID, nq)
+	for q, r := range m {
+		if r < 0 || int(r) >= p.Host.NumNodes() {
+			return fmt.Errorf("core: query node %d mapped to invalid host node %d", q, r)
+		}
+		if prev, dup := used[r]; dup {
+			return fmt.Errorf("core: host node %d assigned to both query nodes %d and %d", r, prev, q)
+		}
+		used[r] = graph.NodeID(q)
+		if !p.nodeOK(graph.NodeID(q), r) {
+			return fmt.Errorf("core: node constraint rejects %d -> %d", q, r)
+		}
+	}
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		rs, rt := m[qe.From], m[qe.To]
+		reID, ok := p.Host.EdgeBetween(rs, rt)
+		if !ok {
+			return fmt.Errorf("core: query edge %d (%d-%d) has no host edge %d-%d", i, qe.From, qe.To, rs, rt)
+		}
+		if !p.edgeOK(qe, p.Host.Edge(reID), rs, rt) {
+			return fmt.Errorf("core: edge constraint rejects query edge %d on host edge %d", i, reID)
+		}
+	}
+	return nil
+}
+
+// Status classifies a search outcome the way §VII-E does.
+type Status int
+
+// The §VII-E result qualities.
+const (
+	// StatusComplete: the search space was exhausted before any timeout;
+	// the returned set is the complete set of feasible embeddings (possibly
+	// empty, which is then a definitive no-match answer).
+	StatusComplete Status = iota
+	// StatusPartial: the search stopped early (timeout or solution cap)
+	// after finding at least one feasible embedding.
+	StatusPartial
+	// StatusInconclusive: the search stopped early with no embedding
+	// found; nothing can be concluded about feasibility.
+	StatusInconclusive
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusPartial:
+		return "partial"
+	case StatusInconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// OrderMode selects how ECF/RWB order query nodes (Lemma 1 ablations).
+type OrderMode int
+
+// Node ordering heuristics.
+const (
+	// OrderAscending realizes Lemma 1 the way the paper's linear scaling
+	// requires: the seed is the node with the fewest base candidates, and
+	// every subsequent node is chosen among those adjacent to the ordered
+	// prefix (most prefix edges first — the strongest filter
+	// intersection — then fewest base candidates). Keeping the prefix
+	// connected guarantees each placement is constrained by at least one
+	// filter row; a pure global sort can schedule mutually unrelated
+	// nodes first, whose unconstrained placements explode the tree. The
+	// default.
+	OrderAscending OrderMode = iota
+	// OrderNatural keeps the query's node numbering (ablation).
+	OrderNatural
+	// OrderDescending inverts the candidate-count sort (worst case,
+	// ablation).
+	OrderDescending
+	// OrderUnconnected is the literal global ascending sort without the
+	// connectivity refinement (ablation — demonstrates the blowup).
+	OrderUnconnected
+)
+
+// Options tune a search run. The zero value asks for all solutions with no
+// timeout using the paper's default heuristics.
+type Options struct {
+	// Timeout bounds the search (0 = unbounded). Results found before the
+	// deadline are returned with StatusPartial/StatusInconclusive.
+	Timeout time.Duration
+	// MaxSolutions stops the search after this many embeddings (0 = all).
+	MaxSolutions int
+	// Order selects the ECF/RWB node ordering heuristic.
+	Order OrderMode
+	// Seed drives RWB's randomized candidate choice.
+	Seed int64
+	// LooseRoot uses the paper's literal formula (1) (union of filter
+	// cells) for base candidate sets instead of the tighter per-neighbor
+	// intersection refinement. Ablation knob; both are complete.
+	LooseRoot bool
+	// NoDegreeFilter disables the host-degree >= query-degree candidate
+	// filter. Ablation knob; the filter never removes feasible embeddings.
+	NoDegreeFilter bool
+	// OnSolution, when non-nil, streams each embedding as it is found; the
+	// mapping is only valid during the call (clone to retain). Returning
+	// false stops the search (the result is then StatusPartial).
+	OnSolution func(Mapping) bool
+	// Workers > 1 parallelizes filter construction across that many
+	// goroutines (one query edge per task) and sizes the ParallelECF
+	// worker pool. Zero keeps everything sequential and deterministic.
+	Workers int
+}
+
+// Stats reports search effort counters.
+type Stats struct {
+	FilterBuild   time.Duration // time spent building filter matrices (ECF/RWB)
+	EdgePairsEval int64         // constraint evaluations during filter build
+	FilterEntries int64         // total candidate entries stored in F
+	NodesVisited  int64         // permutation-tree nodes expanded
+	Backtracks    int64         // dead ends requiring backtracking
+	ConstraintChk int64         // on-demand constraint evaluations (LNS)
+	TimeToFirst   time.Duration // elapsed time when the first solution appeared
+	Elapsed       time.Duration // total search time, filter build included
+}
+
+// Result is the outcome of one search run.
+type Result struct {
+	Solutions []Mapping
+	Status    Status
+	Exhausted bool // the whole search space was covered
+	Stats     Stats
+}
+
+// classify derives the §VII-E status from how the search ended.
+func classify(exhausted bool, nSolutions int) Status {
+	switch {
+	case exhausted:
+		return StatusComplete
+	case nSolutions > 0:
+		return StatusPartial
+	default:
+		return StatusInconclusive
+	}
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"netembed/internal/baseline"
+	"netembed/internal/core"
+)
+
+// Baselines reproduces the §VII-F comparison: NETEMBED's algorithms
+// against the prior techniques' algorithmic cores (simulated annealing /
+// assign, genetic / wanassign, SWORD's two-phase matcher) plus the naive
+// unpruned DFS ablation, on the subgraph workload. Two tables: time to
+// first feasible mapping, and success rate.
+func Baselines(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	host := planetLabHost(cfg)
+	hostDesc := fmt.Sprintf("PlanetLab N=%d E=%d", host.NumNodes(), host.NumEdges())
+	methods := []string{"ECF", "RWB", "LNS", "NaiveDFS", "Annealing", "Genetic", "SWORD", "ZhuAmmar"}
+
+	var sizes []int
+	for _, s := range []int{10, 20, 40, 80} {
+		v := cfg.scaled(s, 4)
+		if v <= host.NumNodes()*3/4 {
+			sizes = append(sizes, v)
+		}
+	}
+
+	timeT := &Table{
+		ID:    "baselines-time",
+		Title: "Time to first feasible mapping vs prior techniques (" + hostDesc + ")",
+		XName: "Nq", Cols: methods,
+		Notes: []string{"failed runs excluded from timing; see the success table"},
+	}
+	successT := &Table{
+		ID:    "baselines-success",
+		Title: "Success rate (fraction of runs returning a feasible mapping)",
+		XName: "Nq", Cols: methods,
+		Notes: []string{
+			"every instance is feasible by construction (planted subgraph);",
+			"annealing/genetic/SWORD may fail anyway — they trade completeness for speed (§II)",
+		},
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 600))
+	for _, size := range sizes {
+		times := map[string][]float64{}
+		success := map[string]int{}
+		runs := 0
+		for rep := 0; rep < cfg.Reps; rep++ {
+			q, err := subgraphQuery(host, size, 0, rng)
+			if err != nil {
+				continue
+			}
+			p := mustProblem(q, host, DelayWindowConstraint)
+			runs++
+			record := func(method string, ms float64, found bool) {
+				if found {
+					success[method]++
+					if !math.IsNaN(ms) {
+						times[method] = append(times[method], ms)
+					}
+				}
+			}
+			for _, algo := range algoNames {
+				out := runAlgo(algo, p, core.Options{
+					Timeout: cfg.Timeout, MaxSolutions: 1, Seed: int64(rep),
+				})
+				record(algo, out.FirstMs, out.Solutions > 0)
+			}
+			nv := baseline.NaiveDFS(p, baseline.NaiveConfig{Timeout: cfg.Timeout, MaxSolutions: 1})
+			record("NaiveDFS", float64(nv.Elapsed)/float64(time.Millisecond), len(nv.Solutions) > 0)
+			an := baseline.Annealer(p, baseline.AnnealerConfig{Timeout: cfg.Timeout, Seed: int64(rep)})
+			record("Annealing", float64(an.Elapsed)/float64(time.Millisecond), an.Found)
+			ga := baseline.Genetic(p, baseline.GeneticConfig{Timeout: cfg.Timeout, Seed: int64(rep)})
+			record("Genetic", float64(ga.Elapsed)/float64(time.Millisecond), ga.Found)
+			sw := baseline.Sword(p, baseline.SwordConfig{PhaseTimeout: cfg.Timeout / 2})
+			record("SWORD", float64(sw.Elapsed)/float64(time.Millisecond), sw.Found)
+			za := baseline.ZhuAmmar(p, baseline.ZhuAmmarConfig{Timeout: cfg.Timeout})
+			record("ZhuAmmar", float64(za.Elapsed)/float64(time.Millisecond), za.Feasible)
+		}
+		tr := Row{X: fmt.Sprintf("%d", size)}
+		sr := Row{X: fmt.Sprintf("%d", size)}
+		for _, m := range methods {
+			tr.Cells = append(tr.Cells, summCell(times[m]))
+			frac := 0.0
+			if runs > 0 {
+				frac = float64(success[m]) / float64(runs)
+			}
+			sr.Cells = append(sr.Cells, Cell{Mean: frac, N: runs})
+		}
+		timeT.Rows = append(timeT.Rows, tr)
+		successT.Rows = append(successT.Rows, sr)
+		cfg.progressf("baselines: size %d done\n", size)
+	}
+	return []*Table{timeT, successT}
+}
+
+// Ablations isolates the contribution of each design choice called out in
+// DESIGN.md on a fixed subgraph workload: Lemma-1 ordering, the tightened
+// formula (1), the degree filter, and root-level parallelism.
+func Ablations(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	host := planetLabHost(cfg)
+	hostDesc := fmt.Sprintf("PlanetLab N=%d E=%d", host.NumNodes(), host.NumEdges())
+	size := cfg.scaled(60, 6)
+
+	variants := []struct {
+		name string
+		run  func(p *core.Problem, seed int64) *core.Result
+	}{
+		{"default", func(p *core.Problem, seed int64) *core.Result {
+			return core.ECF(p, core.Options{Timeout: cfg.Timeout})
+		}},
+		{"order-natural", func(p *core.Problem, seed int64) *core.Result {
+			return core.ECF(p, core.Options{Timeout: cfg.Timeout, Order: core.OrderNatural})
+		}},
+		{"order-unconnected", func(p *core.Problem, seed int64) *core.Result {
+			return core.ECF(p, core.Options{Timeout: cfg.Timeout, Order: core.OrderUnconnected})
+		}},
+		{"order-desc", func(p *core.Problem, seed int64) *core.Result {
+			return core.ECF(p, core.Options{Timeout: cfg.Timeout, Order: core.OrderDescending})
+		}},
+		{"order-dynamic", func(p *core.Problem, seed int64) *core.Result {
+			return core.DynamicECF(p, core.Options{Timeout: cfg.Timeout})
+		}},
+		{"loose-root", func(p *core.Problem, seed int64) *core.Result {
+			return core.ECF(p, core.Options{Timeout: cfg.Timeout, LooseRoot: true})
+		}},
+		{"no-degree-filter", func(p *core.Problem, seed int64) *core.Result {
+			return core.ECF(p, core.Options{Timeout: cfg.Timeout, NoDegreeFilter: true})
+		}},
+		{"parallel-2", func(p *core.Problem, seed int64) *core.Result {
+			return core.ParallelECF(p, core.Options{Timeout: cfg.Timeout, Workers: 2, MaxSolutions: 1 << 20})
+		}},
+		{"parallel-8", func(p *core.Problem, seed int64) *core.Result {
+			return core.ParallelECF(p, core.Options{Timeout: cfg.Timeout, Workers: 8, MaxSolutions: 1 << 20})
+		}},
+	}
+
+	t := &Table{
+		ID:    "ablations",
+		Title: fmt.Sprintf("ECF design ablations, %d-node subgraph queries (%s)", size, hostDesc),
+		XName: "variant",
+		Cols:  []string{"all-ms", "visited"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 700))
+	queries := make([]*core.Problem, 0, cfg.Reps)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		q, err := subgraphQuery(host, size, 0, rng)
+		if err != nil {
+			continue
+		}
+		queries = append(queries, mustProblem(q, host, DelayWindowConstraint))
+	}
+	for _, v := range variants {
+		var ms, visited []float64
+		for i, p := range queries {
+			res := v.run(p, int64(i))
+			ms = append(ms, float64(res.Stats.Elapsed)/float64(time.Millisecond))
+			visited = append(visited, float64(res.Stats.NodesVisited))
+		}
+		t.Rows = append(t.Rows, Row{X: v.name, Cells: []Cell{summCell(ms), summCell(visited)}})
+		cfg.progressf("ablations: %s done\n", v.name)
+	}
+	t.Notes = append(t.Notes, "same query set for every variant; visited = permutation-tree nodes expanded")
+	return []*Table{t}
+}

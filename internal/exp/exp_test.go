@@ -1,0 +1,274 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"netembed/internal/core"
+)
+
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func coreOptions(timeout time.Duration) core.Options {
+	return core.Options{Timeout: timeout}
+}
+
+// quickCfg keeps harness tests fast: tiny networks, 2 reps, short timeout.
+func quickCfg() Config {
+	return Config{Scale: 0.1, Reps: 2, Timeout: 400 * time.Millisecond, Seed: 1}
+}
+
+func checkTable(t *testing.T, tab *Table) {
+	t.Helper()
+	if tab.ID == "" || tab.Title == "" {
+		t.Errorf("table missing metadata: %+v", tab)
+	}
+	if len(tab.Rows) == 0 {
+		t.Errorf("%s: no rows", tab.ID)
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != len(tab.Cols) {
+			t.Errorf("%s: row %q has %d cells, want %d", tab.ID, r.X, len(r.Cells), len(tab.Cols))
+		}
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), strings.ToUpper(tab.ID)) {
+		t.Errorf("%s: Render missing ID header", tab.ID)
+	}
+	var csv bytes.Buffer
+	tab.CSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(tab.Rows)+1 {
+		t.Errorf("%s: CSV has %d lines, want %d", tab.ID, len(lines), len(tab.Rows)+1)
+	}
+	wantCols := 1 + 2*len(tab.Cols)
+	for i, ln := range lines {
+		if got := len(strings.Split(ln, ",")); got != wantCols {
+			t.Errorf("%s: CSV line %d has %d fields, want %d", tab.ID, i, got, wantCols)
+		}
+	}
+}
+
+func TestFig8And9Quick(t *testing.T) {
+	tables := Fig8And9(quickCfg())
+	if len(tables) != 5 {
+		t.Fatalf("tables = %d, want 5", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+	// Feasible-by-construction workload: ECF must find matches at every
+	// size (cells carry samples).
+	for _, row := range tables[0].Rows {
+		if row.Cells[0].N == 0 {
+			t.Errorf("fig8a row %s has no ECF-all samples", row.X)
+		}
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	tables := Fig10(quickCfg())
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want 3", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+}
+
+func TestFig11And12Quick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Reps = 1 // three hosts × eight sizes × three algorithms is plenty
+	tables := Fig11And12(cfg)
+	if len(tables) != 6 {
+		t.Fatalf("tables = %d, want 6 (3 hosts × 2 figures)", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	tables := Fig13(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	tables := Fig14(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+}
+
+func TestFig15Quick(t *testing.T) {
+	tables := Fig15(quickCfg())
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want 3 (one per algorithm)", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+		// Fractions must sum to ~1 per class.
+		for _, row := range tab.Rows {
+			sum := 0.0
+			for _, c := range row.Cells {
+				sum += c.Mean
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s %s: fractions sum to %v", tab.ID, row.X, sum)
+			}
+		}
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	tables := Baselines(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+	// Complete algorithms must have 100% success on the feasible workload.
+	success := tables[1]
+	for _, row := range success.Rows {
+		for i, col := range success.Cols {
+			if col == "ECF" || col == "RWB" || col == "LNS" || col == "NaiveDFS" {
+				if row.Cells[i].Mean < 1 {
+					t.Errorf("%s at Nq=%s: success %.2f, want 1.0", col, row.X, row.Cells[i].Mean)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	tables := Ablations(quickCfg())
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	checkTable(t, tables[0])
+	if len(tables[0].Rows) != 9 {
+		t.Errorf("variants = %d, want 9", len(tables[0].Rows))
+	}
+}
+
+func TestRunAlgoParallelAndUnknown(t *testing.T) {
+	cfg := quickCfg()
+	host := planetLabHost(cfg)
+	q, err := subgraphQuery(host, 5, 0.1, randFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustProblem(q, host, DelayWindowConstraint)
+	out := runAlgo("ParallelECF", p, coreOptions(2*time.Second))
+	if out.Solutions == 0 {
+		t.Error("ParallelECF found nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algorithm did not panic")
+		}
+	}()
+	runAlgo("quantum", p, coreOptions(time.Second))
+}
+
+func TestWriteGnuplot(t *testing.T) {
+	tab := &Table{
+		ID:    "figX",
+		Title: `Demo "quoted" title`,
+		XName: "Nq",
+		Cols:  []string{"ECF", "RWB"},
+		Rows:  []Row{{X: "10", Cells: []Cell{{Mean: 1, N: 1}, {Mean: 2, N: 1}}}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteGnuplot(&buf, "figX.csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"set output \"figX.png\"",
+		"using 1:2:3 with yerrorlines title \"ECF\"",
+		"using 1:4:5 with yerrorlines title \"RWB\"",
+		"set xlabel \"Nq\"",
+		"Demo 'quoted' title", // double quotes escaped for gnuplot
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gnuplot script missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 || c.Reps != 5 || c.Timeout != 10*time.Second || c.Seed != 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if got := c.scaled(100, 5); got != 100 {
+		t.Errorf("scaled(100) = %d", got)
+	}
+	small := Config{Scale: 0.01}.withDefaults()
+	if got := small.scaled(100, 5); got != 5 {
+		t.Errorf("floor not applied: %d", got)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if got := (Cell{Note: "x"}).String(); got != "x" {
+		t.Errorf("note cell = %q", got)
+	}
+	if got := (Cell{Mean: 1.25, CI: 0.5, N: 3}).String(); got != "1.2 ±0.5" {
+		t.Errorf("ci cell = %q", got)
+	}
+	if got := (Cell{Mean: 2, N: 1}).String(); got != "2.0" {
+		t.Errorf("plain cell = %q", got)
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	cfg.Progress = &buf
+	Fig13(cfg)
+	if !strings.Contains(buf.String(), "fig13") {
+		t.Error("no progress lines written")
+	}
+}
+
+func TestCoordsQuick(t *testing.T) {
+	tables := Coords(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	for _, tab := range tables {
+		checkTable(t, tab)
+	}
+	// The fit error must improve monotonically enough that the last
+	// sampled round beats the first by a clear margin.
+	fit := tables[0]
+	first := fit.Rows[0].Cells[0].Mean
+	last := fit.Rows[len(fit.Rows)-1].Cells[0].Mean
+	if last >= first {
+		t.Errorf("fit error did not improve: round1 %.1f%%, final %.1f%%", first, last)
+	}
+	// Completion must never *reduce* feasibility: any "yes" before stays
+	// a "yes" after.
+	unblock := tables[1]
+	for _, row := range unblock.Rows {
+		if row.Cells[0].Note == "yes" && row.Cells[1].Note != "yes" {
+			t.Errorf("coverage %s: completion broke a previously feasible query", row.X)
+		}
+	}
+}

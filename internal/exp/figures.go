@@ -1,0 +1,452 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+// samplePair accumulates all-matches and first-match timings.
+type samplePair struct {
+	all   []float64
+	first []float64
+}
+
+// planetlabSweep runs the Fig 8/9 workload once: subgraph queries of
+// growing size on the PlanetLab host, each rep measured under every
+// algorithm, returning samples[algo][size].
+func planetlabSweep(cfg Config) (sizes []int, samples map[string]map[int]*samplePair, hostDesc string) {
+	host := planetLabHost(cfg)
+	hostDesc = fmt.Sprintf("PlanetLab N=%d E=%d", host.NumNodes(), host.NumEdges())
+	maxQ := host.NumNodes() * 3 / 4
+	for s := cfg.scaled(20, 4); s <= maxQ; s += cfg.scaled(20, 4) {
+		sizes = append(sizes, s)
+	}
+	samples = map[string]map[int]*samplePair{}
+	for _, a := range algoNames {
+		samples[a] = map[int]*samplePair{}
+		for _, s := range sizes {
+			samples[a][s] = &samplePair{}
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	for _, size := range sizes {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			q, err := subgraphQuery(host, size, 0, rng)
+			if err != nil {
+				continue
+			}
+			p := mustProblem(q, host, DelayWindowConstraint)
+			for _, algo := range algoNames {
+				out := runAlgo(algo, p, core.Options{Timeout: cfg.Timeout})
+				sp := samples[algo][size]
+				sp.all = append(sp.all, out.AllMs)
+				if !math.IsNaN(out.FirstMs) {
+					sp.first = append(sp.first, out.FirstMs)
+				}
+			}
+		}
+		cfg.progressf("fig8/9: size %d done\n", size)
+	}
+	return sizes, samples, hostDesc
+}
+
+// Fig8And9 produces the five panels of Figs 8 and 9 from one sweep:
+// per-algorithm time curves (8a/8b/8c) and the cross-algorithm
+// comparisons (9a: all matches, 9b: first match).
+func Fig8And9(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	sizes, samples, hostDesc := planetlabSweep(cfg)
+
+	mk := func(id, title string, cols []string, cell func(size int, col string) Cell) *Table {
+		t := &Table{ID: id, Title: title + " (" + hostDesc + ")", XName: "Nq", Cols: cols}
+		for _, s := range sizes {
+			row := Row{X: fmt.Sprintf("%d", s)}
+			for _, c := range cols {
+				row.Cells = append(row.Cells, cell(s, c))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes, "times in ms, mean ± 95% CI over sampled subgraph queries")
+		return t
+	}
+
+	fig8a := mk("fig8a", "ECF mean search time vs query size", []string{"ECF-all", "ECF-first"},
+		func(s int, col string) Cell {
+			if col == "ECF-all" {
+				return summCell(samples["ECF"][s].all)
+			}
+			return summCell(samples["ECF"][s].first)
+		})
+	fig8b := mk("fig8b", "RWB time to first match vs query size", []string{"RWB-first"},
+		func(s int, col string) Cell { return summCell(samples["RWB"][s].first) })
+	fig8c := mk("fig8c", "LNS search time vs query size", []string{"LNS-all", "LNS-first"},
+		func(s int, col string) Cell {
+			if col == "LNS-all" {
+				return summCell(samples["LNS"][s].all)
+			}
+			return summCell(samples["LNS"][s].first)
+		})
+	fig9a := mk("fig9a", "Mean search time, all matches", algoNames,
+		func(s int, col string) Cell { return summCell(samples[col][s].all) })
+	fig9b := mk("fig9b", "Time to find first match", algoNames,
+		func(s int, col string) Cell { return summCell(samples[col][s].first) })
+	return []*Table{fig8a, fig8b, fig8c, fig9a, fig9b}
+}
+
+// Fig10 compares feasible against infeasible twins of the same queries:
+// one panel per algorithm, Match vs NoMatch mean search time.
+func Fig10(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	host := planetLabHost(cfg)
+	hostDesc := fmt.Sprintf("PlanetLab N=%d E=%d", host.NumNodes(), host.NumEdges())
+	var sizes []int
+	maxQ := host.NumNodes() * 3 / 4
+	for s := cfg.scaled(40, 5); s <= maxQ; s += cfg.scaled(40, 5) {
+		sizes = append(sizes, s)
+	}
+	type key struct {
+		algo  string
+		size  int
+		match bool
+	}
+	samples := map[key][]float64{}
+	rng := rand.New(rand.NewSource(cfg.Seed + 200))
+	for _, size := range sizes {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			q, err := subgraphQuery(host, size, 0, rng)
+			if err != nil {
+				continue
+			}
+			bad := q.Clone()
+			topo.MakeInfeasible(bad, 3, rng)
+			for _, algo := range algoNames {
+				pm := mustProblem(q, host, DelayWindowConstraint)
+				out := runAlgo(algo, pm, core.Options{Timeout: cfg.Timeout})
+				samples[key{algo, size, true}] = append(samples[key{algo, size, true}], out.AllMs)
+				pn := mustProblem(bad, host, DelayWindowConstraint)
+				outN := runAlgo(algo, pn, core.Options{Timeout: cfg.Timeout})
+				samples[key{algo, size, false}] = append(samples[key{algo, size, false}], outN.AllMs)
+			}
+		}
+		cfg.progressf("fig10: size %d done\n", size)
+	}
+	var tables []*Table
+	for _, algo := range algoNames {
+		t := &Table{
+			ID:    "fig10-" + algo,
+			Title: fmt.Sprintf("%s: feasible vs infeasible query search time (%s)", algo, hostDesc),
+			XName: "Nq",
+			Cols:  []string{"Match", "NoMatch"},
+		}
+		for _, s := range sizes {
+			t.Rows = append(t.Rows, Row{
+				X: fmt.Sprintf("%d", s),
+				Cells: []Cell{
+					summCell(samples[key{algo, s, true}]),
+					summCell(samples[key{algo, s, false}]),
+				},
+			})
+		}
+		t.Notes = append(t.Notes, "NoMatch twins share the topology; 3 edges get impossible delay windows")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// briteCases mirrors the paper's three BRITE hosts.
+var briteCases = []struct {
+	nodes, edges int
+}{
+	{1500, 3030},
+	{2000, 4040},
+	{2500, 5020},
+}
+
+// Fig11And12 measures subgraph queries on the three BRITE hosts: Fig 11
+// reports mean all-matches time, Fig 12 time to first match.
+func Fig11And12(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	var tables11, tables12 []*Table
+	for ci, bc := range briteCases {
+		host, err := briteHost(cfg, bc.nodes, bc.edges, cfg.Seed+int64(ci))
+		if err != nil {
+			panic(err)
+		}
+		hostDesc := fmt.Sprintf("BRITE N=%d E=%d", host.NumNodes(), host.NumEdges())
+		var sizes []int
+		for f := 1; f <= 8; f++ {
+			sizes = append(sizes, host.NumNodes()*f/10)
+		}
+		samples := map[string]map[int]*samplePair{}
+		for _, a := range algoNames {
+			samples[a] = map[int]*samplePair{}
+			for _, s := range sizes {
+				samples[a][s] = &samplePair{}
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 300 + int64(ci)))
+		for _, size := range sizes {
+			for rep := 0; rep < cfg.Reps; rep++ {
+				q, err := subgraphQuery(host, size, 0, rng)
+				if err != nil {
+					continue
+				}
+				p := mustProblem(q, host, DelayWindowConstraint)
+				for _, algo := range algoNames {
+					out := runAlgo(algo, p, core.Options{Timeout: cfg.Timeout})
+					sp := samples[algo][size]
+					sp.all = append(sp.all, out.AllMs)
+					if !math.IsNaN(out.FirstMs) {
+						sp.first = append(sp.first, out.FirstMs)
+					}
+				}
+			}
+			cfg.progressf("fig11/12 %s: size %d done\n", hostDesc, size)
+		}
+		t11 := &Table{
+			ID:    fmt.Sprintf("fig11-%d", bc.nodes),
+			Title: "Mean search time (" + hostDesc + ")",
+			XName: "Nq", Cols: algoNames,
+		}
+		t12 := &Table{
+			ID:    fmt.Sprintf("fig12-%d", bc.nodes),
+			Title: "Time to find first match (" + hostDesc + ")",
+			XName: "Nq", Cols: algoNames,
+		}
+		for _, s := range sizes {
+			r11 := Row{X: fmt.Sprintf("%d", s)}
+			r12 := Row{X: fmt.Sprintf("%d", s)}
+			for _, a := range algoNames {
+				r11.Cells = append(r11.Cells, summCell(samples[a][s].all))
+				r12.Cells = append(r12.Cells, summCell(samples[a][s].first))
+			}
+			t11.Rows = append(t11.Rows, r11)
+			t12.Rows = append(t12.Rows, r12)
+		}
+		tables11 = append(tables11, t11)
+		tables12 = append(tables12, t12)
+	}
+	return append(tables11, tables12...)
+}
+
+// Fig13 runs the clique workload on PlanetLab: under-constrained k-cliques
+// whose edges want average delay in [10,100]ms. Panel (a) is mean time to
+// all matches (timeout-capped), panel (b) time to first match, where LNS
+// dominates.
+func Fig13(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	host := planetLabHost(cfg)
+	hostDesc := fmt.Sprintf("PlanetLab N=%d E=%d", host.NumNodes(), host.NumEdges())
+	var sizes []int
+	for k := 2; k <= cfg.scaled(20, 6); k += 2 {
+		sizes = append(sizes, k)
+	}
+	type key struct {
+		algo string
+		k    int
+	}
+	allS := map[key][]float64{}
+	firstS := map[key][]float64{}
+	for _, k := range sizes {
+		q := cliqueQuery(k)
+		p := mustProblem(q, host, AvgDelayConstraint)
+		for _, algo := range algoNames {
+			for rep := 0; rep < cfg.Reps; rep++ {
+				out := runAlgo(algo, p, core.Options{Timeout: cfg.Timeout, Seed: int64(rep)})
+				if out.Exhausted {
+					// Matching the paper: timed-out "all" runs are excluded
+					// so the trend reflects completed enumerations.
+					allS[key{algo, k}] = append(allS[key{algo, k}], out.AllMs)
+				}
+				if !math.IsNaN(out.FirstMs) {
+					firstS[key{algo, k}] = append(firstS[key{algo, k}], out.FirstMs)
+				}
+			}
+		}
+		cfg.progressf("fig13: clique %d done\n", k)
+	}
+	t13a := &Table{
+		ID:    "fig13a",
+		Title: "Clique mean search time, all matches (" + hostDesc + ")",
+		XName: "k", Cols: algoNames,
+		Notes: []string{"delay window [10,100]ms on every edge; timed-out runs excluded (paper-style)"},
+	}
+	t13b := &Table{
+		ID:    "fig13b",
+		Title: "Time to find the first clique match (" + hostDesc + ")",
+		XName: "k", Cols: algoNames,
+	}
+	for _, k := range sizes {
+		ra := Row{X: fmt.Sprintf("%d", k)}
+		rb := Row{X: fmt.Sprintf("%d", k)}
+		for _, a := range algoNames {
+			ra.Cells = append(ra.Cells, summCell(allS[key{a, k}]))
+			rb.Cells = append(rb.Cells, summCell(firstS[key{a, k}]))
+		}
+		t13a.Rows = append(t13a.Rows, ra)
+		t13b.Rows = append(t13b.Rows, rb)
+	}
+	return []*Table{t13a, t13b}
+}
+
+// Fig14 runs the composite two-level workloads: (a) regular per-level
+// constraints, (b) randomized 25-175ms windows. Time to first match.
+func Fig14(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	host := planetLabHost(cfg)
+	hostDesc := fmt.Sprintf("PlanetLab N=%d E=%d", host.NumNodes(), host.NumEdges())
+	rng := rand.New(rand.NewSource(cfg.Seed + 400))
+
+	mkTable := func(id, title string) *Table {
+		return &Table{ID: id, Title: title + " (" + hostDesc + ")", XName: "shape(size)", Cols: algoNames}
+	}
+	t14a := mkTable("fig14a", "Composite queries, regular per-level constraints: time to first match")
+	t14b := mkTable("fig14b", "Composite queries, random 25-175ms constraints: time to first match")
+
+	for _, spec := range compositeSpecs {
+		if spec.size() > host.NumNodes()/2 {
+			continue
+		}
+		rowA := Row{X: fmt.Sprintf("%s(%d)", spec, spec.size())}
+		rowB := Row{X: fmt.Sprintf("%s(%d)", spec, spec.size())}
+		for _, algo := range algoNames {
+			var fa, fb []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				qa, err := compositeRegular(spec)
+				if err != nil {
+					panic(err)
+				}
+				out := runAlgo(algo, mustProblem(qa, host, AvgDelayConstraint),
+					core.Options{Timeout: cfg.Timeout, MaxSolutions: 1, Seed: int64(rep)})
+				if !math.IsNaN(out.FirstMs) {
+					fa = append(fa, out.FirstMs)
+				}
+				qb, err := compositeIrregular(spec, rng)
+				if err != nil {
+					panic(err)
+				}
+				outB := runAlgo(algo, mustProblem(qb, host, AvgDelayConstraint),
+					core.Options{Timeout: cfg.Timeout, MaxSolutions: 1, Seed: int64(rep)})
+				if !math.IsNaN(outB.FirstMs) {
+					fb = append(fb, outB.FirstMs)
+				}
+			}
+			rowA.Cells = append(rowA.Cells, summCell(fa))
+			rowB.Cells = append(rowB.Cells, summCell(fb))
+		}
+		t14a.Rows = append(t14a.Rows, rowA)
+		t14b.Rows = append(t14b.Rows, rowB)
+		cfg.progressf("fig14: %s done\n", spec)
+	}
+	t14a.Notes = append(t14a.Notes, "root edges want 75-350ms, leaf edges 1-75ms")
+	t14b.Notes = append(t14b.Notes, "every edge gets an independent window inside [25,175]ms")
+	return []*Table{t14a, t14b}
+}
+
+// Fig15 estimates the probability of each §VII-E result quality per query
+// class and algorithm under the configured timeout.
+func Fig15(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	host := planetLabHost(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 500))
+
+	type classGen func(rep int) (*graph.Graph, *core.Problem)
+	classes := []struct {
+		name string
+		gen  classGen
+	}{
+		{"subgraph", func(rep int) (*graph.Graph, *core.Problem) {
+			q, err := subgraphQuery(host, cfg.scaled(60, 6), 0, rng)
+			if err != nil {
+				return nil, nil
+			}
+			return q, mustProblem(q, host, DelayWindowConstraint)
+		}},
+		{"subgraph-nomatch", func(rep int) (*graph.Graph, *core.Problem) {
+			q, err := subgraphQuery(host, cfg.scaled(60, 6), 0, rng)
+			if err != nil {
+				return nil, nil
+			}
+			topo.MakeInfeasible(q, 3, rng)
+			return q, mustProblem(q, host, DelayWindowConstraint)
+		}},
+		{"clique", func(rep int) (*graph.Graph, *core.Problem) {
+			q := cliqueQuery(cfg.scaled(8, 4))
+			return q, mustProblem(q, host, AvgDelayConstraint)
+		}},
+		{"composite-reg", func(rep int) (*graph.Graph, *core.Problem) {
+			spec := compositeSpecs[rep%len(compositeSpecs)]
+			if spec.size() > host.NumNodes()/2 {
+				spec = compositeSpecs[0]
+			}
+			q, err := compositeRegular(spec)
+			if err != nil {
+				return nil, nil
+			}
+			return q, mustProblem(q, host, AvgDelayConstraint)
+		}},
+		{"composite-irr", func(rep int) (*graph.Graph, *core.Problem) {
+			spec := compositeSpecs[rep%len(compositeSpecs)]
+			if spec.size() > host.NumNodes()/2 {
+				spec = compositeSpecs[0]
+			}
+			q, err := compositeIrregular(spec, rng)
+			if err != nil {
+				return nil, nil
+			}
+			return q, mustProblem(q, host, AvgDelayConstraint)
+		}},
+	}
+
+	var tables []*Table
+	for _, algo := range algoNames {
+		t := &Table{
+			ID:    "fig15-" + algo,
+			Title: fmt.Sprintf("%s: probability of result quality per query class (timeout %v)", algo, cfg.Timeout),
+			XName: "class",
+			Cols:  []string{"all", "some", "none", "inconclusive"},
+		}
+		for _, cl := range classes {
+			counts := map[string]int{}
+			total := 0
+			for rep := 0; rep < cfg.Reps*2; rep++ {
+				_, p := cl.gen(rep)
+				if p == nil {
+					continue
+				}
+				out := runAlgo(algo, p, core.Options{Timeout: cfg.Timeout, Seed: int64(rep)})
+				total++
+				switch {
+				case out.Exhausted && out.Solutions > 0:
+					counts["all"]++
+				case out.Exhausted:
+					counts["none"]++
+				case out.Solutions > 0:
+					counts["some"]++
+				default:
+					counts["inconclusive"]++
+				}
+			}
+			row := Row{X: cl.name}
+			for _, col := range t.Cols {
+				frac := 0.0
+				if total > 0 {
+					frac = float64(counts[col]) / float64(total)
+				}
+				row.Cells = append(row.Cells, Cell{Mean: frac, N: total})
+			}
+			t.Rows = append(t.Rows, row)
+			cfg.progressf("fig15 %s: class %s done\n", algo, cl.name)
+		}
+		t.Notes = append(t.Notes,
+			"all = exhausted with matches; none = proved infeasible;",
+			"some = timed out with matches (RWB stops at the first by design); inconclusive = timed out empty-handed")
+		tables = append(tables, t)
+	}
+	return tables
+}

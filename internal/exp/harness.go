@@ -1,0 +1,250 @@
+// Package exp is the experiment harness that regenerates every figure of
+// the paper's evaluation (§VII): workload generators, parameter sweeps,
+// per-figure runners and text/CSV reporters. cmd/experiments is its CLI.
+//
+// Absolute times will differ from the paper's 2006 Xeon measurements; the
+// harness exists to reproduce the *shapes*: ECF/RWB growing near-linearly
+// in query size on a fixed host, the small all-vs-first gap for ECF, LNS's
+// flat time-to-first on under-constrained regular queries, and so on.
+// EXPERIMENTS.md records paper-vs-measured per figure.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/expr"
+	"netembed/internal/stats"
+)
+
+// Config shapes a harness run. The zero value is completed by defaults:
+// full paper sizes, 5 repetitions per point, 10s per-query timeout.
+type Config struct {
+	// Scale multiplies every network size (1.0 = the paper's sizes). Use
+	// ~0.2 for a quick pass.
+	Scale float64
+	// Reps is the number of sampled queries per data point (paper: 5).
+	Reps int
+	// Timeout bounds each individual query run.
+	Timeout time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed data point.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// scaled applies the scale factor to a size, keeping a floor.
+func (c Config) scaled(n int, floor int) int {
+	v := int(math.Round(float64(n) * c.Scale))
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+func (c Config) progressf(format string, args ...interface{}) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format, args...)
+	}
+}
+
+// Cell is one table entry: a mean with confidence interval, or a free-form
+// note when N == 0.
+type Cell struct {
+	Mean float64
+	CI   float64
+	N    int
+	Note string
+}
+
+func (c Cell) String() string {
+	if c.N == 0 {
+		return c.Note
+	}
+	if c.CI > 0 {
+		return fmt.Sprintf("%.1f ±%.1f", c.Mean, c.CI)
+	}
+	return fmt.Sprintf("%.1f", c.Mean)
+}
+
+// Row is one x-position of a figure with one cell per series.
+type Row struct {
+	X     string
+	Cells []Cell
+}
+
+// Table is a rendered figure or comparison table.
+type Table struct {
+	ID    string // e.g. "fig8a"
+	Title string
+	XName string
+	Cols  []string
+	Rows  []Row
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = len(t.XName)
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Cells))
+		for j, c := range r.Cells {
+			s := c.String()
+			cells[i][j] = s
+			if j+1 < len(widths) && len(s) > widths[j+1] {
+				widths[j+1] = len(s)
+			}
+		}
+	}
+	for j, col := range t.Cols {
+		if len(col) > widths[j+1] {
+			widths[j+1] = len(col)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", widths[0], t.XName)
+	for j, col := range t.Cols {
+		fmt.Fprintf(w, "  %-*s", widths[j+1], col)
+	}
+	fmt.Fprintln(w)
+	for i, r := range t.Rows {
+		fmt.Fprintf(w, "  %-*s", widths[0], r.X)
+		for j := range r.Cells {
+			fmt.Fprintf(w, "  %-*s", widths[j+1], cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (mean and ci columns per
+// series).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "%s", t.XName)
+	for _, col := range t.Cols {
+		fmt.Fprintf(w, ",%s_mean,%s_ci", col, col)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s", r.X)
+		for _, c := range r.Cells {
+			if c.N == 0 {
+				fmt.Fprintf(w, ",%s,", strings.ReplaceAll(c.Note, ",", ";"))
+			} else {
+				fmt.Fprintf(w, ",%g,%g", c.Mean, c.CI)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// summCell converts a sample of measurements into a Cell.
+func summCell(xs []float64) Cell {
+	if len(xs) == 0 {
+		return Cell{Note: "-"}
+	}
+	s := stats.Summarize(xs)
+	return Cell{Mean: s.Mean, CI: s.CI95, N: s.N}
+}
+
+// The constraint programs shared by the experiments (§VII).
+var (
+	// DelayWindowConstraint: the hosting link's measured delay range must
+	// sit inside the query link's window (subgraph workloads, Figs 8-12).
+	DelayWindowConstraint = expr.MustCompile(
+		"rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay")
+	// AvgDelayConstraint: the hosting link's average delay must fall in
+	// the query window (clique and composite workloads, Figs 13-14).
+	AvgDelayConstraint = expr.MustCompile(
+		"rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+)
+
+// runOutcome is one measured query execution.
+type runOutcome struct {
+	AllMs     float64 // elapsed until exhaustion/stop (ms)
+	FirstMs   float64 // time to first solution (ms); NaN when none found
+	Solutions int64
+	Status    core.Status
+	Exhausted bool
+}
+
+// algoNames in presentation order.
+var algoNames = []string{"ECF", "RWB", "LNS"}
+
+// runAlgo executes one algorithm over a problem, counting solutions
+// without retaining them (clique queries can have millions).
+func runAlgo(algo string, p *core.Problem, opt core.Options) runOutcome {
+	var count int64
+	opt.OnSolution = func(core.Mapping) bool {
+		count++
+		return true
+	}
+	var res *core.Result
+	switch algo {
+	case "ECF":
+		res = core.ECF(p, opt)
+	case "RWB":
+		// The harness measures RWB exhaustively unless the caller caps it
+		// (core.RWB alone defaults to first-solution semantics); the
+		// exhaustive run yields both the all-matches time and the
+		// time-to-first sample.
+		if opt.MaxSolutions == 0 {
+			opt.MaxSolutions = 1 << 30
+		}
+		res = core.RWB(p, opt)
+	case "LNS":
+		res = core.LNS(p, opt)
+	case "ParallelECF":
+		// The parallel driver retains solutions; cap them for memory.
+		popt := opt
+		popt.OnSolution = nil
+		if popt.MaxSolutions == 0 {
+			popt.MaxSolutions = 1 << 20
+		}
+		res = core.ParallelECF(p, popt)
+		count = int64(len(res.Solutions))
+	default:
+		panic("exp: unknown algorithm " + algo)
+	}
+	out := runOutcome{
+		AllMs:     float64(res.Stats.Elapsed) / float64(time.Millisecond),
+		FirstMs:   math.NaN(),
+		Solutions: count,
+		Status:    res.Status,
+		Exhausted: res.Exhausted,
+	}
+	if count > 0 {
+		out.FirstMs = float64(res.Stats.TimeToFirst) / float64(time.Millisecond)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netembed/internal/core"
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+// planetLabHost builds the paper's PlanetLab hosting network at the
+// configured scale (296 sites, 28,996 measured pairs at scale 1).
+func planetLabHost(cfg Config) *graph.Graph {
+	sites := cfg.scaled(296, 20)
+	return trace.SyntheticPlanetLab(trace.Config{Sites: sites}, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// briteHost builds one of the paper's BRITE hosting networks (§VII-C) at
+// the configured scale.
+func briteHost(cfg Config, nodes, edges int, seed int64) (*graph.Graph, error) {
+	n := cfg.scaled(nodes, 50)
+	e := cfg.scaled(edges, n+10)
+	return topo.Brite(topo.BriteConfig{N: n, TargetEdges: e}, rand.New(rand.NewSource(seed)))
+}
+
+// subgraphQuery samples a feasible query of nNodes from host with delay
+// windows widened by slack (§VII-A approach 1).
+func subgraphQuery(host *graph.Graph, nNodes int, slack float64, rng *rand.Rand) (*graph.Graph, error) {
+	q, _, err := topo.Subgraph(host, nNodes, 2*nNodes, rng)
+	if err != nil {
+		return nil, err
+	}
+	topo.WidenDelayWindows(q, slack)
+	return q, nil
+}
+
+// mustProblem builds a Problem, panicking on programmer error (the
+// harness constructs all inputs itself).
+func mustProblem(q, host *graph.Graph, edgeC *expr.Program) *core.Problem {
+	p, err := core.NewProblem(q, host, edgeC, nil)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// cliqueQuery builds the §VII-D clique workload: a k-clique whose every
+// edge demands average delay within [10,100]ms.
+func cliqueQuery(k int) *graph.Graph {
+	q := topo.Clique(k)
+	topo.SetDelayWindow(q, 10, 100)
+	return q
+}
+
+// compositeSpec names one two-level composite query shape (§VII-D).
+type compositeSpec struct {
+	root     topo.Kind
+	rootSize int
+	leaf     topo.Kind
+	leafSize int
+}
+
+func (cs compositeSpec) String() string {
+	return fmt.Sprintf("%s%d×%s%d", cs.root, cs.rootSize, cs.leaf, cs.leafSize)
+}
+
+func (cs compositeSpec) size() int { return cs.rootSize * cs.leafSize }
+
+// compositeSpecs spans the paper's composite sweep: root and leaf
+// structures drawn from {ring, star, clique}, total sizes ~9..64.
+var compositeSpecs = []compositeSpec{
+	{topo.KindStar, 3, topo.KindRing, 3},
+	{topo.KindRing, 3, topo.KindStar, 4},
+	{topo.KindRing, 4, topo.KindRing, 4},
+	{topo.KindStar, 4, topo.KindClique, 5},
+	{topo.KindClique, 3, topo.KindStar, 8},
+	{topo.KindRing, 5, topo.KindRing, 6},
+	{topo.KindStar, 6, topo.KindStar, 6},
+	{topo.KindRing, 6, topo.KindStar, 7},
+	{topo.KindClique, 4, topo.KindRing, 12},
+	{topo.KindStar, 8, topo.KindStar, 8},
+}
+
+// compositeRegular stamps the §VII-D regular per-level constraints:
+// root links expect inter-site delays (75-350ms), leaf links intra-site
+// delays (1-75ms).
+func compositeRegular(spec compositeSpec) (*graph.Graph, error) {
+	q, err := topo.Composite(spec.root, spec.rootSize, spec.leaf, spec.leafSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < q.NumEdges(); i++ {
+		e := q.Edge(graph.EdgeID(i))
+		if lv, _ := e.Attrs.Text(topo.LevelAttr); lv == "root" {
+			e.Attrs = e.Attrs.SetNum(topo.AttrMinDelay, 75).SetNum(topo.AttrMaxDelay, 350)
+		} else {
+			e.Attrs = e.Attrs.SetNum(topo.AttrMinDelay, 1).SetNum(topo.AttrMaxDelay, 75)
+		}
+	}
+	return q, nil
+}
+
+// compositeIrregular stamps the random 25-175ms windows of the second
+// composite workload: each edge gets an independent window inside
+// [25,175]ms wide enough to keep the query satisfiable in aggregate.
+func compositeIrregular(spec compositeSpec, rng *rand.Rand) (*graph.Graph, error) {
+	q, err := topo.Composite(spec.root, spec.rootSize, spec.leaf, spec.leafSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < q.NumEdges(); i++ {
+		e := q.Edge(graph.EdgeID(i))
+		width := 50 + rng.Float64()*60       // 50-110ms wide
+		lo := 25 + rng.Float64()*(150-width) // window stays inside [25,175]
+		e.Attrs = e.Attrs.SetNum(topo.AttrMinDelay, lo).SetNum(topo.AttrMaxDelay, lo+width)
+	}
+	return q, nil
+}

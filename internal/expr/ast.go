@@ -1,0 +1,256 @@
+package expr
+
+import (
+	"math"
+
+	"netembed/internal/graph"
+)
+
+// Object identifies one of the bindable graph objects available inside a
+// constraint expression (Table I of the paper, plus the node-level
+// extension objects vNode/rNode).
+type Object uint8
+
+// The bindable objects. Edge-context programs may reference the first six;
+// node-context programs the last two.
+const (
+	ObjVEdge Object = iota
+	ObjREdge
+	ObjVSource
+	ObjVTarget
+	ObjRSource
+	ObjRTarget
+	ObjVNode
+	ObjRNode
+	numObjects
+)
+
+var objectNames = map[string]Object{
+	"vEdge":   ObjVEdge,
+	"rEdge":   ObjREdge,
+	"vSource": ObjVSource,
+	"vTarget": ObjVTarget,
+	"rSource": ObjRSource,
+	"rTarget": ObjRTarget,
+	"vNode":   ObjVNode,
+	"rNode":   ObjRNode,
+}
+
+func (o Object) String() string {
+	for name, obj := range objectNames {
+		if obj == o {
+			return name
+		}
+	}
+	return "object(?)"
+}
+
+// env carries the attribute bags bound to each object during evaluation.
+type env struct {
+	objs [numObjects]graph.Attrs
+}
+
+// evalFn is a compiled expression node. Compilation to closures keeps the
+// per-pair evaluation cost low: the filter-construction stage evaluates the
+// constraint once for every (query edge, hosting edge) pair.
+type evalFn func(*env) graph.Value
+
+// Three-valued (Kleene) logic over graph.Value: Missing acts as "unknown".
+// A constraint is satisfied only when it evaluates to boolean true, so an
+// expression touching an absent attribute rejects the pair — except under
+// isBoundTo/has, which test presence explicitly.
+
+func compileLiteral(v graph.Value) evalFn {
+	return func(*env) graph.Value { return v }
+}
+
+func compileAttr(obj Object, attr string) evalFn {
+	return func(e *env) graph.Value { return e.objs[obj].Get(attr) }
+}
+
+func compileAnd(l, r evalFn) evalFn {
+	return func(e *env) graph.Value {
+		lv := l(e)
+		if b, ok := lv.Truth(); ok && !b {
+			return graph.BoolVal(false) // false && x == false
+		}
+		rv := r(e)
+		if b, ok := rv.Truth(); ok && !b {
+			return graph.BoolVal(false) // unknown && false == false
+		}
+		lb, lok := lv.Truth()
+		rb, rok := rv.Truth()
+		if lok && rok {
+			return graph.BoolVal(lb && rb)
+		}
+		return graph.Value{}
+	}
+}
+
+func compileOr(l, r evalFn) evalFn {
+	return func(e *env) graph.Value {
+		lv := l(e)
+		if b, ok := lv.Truth(); ok && b {
+			return graph.BoolVal(true) // true || x == true
+		}
+		rv := r(e)
+		if b, ok := rv.Truth(); ok && b {
+			return graph.BoolVal(true) // unknown || true == true
+		}
+		lb, lok := lv.Truth()
+		rb, rok := rv.Truth()
+		if lok && rok {
+			return graph.BoolVal(lb || rb)
+		}
+		return graph.Value{}
+	}
+}
+
+func compileNot(x evalFn) evalFn {
+	return func(e *env) graph.Value {
+		if b, ok := x(e).Truth(); ok {
+			return graph.BoolVal(!b)
+		}
+		return graph.Value{}
+	}
+}
+
+func compileNeg(x evalFn) evalFn {
+	return func(e *env) graph.Value {
+		if f, ok := x(e).Float(); ok {
+			return graph.Num(-f)
+		}
+		return graph.Value{}
+	}
+}
+
+func compileArith(op tokKind, l, r evalFn) evalFn {
+	return func(e *env) graph.Value {
+		lf, lok := l(e).Float()
+		rf, rok := r(e).Float()
+		if !lok || !rok {
+			return graph.Value{}
+		}
+		switch op {
+		case tokPlus:
+			return graph.Num(lf + rf)
+		case tokMinus:
+			return graph.Num(lf - rf)
+		case tokStar:
+			return graph.Num(lf * rf)
+		default: // tokSlash
+			if rf == 0 {
+				return graph.Value{} // division by zero is unsatisfiable, not a panic
+			}
+			return graph.Num(lf / rf)
+		}
+	}
+}
+
+func compileCompare(op tokKind, l, r evalFn) evalFn {
+	return func(e *env) graph.Value {
+		lv, rv := l(e), r(e)
+		if lf, lok := lv.Float(); lok {
+			if rf, rok := rv.Float(); rok {
+				return graph.BoolVal(cmpFloat(op, lf, rf))
+			}
+			return graph.Value{}
+		}
+		if ls, lok := lv.Text(); lok {
+			if rs, rok := rv.Text(); rok {
+				return graph.BoolVal(cmpString(op, ls, rs))
+			}
+		}
+		return graph.Value{}
+	}
+}
+
+func cmpFloat(op tokKind, a, b float64) bool {
+	switch op {
+	case tokLt:
+		return a < b
+	case tokGt:
+		return a > b
+	case tokLeq:
+		return a <= b
+	default: // tokGeq
+		return a >= b
+	}
+}
+
+func cmpString(op tokKind, a, b string) bool {
+	switch op {
+	case tokLt:
+		return a < b
+	case tokGt:
+		return a > b
+	case tokLeq:
+		return a <= b
+	default: // tokGeq
+		return a >= b
+	}
+}
+
+func compileEquality(op tokKind, l, r evalFn) evalFn {
+	return func(e *env) graph.Value {
+		lv, rv := l(e), r(e)
+		if lv.IsMissing() || rv.IsMissing() {
+			return graph.Value{}
+		}
+		eq := lv.Equal(rv)
+		if op == tokNeq {
+			eq = !eq
+		}
+		return graph.BoolVal(eq)
+	}
+}
+
+// compileIsBoundTo implements the paper's isBoundTo(vAttr, rAttr): a query
+// object that does not define the attribute is unconstrained (true); if it
+// does, the hosting object must match it exactly.
+func compileIsBoundTo(l, r evalFn) evalFn {
+	return func(e *env) graph.Value {
+		lv := l(e)
+		if lv.IsMissing() {
+			return graph.BoolVal(true)
+		}
+		return graph.BoolVal(lv.Equal(r(e)))
+	}
+}
+
+func compileHas(x evalFn) evalFn {
+	return func(e *env) graph.Value {
+		return graph.BoolVal(!x(e).IsMissing())
+	}
+}
+
+func compileUnaryMath(f func(float64) float64, x evalFn) evalFn {
+	return func(e *env) graph.Value {
+		v, ok := x(e).Float()
+		if !ok {
+			return graph.Value{}
+		}
+		r := f(v)
+		if math.IsNaN(r) {
+			return graph.Value{}
+		}
+		return graph.Num(r)
+	}
+}
+
+func compileFold(f func(a, b float64) float64, args []evalFn) evalFn {
+	return func(e *env) graph.Value {
+		acc, ok := args[0](e).Float()
+		if !ok {
+			return graph.Value{}
+		}
+		for _, a := range args[1:] {
+			v, ok := a(e).Float()
+			if !ok {
+				return graph.Value{}
+			}
+			acc = f(acc, v)
+		}
+		return graph.Num(acc)
+	}
+}

@@ -1,0 +1,178 @@
+// Package expr implements NETEMBED's constraint expression language: a
+// Java-like boolean expression evaluated for every pairing of a query
+// (virtual) edge with a hosting (real) edge, with the endpoint nodes of
+// both edges in scope (paper §VI-B, Table I).
+//
+// The language provides boolean operators (&&, ||, !), relational
+// operators (==, !=, <, >, <=, >=), arithmetic (+, -, *, /), the functions
+// abs, sqrt, floor, ceil, min, max, the presence test has, and the
+// paper's isBoundTo binding helper. Attribute access uses dot notation on
+// the objects of Table I: vEdge, rEdge, vSource, vTarget, rSource,
+// rTarget. As an extension, node-level constraints may reference vNode and
+// rNode and are evaluated per (query node, hosting node) pair.
+//
+// Missing attributes follow Kleene three-valued logic: any computation
+// over an absent attribute is "unknown", and an unknown constraint is not
+// satisfied. isBoundTo(v, r) is the exception: a query object without the
+// attribute is unconstrained.
+//
+// Example (paper §VI-B): accept a hosting link whose average delay is
+// within 10% of the requested delay:
+//
+//	vEdge.avgDelay >= 0.90*rEdge.avgDelay && vEdge.avgDelay <= 1.10*rEdge.avgDelay
+package expr
+
+import (
+	"errors"
+
+	"netembed/internal/graph"
+)
+
+// AttrRef names one attribute access in a program, e.g. rEdge.avgDelay.
+type AttrRef struct {
+	Object Object
+	Attr   string
+}
+
+// String renders the reference in source form.
+func (r AttrRef) String() string { return r.Object.String() + "." + r.Attr }
+
+// Program is a compiled constraint expression. Programs are immutable and
+// safe for concurrent evaluation: each Eval* call uses its own binding.
+type Program struct {
+	src  string
+	fn   evalFn
+	uses uint16
+	refs []AttrRef
+}
+
+// Compile parses and compiles src. The empty expression compiles to a
+// program that accepts everything (no constraint beyond topology).
+func Compile(src string) (*Program, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokEOF {
+		return &Program{src: src, fn: compileLiteral(graph.BoolVal(true))}, nil
+	}
+	fn, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input starting with %v", p.tok.kind)
+	}
+	return &Program{src: src, fn: fn, uses: p.uses, refs: dedupRefs(p.refs)}, nil
+}
+
+func dedupRefs(refs []AttrRef) []AttrRef {
+	seen := make(map[AttrRef]bool, len(refs))
+	out := refs[:0]
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MustCompile is Compile panicking on error, for constant expressions.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the original source text.
+func (p *Program) String() string { return p.src }
+
+// Uses reports whether the program references the given object.
+func (p *Program) Uses(o Object) bool { return p.uses&(1<<o) != 0 }
+
+// Refs lists the distinct attribute references of the program in source
+// order. Service layers use this to warn when a constraint touches an
+// attribute the hosting network never defines (a typo would otherwise
+// silently reject every pairing under three-valued logic).
+func (p *Program) Refs() []AttrRef {
+	out := make([]AttrRef, len(p.refs))
+	copy(out, p.refs)
+	return out
+}
+
+const edgeObjMask = 1<<ObjVEdge | 1<<ObjREdge | 1<<ObjVSource | 1<<ObjVTarget | 1<<ObjRSource | 1<<ObjRTarget
+const nodeObjMask = 1<<ObjVNode | 1<<ObjRNode
+
+// Errors reported by the context checks.
+var (
+	ErrNotEdgeProgram = errors.New("expr: program references vNode/rNode and cannot run in edge context")
+	ErrNotNodeProgram = errors.New("expr: program references edge objects and cannot run in node context")
+)
+
+// CheckEdgeContext verifies the program only references edge-context
+// objects (Table I), so it can be evaluated with EvalEdge.
+func (p *Program) CheckEdgeContext() error {
+	if p.uses&nodeObjMask != 0 {
+		return ErrNotEdgeProgram
+	}
+	return nil
+}
+
+// CheckNodeContext verifies the program only references vNode/rNode, so it
+// can be evaluated with EvalNode.
+func (p *Program) CheckNodeContext() error {
+	if p.uses&edgeObjMask != 0 {
+		return ErrNotNodeProgram
+	}
+	return nil
+}
+
+// EdgeBinding supplies the six Table-I objects for one evaluation: a query
+// edge (with its source/target nodes) paired with a hosting edge (with its
+// source/target nodes).
+type EdgeBinding struct {
+	VEdge, REdge     graph.Attrs
+	VSource, VTarget graph.Attrs
+	RSource, RTarget graph.Attrs
+}
+
+// EvalEdge evaluates the program against an edge pairing. It returns true
+// only if the expression evaluates to boolean true.
+func (p *Program) EvalEdge(b *EdgeBinding) bool {
+	var e env
+	e.objs[ObjVEdge] = b.VEdge
+	e.objs[ObjREdge] = b.REdge
+	e.objs[ObjVSource] = b.VSource
+	e.objs[ObjVTarget] = b.VTarget
+	e.objs[ObjRSource] = b.RSource
+	e.objs[ObjRTarget] = b.RTarget
+	v, ok := p.fn(&e).Truth()
+	return ok && v
+}
+
+// NodeBinding supplies the node-context objects: one query node paired
+// with one hosting node.
+type NodeBinding struct {
+	VNode, RNode graph.Attrs
+}
+
+// EvalNode evaluates the program against a node pairing. It returns true
+// only if the expression evaluates to boolean true.
+func (p *Program) EvalNode(b *NodeBinding) bool {
+	var e env
+	e.objs[ObjVNode] = b.VNode
+	e.objs[ObjRNode] = b.RNode
+	v, ok := p.fn(&e).Truth()
+	return ok && v
+}
+
+// EvalConst evaluates a program with no object references (a constant
+// expression), returning its boolean result.
+func (p *Program) EvalConst() bool {
+	var e env
+	v, ok := p.fn(&e).Truth()
+	return ok && v
+}

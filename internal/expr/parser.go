@@ -1,0 +1,322 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"netembed/internal/graph"
+)
+
+// parser is a recursive-descent parser over the token stream, following
+// Java's operator precedence:
+//
+//	||  <  &&  <  == !=  <  < > <= >=  <  + -  <  * /  <  unary ! -
+//
+// It compiles directly to evalFn closures and records which objects the
+// expression references.
+type parser struct {
+	lex  lexer
+	tok  token
+	uses uint16    // bitmask of referenced Objects
+	refs []AttrRef // attribute references in source order
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %v, found %v", k, p.tok.kind)
+	}
+	return p.advance()
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Src: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseExpr() (evalFn, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (evalFn, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = compileOr(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (evalFn, error) {
+	left, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		left = compileAnd(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseEquality() (evalFn, error) {
+	left, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokEq || p.tok.kind == tokNeq {
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		left = compileEquality(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseRelational() (evalFn, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokLt || p.tok.kind == tokGt || p.tok.kind == tokLeq || p.tok.kind == tokGeq {
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		left = compileCompare(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (evalFn, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = compileArith(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (evalFn, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar || p.tok.kind == tokSlash {
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = compileArith(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (evalFn, error) {
+	switch p.tok.kind {
+	case tokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return compileNot(x), nil
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return compileNeg(x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (evalFn, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v := graph.Num(p.tok.num)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return compileLiteral(v), nil
+	case tokString:
+		v := graph.Str(p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return compileLiteral(v), nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokIdent:
+		return p.parseIdent()
+	}
+	return nil, p.errf("unexpected %v", p.tok.kind)
+}
+
+func (p *parser) parseIdent() (evalFn, error) {
+	name := p.tok.text
+	namePos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch {
+	case name == "true":
+		return compileLiteral(graph.BoolVal(true)), nil
+	case name == "false":
+		return compileLiteral(graph.BoolVal(false)), nil
+	case p.tok.kind == tokDot:
+		obj, ok := objectNames[name]
+		if !ok {
+			return nil, &SyntaxError{Src: p.lex.src, Pos: namePos,
+				Msg: fmt.Sprintf("unknown object %q (want vEdge, rEdge, vSource, vTarget, rSource, rTarget, vNode or rNode)", name)}
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errf("expected attribute name after %q", name+".")
+		}
+		attr := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		p.uses |= 1 << obj
+		p.refs = append(p.refs, AttrRef{Object: obj, Attr: attr})
+		return compileAttr(obj, attr), nil
+	case p.tok.kind == tokLParen:
+		return p.parseCall(name, namePos)
+	}
+	return nil, &SyntaxError{Src: p.lex.src, Pos: namePos,
+		Msg: fmt.Sprintf("bare identifier %q (objects need '.attr', functions need '(...)')", name)}
+}
+
+func (p *parser) parseCall(name string, namePos int) (evalFn, error) {
+	if err := p.advance(); err != nil { // consume '('
+		return nil, err
+	}
+	var args []evalFn
+	if p.tok.kind != tokRParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	argErr := func(want string) error {
+		return &SyntaxError{Src: p.lex.src, Pos: namePos,
+			Msg: fmt.Sprintf("%s takes %s, got %d argument(s)", name, want, len(args))}
+	}
+	switch name {
+	case "abs":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return compileUnaryMath(math.Abs, args[0]), nil
+	case "sqrt":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return compileUnaryMath(math.Sqrt, args[0]), nil
+	case "floor":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return compileUnaryMath(math.Floor, args[0]), nil
+	case "ceil":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return compileUnaryMath(math.Ceil, args[0]), nil
+	case "min":
+		if len(args) < 2 {
+			return nil, argErr("2+ arguments")
+		}
+		return compileFold(math.Min, args), nil
+	case "max":
+		if len(args) < 2 {
+			return nil, argErr("2+ arguments")
+		}
+		return compileFold(math.Max, args), nil
+	case "isBoundTo":
+		if len(args) != 2 {
+			return nil, argErr("2 arguments")
+		}
+		return compileIsBoundTo(args[0], args[1]), nil
+	case "has":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return compileHas(args[0]), nil
+	}
+	return nil, &SyntaxError{Src: p.lex.src, Pos: namePos,
+		Msg: fmt.Sprintf("unknown function %q", name)}
+}

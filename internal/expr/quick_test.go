@@ -1,0 +1,144 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netembed/internal/graph"
+)
+
+// Property tests over the constraint language: algebraic identities that
+// must hold for every finite attribute valuation. Each property compiles
+// fixed source text once and evaluates it under quick-generated bindings,
+// so the lexer, parser, precedence rules and evaluator are all on the
+// hook together.
+
+// tame maps arbitrary generated floats into a finite, overflow-safe
+// range; the language's arithmetic is plain float64, so identities hold
+// only away from ±Inf and NaN.
+func tame(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e9)
+}
+
+func nodeBinding(x, y, z float64) *NodeBinding {
+	return &NodeBinding{
+		VNode: graph.Attrs{}.SetNum("x", x).SetNum("y", y),
+		RNode: graph.Attrs{}.SetNum("z", z),
+	}
+}
+
+func TestQuickArithmeticCommutes(t *testing.T) {
+	add := MustCompile("vNode.x + vNode.y == vNode.y + vNode.x")
+	mul := MustCompile("vNode.x * vNode.y == vNode.y * vNode.x")
+	prop := func(a, b, c float64) bool {
+		bind := nodeBinding(tame(a), tame(b), tame(c))
+		return add.EvalNode(bind) && mul.EvalNode(bind)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrecedence(t *testing.T) {
+	// Multiplication binds tighter than addition; unary minus tighter
+	// than comparison. Each pair must agree on every valuation.
+	pairs := [][2]string{
+		{"vNode.x + vNode.y * rNode.z", "vNode.x + (vNode.y * rNode.z)"},
+		{"vNode.x - vNode.y - rNode.z", "(vNode.x - vNode.y) - rNode.z"},
+		{"vNode.x / 2 + vNode.y", "(vNode.x / 2) + vNode.y"},
+	}
+	for _, pair := range pairs {
+		lt := MustCompile(pair[0] + " < " + pair[1])
+		gt := MustCompile(pair[0] + " > " + pair[1])
+		prop := func(a, b, c float64) bool {
+			bind := nodeBinding(tame(a), tame(b), tame(c))
+			// Equal on every input: neither strictly less nor greater.
+			return !lt.EvalNode(bind) && !gt.EvalNode(bind)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Fatalf("%q vs %q: %v", pair[0], pair[1], err)
+		}
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	lhs := MustCompile("!(vNode.x < vNode.y && rNode.z > 0)")
+	rhs := MustCompile("!(vNode.x < vNode.y) || !(rNode.z > 0)")
+	prop := func(a, b, c float64) bool {
+		bind := nodeBinding(tame(a), tame(b), tame(c))
+		return lhs.EvalNode(bind) == rhs.EvalNode(bind)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTrichotomy(t *testing.T) {
+	lt := MustCompile("vNode.x < vNode.y")
+	eq := MustCompile("vNode.x == vNode.y")
+	gt := MustCompile("vNode.x > vNode.y")
+	prop := func(a, b float64) bool {
+		bind := nodeBinding(tame(a), tame(b), 0)
+		n := 0
+		for _, p := range []*Program{lt, eq, gt} {
+			if p.EvalNode(bind) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbsAndMinMax(t *testing.T) {
+	absNonNeg := MustCompile("abs(vNode.x) >= 0")
+	minLeMax := MustCompile("min(vNode.x, vNode.y) <= max(vNode.x, vNode.y)")
+	absIdent := MustCompile("abs(vNode.x) == max(vNode.x, -vNode.x)")
+	prop := func(a, b float64) bool {
+		bind := nodeBinding(tame(a), tame(b), 0)
+		return absNonNeg.EvalNode(bind) && minLeMax.EvalNode(bind) && absIdent.EvalNode(bind)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMissingAttributeIsNeverTrue(t *testing.T) {
+	// Three-valued logic: any comparison touching a missing attribute
+	// must evaluate false, and so must its negated comparison — only
+	// has() can observe absence.
+	ltm := MustCompile("vNode.x < vNode.nope")
+	gem := MustCompile("vNode.x >= vNode.nope")
+	hasNot := MustCompile("!has(vNode.nope)")
+	prop := func(a float64) bool {
+		bind := nodeBinding(tame(a), 0, 0)
+		return !ltm.EvalNode(bind) && !gem.EvalNode(bind) && hasNot.EvalNode(bind)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShortCircuitGuard(t *testing.T) {
+	// The guard idiom "!has(a) || a > k" must equal "has(a) implies
+	// a > k" on every valuation, with the attribute present or absent.
+	guard := MustCompile("!has(vNode.x) || vNode.x > 10")
+	prop := func(a float64, present bool) bool {
+		attrs := graph.Attrs{}
+		if present {
+			attrs = attrs.SetNum("x", tame(a))
+		}
+		bind := &NodeBinding{VNode: attrs, RNode: graph.Attrs{}}
+		want := !present || tame(a) > 10
+		return guard.EvalNode(bind) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

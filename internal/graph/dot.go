@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DotOptions controls WriteDot rendering.
+type DotOptions struct {
+	// Name is the graph name in the DOT header (default "G").
+	Name string
+	// HighlightNodes/HighlightEdges are drawn bold red — the service uses
+	// this to overlay an embedding on the hosting network.
+	HighlightNodes map[NodeID]bool
+	HighlightEdges map[EdgeID]bool
+	// NodeLabelAttrs lists attributes appended to node labels.
+	NodeLabelAttrs []string
+	// EdgeLabelAttrs lists attributes appended to edge labels.
+	EdgeLabelAttrs []string
+	// MaxEdges truncates huge graphs (0 = no limit); a comment notes the
+	// omission so a truncated render is never mistaken for the full graph.
+	MaxEdges int
+}
+
+// WriteDot renders g in Graphviz DOT format. Deterministic output: nodes
+// and edges appear in ID order.
+func WriteDot(w io.Writer, g *Graph, opt DotOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	kind, arrow := "graph", " -- "
+	if g.Directed() {
+		kind, arrow = "digraph", " -> "
+	}
+	if _, err := fmt.Fprintf(w, "%s %q {\n", kind, name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  node [shape=ellipse fontsize=10];\n")
+
+	for i := 0; i < g.NumNodes(); i++ {
+		id := NodeID(i)
+		n := g.Node(id)
+		label := n.Name
+		for _, attr := range opt.NodeLabelAttrs {
+			if v := n.Attrs.Get(attr); !v.IsMissing() {
+				label += fmt.Sprintf("\\n%s=%s", attr, v)
+			}
+		}
+		style := ""
+		if opt.HighlightNodes[id] {
+			style = " color=red penwidth=2"
+		}
+		fmt.Fprintf(w, "  %q [label=%q%s];\n", n.Name, label, style)
+	}
+
+	limit := g.NumEdges()
+	if opt.MaxEdges > 0 && opt.MaxEdges < limit {
+		limit = opt.MaxEdges
+	}
+	for i := 0; i < limit; i++ {
+		e := g.Edge(EdgeID(i))
+		var labels []string
+		for _, attr := range opt.EdgeLabelAttrs {
+			if v := e.Attrs.Get(attr); !v.IsMissing() {
+				labels = append(labels, fmt.Sprintf("%s=%s", attr, v))
+			}
+		}
+		extra := ""
+		if len(labels) > 0 {
+			extra = fmt.Sprintf(" [label=%q]", strings.Join(labels, "\\n"))
+		}
+		if opt.HighlightEdges[EdgeID(i)] {
+			if extra == "" {
+				extra = " [color=red penwidth=2]"
+			} else {
+				extra = strings.TrimSuffix(extra, "]") + " color=red penwidth=2]"
+			}
+		}
+		fmt.Fprintf(w, "  %q%s%q%s;\n", g.Node(e.From).Name, arrow, g.Node(e.To).Name, extra)
+	}
+	if limit < g.NumEdges() {
+		fmt.Fprintf(w, "  // %d of %d edges omitted (MaxEdges)\n", g.NumEdges()-limit, g.NumEdges())
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// EmbeddingDot renders the hosting network with an embedding highlighted:
+// mapped hosting nodes and the hosting edges carrying query links are
+// bold. mapping[q] = hosting node for query node q.
+func EmbeddingDot(w io.Writer, query, host *Graph, mapping []NodeID, opt DotOptions) error {
+	if len(mapping) != query.NumNodes() {
+		return fmt.Errorf("graph: mapping has %d entries, query has %d nodes", len(mapping), query.NumNodes())
+	}
+	if opt.HighlightNodes == nil {
+		opt.HighlightNodes = map[NodeID]bool{}
+	}
+	if opt.HighlightEdges == nil {
+		opt.HighlightEdges = map[EdgeID]bool{}
+	}
+	for _, r := range mapping {
+		opt.HighlightNodes[r] = true
+	}
+	missing := 0
+	for i := 0; i < query.NumEdges(); i++ {
+		qe := query.Edge(EdgeID(i))
+		if re, ok := host.EdgeBetween(mapping[qe.From], mapping[qe.To]); ok {
+			opt.HighlightEdges[re] = true
+		} else {
+			missing++
+		}
+	}
+	if missing > 0 {
+		return fmt.Errorf("graph: %d query edges have no hosting edge under the mapping", missing)
+	}
+	return WriteDot(w, host, opt)
+}
+
+// SortedAttrNames returns the attribute names present anywhere on the
+// graph's nodes (for label selection in tools), sorted.
+func SortedAttrNames(g *Graph) []string {
+	seen := map[string]bool{}
+	for i := 0; i < g.NumNodes(); i++ {
+		for name := range g.Node(NodeID(i)).Attrs {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func dotFixture() *Graph {
+	g := NewUndirected()
+	g.AddNode("a", Attrs{}.SetStr("region", "eu"))
+	g.AddNode("b", nil)
+	g.AddNode("c", nil)
+	g.MustAddEdge(0, 1, Attrs{}.SetNum("avgDelay", 12))
+	g.MustAddEdge(1, 2, nil)
+	return g
+}
+
+func TestWriteDotBasics(t *testing.T) {
+	g := dotFixture()
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, g, DotOptions{Name: "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "demo" {`,
+		`"a" [label="a"];`,
+		`"a" -- "b";`,
+		`"b" -- "c";`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Undirected graphs must not use arrows.
+	if strings.Contains(out, "->") {
+		t.Error("undirected graph rendered with ->")
+	}
+}
+
+func TestWriteDotDirectedAndLabels(t *testing.T) {
+	g := NewDirected()
+	g.AddNode("x", Attrs{}.SetNum("cpu", 4))
+	g.AddNode("y", nil)
+	g.MustAddEdge(0, 1, Attrs{}.SetNum("avgDelay", 7))
+	var buf bytes.Buffer
+	err := WriteDot(&buf, g, DotOptions{
+		NodeLabelAttrs: []string{"cpu"},
+		EdgeLabelAttrs: []string{"avgDelay"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, `"x" -> "y"`) {
+		t.Errorf("directed rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `cpu=4`) {
+		t.Errorf("node label attr missing:\n%s", out)
+	}
+	if !strings.Contains(out, `avgDelay=7`) {
+		t.Errorf("edge label attr missing:\n%s", out)
+	}
+}
+
+func TestWriteDotHighlightAndTruncation(t *testing.T) {
+	g := dotFixture()
+	var buf bytes.Buffer
+	err := WriteDot(&buf, g, DotOptions{
+		HighlightNodes: map[NodeID]bool{0: true},
+		HighlightEdges: map[EdgeID]bool{0: true},
+		MaxEdges:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "color=red") {
+		t.Error("highlight missing")
+	}
+	if !strings.Contains(out, "1 of 2 edges omitted") {
+		t.Errorf("truncation comment missing:\n%s", out)
+	}
+}
+
+func TestEmbeddingDot(t *testing.T) {
+	host := dotFixture()
+	query := NewUndirected()
+	query.AddNode("q0", nil)
+	query.AddNode("q1", nil)
+	query.MustAddEdge(0, 1, nil)
+
+	var buf bytes.Buffer
+	// Map q0->a, q1->b: host edge a-b must be highlighted.
+	if err := EmbeddingDot(&buf, query, host, []NodeID{0, 1}, DotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"a" [label="a" color=red penwidth=2];`) {
+		t.Errorf("mapped node not highlighted:\n%s", out)
+	}
+	if !strings.Contains(out, `"a" -- "b" [color=red penwidth=2];`) {
+		t.Errorf("carrying edge not highlighted:\n%s", out)
+	}
+
+	// A mapping whose query edge has no hosting edge is rejected.
+	if err := EmbeddingDot(&buf, query, host, []NodeID{0, 2}, DotOptions{}); err == nil {
+		t.Error("invalid embedding rendered without error")
+	}
+	// Size mismatch rejected.
+	if err := EmbeddingDot(&buf, query, host, []NodeID{0}, DotOptions{}); err == nil {
+		t.Error("short mapping rendered without error")
+	}
+}
+
+func TestSortedAttrNames(t *testing.T) {
+	g := NewUndirected()
+	g.AddNode("a", Attrs{}.SetStr("zeta", "1").SetNum("alpha", 2))
+	g.AddNode("b", Attrs{}.SetBool("mid", true))
+	names := SortedAttrNames(g)
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeAndLookup(t *testing.T) {
+	g := NewUndirected()
+	a := g.AddNode("a", Attrs{}.SetNum("cpu", 2))
+	b := g.AddNode("b", nil)
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.Node(a).Name != "a" || g.Node(b).Name != "b" {
+		t.Error("node names wrong")
+	}
+	if id, ok := g.NodeByName("a"); !ok || id != a {
+		t.Errorf("NodeByName(a) = %d,%v", id, ok)
+	}
+	if _, ok := g.NodeByName("zz"); ok {
+		t.Error("NodeByName(zz) found")
+	}
+	if cpu, ok := g.Node(a).Attrs.Float("cpu"); !ok || cpu != 2 {
+		t.Errorf("cpu attr = %v,%v", cpu, ok)
+	}
+}
+
+func TestAddNodeGeneratedNamesAndDuplicates(t *testing.T) {
+	g := NewUndirected()
+	first := g.AddNodes(3)
+	if first != 0 || g.NumNodes() != 3 {
+		t.Fatalf("AddNodes: first=%d n=%d", first, g.NumNodes())
+	}
+	if g.Node(1).Name != "n1" {
+		t.Errorf("generated name = %q", g.Node(1).Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	g.AddNode("n1", nil)
+}
+
+func TestAddEdgeUndirected(t *testing.T) {
+	g := NewUndirected()
+	g.AddNodes(3)
+	e, err := g.AddEdge(0, 1, Attrs{}.SetNum("delay", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge not visible both ways")
+	}
+	if id, ok := g.EdgeBetween(1, 0); !ok || id != e {
+		t.Errorf("EdgeBetween(1,0) = %d,%v", id, ok)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+	if _, err := g.AddEdge(1, 0, nil); err != ErrDuplicateEdge {
+		t.Errorf("reversed duplicate: err = %v", err)
+	}
+	if _, err := g.AddEdge(0, 0, nil); err != ErrSelfLoop {
+		t.Errorf("self-loop: err = %v", err)
+	}
+	if _, err := g.AddEdge(0, 9, nil); err != ErrNoSuchNode {
+		t.Errorf("bad node: err = %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgeDirected(t *testing.T) {
+	g := NewDirected()
+	g.AddNodes(2)
+	if _, err := g.AddEdge(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("forward edge missing")
+	}
+	if g.HasEdge(1, 0) {
+		t.Error("reverse edge should not exist in a digraph")
+	}
+	if _, err := g.AddEdge(1, 0, nil); err != nil {
+		t.Errorf("reverse edge rejected: %v", err)
+	}
+	if g.OutDegree(0) != 1 || len(g.InArcs(0)) != 1 || g.Degree(0) != 2 {
+		t.Error("directed degrees wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := NewUndirected()
+	g.AddNode("x", Attrs{}.SetStr("os", "linux"))
+	g.AddNode("y", nil)
+	g.MustAddEdge(0, 1, Attrs{}.SetNum("delay", 5))
+	c := g.Clone()
+	c.Node(0).Attrs.SetStr("os", "bsd")
+	c.Edge(0).Attrs.SetNum("delay", 99)
+	if os, _ := g.Node(0).Attrs.Text("os"); os != "linux" {
+		t.Error("Clone shares node attrs")
+	}
+	if d, _ := g.Edge(0).Attrs.Float("delay"); d != 5 {
+		t.Error("Clone shares edge attrs")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone Validate: %v", err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewUndirected()
+	g.AddNodes(5)
+	g.MustAddEdge(0, 1, nil)
+	g.MustAddEdge(1, 2, nil)
+	g.MustAddEdge(2, 3, nil)
+	g.MustAddEdge(3, 4, nil)
+	g.MustAddEdge(0, 4, nil)
+	sub, back, err := g.InducedSubgraph([]NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub = %v", sub)
+	}
+	if back[0] != 1 || back[1] != 2 || back[2] != 3 {
+		t.Errorf("back mapping = %v", back)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Error("induced edges wrong")
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{1, 1}); err == nil {
+		t.Error("duplicate selection accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{99}); err == nil {
+		t.Error("out-of-range selection accepted")
+	}
+}
+
+func TestDensityAndDegreeStats(t *testing.T) {
+	g := NewUndirected()
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, nil)
+	g.MustAddEdge(0, 2, nil)
+	g.MustAddEdge(0, 3, nil)
+	if got := g.Density(); got != 0.5 {
+		t.Errorf("Density = %v, want 0.5", got)
+	}
+	if got := g.AvgDegree(); got != 1.5 {
+		t.Errorf("AvgDegree = %v, want 1.5", got)
+	}
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}
+
+func TestBFSDFS(t *testing.T) {
+	// 0-1-2 path plus isolated 3.
+	g := NewUndirected()
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, nil)
+	g.MustAddEdge(1, 2, nil)
+
+	var order []NodeID
+	depths := map[NodeID]int{}
+	g.BFSFrom(0, func(n NodeID, d int) bool {
+		order = append(order, n)
+		depths[n] = d
+		return true
+	})
+	if len(order) != 3 || order[0] != 0 {
+		t.Errorf("BFS order = %v", order)
+	}
+	if depths[2] != 2 {
+		t.Errorf("BFS depth of 2 = %d", depths[2])
+	}
+
+	var dfs []NodeID
+	g.DFSFrom(0, func(n NodeID) bool {
+		dfs = append(dfs, n)
+		return true
+	})
+	if len(dfs) != 3 {
+		t.Errorf("DFS visited %v", dfs)
+	}
+
+	// Early termination.
+	count := 0
+	g.BFSFrom(0, func(NodeID, int) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("BFS early stop visited %d", count)
+	}
+	count = 0
+	g.DFSFrom(0, func(NodeID) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("DFS early stop visited %d", count)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewUndirected()
+	g.AddNodes(6)
+	g.MustAddEdge(0, 1, nil)
+	g.MustAddEdge(2, 3, nil)
+	g.MustAddEdge(3, 4, nil)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if g.IsConnected() {
+		t.Error("IsConnected on 3 components")
+	}
+	g.MustAddEdge(1, 2, nil)
+	g.MustAddEdge(4, 5, nil)
+	if !g.IsConnected() {
+		t.Error("IsConnected after joining")
+	}
+}
+
+func TestConnectedComponentsDirectedIsWeak(t *testing.T) {
+	g := NewDirected()
+	g.AddNodes(3)
+	g.MustAddEdge(0, 1, nil)
+	g.MustAddEdge(2, 1, nil) // 2 reaches 1 but nothing reaches 2
+	if got := len(g.ConnectedComponents()); got != 1 {
+		t.Errorf("weak components = %d, want 1", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := NewUndirected()
+	g.AddNodes(4)
+	ab := g.MustAddEdge(0, 1, nil)
+	bc := g.MustAddEdge(1, 2, nil)
+	ac := g.MustAddEdge(0, 2, nil)
+	g.MustAddEdge(2, 3, nil)
+	w := map[EdgeID]float64{ab: 1, bc: 1, ac: 5}
+	cost := func(e EdgeID) float64 {
+		if c, ok := w[e]; ok {
+			return c
+		}
+		return 1
+	}
+	p, ok := g.ShortestPath(0, 2, cost)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if p.Cost != 2 || len(p.Nodes) != 3 || p.Nodes[1] != 1 {
+		t.Errorf("path = %+v", p)
+	}
+	if len(p.Edges) != 2 || p.Edges[0] != ab || p.Edges[1] != bc {
+		t.Errorf("path edges = %v", p.Edges)
+	}
+
+	// Unreachable target.
+	g2 := NewUndirected()
+	g2.AddNodes(2)
+	if _, ok := g2.ShortestPath(0, 1, cost); ok {
+		t.Error("found path in edgeless graph")
+	}
+
+	// Trivial path to self.
+	p, ok = g.ShortestPath(1, 1, cost)
+	if !ok || p.Cost != 0 || len(p.Nodes) != 1 {
+		t.Errorf("self path = %+v, %v", p, ok)
+	}
+}
+
+func TestPathsWithin(t *testing.T) {
+	// Square 0-1-2-3-0 plus diagonal 0-2.
+	g := NewUndirected()
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, nil)
+	g.MustAddEdge(1, 2, nil)
+	g.MustAddEdge(2, 3, nil)
+	g.MustAddEdge(3, 0, nil)
+	g.MustAddEdge(0, 2, nil)
+
+	var got [][]NodeID
+	g.PathsWithin(0, 2, 2, func(p Path) bool {
+		got = append(got, p.Nodes)
+		return true
+	})
+	// Expect 0-2 (1 hop), 0-1-2 and 0-3-2 (2 hops).
+	if len(got) != 3 {
+		t.Fatalf("paths = %v", got)
+	}
+	for _, p := range got {
+		if p[0] != 0 || p[len(p)-1] != 2 || len(p) > 3 {
+			t.Errorf("bad path %v", p)
+		}
+	}
+
+	// Hop limit 1: only the direct edge.
+	got = nil
+	g.PathsWithin(0, 2, 1, func(p Path) bool {
+		got = append(got, p.Nodes)
+		return true
+	})
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("1-hop paths = %v", got)
+	}
+
+	// Early stop.
+	n := 0
+	g.PathsWithin(0, 2, 3, func(Path) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop yielded %d paths", n)
+	}
+}
+
+// randomGraph builds a random undirected graph for property tests.
+func randomGraph(r *rand.Rand, n, m int) *Graph {
+	g := NewUndirected()
+	g.AddNodes(n)
+	for i := 0; i < m; i++ {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, nil) // duplicates silently rejected
+		}
+	}
+	return g
+}
+
+func TestQuickValidateRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(30), r.Intn(80))
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		// Components partition the node set.
+		total := 0
+		for _, c := range g.ConnectedComponents() {
+			total += len(c)
+		}
+		return total == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdjacencyMatchesEdgeIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(20), r.Intn(50))
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			for _, a := range g.Arcs(u) {
+				id, ok := g.EdgeBetween(u, a.To)
+				if !ok || id != a.Edge {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShortestPathIsValidWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(20), 1+r.Intn(60))
+		src := NodeID(r.Intn(g.NumNodes()))
+		dst := NodeID(r.Intn(g.NumNodes()))
+		p, ok := g.ShortestPath(src, dst, func(EdgeID) float64 { return 1 })
+		if !ok {
+			return true // unreachable is fine
+		}
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+			return false
+		}
+		if len(p.Edges) != len(p.Nodes)-1 {
+			return false
+		}
+		for i, e := range p.Edges {
+			u, v := p.Nodes[i], p.Nodes[i+1]
+			id, ok := g.EdgeBetween(u, v)
+			if !ok || id != e {
+				return false
+			}
+		}
+		return p.Cost == float64(len(p.Edges))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

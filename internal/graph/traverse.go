@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// BFSFrom visits nodes reachable from start in breadth-first order,
+// calling visit with each node and its hop distance from start. Returning
+// false from visit stops the traversal.
+func (g *Graph) BFSFrom(start NodeID, visit func(n NodeID, depth int) bool) {
+	seen := make([]bool, len(g.nodes))
+	type item struct {
+		n NodeID
+		d int
+	}
+	queue := []item{{start, 0}}
+	seen[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur.n, cur.d) {
+			return
+		}
+		for _, a := range g.out[cur.n] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				queue = append(queue, item{a.To, cur.d + 1})
+			}
+		}
+	}
+}
+
+// DFSFrom visits nodes reachable from start in depth-first preorder.
+// Returning false from visit stops the traversal.
+func (g *Graph) DFSFrom(start NodeID, visit func(n NodeID) bool) {
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !visit(n) {
+			return
+		}
+		arcs := g.out[n]
+		for i := len(arcs) - 1; i >= 0; i-- {
+			if to := arcs[i].To; !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+}
+
+// ConnectedComponents returns the weakly connected components of the
+// graph, each as a slice of node IDs in discovery order.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	seen := make([]bool, len(g.nodes))
+	var comps [][]NodeID
+	for start := range g.nodes {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, a := range g.out[n] {
+				if !seen[a.To] {
+					seen[a.To] = true
+					stack = append(stack, a.To)
+				}
+			}
+			if g.directed {
+				for _, a := range g.in[n] {
+					if !seen[a.To] {
+						seen[a.To] = true
+						stack = append(stack, a.To)
+					}
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph is (weakly) connected. The empty
+// graph counts as connected.
+func (g *Graph) IsConnected() bool {
+	return len(g.nodes) == 0 || len(g.ConnectedComponents()) == 1
+}
+
+// Path is a walk through the graph: a node sequence plus the edges joining
+// consecutive nodes, with the accumulated cost used to find it.
+type Path struct {
+	Nodes []NodeID
+	Edges []EdgeID
+	Cost  float64
+}
+
+// pqItem/pq implement the Dijkstra priority queue.
+type pqItem struct {
+	n    NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from src to dst using the given edge cost
+// function (which must be non-negative) and returns the minimum-cost path,
+// or ok=false if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst NodeID, cost func(EdgeID) float64) (Path, bool) {
+	n := len(g.nodes)
+	dist := make([]float64, n)
+	prevN := make([]NodeID, n)
+	prevE := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevN[i] = -1
+		prevE[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.n] {
+			continue
+		}
+		done[it.n] = true
+		if it.n == dst {
+			break
+		}
+		for _, a := range g.out[it.n] {
+			if done[a.To] {
+				continue
+			}
+			c := cost(a.Edge)
+			if c < 0 {
+				c = 0
+			}
+			if nd := dist[it.n] + c; nd < dist[a.To] {
+				dist[a.To] = nd
+				prevN[a.To] = it.n
+				prevE[a.To] = a.Edge
+				heap.Push(q, pqItem{a.To, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	var p Path
+	p.Cost = dist[dst]
+	for at := dst; at != -1; at = prevN[at] {
+		p.Nodes = append(p.Nodes, at)
+		if prevE[at] >= 0 {
+			p.Edges = append(p.Edges, prevE[at])
+		}
+	}
+	reverseNodes(p.Nodes)
+	reverseEdges(p.Edges)
+	return p, true
+}
+
+// PathsWithin enumerates all simple paths from src to dst with at most
+// maxHops edges, invoking yield for each. Returning false from yield stops
+// the enumeration. This supports the link-to-path (many-to-one) embedding
+// extension, where hop counts are small.
+func (g *Graph) PathsWithin(src, dst NodeID, maxHops int, yield func(Path) bool) {
+	onPath := make([]bool, len(g.nodes))
+	var nodes []NodeID
+	var edges []EdgeID
+	var rec func(at NodeID) bool
+	rec = func(at NodeID) bool {
+		nodes = append(nodes, at)
+		onPath[at] = true
+		defer func() {
+			nodes = nodes[:len(nodes)-1]
+			onPath[at] = false
+		}()
+		if at == dst {
+			p := Path{
+				Nodes: append([]NodeID(nil), nodes...),
+				Edges: append([]EdgeID(nil), edges...),
+			}
+			return yield(p)
+		}
+		if len(edges) == maxHops {
+			return true
+		}
+		for _, a := range g.out[at] {
+			if onPath[a.To] {
+				continue
+			}
+			edges = append(edges, a.Edge)
+			ok := rec(a.To)
+			edges = edges[:len(edges)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(src)
+}
+
+func reverseNodes(s []NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseEdges(s []EdgeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

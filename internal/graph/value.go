@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the dynamic type of an attribute Value.
+type Kind uint8
+
+// Attribute value kinds. Missing is the zero Kind: reading an attribute
+// that was never set yields a Missing value, which the constraint language
+// propagates (any expression over a missing value is unsatisfied, except
+// where isBoundTo/has say otherwise).
+const (
+	Missing Kind = iota
+	Number
+	String
+	Bool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Missing:
+		return "missing"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed attribute value attached to a node or an edge. The zero
+// Value is Missing.
+type Value struct {
+	kind Kind
+	num  float64
+	str  string
+}
+
+// Num returns a numeric Value.
+func Num(f float64) Value { return Value{kind: Number, num: f} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: String, str: s} }
+
+// BoolVal returns a boolean Value.
+func BoolVal(b bool) Value {
+	v := Value{kind: Bool}
+	if b {
+		v.num = 1
+	}
+	return v
+}
+
+// Kind returns the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsMissing reports whether v is the missing value.
+func (v Value) IsMissing() bool { return v.kind == Missing }
+
+// Float returns the numeric content of v and whether v is a number.
+func (v Value) Float() (float64, bool) { return v.num, v.kind == Number }
+
+// Text returns the string content of v and whether v is a string.
+func (v Value) Text() (string, bool) { return v.str, v.kind == String }
+
+// Truth returns the boolean content of v and whether v is a bool.
+func (v Value) Truth() (bool, bool) { return v.num != 0, v.kind == Bool }
+
+// Equal reports whether two values have the same kind and content.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case Number, Bool:
+		return v.num == o.num
+	case String:
+		return v.str == o.str
+	default: // Missing
+		return true
+	}
+}
+
+// String renders v for debugging and GraphML serialization.
+func (v Value) String() string {
+	switch v.kind {
+	case Number:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case String:
+		return v.str
+	case Bool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "<missing>"
+	}
+}
+
+// Attrs is a bag of named, typed attributes for a node or edge. A nil
+// Attrs behaves as an empty bag for reads.
+type Attrs map[string]Value
+
+// Get returns the named attribute, or a Missing value if unset.
+func (a Attrs) Get(name string) Value {
+	if a == nil {
+		return Value{}
+	}
+	return a[name]
+}
+
+// Has reports whether the named attribute is set.
+func (a Attrs) Has(name string) bool {
+	if a == nil {
+		return false
+	}
+	_, ok := a[name]
+	return ok
+}
+
+// Float returns the named numeric attribute and whether it is present and
+// numeric.
+func (a Attrs) Float(name string) (float64, bool) {
+	return a.Get(name).Float()
+}
+
+// Text returns the named string attribute and whether it is present and a
+// string.
+func (a Attrs) Text(name string) (string, bool) {
+	return a.Get(name).Text()
+}
+
+// Set stores an attribute and returns the (possibly newly allocated) map,
+// so callers can write `attrs = attrs.Set(...)` on a nil map.
+func (a Attrs) Set(name string, v Value) Attrs {
+	if a == nil {
+		a = make(Attrs, 4)
+	}
+	a[name] = v
+	return a
+}
+
+// SetNum stores a numeric attribute.
+func (a Attrs) SetNum(name string, f float64) Attrs { return a.Set(name, Num(f)) }
+
+// SetStr stores a string attribute.
+func (a Attrs) SetStr(name string, s string) Attrs { return a.Set(name, Str(s)) }
+
+// SetBool stores a boolean attribute.
+func (a Attrs) SetBool(name string, b bool) Attrs { return a.Set(name, BoolVal(b)) }
+
+// Clone returns a deep copy of the attribute bag.
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	out := make(Attrs, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

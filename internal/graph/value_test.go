@@ -1,0 +1,121 @@
+package graph
+
+import "testing"
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	n := Num(3.5)
+	if k := n.Kind(); k != Number {
+		t.Errorf("Num kind = %v", k)
+	}
+	if f, ok := n.Float(); !ok || f != 3.5 {
+		t.Errorf("Num Float = %v,%v", f, ok)
+	}
+	if _, ok := n.Text(); ok {
+		t.Error("Num Text ok")
+	}
+
+	s := Str("linux")
+	if v, ok := s.Text(); !ok || v != "linux" {
+		t.Errorf("Str Text = %v,%v", v, ok)
+	}
+	if _, ok := s.Float(); ok {
+		t.Error("Str Float ok")
+	}
+
+	b := BoolVal(true)
+	if v, ok := b.Truth(); !ok || !v {
+		t.Errorf("Bool Truth = %v,%v", v, ok)
+	}
+	if v, _ := BoolVal(false).Truth(); v {
+		t.Error("BoolVal(false) Truth = true")
+	}
+
+	var m Value
+	if !m.IsMissing() {
+		t.Error("zero value not missing")
+	}
+	if _, ok := m.Float(); ok {
+		t.Error("missing Float ok")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Num(1), Num(1), true},
+		{Num(1), Num(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{BoolVal(true), BoolVal(true), true},
+		{BoolVal(true), BoolVal(false), false},
+		{Num(1), Str("1"), false},
+		{Value{}, Value{}, true},
+		{Value{}, Num(0), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Num(2.5), "2.5"},
+		{Num(10), "10"},
+		{Str("hi"), "hi"},
+		{BoolVal(true), "true"},
+		{BoolVal(false), "false"},
+		{Value{}, "<missing>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Missing.String() != "missing" || Number.String() != "number" ||
+		String.String() != "string" || Bool.String() != "bool" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind = %q", Kind(42).String())
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	var a Attrs // nil map must be readable
+	if !a.Get("x").IsMissing() {
+		t.Error("nil Attrs Get not missing")
+	}
+	if a.Has("x") {
+		t.Error("nil Attrs Has = true")
+	}
+	a = a.SetNum("delay", 12)
+	a = a.SetStr("os", "linux")
+	a = a.SetBool("up", true)
+	if d, ok := a.Float("delay"); !ok || d != 12 {
+		t.Errorf("Float = %v,%v", d, ok)
+	}
+	if s, ok := a.Text("os"); !ok || s != "linux" {
+		t.Errorf("Text = %v,%v", s, ok)
+	}
+	if !a.Has("up") {
+		t.Error("Has(up) = false")
+	}
+	c := a.Clone()
+	c.SetNum("delay", 99)
+	if d, _ := a.Float("delay"); d != 12 {
+		t.Error("Clone aliases original")
+	}
+	if Attrs(nil).Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}

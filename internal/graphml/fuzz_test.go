@@ -1,0 +1,44 @@
+package graphml
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder never panics on arbitrary input and that
+// everything it accepts re-encodes and decodes to the same shape.
+func FuzzDecode(f *testing.F) {
+	f.Add(sample)
+	f.Add(`<graphml><graph edgedefault="undirected"><node id="a"/></graph></graphml>`)
+	f.Add(`<graphml><graph edgedefault="directed"><node id="a"/><node id="b"/><edge source="a" target="b"/></graph></graphml>`)
+	f.Add(`<graphml><key id="k" for="edge" attr.name="w" attr.type="double"><default>1</default></key><graph edgedefault="undirected"/></graphml>`)
+	f.Add(`not xml at all`)
+	f.Add(`<graphml>`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := DecodeString(src)
+		if err != nil {
+			return
+		}
+		// Accepted documents must satisfy graph invariants and re-encode.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph invalid: %v", err)
+		}
+		text, err := EncodeString(g)
+		if err != nil {
+			// Mixed attribute kinds across elements can be un-encodable;
+			// anything else should round-trip.
+			if strings.Contains(err.Error(), "mixed kinds") {
+				return
+			}
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := DecodeString(text)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, text)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}

@@ -1,0 +1,326 @@
+// Package graphml encodes and decodes graphs in the GraphML interchange
+// format, the network representation NETEMBED adopts (paper §VI-A).
+//
+// The subset implemented is the GraphML structural layer used in practice
+// by topology tools: a single <graph> element with edgedefault, <key>
+// declarations carrying attr.name/attr.type (boolean, int, long, float,
+// double, string) with optional <default> values, and <data> elements on
+// nodes and edges. Typed attributes round-trip into graph.Attrs values.
+package graphml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netembed/internal/graph"
+)
+
+// xmlns is the GraphML namespace emitted by Encode.
+const xmlns = "http://graphml.graphdrawing.org/xmlns"
+
+type xmlGraphML struct {
+	XMLName xml.Name   `xml:"graphml"`
+	Xmlns   string     `xml:"xmlns,attr,omitempty"`
+	Keys    []xmlKey   `xml:"key"`
+	Graphs  []xmlGraph `xml:"graph"`
+}
+
+type xmlKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+	AttrType string `xml:"attr.type,attr"`
+	Default  string `xml:"default,omitempty"`
+}
+
+type xmlGraph struct {
+	ID          string    `xml:"id,attr,omitempty"`
+	EdgeDefault string    `xml:"edgedefault,attr"`
+	Nodes       []xmlNode `xml:"node"`
+	Edges       []xmlEdge `xml:"edge"`
+}
+
+type xmlNode struct {
+	ID   string    `xml:"id,attr"`
+	Data []xmlData `xml:"data"`
+}
+
+type xmlEdge struct {
+	Source string    `xml:"source,attr"`
+	Target string    `xml:"target,attr"`
+	Data   []xmlData `xml:"data"`
+}
+
+type xmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Decode reads one GraphML document from r and returns its first graph.
+func Decode(r io.Reader) (*graph.Graph, error) {
+	var doc xmlGraphML
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("graphml: %v", err)
+	}
+	if len(doc.Graphs) == 0 {
+		return nil, fmt.Errorf("graphml: document contains no <graph>")
+	}
+	xg := doc.Graphs[0]
+
+	type keyInfo struct {
+		name   string
+		typ    string
+		target string // "node", "edge", "all"
+		def    string
+		hasDef bool
+	}
+	keys := make(map[string]keyInfo, len(doc.Keys))
+	for _, k := range doc.Keys {
+		name := k.AttrName
+		if name == "" {
+			name = k.ID
+		}
+		target := k.For
+		if target == "" {
+			target = "all"
+		}
+		keys[k.ID] = keyInfo{
+			name:   name,
+			typ:    strings.ToLower(k.AttrType),
+			target: target,
+			def:    k.Default,
+			hasDef: strings.TrimSpace(k.Default) != "",
+		}
+	}
+
+	parse := func(ki keyInfo, raw string) (graph.Value, error) {
+		raw = strings.TrimSpace(raw)
+		switch ki.typ {
+		case "boolean":
+			b, err := strconv.ParseBool(raw)
+			if err != nil {
+				return graph.Value{}, fmt.Errorf("graphml: bad boolean %q for key %q", raw, ki.name)
+			}
+			return graph.BoolVal(b), nil
+		case "int", "long", "float", "double":
+			f, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return graph.Value{}, fmt.Errorf("graphml: bad number %q for key %q", raw, ki.name)
+			}
+			return graph.Num(f), nil
+		case "string", "":
+			return graph.Str(raw), nil
+		}
+		return graph.Value{}, fmt.Errorf("graphml: unsupported attr.type %q", ki.typ)
+	}
+
+	collect := func(data []xmlData, target string) (graph.Attrs, error) {
+		var attrs graph.Attrs
+		seen := make(map[string]bool)
+		for _, d := range data {
+			ki, ok := keys[d.Key]
+			if !ok {
+				return nil, fmt.Errorf("graphml: <data> references undeclared key %q", d.Key)
+			}
+			v, err := parse(ki, d.Value)
+			if err != nil {
+				return nil, err
+			}
+			attrs = attrs.Set(ki.name, v)
+			seen[d.Key] = true
+		}
+		// Apply declared defaults for keys of this target.
+		for id, ki := range keys {
+			if seen[id] || !ki.hasDef {
+				continue
+			}
+			if ki.target != target && ki.target != "all" {
+				continue
+			}
+			v, err := parse(ki, ki.def)
+			if err != nil {
+				return nil, err
+			}
+			attrs = attrs.Set(ki.name, v)
+		}
+		return attrs, nil
+	}
+
+	directed := false
+	switch xg.EdgeDefault {
+	case "directed":
+		directed = true
+	case "undirected", "":
+	default:
+		return nil, fmt.Errorf("graphml: unsupported edgedefault %q", xg.EdgeDefault)
+	}
+
+	g := graph.New(directed)
+	ids := make(map[string]graph.NodeID, len(xg.Nodes))
+	for _, xn := range xg.Nodes {
+		if xn.ID == "" {
+			return nil, fmt.Errorf("graphml: node without id")
+		}
+		if _, dup := ids[xn.ID]; dup {
+			return nil, fmt.Errorf("graphml: duplicate node id %q", xn.ID)
+		}
+		attrs, err := collect(xn.Data, "node")
+		if err != nil {
+			return nil, err
+		}
+		ids[xn.ID] = g.AddNode(xn.ID, attrs)
+	}
+	for _, xe := range xg.Edges {
+		u, ok := ids[xe.Source]
+		if !ok {
+			return nil, fmt.Errorf("graphml: edge references unknown node %q", xe.Source)
+		}
+		v, ok := ids[xe.Target]
+		if !ok {
+			return nil, fmt.Errorf("graphml: edge references unknown node %q", xe.Target)
+		}
+		attrs, err := collect(xe.Data, "edge")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := g.AddEdge(u, v, attrs); err != nil {
+			return nil, fmt.Errorf("graphml: edge %q->%q: %v", xe.Source, xe.Target, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DecodeString decodes a GraphML document held in a string.
+func DecodeString(s string) (*graph.Graph, error) {
+	return Decode(strings.NewReader(s))
+}
+
+// Encode writes g to w as a GraphML document. Attribute keys are declared
+// per target (node/edge) with types inferred from the values; mixing types
+// under one attribute name on the same target is rejected.
+func Encode(w io.Writer, g *graph.Graph) error {
+	type keySlot struct {
+		id   string
+		kind graph.Kind
+	}
+	nodeKeys := make(map[string]*keySlot)
+	edgeKeys := make(map[string]*keySlot)
+
+	register := func(m map[string]*keySlot, prefix string, attrs graph.Attrs) error {
+		for name, v := range attrs {
+			if v.IsMissing() {
+				continue
+			}
+			if slot, ok := m[name]; ok {
+				if slot.kind != v.Kind() {
+					return fmt.Errorf("graphml: attribute %q has mixed kinds %v and %v", name, slot.kind, v.Kind())
+				}
+				continue
+			}
+			m[name] = &keySlot{id: fmt.Sprintf("%s%d", prefix, len(m)), kind: v.Kind()}
+		}
+		return nil
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if err := register(nodeKeys, "dn", g.Node(graph.NodeID(i)).Attrs); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if err := register(edgeKeys, "de", g.Edge(graph.EdgeID(i)).Attrs); err != nil {
+			return err
+		}
+	}
+
+	typeName := func(k graph.Kind) string {
+		switch k {
+		case graph.Number:
+			return "double"
+		case graph.Bool:
+			return "boolean"
+		default:
+			return "string"
+		}
+	}
+
+	doc := xmlGraphML{Xmlns: xmlns}
+	appendKeys := func(m map[string]*keySlot, target string) {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			doc.Keys = append(doc.Keys, xmlKey{
+				ID:       m[name].id,
+				For:      target,
+				AttrName: name,
+				AttrType: typeName(m[name].kind),
+			})
+		}
+	}
+	appendKeys(nodeKeys, "node")
+	appendKeys(edgeKeys, "edge")
+
+	dataFor := func(m map[string]*keySlot, attrs graph.Attrs) []xmlData {
+		names := make([]string, 0, len(attrs))
+		for name, v := range attrs {
+			if !v.IsMissing() {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		out := make([]xmlData, 0, len(names))
+		for _, name := range names {
+			out = append(out, xmlData{Key: m[name].id, Value: attrs.Get(name).String()})
+		}
+		return out
+	}
+
+	edgeDefault := "undirected"
+	if g.Directed() {
+		edgeDefault = "directed"
+	}
+	xg := xmlGraph{ID: "G", EdgeDefault: edgeDefault}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(graph.NodeID(i))
+		xg.Nodes = append(xg.Nodes, xmlNode{ID: n.Name, Data: dataFor(nodeKeys, n.Attrs)})
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		xg.Edges = append(xg.Edges, xmlEdge{
+			Source: g.Node(e.From).Name,
+			Target: g.Node(e.To).Name,
+			Data:   dataFor(edgeKeys, e.Attrs),
+		})
+	}
+	doc.Graphs = []xmlGraph{xg}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("graphml: %v", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// EncodeString renders g as a GraphML document string.
+func EncodeString(g *graph.Graph) (string, error) {
+	var sb strings.Builder
+	if err := Encode(&sb, g); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,123 @@
+package graphml
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netembed/internal/graph"
+)
+
+// randomGraph builds a graph with randomly typed node and edge attributes
+// drawn from a fixed name pool, exercising every attribute kind the codec
+// supports plus name round-tripping.
+func randomGraph(rng *rand.Rand) *graph.Graph {
+	g := graph.New(rng.Intn(2) == 0)
+	n := 1 + rng.Intn(12)
+	// GraphML <key> declarations are typed, so an attribute name must
+	// keep one kind throughout a document; pick the kind per graph.
+	attrPool := []string{"delay", "bw", "os", "up", "x"}
+	kinds := make(map[string]int, len(attrPool))
+	for _, name := range attrPool {
+		kinds[name] = rng.Intn(3)
+	}
+	randAttrs := func() graph.Attrs {
+		attrs := graph.Attrs{}
+		for _, name := range attrPool {
+			if rng.Intn(4) == 3 { // leave it out sometimes
+				continue
+			}
+			switch kinds[name] {
+			case 0:
+				attrs = attrs.SetNum(name, math60(rng))
+			case 1:
+				attrs = attrs.SetStr(name, fmt.Sprintf("s%d", rng.Intn(100)))
+			case 2:
+				attrs = attrs.SetBool(name, rng.Intn(2) == 0)
+			}
+		}
+		if len(attrs) == 0 {
+			return nil
+		}
+		return attrs
+	}
+	for i := 0; i < n; i++ {
+		name := ""
+		if rng.Intn(3) > 0 {
+			name = fmt.Sprintf("node-%d", i)
+		}
+		g.AddNode(name, randAttrs())
+	}
+	for i := 0; i < n*2; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		// AddEdge rejects duplicates; ignore those.
+		g.AddEdge(u, v, randAttrs()) //nolint:errcheck
+	}
+	return g
+}
+
+// math60 draws numbers that survive the codec's decimal text form
+// exactly (integers and halves).
+func math60(rng *rand.Rand) float64 {
+	return float64(rng.Intn(1000)) / 2
+}
+
+func TestRoundTripRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng)
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, buf.String())
+		}
+		assertGraphsEqual(t, trial, g, got)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, trial int, want, got *graph.Graph) {
+	t.Helper()
+	if got.Directed() != want.Directed() {
+		t.Fatalf("trial %d: directedness changed", trial)
+	}
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("trial %d: size changed: %d/%d nodes, %d/%d edges",
+			trial, got.NumNodes(), want.NumNodes(), got.NumEdges(), want.NumEdges())
+	}
+	for i := 0; i < want.NumNodes(); i++ {
+		w, g := want.Node(graph.NodeID(i)), got.Node(graph.NodeID(i))
+		if w.Name != g.Name {
+			t.Fatalf("trial %d: node %d name %q != %q", trial, i, g.Name, w.Name)
+		}
+		assertAttrsEqual(t, trial, fmt.Sprintf("node %d", i), w.Attrs, g.Attrs)
+	}
+	for i := 0; i < want.NumEdges(); i++ {
+		w, g := want.Edge(graph.EdgeID(i)), got.Edge(graph.EdgeID(i))
+		if w.From != g.From || w.To != g.To {
+			t.Fatalf("trial %d: edge %d endpoints (%d,%d) != (%d,%d)",
+				trial, i, g.From, g.To, w.From, w.To)
+		}
+		assertAttrsEqual(t, trial, fmt.Sprintf("edge %d", i), w.Attrs, g.Attrs)
+	}
+}
+
+func assertAttrsEqual(t *testing.T, trial int, where string, want, got graph.Attrs) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("trial %d: %s: %d attrs round-tripped to %d", trial, where, len(want), len(got))
+	}
+	for name, wv := range want {
+		gv := got.Get(name)
+		if !wv.Equal(gv) {
+			t.Fatalf("trial %d: %s: attr %s: %v != %v", trial, where, name, gv, wv)
+		}
+	}
+}

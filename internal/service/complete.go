@@ -1,0 +1,67 @@
+package service
+
+import (
+	"math/rand"
+
+	"netembed/internal/coords"
+)
+
+// CompletionConfig drives coordinate-based completion of a partially
+// measured hosting network (the open-network case of §II: no monitor of
+// the Internet or a PlanetLab overlay ever sees an all-pairs delay
+// characterization).
+type CompletionConfig struct {
+	// Embed tunes the Vivaldi deployment simulated over the measured
+	// edges of the current model snapshot.
+	Embed coords.EmbedConfig
+	// Densify tunes how predictions become delay windows on synthesized
+	// edges.
+	Densify coords.DensifyConfig
+	// Seed drives the gossip sampling (default 1).
+	Seed int64
+}
+
+// CompletionReport describes the outcome of one model completion.
+type CompletionReport struct {
+	Added   int               // synthesized edges installed
+	Fit     coords.ErrorStats // coordinate fit over the measured edges
+	Version uint64            // model version carrying the completed graph
+}
+
+// Complete embeds the model's current snapshot into a Vivaldi coordinate
+// space, synthesizes an edge for every unmeasured node pair with the
+// coordinate-predicted delay window, and publishes the densified graph as
+// a new model version. Synthesized edges carry the Densify mark attribute
+// ("predicted" by default) so constraint expressions can exclude them —
+// e.g. "!has(rEdge.predicted)" restricts a query to measured links.
+//
+// The original sparse snapshot is untouched; completion prepares the
+// densified successor on a clone outside the model lock and installs it
+// with an optimistic compare-and-swap, retrying against fresh snapshots
+// if a concurrent monitor update wins the race. Nothing partial is ever
+// published.
+func Complete(m *Model, cfg CompletionConfig) (CompletionReport, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	for {
+		snap, version := m.Snapshot()
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		sys, _, err := coords.Embed(snap, cfg.Embed, rng)
+		if err != nil {
+			return CompletionReport{}, err
+		}
+		fit := coords.Errors(sys, snap, cfg.Embed.Attr)
+
+		next := snap.Clone()
+		added, err := coords.Densify(next, sys, cfg.Densify)
+		if err != nil {
+			return CompletionReport{}, err
+		}
+		if newVersion, ok := m.UpdateIf(next, version); ok {
+			return CompletionReport{Added: added, Fit: fit, Version: newVersion}, nil
+		}
+		// A monitor published while we embedded; redo against the fresh
+		// snapshot so its measurements are not lost.
+	}
+}

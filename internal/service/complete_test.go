@@ -1,0 +1,211 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"netembed/internal/coords"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+// sparseMetricHost builds an undirected host whose measured edges are a
+// random partial sample of a planar metric: the workload model for an
+// open network where most pairs were never probed.
+func sparseMetricHost(n, degree int, rng *rand.Rand) *graph.Graph {
+	g := graph.NewUndirected()
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+		g.AddNode("", nil)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < degree; k++ {
+			j := rng.Intn(n)
+			if j == i || g.HasEdge(graph.NodeID(i), graph.NodeID(j)) {
+				continue
+			}
+			dx, dy := pts[i][0]-pts[j][0], pts[i][1]-pts[j][1]
+			d := math.Hypot(dx, dy) + 1
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), graph.Attrs{}.
+				SetNum("minDelay", d*0.95).
+				SetNum("avgDelay", d).
+				SetNum("maxDelay", d*1.05))
+		}
+	}
+	return g
+}
+
+func TestUpdateIf(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddNodes(2)
+	m := NewModel(g)
+	_, v1 := m.Snapshot()
+
+	next := g.Clone()
+	if v2, ok := m.UpdateIf(next, v1); !ok || v2 != v1+1 {
+		t.Fatalf("UpdateIf on current version: ok=%v v=%d", ok, v2)
+	}
+	// Stale version must be rejected and report the winner.
+	if v, ok := m.UpdateIf(g.Clone(), v1); ok || v != v1+1 {
+		t.Fatalf("UpdateIf on stale version: ok=%v v=%d", ok, v)
+	}
+}
+
+func TestUpdateIfConcurrentWritersLoseNoVersion(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddNodes(2)
+	m := NewModel(g)
+
+	const writers = 8
+	var wins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				snap, v := m.Snapshot()
+				if _, ok := m.UpdateIf(snap.Clone(), v); ok {
+					mu.Lock()
+					wins++
+					done := wins >= 50
+					mu.Unlock()
+					if done {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Version(); got < 51 {
+		t.Fatalf("version %d after >= 50 successful swaps", got)
+	}
+}
+
+func TestCompleteDensifiesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	host := sparseMetricHost(40, 5, rng)
+	sparseEdges := host.NumEdges()
+	m := NewModel(host)
+
+	rep, err := Complete(m, CompletionConfig{
+		Embed: coords.EmbedConfig{Rounds: 60, Config: coords.Config{Dim: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 40 * 39 / 2
+	if rep.Added != full-sparseEdges {
+		t.Fatalf("Complete added %d edges, want %d", rep.Added, full-sparseEdges)
+	}
+	snap, v := m.Snapshot()
+	if v != rep.Version {
+		t.Fatalf("snapshot version %d, report says %d", v, rep.Version)
+	}
+	if snap.NumEdges() != full {
+		t.Fatalf("completed model has %d edges, want %d", snap.NumEdges(), full)
+	}
+	if rep.Fit.Median > 0.2 {
+		t.Fatalf("fit median error %.3f on planar metric, want <= 0.2", rep.Fit.Median)
+	}
+	// The original snapshot must be untouched (copy-on-write contract).
+	if host.NumEdges() != sparseEdges {
+		t.Fatalf("original graph mutated: %d edges", host.NumEdges())
+	}
+}
+
+func TestCompleteRetriesPastConcurrentMonitor(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	host := sparseMetricHost(25, 4, rng)
+	m := NewModel(host)
+	mon := NewMonitor(m, MonitorConfig{Seed: 5})
+	// Interleave monitor rounds with the completion; UpdateIf retries
+	// must converge and land on a version above the monitor's.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			mon.Step()
+		}
+	}()
+	rep, err := Complete(m, CompletionConfig{
+		Embed: coords.EmbedConfig{Rounds: 20, Config: coords.Config{Dim: 2}},
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added == 0 {
+		t.Fatal("completion added nothing")
+	}
+	snap, _ := m.Snapshot()
+	if snap.NumEdges() < host.NumEdges()+rep.Added {
+		t.Fatalf("final model lost edges: %d", snap.NumEdges())
+	}
+}
+
+func TestCompleteErrorsOnUnmeasuredModel(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddNodes(5)
+	g.MustAddEdge(0, 1, nil) // no delay attribute anywhere
+	if _, err := Complete(NewModel(g), CompletionConfig{}); err == nil {
+		t.Fatal("Complete accepted a model without measurements")
+	}
+}
+
+// TestCompleteUnblocksQueries is the end-to-end motivation: a query that
+// is infeasible on the sparse measured host becomes feasible once
+// coordinate completion fills in the unmeasured pairs, and the predicted
+// mark lets constraints opt back into measured-only links.
+func TestCompleteUnblocksQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	host := sparseMetricHost(30, 3, rng)
+	m := NewModel(host)
+	svc := New(m, Config{})
+
+	// A clique query needs host cliques; the sparse measured graph
+	// (mean degree ~5) has essentially none of size 5.
+	q := topo.Clique(5)
+	topo.SetDelayWindow(q, 1, 1e6)
+	req := Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+	}
+	before, err := svc.Embed(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Mappings) != 0 {
+		t.Skip("sparse host accidentally contains a 5-clique; seed needs adjusting")
+	}
+
+	if _, err := Complete(m, CompletionConfig{
+		Embed: coords.EmbedConfig{Rounds: 40, Config: coords.Config{Dim: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := svc.Embed(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Mappings) == 0 {
+		t.Fatal("query still infeasible after completion")
+	}
+
+	// Restricting to measured links brings the infeasibility back.
+	measuredOnly := req
+	measuredOnly.EdgeConstraint += " && !has(rEdge.predicted)"
+	strict, err := svc.Embed(measuredOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Mappings) != 0 {
+		t.Fatal("predicted-link exclusion did not restore the sparse semantics")
+	}
+}

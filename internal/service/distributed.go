@@ -1,0 +1,156 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netembed/internal/graph"
+)
+
+// Federation realizes the hierarchical deployment sketched in §VIII:
+// for truly large hosting networks no single authority holds the whole
+// model, so per-region shard services answer queries against their
+// partial views first, and only queries that no region can satisfy fall
+// through to the global service. A mapping found inside one region is
+// trivially valid globally, because a region's model is the subgraph the
+// region's authority actually administers.
+type Federation struct {
+	shards []*shard
+	global *Service
+}
+
+// shard is one regional mapping service plus the translation of its local
+// node IDs back to the global model.
+type shard struct {
+	name string
+	svc  *Service
+	back []graph.NodeID // local -> global node IDs
+}
+
+// NewFederation partitions the hosting network by the values of the given
+// node attribute (e.g. "region") into per-region shard services, plus a
+// global fallback service over the full model. Nodes without the
+// attribute land in a shard named "unassigned".
+func NewFederation(host *graph.Graph, regionAttr string, cfg Config) (*Federation, error) {
+	if host == nil {
+		return nil, fmt.Errorf("service: federation needs a hosting network")
+	}
+	groups := map[string][]graph.NodeID{}
+	for i := 0; i < host.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		region, ok := host.Node(id).Attrs.Text(regionAttr)
+		if !ok {
+			region = "unassigned"
+		}
+		groups[region] = append(groups[region], id)
+	}
+	f := &Federation{global: New(NewModel(host), cfg)}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	// Largest regions first: they satisfy the most queries locally.
+	sort.Slice(names, func(i, j int) bool {
+		if len(groups[names[i]]) != len(groups[names[j]]) {
+			return len(groups[names[i]]) > len(groups[names[j]])
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		sub, back, err := host.InducedSubgraph(groups[name])
+		if err != nil {
+			return nil, err
+		}
+		f.shards = append(f.shards, &shard{
+			name: name,
+			svc:  New(NewModel(sub), cfg),
+			back: back,
+		})
+	}
+	return f, nil
+}
+
+// Shards lists the shard names in routing order.
+func (f *Federation) Shards() []string {
+	out := make([]string, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Global exposes the fallback service (for reservations etc.).
+func (f *Federation) Global() *Service { return f.global }
+
+// Embed routes a request: each shard large enough for the query gets a
+// slice of the time budget against its regional view; the first shard
+// returning a mapping wins, and its node IDs are translated back to the
+// global model. If no region can host the query, the global service
+// answers with the full view. The second return names where the answer
+// came from.
+//
+// Reservation-aware requests (ExcludeReserved) go straight to the global
+// service, whose ledger is authoritative.
+func (f *Federation) Embed(req Request) (*Response, string, error) {
+	if req.Query == nil {
+		return nil, "", ErrNoQuery
+	}
+	if req.ExcludeReserved {
+		resp, err := f.global.Embed(req)
+		return resp, "global", err
+	}
+	// Budget: half the timeout split across eligible shards, the rest for
+	// the global fallback.
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = f.global.defaultTimeout
+	}
+	eligible := 0
+	for _, s := range f.shards {
+		if s.svc.mustNodeCount() >= req.Query.NumNodes() {
+			eligible++
+		}
+	}
+	if eligible > 0 {
+		shardBudget := timeout / 2 / time.Duration(eligible)
+		if shardBudget <= 0 {
+			shardBudget = time.Millisecond
+		}
+		for _, s := range f.shards {
+			if s.svc.mustNodeCount() < req.Query.NumNodes() {
+				continue
+			}
+			sreq := req
+			sreq.Timeout = shardBudget
+			resp, err := s.svc.Embed(sreq)
+			if err != nil {
+				return nil, "", fmt.Errorf("service: shard %s: %w", s.name, err)
+			}
+			if len(resp.Mappings) > 0 {
+				s.translate(resp)
+				return resp, s.name, nil
+			}
+		}
+	}
+	greq := req
+	greq.Timeout = timeout / 2
+	resp, err := f.global.Embed(greq)
+	return resp, "global", err
+}
+
+// translate rewrites a shard response's mappings into global node IDs.
+// Named mappings already use node names, which are global.
+func (s *shard) translate(resp *Response) {
+	for _, m := range resp.Mappings {
+		for q, local := range m {
+			m[q] = s.back[local]
+		}
+	}
+}
+
+// mustNodeCount returns the node count of the service's current model.
+func (s *Service) mustNodeCount() int {
+	g, _ := s.model.Snapshot()
+	return g.NumNodes()
+}

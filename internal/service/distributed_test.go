@@ -1,0 +1,291 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+// federationHost builds a host with two well-connected regions joined by
+// a few slow links: intra-region delays ~10ms, inter-region ~200ms.
+func federationHost() *graph.Graph {
+	g := graph.NewUndirected()
+	attrs := func(d float64) graph.Attrs {
+		return graph.Attrs{}.
+			SetNum("minDelay", d*0.9).SetNum("avgDelay", d).SetNum("maxDelay", d*1.1)
+	}
+	for i := 0; i < 5; i++ {
+		g.AddNode("", graph.Attrs{}.SetStr("region", "west"))
+	}
+	for i := 0; i < 5; i++ {
+		g.AddNode("", graph.Attrs{}.SetStr("region", "east"))
+	}
+	// Intra-region cliques at ~10ms.
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			g.MustAddEdge(graph.NodeID(a), graph.NodeID(b), attrs(10))
+			g.MustAddEdge(graph.NodeID(5+a), graph.NodeID(5+b), attrs(10))
+		}
+	}
+	// Sparse inter-region links at ~200ms.
+	g.MustAddEdge(0, 5, attrs(200))
+	g.MustAddEdge(1, 6, attrs(200))
+	return g
+}
+
+func TestFederationPartitions(t *testing.T) {
+	f, err := NewFederation(federationHost(), "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := f.Shards()
+	if len(shards) != 2 {
+		t.Fatalf("shards = %v", shards)
+	}
+	if _, err := NewFederation(nil, "region", Config{}); err == nil {
+		t.Error("nil host accepted")
+	}
+	// Nodes without the attribute form the "unassigned" shard.
+	h := topo.Ring(3)
+	f2, err := NewFederation(h, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Shards(); len(got) != 1 || got[0] != "unassigned" {
+		t.Errorf("unattributed shards = %v", got)
+	}
+}
+
+func TestFederationAnswersLocallyWhenPossible(t *testing.T) {
+	host := federationHost()
+	f, err := NewFederation(host, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fast triangle fits entirely inside one region.
+	q := topo.Clique(3)
+	topo.SetDelayWindow(q, 5, 20)
+	resp, where, err := f.Embed(Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where == "global" {
+		t.Errorf("regional query answered globally")
+	}
+	if len(resp.Mappings) == 0 {
+		t.Fatal("no mapping")
+	}
+	// The translated mapping must verify against the *global* host.
+	prog := expr.MustCompile("rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	p, err := core.NewProblem(q, host, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(resp.Mappings[0]); err != nil {
+		t.Fatalf("shard mapping invalid globally: %v", err)
+	}
+	// Named mapping uses global node names.
+	for _, rName := range resp.Named[0] {
+		if _, ok := host.NodeByName(rName); !ok {
+			t.Errorf("unknown global node %q in named mapping", rName)
+		}
+	}
+}
+
+func TestFederationFallsBackForCrossRegionQueries(t *testing.T) {
+	host := federationHost()
+	f, err := NewFederation(host, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query needing one slow (~200ms) link can only span regions.
+	q := topo.Line(2)
+	topo.SetDelayWindow(q, 150, 250)
+	resp, where, err := f.Embed(Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "global" {
+		t.Errorf("cross-region query answered by shard %q", where)
+	}
+	if len(resp.Mappings) == 0 {
+		t.Fatal("global fallback found nothing")
+	}
+}
+
+func TestFederationOversizedQuerySkipsShards(t *testing.T) {
+	host := federationHost()
+	f, err := NewFederation(host, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 nodes exceed every 5-node region.
+	q := topo.Line(7)
+	topo.SetDelayWindow(q, 1, 1000)
+	_, where, err := f.Embed(Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "global" {
+		t.Errorf("oversized query answered by shard %q", where)
+	}
+}
+
+func TestFederationReservedGoesGlobal(t *testing.T) {
+	host := federationHost()
+	f, err := NewFederation(host, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := topo.Clique(3)
+	topo.SetDelayWindow(q, 5, 20)
+	_, where, err := f.Embed(Request{
+		Query:           q,
+		EdgeConstraint:  "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:      1,
+		ExcludeReserved: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "global" {
+		t.Errorf("reservation-aware query answered by shard %q", where)
+	}
+	if _, _, err := f.Embed(Request{}); err != ErrNoQuery {
+		t.Errorf("no query: %v", err)
+	}
+}
+
+func TestFederationOnSyntheticTrace(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 80}, rand.New(rand.NewSource(1)))
+	f, err := NewFederation(host, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Shards()) < 4 {
+		t.Fatalf("expected several regional shards, got %v", f.Shards())
+	}
+	// Intra-site delays live in the low range: a small fast star should
+	// be answerable within some region.
+	q := topo.Star(3)
+	topo.SetDelayWindow(q, 1, 60)
+	resp, where, err := f.Embed(Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Mappings) == 0 {
+		t.Fatal("no mapping on trace")
+	}
+	t.Logf("answered by %s", where)
+	prog := expr.MustCompile("rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	p, err := core.NewProblem(q, host, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(resp.Mappings[0]); err != nil {
+		t.Fatalf("federated mapping invalid: %v", err)
+	}
+}
+
+func TestEmbedSymmetricDedupe(t *testing.T) {
+	// Two disjoint feasible triangles: 2 node sets × 3! labelings = 12 raw
+	// embeddings; symmetry dedupe keeps one per node set.
+	host := graph.NewUndirected()
+	host.AddNodes(6)
+	attrs := func() graph.Attrs {
+		return graph.Attrs{}.SetNum("minDelay", 10).SetNum("maxDelay", 20)
+	}
+	host.MustAddEdge(0, 1, attrs())
+	host.MustAddEdge(1, 2, attrs())
+	host.MustAddEdge(0, 2, attrs())
+	host.MustAddEdge(3, 4, attrs())
+	host.MustAddEdge(4, 5, attrs())
+	host.MustAddEdge(3, 5, attrs())
+	svc := New(NewModel(host), Config{})
+	q := topo.Clique(3)
+	topo.SetDelayWindow(q, 5, 25)
+
+	raw, err := svc.Embed(Request{Query: q, EdgeConstraint: delayWindowSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Mappings) != 12 {
+		t.Fatalf("raw embeddings = %d, want 12", len(raw.Mappings))
+	}
+	deduped, err := svc.Embed(Request{Query: q, EdgeConstraint: delayWindowSrc, DedupeSymmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deduped.Mappings) != 2 {
+		t.Fatalf("deduped embeddings = %d, want 2", len(deduped.Mappings))
+	}
+	if len(deduped.Named) != 2 {
+		t.Fatalf("named not rebuilt after dedupe: %d", len(deduped.Named))
+	}
+}
+
+func TestEmbedWarnsOnUnknownHostAttribute(t *testing.T) {
+	host := federationHost()
+	svc := New(NewModel(host), Config{})
+	q := topo.Line(2)
+	topo.SetDelayWindow(q, 1, 1000)
+	resp, err := svc.Embed(Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.avgDeley <= vEdge.maxDelay", // typo: Deley
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Warnings) == 0 {
+		t.Error("typo'd attribute produced no warning")
+	}
+	// A correct constraint warns about nothing.
+	resp2, err := svc.Embed(Request{
+		Query:          q,
+		EdgeConstraint: delayWindowSrc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", resp2.Warnings)
+	}
+	// The injected reservation guard must not warn.
+	resp3, err := svc.Embed(Request{
+		Query:           q,
+		EdgeConstraint:  delayWindowSrc,
+		ExcludeReserved: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp3.Warnings) != 0 {
+		t.Errorf("reservation guard warned: %v", resp3.Warnings)
+	}
+}

@@ -1,0 +1,117 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"netembed/internal/graph"
+	"netembed/internal/graphml"
+	"netembed/internal/service"
+)
+
+// newClusterServer serves a 3-machine triangle with capacity 3 each.
+func newClusterServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := graph.NewUndirected()
+	for i := 0; i < 3; i++ {
+		g.AddNode(fmt.Sprintf("machine%d", i), graph.Attrs{}.SetNum("capacity", 3))
+	}
+	link := func() graph.Attrs {
+		return graph.Attrs{}.SetNum("minDelay", 9).SetNum("avgDelay", 10).SetNum("maxDelay", 11)
+	}
+	g.MustAddEdge(0, 1, link())
+	g.MustAddEdge(1, 2, link())
+	g.MustAddEdge(0, 2, link())
+	svc := service.New(service.NewModel(g), service.Config{})
+	ts := httptest.NewServer(New(svc))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func ringGraphML(t *testing.T, n int) string {
+	t.Helper()
+	g := graph.NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("v%d", i), graph.Attrs{}.SetNum("demand", 1))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), graph.Attrs{}.SetNum("maxDelay", 40))
+	}
+	var sb strings.Builder
+	if err := graphml.Encode(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestHTTPConsolidate(t *testing.T) {
+	ts := newClusterServer(t)
+	resp, body := postJSON(t, ts.URL+"/embed", EmbedRequest{
+		QueryGraphML:   ringGraphML(t, 6),
+		EdgeConstraint: "rEdge.maxDelay <= vEdge.maxDelay",
+		Algorithm:      "consolidate",
+		MaxResults:     3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out EmbedResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Mappings) == 0 {
+		t.Fatal("no consolidated embeddings over HTTP")
+	}
+	// Every query node must be mapped, to one of the three machines.
+	for _, m := range out.Mappings {
+		if len(m) != 6 {
+			t.Fatalf("mapping covers %d nodes, want 6", len(m))
+		}
+		for q, r := range m {
+			if !strings.HasPrefix(r, "machine") {
+				t.Fatalf("query node %s mapped to unexpected host %s", q, r)
+			}
+		}
+	}
+}
+
+func TestHTTPConsolidateOversizedInjectiveFails(t *testing.T) {
+	ts := newClusterServer(t)
+	resp, body := postJSON(t, ts.URL+"/embed", EmbedRequest{
+		QueryGraphML:   ringGraphML(t, 6),
+		EdgeConstraint: "rEdge.maxDelay <= vEdge.maxDelay",
+		Algorithm:      "ecf",
+	})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("injective embed of an oversized query returned 200: %s", body)
+	}
+}
+
+func TestHTTPConsolidateCustomAttrs(t *testing.T) {
+	ts := newClusterServer(t)
+	// The host graph has no "slots" attribute, so every machine falls
+	// back to DefaultCapacity 1 and a 6-node ring cannot fit.
+	resp, body := postJSON(t, ts.URL+"/embed", EmbedRequest{
+		QueryGraphML:   ringGraphML(t, 6),
+		EdgeConstraint: "rEdge.maxDelay <= vEdge.maxDelay",
+		Algorithm:      "consolidate",
+		CapacityAttr:   "slots",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out EmbedResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Mappings) != 0 {
+		t.Fatalf("found %d embeddings without capacity headroom", len(out.Mappings))
+	}
+	if out.Status != "complete" {
+		t.Fatalf("status %q, want definitive no-match (complete)", out.Status)
+	}
+}

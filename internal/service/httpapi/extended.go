@@ -1,0 +1,183 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/graphml"
+	"netembed/internal/service"
+)
+
+// registerExtended wires the §VIII extension endpoints:
+//
+//	POST /negotiate   constraint-relaxation loop (see NegotiateHTTPRequest)
+//	POST /schedule    earliest-window scheduling (see ScheduleHTTPRequest)
+func (s *Server) registerExtended() {
+	s.mux.HandleFunc("/negotiate", s.handleNegotiate)
+	s.mux.HandleFunc("/schedule", s.handleSchedule)
+}
+
+// NegotiateHTTPRequest is the JSON body of POST /negotiate.
+type NegotiateHTTPRequest struct {
+	EmbedRequest
+	// Factor scales the window half-width per relaxation round.
+	Factor float64 `json:"factor,omitempty"`
+	// MaxRounds bounds the relaxation loop.
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// NegotiateHTTPResponse is the JSON reply of POST /negotiate.
+type NegotiateHTTPResponse struct {
+	EmbedResponse
+	// Rounds counts relaxations applied (0 = feasible as submitted).
+	Rounds int `json:"rounds"`
+	// RelaxedQuery is the GraphML of the query actually satisfied.
+	RelaxedQuery string `json:"relaxedQuery"`
+}
+
+func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req NegotiateHTTPRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	base, err := s.decodeEmbedRequest(&req.EmbedRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.svc.Negotiate(service.NegotiateRequest{
+		Request:   base,
+		Factor:    req.Factor,
+		MaxRounds: req.MaxRounds,
+	})
+	if err == service.ErrNegotiationFailed {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	relaxedML, err := graphml.EncodeString(resp.RelaxedQuery)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := NegotiateHTTPResponse{
+		EmbedResponse: embedResponseJSON(&resp.Response),
+		Rounds:        resp.Rounds,
+		RelaxedQuery:  relaxedML,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ScheduleHTTPRequest is the JSON body of POST /schedule.
+type ScheduleHTTPRequest struct {
+	EmbedRequest
+	// DurationMs is how long the embedding holds its resources.
+	DurationMs int `json:"durationMs"`
+	// HorizonMs bounds the search into the future (default 24h).
+	HorizonMs int `json:"horizonMs,omitempty"`
+	// StepMs is the window-sliding granularity (default 10min).
+	StepMs int `json:"stepMs,omitempty"`
+}
+
+// ScheduleHTTPResponse is the JSON reply of POST /schedule.
+type ScheduleHTTPResponse struct {
+	Start        string            `json:"start"` // RFC 3339
+	Mapping      map[string]string `json:"mapping"`
+	LeaseID      int64             `json:"leaseId"`
+	WindowsTried int               `json:"windowsTried"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req ScheduleHTTPRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	base, err := s.decodeEmbedRequest(&req.EmbedRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.svc.Schedule(service.ScheduleRequest{
+		Request:  base,
+		Duration: time.Duration(req.DurationMs) * time.Millisecond,
+		Horizon:  time.Duration(req.HorizonMs) * time.Millisecond,
+		Step:     time.Duration(req.StepMs) * time.Millisecond,
+	}, time.Now())
+	if err == service.ErrNoWindow {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScheduleHTTPResponse{
+		Start:        resp.Start.Format(time.RFC3339),
+		Mapping:      map[string]string(resp.Named),
+		LeaseID:      int64(resp.Lease),
+		WindowsTried: resp.WindowsTried,
+	})
+}
+
+// decodeEmbedRequest translates the wire form into a service.Request.
+func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) {
+	if strings.TrimSpace(req.QueryGraphML) == "" {
+		return service.Request{}, fmt.Errorf("missing query GraphML")
+	}
+	query, err := graphml.DecodeString(req.QueryGraphML)
+	if err != nil {
+		return service.Request{}, err
+	}
+	return service.Request{
+		Query:           query,
+		EdgeConstraint:  req.EdgeConstraint,
+		NodeConstraint:  req.NodeConstraint,
+		Algorithm:       service.Algorithm(req.Algorithm),
+		Timeout:         time.Duration(req.TimeoutMs) * time.Millisecond,
+		MaxResults:      req.MaxResults,
+		Seed:            req.Seed,
+		ExcludeReserved: req.ExcludeReserved,
+		Consolidate: core.ConsolidateOptions{
+			CapacityAttr: req.CapacityAttr,
+			DemandAttr:   req.DemandAttr,
+		},
+	}, nil
+}
+
+// embedResponseJSON renders a service response in the wire form.
+func embedResponseJSON(resp *service.Response) EmbedResponse {
+	out := EmbedResponse{
+		Status:       resp.Status.String(),
+		Mappings:     make([]map[string]string, len(resp.Named)),
+		ModelVersion: resp.ModelVersion,
+		ElapsedMs:    float64(resp.Elapsed) / float64(time.Millisecond),
+		Stats: map[string]interface{}{
+			"nodesVisited":  resp.Stats.NodesVisited,
+			"backtracks":    resp.Stats.Backtracks,
+			"edgePairsEval": resp.Stats.EdgePairsEval,
+			"filterEntries": resp.Stats.FilterEntries,
+			"timeToFirstMs": float64(resp.Stats.TimeToFirst) / float64(time.Millisecond),
+		},
+	}
+	for i, nm := range resp.Named {
+		out.Mappings[i] = map[string]string(nm)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package httpapi exposes the NETEMBED service over HTTP/JSON, making the
+// mapping service consumable by remote applications the way §III
+// envisions. Networks travel as GraphML documents; everything else is
+// JSON. Built exclusively on net/http.
+//
+// Endpoints:
+//
+//	GET    /healthz          liveness probe
+//	GET    /model            current hosting network as GraphML
+//	PUT    /model            replace the hosting network (GraphML body)
+//	POST   /embed            run an embedding query (JSON body, see EmbedRequest)
+//	POST   /reserve          reserve host nodes (JSON body, see ReserveRequest)
+//	DELETE /reserve?id=N     release a lease
+//	POST   /negotiate        constraint-relaxation loop (§III negotiation)
+//	POST   /schedule         earliest-window scheduling (§VIII extension)
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"netembed/internal/graph"
+	"netembed/internal/graphml"
+	"netembed/internal/service"
+)
+
+// Server adapts a service.Service to HTTP. It implements http.Handler.
+type Server struct {
+	svc *service.Service
+	mux *http.ServeMux
+}
+
+// New builds the HTTP front end for svc.
+func New(svc *service.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/model", s.handleModel)
+	s.mux.HandleFunc("/embed", s.handleEmbed)
+	s.mux.HandleFunc("/reserve", s.handleReserve)
+	s.registerExtended()
+	return s
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// VersionHeader carries the model version on /model responses.
+const VersionHeader = "X-Netembed-Model-Version"
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		g, version := s.svc.Model().Snapshot()
+		w.Header().Set("Content-Type", "application/xml")
+		w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
+		if err := graphml.Encode(w, g); err != nil {
+			// Headers are gone; best effort.
+			fmt.Fprintf(w, "<!-- encode error: %v -->", err)
+		}
+	case http.MethodPut:
+		g, err := graphml.Decode(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		version := s.svc.Model().Update(g)
+		writeJSON(w, http.StatusOK, map[string]uint64{"version": version})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// EmbedRequest is the JSON body of POST /embed.
+type EmbedRequest struct {
+	// QueryGraphML is the virtual network as a GraphML document.
+	QueryGraphML string `json:"query"`
+	// EdgeConstraint / NodeConstraint are constraint-language sources.
+	EdgeConstraint string `json:"edgeConstraint,omitempty"`
+	NodeConstraint string `json:"nodeConstraint,omitempty"`
+	// Algorithm is one of ecf, rwb, lns, parallel-ecf, consolidate
+	// (default ecf).
+	Algorithm string `json:"algorithm,omitempty"`
+	// TimeoutMs bounds the search in milliseconds.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MaxResults caps the number of returned embeddings.
+	MaxResults int `json:"maxResults,omitempty"`
+	// Seed drives the rwb algorithm.
+	Seed int64 `json:"seed,omitempty"`
+	// ExcludeReserved hides hosts with active leases.
+	ExcludeReserved bool `json:"excludeReserved,omitempty"`
+	// CapacityAttr / DemandAttr rename the attributes the consolidate
+	// algorithm packs against (defaults "capacity" / "demand"); ignored
+	// by the injective algorithms.
+	CapacityAttr string `json:"capacityAttr,omitempty"`
+	DemandAttr   string `json:"demandAttr,omitempty"`
+}
+
+// EmbedResponse is the JSON reply of POST /embed.
+type EmbedResponse struct {
+	Status       string                 `json:"status"`
+	Mappings     []map[string]string    `json:"mappings"`
+	ModelVersion uint64                 `json:"modelVersion"`
+	ElapsedMs    float64                `json:"elapsedMs"`
+	Stats        map[string]interface{} `json:"stats"`
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req EmbedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	sreq, err := s.decodeEmbedRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.svc.Embed(sreq)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, embedResponseJSON(resp))
+}
+
+// ReserveRequest is the JSON body of POST /reserve.
+type ReserveRequest struct {
+	// HostNodes lists hosting node names to reserve.
+	HostNodes []string `json:"hostNodes"`
+}
+
+func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req ReserveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+			return
+		}
+		if len(req.HostNodes) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("no host nodes given"))
+			return
+		}
+		host, _ := s.svc.Model().Snapshot()
+		ids := make([]graph.NodeID, 0, len(req.HostNodes))
+		for _, name := range req.HostNodes {
+			id, ok := host.NodeByName(name)
+			if !ok {
+				writeError(w, http.StatusNotFound, fmt.Errorf("unknown host node %q", name))
+				return
+			}
+			ids = append(ids, id)
+		}
+		lease, err := s.svc.Ledger().Allocate(ids)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int64{"leaseId": int64(lease)})
+	case http.MethodDelete:
+		idStr := r.URL.Query().Get("id")
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad lease id %q", idStr))
+			return
+		}
+		if err := s.svc.Ledger().Release(service.LeaseID(id)); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"released": true})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,176 @@
+// Package service implements the NETEMBED service model of Fig. 1: a
+// network model kept current by a monitoring feed, the mapping service
+// that applications query for feasible embeddings, an optional reservation
+// system that tracks allocated resources, a windowed scheduler (the
+// §VIII scheduling extension), and min-cost selection among feasible
+// mappings (the §VIII optimization extension).
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"netembed/internal/graph"
+)
+
+// Model holds the authoritative description of the hosting network. It is
+// a copy-on-write snapshot holder: readers take immutable *graph.Graph
+// snapshots and never block writers; updates swap in a whole new graph and
+// bump the version. This is what lets embedding queries run concurrently
+// with monitoring updates without locks in the search path.
+type Model struct {
+	mu      sync.RWMutex
+	g       *graph.Graph
+	version uint64
+}
+
+// NewModel wraps an initial hosting network. The graph must not be
+// mutated by the caller afterwards.
+func NewModel(g *graph.Graph) *Model {
+	return &Model{g: g, version: 1}
+}
+
+// Snapshot returns the current hosting network and its version. The graph
+// is shared and must be treated as immutable.
+func (m *Model) Snapshot() (*graph.Graph, uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.g, m.version
+}
+
+// Version returns the current model version.
+func (m *Model) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// Update replaces the hosting network and returns the new version.
+func (m *Model) Update(g *graph.Graph) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.g = g
+	m.version++
+	return m.version
+}
+
+// UpdateIf replaces the hosting network only when the model still holds
+// the given version, returning the new version and whether the swap
+// happened. It is the optimistic-concurrency primitive for writers that
+// prepare an expensive successor graph outside the model lock (for
+// instance coordinate-based completion) and must not clobber concurrent
+// monitor updates.
+func (m *Model) UpdateIf(g *graph.Graph, version uint64) (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.version != version {
+		return m.version, false
+	}
+	m.g = g
+	m.version++
+	return m.version, true
+}
+
+// Mutate clones the current snapshot, applies fn to the clone, swaps it in
+// and returns the new version. This is the update path used by monitors.
+func (m *Model) Mutate(fn func(*graph.Graph)) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := m.g.Clone()
+	fn(next)
+	m.g = next
+	m.version++
+	return m.version
+}
+
+// MonitorConfig shapes the simulated measurement feed.
+type MonitorConfig struct {
+	// JitterPct is the maximum relative delay drift per step (default 5%).
+	JitterPct float64
+	// EdgeFraction is the share of edges refreshed per step (default 10%).
+	EdgeFraction float64
+	// Interval is the period of Run (default 1s).
+	Interval time.Duration
+	// Seed drives the perturbation.
+	Seed int64
+}
+
+func (c *MonitorConfig) applyDefaults() {
+	if c.JitterPct == 0 {
+		c.JitterPct = 0.05
+	}
+	if c.EdgeFraction == 0 {
+		c.EdgeFraction = 0.10
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+}
+
+// Monitor simulates the monitoring infrastructure of Fig. 1 (a CoMon/
+// all-pairs-ping stand-in): each step it re-measures a fraction of links,
+// drifting their delay attributes, and publishes a new model version.
+type Monitor struct {
+	model *Model
+	cfg   MonitorConfig
+	rng   *rand.Rand
+	steps int
+}
+
+// NewMonitor builds a monitor feeding the given model.
+func NewMonitor(model *Model, cfg MonitorConfig) *Monitor {
+	cfg.applyDefaults()
+	return &Monitor{model: model, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Steps returns how many measurement rounds have been published.
+func (mo *Monitor) Steps() int { return mo.steps }
+
+// Step publishes one measurement round and returns the new model version.
+func (mo *Monitor) Step() uint64 {
+	mo.steps++
+	// Pre-draw the randomness so the mutation closure stays deterministic
+	// regardless of how Mutate schedules it.
+	type drift struct {
+		edge   graph.EdgeID
+		factor float64
+	}
+	g, _ := mo.model.Snapshot()
+	n := g.NumEdges()
+	count := int(float64(n) * mo.cfg.EdgeFraction)
+	if count < 1 && n > 0 {
+		count = 1
+	}
+	drifts := make([]drift, 0, count)
+	for i := 0; i < count; i++ {
+		drifts = append(drifts, drift{
+			edge:   graph.EdgeID(mo.rng.Intn(n)),
+			factor: 1 + (mo.rng.Float64()*2-1)*mo.cfg.JitterPct,
+		})
+	}
+	return mo.model.Mutate(func(g *graph.Graph) {
+		for _, d := range drifts {
+			attrs := g.Edge(d.edge).Attrs
+			for _, name := range []string{"minDelay", "avgDelay", "maxDelay"} {
+				if v, ok := attrs.Float(name); ok {
+					attrs.SetNum(name, v*d.factor)
+				}
+			}
+		}
+	})
+}
+
+// Run publishes rounds every Interval until stop is closed.
+func (mo *Monitor) Run(stop <-chan struct{}) {
+	ticker := time.NewTicker(mo.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			mo.Step()
+		}
+	}
+}

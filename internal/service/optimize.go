@@ -1,0 +1,85 @@
+package service
+
+import (
+	"errors"
+	"math"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+)
+
+// CostFn scores a feasible embedding; lower is better. This realizes the
+// paper's note (§II, §VIII) that once the constraint-satisfaction stage
+// yields multiple feasible embeddings, an application-specific objective
+// can pick among them — the objective stays outside the mapping service
+// proper.
+type CostFn func(query, host *graph.Graph, m core.Mapping) float64
+
+// TotalEdgeAttrCost sums a numeric attribute (e.g. "avgDelay") over the
+// hosting edges an embedding uses: a latency-minimizing objective for
+// overlay trees. Missing attributes count as zero.
+func TotalEdgeAttrCost(attr string) CostFn {
+	return func(query, host *graph.Graph, m core.Mapping) float64 {
+		total := 0.0
+		for i := 0; i < query.NumEdges(); i++ {
+			qe := query.Edge(graph.EdgeID(i))
+			if reID, ok := host.EdgeBetween(m[qe.From], m[qe.To]); ok {
+				if v, ok := host.Edge(reID).Attrs.Float(attr); ok {
+					total += v
+				}
+			}
+		}
+		return total
+	}
+}
+
+// MaxEdgeAttrCost scores an embedding by its worst hosting edge — a
+// bottleneck objective (minimize the maximum link delay).
+func MaxEdgeAttrCost(attr string) CostFn {
+	return func(query, host *graph.Graph, m core.Mapping) float64 {
+		worst := 0.0
+		for i := 0; i < query.NumEdges(); i++ {
+			qe := query.Edge(graph.EdgeID(i))
+			if reID, ok := host.EdgeBetween(m[qe.From], m[qe.To]); ok {
+				if v, ok := host.Edge(reID).Attrs.Float(attr); ok && v > worst {
+					worst = v
+				}
+			}
+		}
+		return worst
+	}
+}
+
+// SpreadCost counts how many distinct host *regions* (string attribute on
+// nodes) an embedding touches, negated so that maximizing spread ranks
+// first — a fault-tolerance objective for monitoring placements.
+func SpreadCost(regionAttr string) CostFn {
+	return func(query, host *graph.Graph, m core.Mapping) float64 {
+		regions := map[string]bool{}
+		for _, r := range m {
+			if name, ok := host.Node(r).Attrs.Text(regionAttr); ok {
+				regions[name] = true
+			}
+		}
+		return -float64(len(regions))
+	}
+}
+
+// ErrNoMappings is returned by SelectBest on an empty candidate set.
+var ErrNoMappings = errors.New("service: no mappings to select from")
+
+// SelectBest returns the minimum-cost embedding among candidates and its
+// cost.
+func SelectBest(query, host *graph.Graph, candidates []core.Mapping, cost CostFn) (core.Mapping, float64, error) {
+	if len(candidates) == 0 {
+		return nil, 0, ErrNoMappings
+	}
+	best := -1
+	bestCost := math.Inf(1)
+	for i, m := range candidates {
+		if c := cost(query, host, m); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return candidates[best], bestCost, nil
+}

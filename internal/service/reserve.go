@@ -1,0 +1,261 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+)
+
+// LeaseID identifies an active reservation.
+type LeaseID int64
+
+// Lease records one allocated embedding: the hosting nodes it occupies and
+// an optional validity window (zero times mean "until released"). Windowed
+// leases power the §VIII scheduling extension.
+type Lease struct {
+	ID    LeaseID
+	Nodes []graph.NodeID
+	Start time.Time
+	End   time.Time
+}
+
+// active reports whether the lease holds resources at time t.
+func (l Lease) active(t time.Time) bool {
+	if l.Start.IsZero() && l.End.IsZero() {
+		return true
+	}
+	if !l.Start.IsZero() && t.Before(l.Start) {
+		return false
+	}
+	if !l.End.IsZero() && !t.Before(l.End) {
+		return false
+	}
+	return true
+}
+
+// Ledger is the reservation system of Fig. 1: it tracks which hosting
+// nodes are allocated to embeddings so subsequent queries can exclude
+// them. Nodes default to a single slot; SetCapacity lets multi-tenant
+// hosts (a node attribute like "slots") carry several concurrent leases.
+// Safe for concurrent use.
+type Ledger struct {
+	mu       sync.Mutex
+	leases   map[LeaseID]Lease
+	next     LeaseID
+	clock    func() time.Time
+	capacity func(graph.NodeID) int
+}
+
+// NewLedger returns an empty reservation ledger with single-slot nodes.
+func NewLedger() *Ledger {
+	return &Ledger{
+		leases:   make(map[LeaseID]Lease),
+		clock:    time.Now,
+		capacity: func(graph.NodeID) int { return 1 },
+	}
+}
+
+// SetCapacity installs the per-node slot count used by allocation checks
+// and saturation queries. A nil function restores single-slot semantics;
+// non-positive capacities count as 1.
+func (l *Ledger) SetCapacity(capacity func(graph.NodeID) int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if capacity == nil {
+		capacity = func(graph.NodeID) int { return 1 }
+	}
+	l.capacity = capacity
+}
+
+func (l *Ledger) capLocked(r graph.NodeID) int {
+	if c := l.capacity(r); c > 1 {
+		return c
+	}
+	return 1
+}
+
+// SetClock injects a time source (tests and the scheduler use this).
+func (l *Ledger) SetClock(clock func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clock = clock
+}
+
+// Ledger errors.
+var (
+	ErrLeaseNotFound = errors.New("service: lease not found")
+	ErrConflict      = errors.New("service: reservation conflict")
+)
+
+// Allocate reserves the hosting nodes of m indefinitely. It fails with
+// ErrConflict if any node already has an active overlapping lease.
+func (l *Ledger) Allocate(m core.Mapping) (LeaseID, error) {
+	return l.AllocateWindow(m, time.Time{}, time.Time{})
+}
+
+// AllocateWindow reserves the hosting nodes of m for [start, end). Zero
+// times make the lease open-ended on that side.
+func (l *Ledger) AllocateWindow(m core.Mapping, start, end time.Time) (LeaseID, error) {
+	if !start.IsZero() && !end.IsZero() && !start.Before(end) {
+		return 0, fmt.Errorf("service: empty lease window [%v, %v)", start, end)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	want := make(map[graph.NodeID]bool, len(m))
+	for _, r := range m {
+		if want[r] {
+			return 0, fmt.Errorf("service: mapping reserves host node %d twice", r)
+		}
+		want[r] = true
+	}
+	// Count overlapping holds per wanted node; a node conflicts only when
+	// its slot capacity is exhausted.
+	holds := make(map[graph.NodeID]int, len(m))
+	for _, lease := range l.leases {
+		if !windowsOverlap(lease.Start, lease.End, start, end) {
+			continue
+		}
+		for _, r := range lease.Nodes {
+			if want[r] {
+				holds[r]++
+			}
+		}
+	}
+	for r, n := range holds {
+		if n+1 > l.capLocked(r) {
+			return 0, fmt.Errorf("%w: host node %d has all %d slot(s) leased", ErrConflict, r, l.capLocked(r))
+		}
+	}
+	l.next++
+	id := l.next
+	nodes := make([]graph.NodeID, len(m))
+	copy(nodes, m)
+	l.leases[id] = Lease{ID: id, Nodes: nodes, Start: start, End: end}
+	return id, nil
+}
+
+// windowsOverlap reports whether two [start, end) windows intersect, with
+// zero times meaning unbounded.
+func windowsOverlap(aStart, aEnd, bStart, bEnd time.Time) bool {
+	startsBefore := func(s, e time.Time) bool { // s < e, honoring zero = -inf/+inf
+		return e.IsZero() || s.IsZero() || s.Before(e)
+	}
+	return startsBefore(aStart, bEnd) && startsBefore(bStart, aEnd)
+}
+
+// Release frees a lease.
+func (l *Ledger) Release(id LeaseID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.leases[id]; !ok {
+		return ErrLeaseNotFound
+	}
+	delete(l.leases, id)
+	return nil
+}
+
+// Lease returns a lease by ID.
+func (l *Ledger) Lease(id LeaseID) (Lease, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lease, ok := l.leases[id]
+	return lease, ok
+}
+
+// ReservedNodes lists hosting nodes with a lease active right now.
+func (l *Ledger) ReservedNodes() []graph.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reservedAtLocked(l.clock())
+}
+
+// ReservedNodesAt lists hosting nodes with a lease active at time t.
+func (l *Ledger) ReservedNodesAt(t time.Time) []graph.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reservedAtLocked(t)
+}
+
+func (l *Ledger) reservedAtLocked(t time.Time) []graph.NodeID {
+	var out []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, lease := range l.leases {
+		if !lease.active(t) {
+			continue
+		}
+		for _, r := range lease.Nodes {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// SaturatedNodes lists hosting nodes whose every slot is held by a lease
+// active right now — the set ExcludeReserved hides from new queries.
+// With default single-slot capacity this equals ReservedNodes.
+func (l *Ledger) SaturatedNodes() []graph.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock()
+	holds := map[graph.NodeID]int{}
+	for _, lease := range l.leases {
+		if !lease.active(now) {
+			continue
+		}
+		for _, r := range lease.Nodes {
+			holds[r]++
+		}
+	}
+	var out []graph.NodeID
+	for r, n := range holds {
+		if n >= l.capLocked(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SaturatedInWindow lists hosting nodes with no free slot at any point of
+// the [start, end) window (zero times = unbounded), used by the windowed
+// scheduler.
+func (l *Ledger) SaturatedInWindow(start, end time.Time) []graph.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	holds := map[graph.NodeID]int{}
+	for _, lease := range l.leases {
+		if !windowsOverlap(lease.Start, lease.End, start, end) {
+			continue
+		}
+		for _, r := range lease.Nodes {
+			holds[r]++
+		}
+	}
+	var out []graph.NodeID
+	for r, n := range holds {
+		if n >= l.capLocked(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ActiveLeases counts leases active right now.
+func (l *Ledger) ActiveLeases() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	now := l.clock()
+	for _, lease := range l.leases {
+		if lease.active(now) {
+			n++
+		}
+	}
+	return n
+}

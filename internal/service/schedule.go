@@ -1,0 +1,117 @@
+package service
+
+import (
+	"errors"
+	"time"
+
+	"netembed/internal/core"
+)
+
+// ScheduleRequest asks for the earliest time window in which an embedding
+// becomes feasible — the §VIII "integrated mapping and scheduling"
+// extension: resources already leased to other embeddings are unavailable
+// within their windows, so the scheduler slides a candidate window across
+// the horizon until the query fits.
+type ScheduleRequest struct {
+	Request
+	// Duration is how long the embedding will hold its resources.
+	Duration time.Duration
+	// Horizon bounds how far into the future to search (default 24h).
+	Horizon time.Duration
+	// Step is the window-sliding granularity (default 10m).
+	Step time.Duration
+}
+
+// ScheduleResponse reports the first feasible window.
+type ScheduleResponse struct {
+	// Start is when the embedding can begin.
+	Start time.Time
+	// Mapping is a feasible embedding during [Start, Start+Duration).
+	Mapping core.Mapping
+	Named   NamedMapping
+	// Lease is the reservation taken out for the window.
+	Lease LeaseID
+	// WindowsTried counts how many candidate windows were examined.
+	WindowsTried int
+}
+
+// ErrNoWindow is returned when no feasible window exists in the horizon.
+var ErrNoWindow = errors.New("service: no feasible window within the horizon")
+
+// Schedule finds the earliest window of the requested duration in which
+// the query can be embedded given existing leases, reserves it, and
+// returns the mapping plus lease. The request's algorithm/constraints are
+// honored; ExcludeReserved is implied (that is the point).
+func (s *Service) Schedule(req ScheduleRequest, now time.Time) (*ScheduleResponse, error) {
+	if req.Query == nil {
+		return nil, ErrNoQuery
+	}
+	if req.Duration <= 0 {
+		return nil, errors.New("service: schedule needs a positive duration")
+	}
+	if req.Horizon == 0 {
+		req.Horizon = 24 * time.Hour
+	}
+	if req.Step == 0 {
+		req.Step = 10 * time.Minute
+	}
+
+	edgeProg, nodeProg, err := compilePrograms(req.EdgeConstraint, req.NodeConstraint, true)
+	if err != nil {
+		return nil, err
+	}
+
+	host, _ := s.model.Snapshot()
+	tried := 0
+	for offset := time.Duration(0); offset <= req.Horizon; offset += req.Step {
+		start := now.Add(offset)
+		end := start.Add(req.Duration)
+		tried++
+
+		// Nodes with no free slot at any point of the candidate window are
+		// hidden from the search.
+		busy := s.ledger.SaturatedInWindow(start, end)
+		snapshot := host
+		if len(busy) > 0 {
+			snapshot = host.Clone()
+			for _, r := range busy {
+				snapshot.Node(r).Attrs = snapshot.Node(r).Attrs.SetBool(reservedAttr, true)
+			}
+		}
+
+		p, err := core.NewProblem(req.Query, snapshot, edgeProg, nodeProg)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.Options{Timeout: req.Timeout, MaxSolutions: 1, Seed: req.Seed}
+		if opt.Timeout == 0 {
+			opt.Timeout = s.defaultTimeout
+		}
+		var res *core.Result
+		switch req.Algorithm {
+		case AlgoLNS:
+			res = core.LNS(p, opt)
+		case AlgoRWB:
+			res = core.RWB(p, opt)
+		default:
+			res = core.ECF(p, opt)
+		}
+		if len(res.Solutions) == 0 {
+			continue
+		}
+		m := res.Solutions[0]
+		lease, err := s.ledger.AllocateWindow(m, start, end)
+		if err != nil {
+			// Raced with a concurrent allocation: try the next window.
+			continue
+		}
+		return &ScheduleResponse{
+			Start:        start,
+			Mapping:      m,
+			Named:        nameMapping(req.Query, snapshot, m),
+			Lease:        lease,
+			WindowsTried: tried,
+		}, nil
+	}
+	return nil, ErrNoWindow
+}

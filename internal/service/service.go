@@ -1,0 +1,310 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+)
+
+// Algorithm names a mapping algorithm exposed by the service.
+type Algorithm string
+
+// The mapping algorithms of §V plus the parallel driver and the §VIII
+// many-to-one node-consolidation extension.
+const (
+	AlgoECF         Algorithm = "ecf"
+	AlgoRWB         Algorithm = "rwb"
+	AlgoLNS         Algorithm = "lns"
+	AlgoParallelECF Algorithm = "parallel-ecf"
+	AlgoConsolidate Algorithm = "consolidate"
+)
+
+// Request is one embedding query submitted to the service.
+type Request struct {
+	// Query is the virtual network to embed.
+	Query *graph.Graph
+	// EdgeConstraint/NodeConstraint are constraint-language sources
+	// (empty = unconstrained beyond topology).
+	EdgeConstraint string
+	NodeConstraint string
+	// Algorithm selects the search strategy (default AlgoECF).
+	Algorithm Algorithm
+	// Timeout bounds the search; 0 means the service default.
+	Timeout time.Duration
+	// MaxResults caps returned embeddings (0 = all feasible).
+	MaxResults int
+	// Seed drives AlgoRWB.
+	Seed int64
+	// ExcludeReserved hides hosts with active reservations.
+	ExcludeReserved bool
+	// DedupeSymmetric collapses embeddings equivalent up to a query
+	// automorphism (the Considine-Byers symmetry reduction, §II): a ring
+	// query rotated around the same hosting nodes counts once.
+	DedupeSymmetric bool
+	// Consolidate tunes AlgoConsolidate (capacity/demand attribute names,
+	// loopback semantics); ignored by the injective algorithms.
+	Consolidate core.ConsolidateOptions
+}
+
+// NamedMapping renders an embedding by node names: query node name ->
+// hosting node name.
+type NamedMapping map[string]string
+
+// Response is the service's answer to a Request.
+type Response struct {
+	// Status classifies the result set per §VII-E: complete, partial or
+	// inconclusive.
+	Status core.Status
+	// Mappings holds the embeddings found, as raw index mappings.
+	Mappings []core.Mapping
+	// Named holds the same embeddings keyed by node names.
+	Named []NamedMapping
+	// ModelVersion identifies the hosting-network snapshot answered
+	// against.
+	ModelVersion uint64
+	// Stats carries the search effort counters.
+	Stats core.Stats
+	// Elapsed is the end-to-end service time for the request.
+	Elapsed time.Duration
+	// Warnings flags suspicious-but-legal requests, e.g. a constraint
+	// referencing a hosting-side attribute the model never defines.
+	Warnings []string
+}
+
+// Service is the NETEMBED mapping service: it owns a network model,
+// compiles constraint programs, dispatches to the §V algorithms and
+// classifies results. It is safe for concurrent use.
+type Service struct {
+	model          *Model
+	ledger         *Ledger
+	defaultTimeout time.Duration
+}
+
+// Config tunes a Service.
+type Config struct {
+	// DefaultTimeout applies when a Request carries none (default 30s).
+	DefaultTimeout time.Duration
+}
+
+// SlotsAttr is the hosting-node attribute carrying multi-tenant capacity:
+// a node with slots=k can hold k concurrent reservations (default 1).
+const SlotsAttr = "slots"
+
+// New builds a Service around a model. Node capacities come live from the
+// model's SlotsAttr attribute.
+func New(model *Model, cfg Config) *Service {
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	s := &Service{
+		model:          model,
+		ledger:         NewLedger(),
+		defaultTimeout: cfg.DefaultTimeout,
+	}
+	s.ledger.SetCapacity(func(r graph.NodeID) int {
+		g, _ := model.Snapshot()
+		if int(r) < g.NumNodes() {
+			if slots, ok := g.Node(r).Attrs.Float(SlotsAttr); ok {
+				return int(slots)
+			}
+		}
+		return 1
+	})
+	return s
+}
+
+// Model exposes the underlying network model.
+func (s *Service) Model() *Model { return s.model }
+
+// Ledger exposes the reservation ledger.
+func (s *Service) Ledger() *Ledger { return s.ledger }
+
+// Request validation errors.
+var (
+	ErrNoQuery          = errors.New("service: request has no query network")
+	ErrUnknownAlgorithm = errors.New("service: unknown algorithm")
+)
+
+// reservedAttr marks hosts hidden from requests with ExcludeReserved.
+const reservedAttr = "netembedReserved"
+
+// Embed answers one embedding request against the current model snapshot.
+func (s *Service) Embed(req Request) (*Response, error) {
+	start := time.Now()
+	if req.Query == nil {
+		return nil, ErrNoQuery
+	}
+	edgeProg, nodeProg, err := compilePrograms(req.EdgeConstraint, req.NodeConstraint, req.ExcludeReserved)
+	if err != nil {
+		return nil, err
+	}
+
+	host, version := s.model.Snapshot()
+	if req.ExcludeReserved {
+		host = s.withReservationMarks(host)
+	}
+
+	newProblem := core.NewProblem
+	if req.Algorithm == AlgoConsolidate {
+		newProblem = core.NewConsolidatedProblem
+	}
+	p, err := newProblem(req.Query, host, edgeProg, nodeProg)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := core.Options{
+		Timeout:      req.Timeout,
+		MaxSolutions: req.MaxResults,
+		Seed:         req.Seed,
+	}
+	if opt.Timeout == 0 {
+		opt.Timeout = s.defaultTimeout
+	}
+
+	var res *core.Result
+	switch req.Algorithm {
+	case AlgoECF, "":
+		res = core.ECF(p, opt)
+	case AlgoRWB:
+		res = core.RWB(p, opt)
+	case AlgoLNS:
+		res = core.LNS(p, opt)
+	case AlgoParallelECF:
+		res = core.ParallelECF(p, opt)
+	case AlgoConsolidate:
+		res = core.Consolidate(p, opt, req.Consolidate)
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, req.Algorithm)
+	}
+
+	resp := &Response{
+		Status:       res.Status,
+		Mappings:     res.Solutions,
+		ModelVersion: version,
+		Stats:        res.Stats,
+		Elapsed:      time.Since(start),
+		Warnings:     attrWarnings(host, edgeProg, nodeProg),
+	}
+	if req.DedupeSymmetric && len(resp.Mappings) > 1 {
+		autos, complete := core.AutomorphismsBounded(req.Query, core.Options{
+			Timeout:      2 * time.Second,
+			MaxSolutions: 5000,
+		})
+		if complete {
+			resp.Mappings = core.CanonicalSolutions(resp.Mappings, autos)
+		} else {
+			resp.Warnings = append(resp.Warnings,
+				"symmetry dedupe skipped: automorphism group too large to enumerate")
+		}
+	}
+	resp.Named = make([]NamedMapping, len(resp.Mappings))
+	for i, m := range resp.Mappings {
+		resp.Named[i] = nameMapping(req.Query, host, m)
+	}
+	return resp, nil
+}
+
+// attrWarnings flags hosting-side attribute references that no node or
+// edge of the model defines: under three-valued logic a typo like
+// rEdge.avgDeley silently rejects every pairing, so surface it.
+func attrWarnings(host *graph.Graph, progs ...*expr.Program) []string {
+	var warnings []string
+	edgeHas := func(attr string) bool {
+		for i := 0; i < host.NumEdges(); i++ {
+			if host.Edge(graph.EdgeID(i)).Attrs.Has(attr) {
+				return true
+			}
+		}
+		return host.NumEdges() == 0
+	}
+	nodeHas := func(attr string) bool {
+		for i := 0; i < host.NumNodes(); i++ {
+			if host.Node(graph.NodeID(i)).Attrs.Has(attr) {
+				return true
+			}
+		}
+		return host.NumNodes() == 0
+	}
+	for _, prog := range progs {
+		if prog == nil {
+			continue
+		}
+		for _, ref := range prog.Refs() {
+			switch ref.Object {
+			case expr.ObjREdge:
+				if !edgeHas(ref.Attr) {
+					warnings = append(warnings,
+						fmt.Sprintf("constraint references %s but no hosting edge defines %q", ref, ref.Attr))
+				}
+			case expr.ObjRSource, expr.ObjRTarget, expr.ObjRNode:
+				if ref.Attr == reservedAttr {
+					continue // injected by ExcludeReserved
+				}
+				if !nodeHas(ref.Attr) {
+					warnings = append(warnings,
+						fmt.Sprintf("constraint references %s but no hosting node defines %q", ref, ref.Attr))
+				}
+			}
+		}
+	}
+	return warnings
+}
+
+// compilePrograms compiles the request's constraint sources, appending the
+// reservation guard to the node constraint when requested.
+func compilePrograms(edgeSrc, nodeSrc string, excludeReserved bool) (*expr.Program, *expr.Program, error) {
+	var edgeProg, nodeProg *expr.Program
+	if strings.TrimSpace(edgeSrc) != "" {
+		p, err := expr.Compile(edgeSrc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: edge constraint: %w", err)
+		}
+		edgeProg = p
+	}
+	if excludeReserved {
+		guard := "!has(rNode." + reservedAttr + ")"
+		if strings.TrimSpace(nodeSrc) != "" {
+			nodeSrc = "(" + nodeSrc + ") && " + guard
+		} else {
+			nodeSrc = guard
+		}
+	}
+	if strings.TrimSpace(nodeSrc) != "" {
+		p, err := expr.Compile(nodeSrc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: node constraint: %w", err)
+		}
+		nodeProg = p
+	}
+	return edgeProg, nodeProg, nil
+}
+
+// withReservationMarks returns a host snapshot where every node whose
+// slots are all leased carries the reservation attribute.
+func (s *Service) withReservationMarks(host *graph.Graph) *graph.Graph {
+	reserved := s.ledger.SaturatedNodes()
+	if len(reserved) == 0 {
+		return host
+	}
+	marked := host.Clone()
+	for _, r := range reserved {
+		if int(r) < marked.NumNodes() {
+			marked.Node(r).Attrs = marked.Node(r).Attrs.SetBool(reservedAttr, true)
+		}
+	}
+	return marked
+}
+
+func nameMapping(query, host *graph.Graph, m core.Mapping) NamedMapping {
+	out := make(NamedMapping, len(m))
+	for q, r := range m {
+		out[query.Node(graph.NodeID(q)).Name] = host.Node(r).Name
+	}
+	return out
+}

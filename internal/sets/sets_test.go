@@ -1,0 +1,350 @@
+package sets
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUnsorted(t *testing.T) {
+	cases := []struct {
+		in, want []int32
+	}{
+		{nil, nil},
+		{[]int32{}, []int32{}},
+		{[]int32{5}, []int32{5}},
+		{[]int32{3, 1, 2}, []int32{1, 2, 3}},
+		{[]int32{2, 2, 2}, []int32{2}},
+		{[]int32{5, 1, 5, 3, 1}, []int32{1, 3, 5}},
+	}
+	for _, c := range cases {
+		got := FromUnsorted(append([]int32(nil), c.in...))
+		if !Equal(got, c.want) {
+			t.Errorf("FromUnsorted(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Set{1, 3, 5, 9, 11}
+	for _, x := range s {
+		if !Contains(s, x) {
+			t.Errorf("Contains(%v, %d) = false, want true", s, x)
+		}
+	}
+	for _, x := range []int32{0, 2, 4, 10, 12} {
+		if Contains(s, x) {
+			t.Errorf("Contains(%v, %d) = true, want false", s, x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains(nil, 1) = true")
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := Set{2, 4, 6}
+	if got := IndexOf(s, 4); got != 1 {
+		t.Errorf("IndexOf = %d, want 1", got)
+	}
+	if got := IndexOf(s, 5); got != -1 {
+		t.Errorf("IndexOf missing = %d, want -1", got)
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	cases := []struct {
+		a, b, want Set
+	}{
+		{Set{1, 2, 3}, Set{2, 3, 4}, Set{2, 3}},
+		{Set{1, 2, 3}, Set{4, 5}, Set{}},
+		{Set{}, Set{1}, Set{}},
+		{Set{1, 5, 9}, Set{1, 5, 9}, Set{1, 5, 9}},
+		{Set{1}, Set{1}, Set{1}},
+	}
+	for _, c := range cases {
+		got := Intersect(c.a, c.b)
+		if !Equal(got, c.want) {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Intersection must be symmetric.
+		if rev := Intersect(c.b, c.a); !Equal(rev, got) {
+			t.Errorf("Intersect not symmetric: %v vs %v", got, rev)
+		}
+	}
+}
+
+func TestIntersectGalloping(t *testing.T) {
+	// Force the galloping path: |b| >= 16|a|.
+	var b Set
+	for i := int32(0); i < 400; i += 2 {
+		b = append(b, i)
+	}
+	a := Set{0, 3, 100, 399}
+	got := Intersect(a, b)
+	want := Set{0, 100}
+	if !Equal(got, want) {
+		t.Errorf("galloping Intersect = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectManyInto(t *testing.T) {
+	got := IntersectManyInto(nil, nil, Set{1, 2, 3, 4}, Set{2, 3, 4}, Set{0, 2, 4, 8})
+	if want := (Set{2, 4}); !Equal(got, want) {
+		t.Errorf("IntersectManyInto = %v, want %v", got, want)
+	}
+	if got := IntersectManyInto(nil, nil); len(got) != 0 {
+		t.Errorf("IntersectManyInto() = %v, want empty", got)
+	}
+	if got := IntersectManyInto(nil, nil, Set{7, 9}); !Equal(got, Set{7, 9}) {
+		t.Errorf("single-set intersection = %v", got)
+	}
+}
+
+func TestUnionSubtract(t *testing.T) {
+	a, b := Set{1, 3, 5}, Set{2, 3, 6}
+	if got := Union(a, b); !Equal(got, Set{1, 2, 3, 5, 6}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Subtract(a, b); !Equal(got, Set{1, 5}) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if got := Subtract(b, a); !Equal(got, Set{2, 6}) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if got := Subtract(a, nil); !Equal(got, a) {
+		t.Errorf("Subtract identity = %v", got)
+	}
+}
+
+func TestInsertRemove(t *testing.T) {
+	var s Set
+	for _, x := range []int32{5, 1, 3, 3, 2} {
+		s = Insert(s, x)
+	}
+	if !Equal(s, Set{1, 2, 3, 5}) {
+		t.Fatalf("after inserts: %v", s)
+	}
+	s = Remove(s, 3)
+	s = Remove(s, 42) // absent: no-op
+	if !Equal(s, Set{1, 2, 5}) {
+		t.Fatalf("after removes: %v", s)
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range(2, 5); !Equal(got, Set{2, 3, 4}) {
+		t.Errorf("Range(2,5) = %v", got)
+	}
+	if got := Range(3, 3); len(got) != 0 {
+		t.Errorf("Range(3,3) = %v", got)
+	}
+	if got := Range(5, 2); len(got) != 0 {
+		t.Errorf("Range(5,2) = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Set{1, 2}
+	c := Clone(s)
+	c[0] = 9
+	if s[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}
+
+// refSet is a map-based reference implementation for property tests.
+type refSet map[int32]bool
+
+func toRef(s Set) refSet {
+	m := make(refSet, len(s))
+	for _, x := range s {
+		m[x] = true
+	}
+	return m
+}
+
+func fromRef(m refSet) Set {
+	s := make(Set, 0, len(m))
+	for x := range m {
+		s = append(s, x)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func randSet(r *rand.Rand, maxVal int32) Set {
+	n := r.Intn(40)
+	raw := make([]int32, n)
+	for i := range raw {
+		raw[i] = r.Int31n(maxVal)
+	}
+	return FromUnsorted(raw)
+}
+
+func TestSetAlgebraMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		a, b := randSet(r, 64), randSet(r, 64)
+		ra, rb := toRef(a), toRef(b)
+
+		wantInter := make(refSet)
+		for x := range ra {
+			if rb[x] {
+				wantInter[x] = true
+			}
+		}
+		if got := Intersect(a, b); !Equal(got, fromRef(wantInter)) {
+			t.Fatalf("Intersect(%v,%v) = %v, want %v", a, b, got, fromRef(wantInter))
+		}
+
+		wantUnion := make(refSet)
+		for x := range ra {
+			wantUnion[x] = true
+		}
+		for x := range rb {
+			wantUnion[x] = true
+		}
+		if got := Union(a, b); !Equal(got, fromRef(wantUnion)) {
+			t.Fatalf("Union(%v,%v) = %v", a, b, got)
+		}
+
+		wantSub := make(refSet)
+		for x := range ra {
+			if !rb[x] {
+				wantSub[x] = true
+			}
+		}
+		if got := Subtract(a, b); !Equal(got, fromRef(wantSub)) {
+			t.Fatalf("Subtract(%v,%v) = %v", a, b, got)
+		}
+	}
+}
+
+func TestQuickIntersectionProperties(t *testing.T) {
+	// Intersection results are always valid sets and subsets of both inputs.
+	f := func(rawA, rawB []int32) bool {
+		a := FromUnsorted(clip(rawA))
+		b := FromUnsorted(clip(rawB))
+		got := Intersect(a, b)
+		if !IsSet(got) {
+			return false
+		}
+		for _, x := range got {
+			if !Contains(a, x) || !Contains(b, x) {
+				return false
+			}
+		}
+		// Every common element must appear.
+		for _, x := range a {
+			if Contains(b, x) && !Contains(got, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCommutesAndIdempotent(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		a := FromUnsorted(clip(rawA))
+		b := FromUnsorted(clip(rawB))
+		ab, ba := Union(a, b), Union(b, a)
+		return Equal(ab, ba) && Equal(Union(a, a), a) && IsSet(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorganViaSubtract(t *testing.T) {
+	// a\(b∪c) == (a\b)∩(a\c)
+	f := func(rawA, rawB, rawC []int32) bool {
+		a := FromUnsorted(clip(rawA))
+		b := FromUnsorted(clip(rawB))
+		c := FromUnsorted(clip(rawC))
+		left := Subtract(a, Union(b, c))
+		right := Intersect(Subtract(a, b), Subtract(a, c))
+		return Equal(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clip bounds quick-generated values into a small domain so collisions are
+// frequent enough to exercise the interesting paths.
+func clip(raw []int32) []int32 {
+	out := make([]int32, len(raw))
+	for i, v := range raw {
+		if v < 0 {
+			v = -v
+		}
+		out[i] = v % 97
+	}
+	return out
+}
+
+func TestBits(t *testing.T) {
+	b := NewBits(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, x := range []int32{0, 63, 64, 129} {
+		if b.Has(x) {
+			t.Errorf("fresh bitmap has %d", x)
+		}
+		b.Set(x)
+		if !b.Has(x) {
+			t.Errorf("Set(%d) not visible", x)
+		}
+	}
+	if got := b.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Error("Clear(64) not visible")
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Errorf("Count after Reset = %d", got)
+	}
+}
+
+func BenchmarkIntersectMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	a := randSetN(r, 200, 1000)
+	c := randSetN(r, 200, 1000)
+	dst := make(Set, 0, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectInto(dst[:0], a, c)
+	}
+}
+
+func BenchmarkIntersectGallop(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	a := randSetN(r, 10, 100000)
+	c := randSetN(r, 5000, 100000)
+	dst := make(Set, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectInto(dst[:0], a, c)
+	}
+}
+
+func randSetN(r *rand.Rand, n int, maxVal int32) Set {
+	raw := make([]int32, n)
+	for i := range raw {
+		raw[i] = r.Int31n(maxVal)
+	}
+	return FromUnsorted(raw)
+}

@@ -1,0 +1,196 @@
+// Package sim replays a synthetic stream of embedding requests against
+// the NETEMBED service with virtual time: queries arrive at random
+// intervals, hold their hosting resources for random durations (windowed
+// leases), and depart. The simulator reports the acceptance ratio and
+// resource utilization over time — the standard long-run evaluation of a
+// virtual-network-embedding service, and the natural companion to the
+// paper's §VIII integrated mapping-and-scheduling discussion: it is how a
+// deployed NETEMBED would actually be judged.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/service"
+	"netembed/internal/stats"
+	"netembed/internal/topo"
+)
+
+// Config shapes a simulation run.
+type Config struct {
+	// Requests is how many embedding requests to replay (default 200).
+	Requests int
+	// MeanInterarrival is the mean virtual time between arrivals
+	// (exponential; default 2m).
+	MeanInterarrival time.Duration
+	// MeanHolding is the mean virtual lease duration (exponential;
+	// default 30m).
+	MeanHolding time.Duration
+	// QueryNodesMin/Max bound the size of sampled queries (defaults 3/8).
+	QueryNodesMin, QueryNodesMax int
+	// Slack widens the sampled delay windows (default 0.3: the workload
+	// should be individually easy so rejections measure contention).
+	Slack float64
+	// Algorithm selects the search strategy (default lns: first-match
+	// speed is what an online service needs).
+	Algorithm service.Algorithm
+	// Timeout bounds each embedding search (default 5s).
+	Timeout time.Duration
+	// Seed drives arrivals, holds and query sampling.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Requests == 0 {
+		c.Requests = 200
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 2 * time.Minute
+	}
+	if c.MeanHolding == 0 {
+		c.MeanHolding = 30 * time.Minute
+	}
+	if c.QueryNodesMin == 0 {
+		c.QueryNodesMin = 3
+	}
+	if c.QueryNodesMax == 0 {
+		c.QueryNodesMax = 8
+	}
+	if c.QueryNodesMax < c.QueryNodesMin {
+		c.QueryNodesMax = c.QueryNodesMin
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.3
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = service.AlgoLNS
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+}
+
+// Event records one request's outcome.
+type Event struct {
+	// Arrival is the virtual arrival time offset from the run start.
+	Arrival time.Duration
+	// Nodes is the query size.
+	Nodes int
+	// Accepted reports whether an embedding was found and leased.
+	Accepted bool
+	// Reserved counts hosting nodes under lease right after this event.
+	Reserved int
+	// SearchTime is the real (not virtual) time the search took.
+	SearchTime time.Duration
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Requests     int
+	Accepted     int
+	Rejected     int
+	PeakReserved int
+	// AcceptanceRatio is Accepted/Requests.
+	AcceptanceRatio float64
+	// MeanReserved is the average number of leased hosting nodes observed
+	// at arrival instants (a utilization proxy).
+	MeanReserved float64
+	// SearchTime summarizes real per-request search times (ms).
+	SearchTime stats.Summary
+	Events     []Event
+}
+
+// Run replays the workload against a fresh service over the given hosting
+// network. The hosting network must carry the minDelay/maxDelay attributes
+// the standard window constraint uses (the synthetic PlanetLab trace and
+// the BRITE generator both qualify).
+func Run(host *graph.Graph, cfg Config) (*Metrics, error) {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	svc := service.New(service.NewModel(host), service.Config{DefaultTimeout: cfg.Timeout})
+
+	// Virtual clock driving lease expiry.
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	svc.Ledger().SetClock(func() time.Time { return now })
+
+	m := &Metrics{Requests: cfg.Requests}
+	var reservedSamples []float64
+	var searchMs []float64
+	var elapsed time.Duration
+
+	for i := 0; i < cfg.Requests; i++ {
+		// Advance virtual time to the next arrival; expired leases fall
+		// out of the reservation checks automatically.
+		step := time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		elapsed += step
+		now = now.Add(step)
+
+		nodes := cfg.QueryNodesMin + rng.Intn(cfg.QueryNodesMax-cfg.QueryNodesMin+1)
+		q, err := sampleQuery(host, nodes, cfg.Slack, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: request %d: %w", i, err)
+		}
+		start := time.Now()
+		resp, err := svc.Embed(service.Request{
+			Query:           q,
+			EdgeConstraint:  "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay",
+			Algorithm:       cfg.Algorithm,
+			MaxResults:      1,
+			Seed:            rng.Int63(),
+			ExcludeReserved: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: request %d: %w", i, err)
+		}
+		searchTime := time.Since(start)
+		searchMs = append(searchMs, float64(searchTime)/float64(time.Millisecond))
+
+		ev := Event{Arrival: elapsed, Nodes: nodes, SearchTime: searchTime}
+		if len(resp.Mappings) > 0 {
+			hold := time.Duration(rng.ExpFloat64() * float64(cfg.MeanHolding))
+			if _, err := svc.Ledger().AllocateWindow(resp.Mappings[0], now, now.Add(hold)); err == nil {
+				ev.Accepted = true
+				m.Accepted++
+			}
+		}
+		if !ev.Accepted {
+			m.Rejected++
+		}
+		ev.Reserved = len(svc.Ledger().ReservedNodesAt(now))
+		if ev.Reserved > m.PeakReserved {
+			m.PeakReserved = ev.Reserved
+		}
+		reservedSamples = append(reservedSamples, float64(ev.Reserved))
+		m.Events = append(m.Events, ev)
+	}
+
+	m.AcceptanceRatio = float64(m.Accepted) / float64(m.Requests)
+	m.MeanReserved = stats.Summarize(reservedSamples).Mean
+	m.SearchTime = stats.Summarize(searchMs)
+	return m, nil
+}
+
+// sampleQuery draws a random connected subgraph query with widened delay
+// windows (individually feasible by construction).
+func sampleQuery(host *graph.Graph, nodes int, slack float64, rng *rand.Rand) (*graph.Graph, error) {
+	q, _, err := topo.Subgraph(host, nodes, 2*nodes, rng)
+	if err != nil {
+		return nil, err
+	}
+	topo.WidenDelayWindows(q, slack)
+	return q, nil
+}
+
+// Report renders the metrics as text.
+func (m *Metrics) Report(w io.Writer) {
+	fmt.Fprintf(w, "requests:          %d\n", m.Requests)
+	fmt.Fprintf(w, "accepted:          %d (%.1f%%)\n", m.Accepted, 100*m.AcceptanceRatio)
+	fmt.Fprintf(w, "rejected:          %d\n", m.Rejected)
+	fmt.Fprintf(w, "peak reserved:     %d hosting nodes\n", m.PeakReserved)
+	fmt.Fprintf(w, "mean reserved:     %.1f hosting nodes\n", m.MeanReserved)
+	fmt.Fprintf(w, "search time (ms):  %s\n", m.SearchTime)
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/service"
+	"netembed/internal/trace"
+)
+
+func testHost(t testing.TB, sites int, seed int64) *graph.Graph {
+	t.Helper()
+	return trace.SyntheticPlanetLab(trace.Config{Sites: sites}, rand.New(rand.NewSource(seed)))
+}
+
+func TestRunBasics(t *testing.T) {
+	host := testHost(t, 40, 1)
+	m, err := Run(host, Config{
+		Requests:         60,
+		MeanInterarrival: time.Minute,
+		MeanHolding:      20 * time.Minute,
+		Seed:             7,
+		Timeout:          5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 60 || len(m.Events) != 60 {
+		t.Fatalf("requests = %d events = %d", m.Requests, len(m.Events))
+	}
+	if m.Accepted+m.Rejected != m.Requests {
+		t.Errorf("accepted %d + rejected %d != %d", m.Accepted, m.Rejected, m.Requests)
+	}
+	if m.AcceptanceRatio < 0.4 {
+		t.Errorf("acceptance ratio %.2f unexpectedly low for a light load", m.AcceptanceRatio)
+	}
+	if m.PeakReserved == 0 {
+		t.Error("no resources were ever reserved")
+	}
+	if m.SearchTime.N != 60 {
+		t.Errorf("search time samples = %d", m.SearchTime.N)
+	}
+	// Arrival times strictly increase.
+	for i := 1; i < len(m.Events); i++ {
+		if m.Events[i].Arrival <= m.Events[i-1].Arrival {
+			t.Fatal("virtual arrivals not increasing")
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	host := testHost(t, 30, 2)
+	cfg := Config{Requests: 30, Seed: 11}
+	a, err := Run(host, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(host, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accepted != b.Accepted || a.PeakReserved != b.PeakReserved {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d",
+			a.Accepted, a.PeakReserved, b.Accepted, b.PeakReserved)
+	}
+	for i := range a.Events {
+		if a.Events[i].Accepted != b.Events[i].Accepted {
+			t.Fatalf("event %d outcome diverged", i)
+		}
+	}
+}
+
+func TestContentionLowersAcceptance(t *testing.T) {
+	host := testHost(t, 25, 3)
+	light, err := Run(host, Config{
+		Requests:         50,
+		MeanInterarrival: time.Hour, // leases expire long before the next arrival
+		MeanHolding:      time.Minute,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Run(host, Config{
+		Requests:         50,
+		MeanInterarrival: time.Second, // everything overlaps
+		MeanHolding:      24 * time.Hour,
+		QueryNodesMin:    4,
+		QueryNodesMax:    8,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.AcceptanceRatio >= light.AcceptanceRatio {
+		t.Errorf("heavy load acceptance %.2f >= light %.2f",
+			heavy.AcceptanceRatio, light.AcceptanceRatio)
+	}
+	if heavy.PeakReserved <= light.PeakReserved {
+		t.Errorf("heavy peak %d <= light peak %d", heavy.PeakReserved, light.PeakReserved)
+	}
+	// Under the saturating load most of the host ends up reserved.
+	if heavy.PeakReserved < host.NumNodes()/2 {
+		t.Errorf("heavy peak %d never saturated the %d-node host", heavy.PeakReserved, host.NumNodes())
+	}
+}
+
+func TestLeaseExpiryFreesCapacity(t *testing.T) {
+	host := testHost(t, 25, 4)
+	// Holding time much shorter than interarrival: each request sees an
+	// empty ledger, so acceptance should be near-perfect and reservations
+	// never accumulate.
+	m, err := Run(host, Config{
+		Requests:         40,
+		MeanInterarrival: 2 * time.Hour,
+		MeanHolding:      time.Minute,
+		QueryNodesMin:    3,
+		QueryNodesMax:    5,
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AcceptanceRatio < 0.9 {
+		t.Errorf("acceptance %.2f with no contention", m.AcceptanceRatio)
+	}
+	if m.PeakReserved > 10 {
+		t.Errorf("peak reserved %d despite immediate expiry", m.PeakReserved)
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	host := testHost(t, 30, 6)
+	for _, algo := range []service.Algorithm{service.AlgoECF, service.AlgoRWB, service.AlgoLNS} {
+		m, err := Run(host, Config{Requests: 15, Algorithm: algo, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if m.Accepted == 0 {
+			t.Errorf("%s accepted nothing", algo)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	host := testHost(t, 25, 7)
+	m, err := Run(host, Config{Requests: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.Report(&buf)
+	out := buf.String()
+	for _, want := range []string{"requests:", "accepted:", "peak reserved:", "search time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: means with 95% confidence intervals (the error bars of the
+// paper's figures), percentiles and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	CI95   float64 // half-width of the 95% confidence interval of the mean
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+		s.CI95 = tCritical(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// tCritical approximates the two-tailed 95% Student-t critical value for
+// the given degrees of freedom (exact table for small df, 1.96 beyond).
+func tCritical(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+		2.042,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics. It sorts a copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram bins xs into nBins equal-width buckets over [lo, hi]; values
+// outside the range clamp to the edge buckets.
+func Histogram(xs []float64, lo, hi float64, nBins int) []int {
+	bins := make([]int, nBins)
+	if nBins == 0 || hi <= lo {
+		return bins
+	}
+	w := (hi - lo) / float64(nBins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		bins[b]++
+	}
+	return bins
+}
+
+// String renders the summary as "mean ± ci [min..max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f [%.2f..%.2f] (n=%d)", s.Mean, s.CI95, s.Min, s.Max, s.N)
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEq(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEq(s.StdDev, 2.13809, 1e-4) {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 not positive")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("singleton = %+v", s)
+	}
+	c := Summarize([]float64{5, 5, 5, 5})
+	if c.StdDev != 0 || c.CI95 != 0 {
+		t.Errorf("constant sample = %+v", c)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical(0) != 0 {
+		t.Error("df=0")
+	}
+	if !almostEq(tCritical(1), 12.706, 1e-9) {
+		t.Error("df=1")
+	}
+	if !almostEq(tCritical(4), 2.776, 1e-9) {
+		t.Error("df=4")
+	}
+	if tCritical(1000) != 1.96 {
+		t.Error("df large")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Input must stay unsorted.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Percentile sorted its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1.5, 2.5, 9.9, -5, 15}
+	h := Histogram(xs, 0, 10, 10)
+	if h[0] != 3 { // 0, 0.5, -5 (clamped)
+		t.Errorf("bin0 = %d", h[0])
+	}
+	if h[1] != 1 || h[2] != 1 {
+		t.Errorf("bins = %v", h)
+	}
+	if h[9] != 2 { // 9.9 and 15 (clamped)
+		t.Errorf("bin9 = %d", h[9])
+	}
+	if got := Histogram(xs, 5, 5, 4); got[0] != 0 {
+		t.Error("degenerate range should yield empty bins")
+	}
+	if got := Histogram(xs, 0, 1, 0); len(got) != 0 {
+		t.Error("zero bins")
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Clamp to keep arithmetic exact enough.
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if s.N == 0 {
+			return true
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.StdDev >= 0 && s.CI95 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for j := range xs {
+			xs[j] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				t.Fatalf("percentile not monotone at p=%v", p)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty String")
+	}
+}

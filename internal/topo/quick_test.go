@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"netembed/internal/graph"
+)
+
+// Randomized generator invariants: whatever the configuration, the
+// generators must deliver exactly the requested sizes, connectivity, and
+// positive delay attributes — the properties every downstream experiment
+// silently assumes.
+
+func TestQuickBriteInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(180)
+		// Targets at or above the BA model's natural output (M=2 yields
+		// at most 2(N-2)+1 edges); below that Brite reports an error,
+		// which TestBriteTargetBelowModel pins.
+		e := 2*n + rng.Intn(n)
+		g, err := Brite(BriteConfig{N: n, TargetEdges: e}, rng)
+		if err != nil {
+			t.Fatalf("trial %d (N=%d E=%d): %v", trial, n, e, err)
+		}
+		if g.NumNodes() != n {
+			t.Fatalf("trial %d: %d nodes, want %d", trial, g.NumNodes(), n)
+		}
+		if g.NumEdges() != e {
+			t.Fatalf("trial %d: %d edges, want exactly %d", trial, g.NumEdges(), e)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("trial %d: disconnected host", trial)
+		}
+		assertDelaysPositive(t, trial, g)
+	}
+}
+
+// TestBriteTargetBelowModel pins the explicit-error contract: asking for
+// fewer edges than the growth model emits is refused, not rounded.
+func TestBriteTargetBelowModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	_, err := Brite(BriteConfig{N: 100, TargetEdges: 120}, rng) // BA M=2 ⇒ ~197 edges
+	if err == nil {
+		t.Fatal("Brite accepted an unreachable sparse target")
+	}
+}
+
+func TestQuickTransitStubInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 20; trial++ {
+		numTransit := 3 + rng.Intn(5)
+		stubsPerTransit := 1 + rng.Intn(3)
+		stubSize := 2 + rng.Intn(5)
+		g, err := TransitStub(numTransit, stubsPerTransit, stubSize, rng)
+		if err != nil {
+			t.Fatalf("trial %d (%d/%d/%d): %v", trial, numTransit, stubsPerTransit, stubSize, err)
+		}
+		want := numTransit * (1 + stubsPerTransit*stubSize)
+		if g.NumNodes() != want {
+			t.Fatalf("trial %d: %d nodes, want %d", trial, g.NumNodes(), want)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("trial %d: disconnected transit-stub topology", trial)
+		}
+		assertDelaysPositive(t, trial, g)
+	}
+}
+
+func TestQuickSubgraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	host, err := Brite(BriteConfig{N: 120, TargetEdges: 360}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		e := n - 1 + rng.Intn(n)
+		q, planted, err := Subgraph(host, n, e, rng)
+		if err != nil {
+			// Dense edge requests can be unsatisfiable on a sparse host;
+			// that is a legal answer, not an invariant violation.
+			continue
+		}
+		if q.NumNodes() != n {
+			t.Fatalf("trial %d: query has %d nodes, want %d", trial, q.NumNodes(), n)
+		}
+		if !q.IsConnected() {
+			t.Fatalf("trial %d: sampled query disconnected", trial)
+		}
+		if len(planted) != n {
+			t.Fatalf("trial %d: planted mapping covers %d nodes", trial, len(planted))
+		}
+		// The planted identity embedding must preserve adjacency.
+		for i := 0; i < q.NumEdges(); i++ {
+			qe := q.Edge(graph.EdgeID(i))
+			if !host.HasEdge(planted[qe.From], planted[qe.To]) {
+				t.Fatalf("trial %d: planted image misses host edge for query edge %d", trial, i)
+			}
+		}
+		// And be injective.
+		seen := map[graph.NodeID]bool{}
+		for _, r := range planted {
+			if seen[r] {
+				t.Fatalf("trial %d: planted mapping not injective", trial)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func assertDelaysPositive(t *testing.T, trial int, g *graph.Graph) {
+	t.Helper()
+	for i := 0; i < g.NumEdges(); i++ {
+		attrs := g.Edge(graph.EdgeID(i)).Attrs
+		for _, name := range []string{"minDelay", "avgDelay", "maxDelay"} {
+			if v, ok := attrs.Float(name); ok && v <= 0 {
+				t.Fatalf("trial %d: edge %d has non-positive %s = %v", trial, i, name, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package topo generates the network topologies used throughout the
+// paper's evaluation (§VII-A): regular structures (rings, stars, cliques,
+// trees, grids and two-level composites of these) used as query networks,
+// BRITE-style synthetic Internet topologies used as hosting networks, and
+// random connected subgraph sampling used to derive feasible queries from
+// a hosting network.
+package topo
+
+import (
+	"fmt"
+
+	"netembed/internal/graph"
+)
+
+// Kind names a regular topology family.
+type Kind string
+
+// The regular topology families. Composite queries (§VII-D) combine two
+// of these in a two-level hierarchy.
+const (
+	KindRing   Kind = "ring"
+	KindStar   Kind = "star"
+	KindClique Kind = "clique"
+	KindLine   Kind = "line"
+)
+
+// Regular builds a regular topology of the given kind with n nodes. Star
+// topologies place the hub at node 0.
+func Regular(kind Kind, n int) (*graph.Graph, error) {
+	switch kind {
+	case KindRing:
+		return Ring(n), nil
+	case KindStar:
+		return Star(n), nil
+	case KindClique:
+		return Clique(n), nil
+	case KindLine:
+		return Line(n), nil
+	}
+	return nil, fmt.Errorf("topo: unknown regular kind %q", kind)
+}
+
+// Ring returns the cycle C_n. For n = 2 it degenerates to a single edge.
+func Ring(n int) *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNodes(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), nil)
+	}
+	if n > 2 {
+		g.MustAddEdge(graph.NodeID(n-1), 0, nil)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with node 0 as the hub.
+func Star(n int) *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, graph.NodeID(i), nil)
+	}
+	return g
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), nil)
+		}
+	}
+	return g
+}
+
+// Line returns the path P_n.
+func Line(n int) *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNodes(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), nil)
+	}
+	return g
+}
+
+// Tree returns the complete arity-ary tree with the given depth (a depth
+// of 0 is a single root).
+func Tree(arity, depth int) *graph.Graph {
+	g := graph.NewUndirected()
+	root := g.AddNode("", nil)
+	var grow func(parent graph.NodeID, d int)
+	grow = func(parent graph.NodeID, d int) {
+		if d == 0 {
+			return
+		}
+		for i := 0; i < arity; i++ {
+			child := g.AddNode("", nil)
+			g.MustAddEdge(parent, child, nil)
+			grow(child, d-1)
+		}
+	}
+	grow(root, depth)
+	return g
+}
+
+// Grid returns the rows×cols lattice.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNodes(rows * cols)
+	at := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1), nil)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c), nil)
+			}
+		}
+	}
+	return g
+}
+
+// LevelAttr is the edge attribute distinguishing the two levels of a
+// composite topology: "root" for inter-cluster edges, "leaf" for
+// intra-cluster edges.
+const LevelAttr = "level"
+
+// Composite builds the two-level hierarchical queries of §VII-D: a root
+// structure of rootSize clusters, where each cluster is itself a leaf
+// structure of leafSize nodes. Each root-level edge connects the first
+// nodes of the two clusters and is tagged level="root"; intra-cluster
+// edges are tagged level="leaf".
+func Composite(root Kind, rootSize int, leaf Kind, leafSize int) (*graph.Graph, error) {
+	rootG, err := Regular(root, rootSize)
+	if err != nil {
+		return nil, err
+	}
+	leafG, err := Regular(leaf, leafSize)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.NewUndirected()
+	// first[i] is the representative node of cluster i.
+	first := make([]graph.NodeID, rootSize)
+	for c := 0; c < rootSize; c++ {
+		base := g.AddNodes(leafSize)
+		first[c] = base
+		for i := 0; i < leafG.NumEdges(); i++ {
+			e := leafG.Edge(graph.EdgeID(i))
+			g.MustAddEdge(base+e.From, base+e.To, graph.Attrs{}.SetStr(LevelAttr, "leaf"))
+		}
+	}
+	for i := 0; i < rootG.NumEdges(); i++ {
+		e := rootG.Edge(graph.EdgeID(i))
+		g.MustAddEdge(first[e.From], first[e.To], graph.Attrs{}.SetStr(LevelAttr, "root"))
+	}
+	return g, nil
+}

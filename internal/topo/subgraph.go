@@ -1,0 +1,153 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netembed/internal/graph"
+)
+
+// Subgraph samples a random connected subgraph of host with nNodes nodes
+// and (about) nEdges edges, the paper's primary query workload (§VII-A,
+// first approach). The query keeps copies of the sampled nodes' and edges'
+// attribute bags, so an identity embedding trivially satisfies
+// attribute-window constraints derived from them.
+//
+// The result's second value is the planted mapping: query node i
+// corresponds to host node plant[i], witnessing that at least one feasible
+// embedding exists.
+//
+// nEdges is clamped to [nNodes-1, all induced edges]: the subgraph is
+// always connected (a spanning tree of the sampled region is always
+// included) and never exceeds the edges the host induces on the sample.
+func Subgraph(host *graph.Graph, nNodes, nEdges int, rng *rand.Rand) (*graph.Graph, []graph.NodeID, error) {
+	if nNodes < 1 || nNodes > host.NumNodes() {
+		return nil, nil, fmt.Errorf("topo: cannot sample %d nodes from %d-node host", nNodes, host.NumNodes())
+	}
+	// Grow a connected sample by random frontier expansion.
+	start := graph.NodeID(rng.Intn(host.NumNodes()))
+	selected := map[graph.NodeID]graph.NodeID{} // host -> query
+	plant := make([]graph.NodeID, 0, nNodes)
+	var frontier []graph.NodeID
+	inFrontier := map[graph.NodeID]bool{}
+
+	q := graph.NewUndirected()
+	type treeEdge struct {
+		qu, qv graph.NodeID
+		host   graph.EdgeID
+	}
+	var tree []treeEdge
+
+	add := func(h graph.NodeID) {
+		qid := q.AddNode(host.Node(h).Name, host.Node(h).Attrs.Clone())
+		selected[h] = qid
+		plant = append(plant, h)
+		for _, a := range host.Arcs(h) {
+			if _, in := selected[a.To]; !in && !inFrontier[a.To] {
+				frontier = append(frontier, a.To)
+				inFrontier[a.To] = true
+			}
+		}
+	}
+	add(start)
+	for len(plant) < nNodes {
+		if len(frontier) == 0 {
+			return nil, nil, fmt.Errorf("topo: host component around node %d has only %d nodes, need %d",
+				start, len(plant), nNodes)
+		}
+		i := rng.Intn(len(frontier))
+		h := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		delete(inFrontier, h)
+
+		// Pick one random already-selected neighbor as the tree parent.
+		var parents []graph.Arc
+		for _, a := range host.Arcs(h) {
+			if _, in := selected[a.To]; in {
+				parents = append(parents, a)
+			}
+		}
+		p := parents[rng.Intn(len(parents))]
+		add(h)
+		tree = append(tree, treeEdge{selected[h], selected[p.To], p.Edge})
+	}
+
+	// Spanning tree edges first, then random extra induced edges.
+	for _, te := range tree {
+		q.MustAddEdge(te.qu, te.qv, host.Edge(te.host).Attrs.Clone())
+	}
+	var extras []graph.EdgeID
+	for qi, h := range plant {
+		qu := graph.NodeID(qi)
+		for _, a := range host.Arcs(h) {
+			if qv, in := selected[a.To]; in && h < a.To && !q.HasEdge(qu, qv) {
+				extras = append(extras, a.Edge)
+			}
+		}
+	}
+	rng.Shuffle(len(extras), func(i, j int) { extras[i], extras[j] = extras[j], extras[i] })
+	for _, he := range extras {
+		if q.NumEdges() >= nEdges {
+			break
+		}
+		e := host.Edge(he)
+		q.MustAddEdge(selected[e.From], selected[e.To], e.Attrs.Clone())
+	}
+	return q, plant, nil
+}
+
+// Delay attribute names shared by the generators, the trace synthesizer
+// and the experiment constraints.
+const (
+	AttrMinDelay = "minDelay"
+	AttrAvgDelay = "avgDelay"
+	AttrMaxDelay = "maxDelay"
+)
+
+// WidenDelayWindows turns the copied minDelay/maxDelay measurements on the
+// edges of a sampled query into acceptance windows, widening them by the
+// relative slack. Under the standard window constraint
+//
+//	rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay
+//
+// the planted identity embedding remains feasible for any slack >= 0.
+func WidenDelayWindows(q *graph.Graph, slack float64) {
+	for i := 0; i < q.NumEdges(); i++ {
+		attrs := q.Edge(graph.EdgeID(i)).Attrs
+		if lo, ok := attrs.Float(AttrMinDelay); ok {
+			attrs.SetNum(AttrMinDelay, lo*(1-slack))
+		}
+		if hi, ok := attrs.Float(AttrMaxDelay); ok {
+			attrs.SetNum(AttrMaxDelay, hi*(1+slack))
+		}
+	}
+}
+
+// SetDelayWindow stamps every edge of q with the same [lo, hi] acceptance
+// window, the workload used for the clique queries of §VII-D ("end-to-end
+// delay between 10 and 100ms").
+func SetDelayWindow(q *graph.Graph, lo, hi float64) {
+	for i := 0; i < q.NumEdges(); i++ {
+		attrs := q.Edge(graph.EdgeID(i)).Attrs
+		q.Edge(graph.EdgeID(i)).Attrs = attrs.SetNum(AttrMinDelay, lo).SetNum(AttrMaxDelay, hi)
+	}
+}
+
+// MakeInfeasible rewrites k random query edges with an impossible delay
+// window (negative delays), producing the known-infeasible twins used in
+// Fig 10. Topology is unchanged — only constraints move, exactly as the
+// paper constructs its no-match workload. k is clamped to the edge count.
+func MakeInfeasible(q *graph.Graph, k int, rng *rand.Rand) {
+	if q.NumEdges() == 0 {
+		return
+	}
+	if k > q.NumEdges() {
+		k = q.NumEdges()
+	}
+	perm := rng.Perm(q.NumEdges())
+	for _, i := range perm[:k] {
+		attrs := q.Edge(graph.EdgeID(i)).Attrs
+		q.Edge(graph.EdgeID(i)).Attrs = attrs.SetNum(AttrMinDelay, -2).SetNum(AttrMaxDelay, -1)
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"netembed/internal/graph"
+)
+
+func TestDefaultSizeMatchesPaper(t *testing.T) {
+	g := Default(1)
+	if g.NumNodes() != 296 {
+		t.Errorf("sites = %d, want 296", g.NumNodes())
+	}
+	if got := g.NumEdges(); got != 28996 {
+		t.Errorf("edges = %v, want 28996", got)
+	}
+	if g.Directed() {
+		t.Error("trace must be undirected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !g.IsConnected() {
+		t.Error("dense trace should be connected")
+	}
+}
+
+// TestDelayDistributionMatchesPaper pins the three distribution facts the
+// paper's experiments quote (see package comment).
+func TestDelayDistributionMatchesPaper(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := Stats(Default(seed))
+		frac := func(n int) float64 { return float64(n) / float64(s.Edges) }
+		// "about 6,700 edges" fall in the clique window [10,100]ms: 23.1%.
+		if f := frac(s.InWindow10100); f < 0.19 || f > 0.29 {
+			t.Errorf("seed %d: [10,100]ms fraction = %.3f, want ≈0.23", seed, f)
+		}
+		// "the 25-175ms range ... contains about 70% of the links"
+		// (within a few points here; the clique-supporting geographic
+		// clustering trades a little mass out of this window).
+		if f := frac(s.InWindow25175); f < 0.62 || f > 0.76 {
+			t.Errorf("seed %d: [25,175]ms fraction = %.3f, want ≈0.70", seed, f)
+		}
+		// "abundant links in both ranges" 1-75ms and 75-350ms.
+		if f := frac(s.InWindow1075); f < 0.12 {
+			t.Errorf("seed %d: [1,75]ms fraction = %.3f, want abundant", seed, f)
+		}
+		if f := frac(s.InWindow75350); f < 0.40 {
+			t.Errorf("seed %d: [75,350]ms fraction = %.3f, want abundant", seed, f)
+		}
+	}
+}
+
+func TestEdgeAttributesWellFormed(t *testing.T) {
+	g := Default(2)
+	for i := 0; i < g.NumEdges(); i++ {
+		a := g.Edge(graph.EdgeID(i)).Attrs
+		min, ok1 := a.Float("minDelay")
+		avg, ok2 := a.Float("avgDelay")
+		max, ok3 := a.Float("maxDelay")
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("edge %d missing delay attrs: %v", i, a)
+		}
+		if !(min <= avg && avg <= max) {
+			t.Fatalf("edge %d: min %v avg %v max %v out of order", i, min, avg, max)
+		}
+		if min <= 0 {
+			t.Fatalf("edge %d: non-positive min delay %v", i, min)
+		}
+	}
+}
+
+func TestNodeAttributes(t *testing.T) {
+	g := Default(3)
+	regionCount := map[string]int{}
+	for i := 0; i < g.NumNodes(); i++ {
+		a := g.Node(graph.NodeID(i)).Attrs
+		region, ok := a.Text("region")
+		if !ok {
+			t.Fatalf("node %d missing region", i)
+		}
+		regionCount[region]++
+		if _, ok := a.Float("cpu"); !ok {
+			t.Fatalf("node %d missing cpu", i)
+		}
+		if _, ok := a.Text("osType"); !ok {
+			t.Fatalf("node %d missing osType", i)
+		}
+	}
+	if len(regionCount) != len(regions) {
+		t.Errorf("regions present = %v, want all %d", regionCount, len(regions))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, b := Default(7), Default(7)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea, eb := a.Edge(graph.EdgeID(i)), b.Edge(graph.EdgeID(i))
+		if ea.From != eb.From || ea.To != eb.To {
+			t.Fatal("same seed produced different structure")
+		}
+		da, _ := ea.Attrs.Float("avgDelay")
+		db, _ := eb.Attrs.Float("avgDelay")
+		if da != db {
+			t.Fatal("same seed produced different delays")
+		}
+	}
+}
+
+func TestCustomConfigScales(t *testing.T) {
+	g := SyntheticPlanetLab(Config{Sites: 50}, rand.New(rand.NewSource(1)))
+	if g.NumNodes() != 50 {
+		t.Errorf("sites = %d", g.NumNodes())
+	}
+	// Density should track the paper's 66.4%.
+	wantPairs := 50 * 49 / 2 * 28996 / 43660
+	if g.NumEdges() != wantPairs {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantPairs)
+	}
+}
+
+func TestAllPairsRoundTrip(t *testing.T) {
+	orig := SyntheticPlanetLab(Config{Sites: 40}, rand.New(rand.NewSource(5)))
+	var sb strings.Builder
+	if err := WriteAllPairs(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllPairs(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumEdges() != orig.NumEdges() {
+		t.Fatalf("round trip size: %v vs %v", got, orig)
+	}
+	for i := 0; i < orig.NumEdges(); i++ {
+		e := orig.Edge(graph.EdgeID(i))
+		gu, _ := got.NodeByName(orig.Node(e.From).Name)
+		gv, _ := got.NodeByName(orig.Node(e.To).Name)
+		ge, ok := got.EdgeBetween(gu, gv)
+		if !ok {
+			t.Fatalf("edge %d lost", i)
+		}
+		for _, attr := range []string{"minDelay", "avgDelay", "maxDelay"} {
+			wa, _ := e.Attrs.Float(attr)
+			ga, _ := got.Edge(ge).Attrs.Float(attr)
+			if wa != ga {
+				t.Fatalf("edge %d %s: %v vs %v", i, attr, wa, ga)
+			}
+		}
+	}
+}
+
+func TestReadAllPairsErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"bad site", "site a\n", "want 'site"},
+		{"dup site", "site a x\nsite a y\n", "duplicate site"},
+		{"bad pair arity", "site a x\nsite b x\npair a b 1 2\n", "want 'pair"},
+		{"unknown site", "site a x\npair a b 1 2 3\n", "unknown site"},
+		{"bad delay", "site a x\nsite b x\npair a b 1 two 3\n", "bad delay"},
+		{"dup pair", "site a x\nsite b x\npair a b 1 2 3\npair b a 1 2 3\n", "duplicate"},
+		{"unknown record", "blah\n", "unknown record"},
+	}
+	for _, c := range cases {
+		_, err := ReadAllPairs(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestReadAllPairsSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nsite a na-east\nsite b europe\n\n# pairs\npair a b 1 2 3\n"
+	g, err := ReadAllPairs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("parsed %v", g)
+	}
+}
+
+func BenchmarkSyntheticPlanetLab(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Default(int64(i))
+	}
+}
