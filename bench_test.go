@@ -9,6 +9,7 @@
 package netembed_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -543,5 +544,126 @@ func BenchmarkHarnessFig13Tiny(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.Fig13(cfg)
+	}
+}
+
+// --- Candidate-set representation: sorted slices vs dense bitsets ---
+//
+// The ECF/RWB hot path is candidate-set intersection; BuildFilters picks
+// the row representation adaptively (Options.Repr overrides). These
+// benches pin both representations at several host sizes. The Search
+// variants run against prebuilt filters — the regime of a service
+// re-embedding against a cached model — where the intersection speedup
+// shows undiluted; the end-to-end variants include filter construction,
+// whose (representation-independent) constraint evaluation dominates on
+// edge-dense hosts.
+
+var (
+	reprHostOnce sync.Once
+	reprHosts    map[int]*netembed.Graph
+)
+
+// reprHost returns a dense PlanetLab-style host with the given node count
+// — the intersection-heavy regime, where filter rows hold hundreds of
+// candidates.
+func reprHost(b *testing.B, sites int) *netembed.Graph {
+	b.Helper()
+	reprHostOnce.Do(func() {
+		reprHosts = map[int]*netembed.Graph{}
+		for _, n := range []int{128, 512} {
+			reprHosts[n] = trace.SyntheticPlanetLab(trace.Config{Sites: n}, rand.New(rand.NewSource(1)))
+		}
+	})
+	g, ok := reprHosts[sites]
+	if !ok {
+		b.Fatalf("reprHost: no fixture for %d sites (add it to the sync.Once above)", sites)
+	}
+	return g
+}
+
+func reprName(r netembed.Repr) string {
+	if r == core.ReprBitset {
+		return "bitset"
+	}
+	return "slice"
+}
+
+// countWithFilters enumerates up to cap embeddings over prebuilt filters
+// without retaining them.
+func countWithFilters(f *netembed.Filters, cap int) int64 {
+	var n int64
+	opt := netembed.Options{MaxSolutions: cap}
+	opt.OnSolution = func(netembed.Mapping) bool { n++; return true }
+	core.ECFWithFilters(f, opt)
+	return n
+}
+
+func BenchmarkRepr_ECF_Search(b *testing.B) {
+	for _, sites := range []int{128, 512} {
+		host := reprHost(b, sites)
+		p := subgraphProblem(b, host, 24, 3)
+		for _, repr := range []netembed.Repr{core.ReprSlice, core.ReprBitset} {
+			f := core.BuildFilters(p, &netembed.Options{Repr: repr})
+			b.Run(fmt.Sprintf("n%d/%s", sites, reprName(repr)), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if countWithFilters(f, 500_000) == 0 {
+						b.Fatal("planted query not found")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkRepr_ECF_EndToEnd(b *testing.B) {
+	for _, sites := range []int{128, 512} {
+		host := reprHost(b, sites)
+		for _, repr := range []netembed.Repr{core.ReprSlice, core.ReprBitset} {
+			b.Run(fmt.Sprintf("n%d/%s", sites, reprName(repr)), func(b *testing.B) {
+				p := subgraphProblem(b, host, 24, 3)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if countAll("ECF", p, netembed.Options{Repr: repr, MaxSolutions: 500_000}) == 0 {
+						b.Fatal("planted query not found")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkRepr_RWB_Search(b *testing.B) {
+	for _, sites := range []int{128, 512} {
+		host := reprHost(b, sites)
+		p := subgraphProblem(b, host, 24, 3)
+		for _, repr := range []netembed.Repr{core.ReprSlice, core.ReprBitset} {
+			f := core.BuildFilters(p, &netembed.Options{Repr: repr})
+			b.Run(fmt.Sprintf("n%d/%s", sites, reprName(repr)), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := core.RWBWithFilters(f, netembed.Options{Seed: int64(i)})
+					if len(res.Solutions) == 0 {
+						b.Fatal("planted query not found")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkRepr_ParallelECF(b *testing.B) {
+	for _, sites := range []int{128, 512} {
+		host := reprHost(b, sites)
+		for _, repr := range []netembed.Repr{core.ReprSlice, core.ReprBitset} {
+			b.Run(fmt.Sprintf("n%d/%s", sites, reprName(repr)), func(b *testing.B) {
+				p := subgraphProblem(b, host, 24, 3)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := core.ParallelECF(p, netembed.Options{Workers: 4, Repr: repr, MaxSolutions: 100_000})
+					if len(res.Solutions) == 0 {
+						b.Fatal("planted query not found")
+					}
+				}
+			})
+		}
 	}
 }

@@ -10,14 +10,23 @@
 //
 // Endpoints: GET /healthz, GET/PUT /model, POST /embed,
 // POST/DELETE /reserve. See internal/service/httpapi.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, the monitoring goroutine is stopped, and the
+// process exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"netembed"
@@ -26,34 +35,82 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("netembedd: %v", err)
+	}
+}
+
+func run() error {
 	var (
 		listen   = flag.String("listen", ":8080", "HTTP listen address")
 		hostPath = flag.String("host", "planetlab", "hosting network GraphML file, or 'planetlab'")
 		seed     = flag.Int64("seed", 1, "seed for the synthetic host")
 		monitor  = flag.Duration("monitor", 0, "enable the simulated monitoring feed with this period (0 = off)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+		hdrLimit = flag.Duration("header-timeout", 10*time.Second, "ReadHeaderTimeout guarding against slow-loris clients")
 	)
 	flag.Parse()
 
 	host, err := loadHost(*hostPath, *seed)
 	if err != nil {
-		log.Fatalf("netembedd: %v", err)
+		return err
 	}
 	model := netembed.NewModel(host)
 	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: *timeout})
 
+	// The monitor goroutine is joined on every exit path — the stop
+	// channel and WaitGroup outlive any serve error.
+	var monWG sync.WaitGroup
+	monStop := make(chan struct{})
 	if *monitor > 0 {
 		mon := netembed.NewMonitor(model, service.MonitorConfig{Interval: *monitor, Seed: *seed})
-		stop := make(chan struct{})
-		defer close(stop)
-		go mon.Run(stop)
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			mon.Run(monStop)
+		}()
 		log.Printf("monitoring feed enabled, period %v", *monitor)
 	}
+	stopMonitor := func() {
+		close(monStop)
+		monWG.Wait()
+	}
 
-	log.Printf("serving NETEMBED on %s (host: %d nodes, %d edges)",
-		*listen, host.NumNodes(), host.NumEdges())
-	if err := http.ListenAndServe(*listen, httpapi.New(svc)); err != nil {
-		log.Fatalf("netembedd: %v", err)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           httpapi.New(svc),
+		ReadHeaderTimeout: *hdrLimit,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving NETEMBED on %s (host: %d nodes, %d edges)",
+			*listen, host.NumNodes(), host.NumEdges())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		stopMonitor()
+		return err
+	case <-ctx.Done():
+		log.Printf("shutdown signal received, draining for up to %v", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		stopMonitor()
+		if err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
+		}
+		log.Print("shutdown complete")
+		return nil
 	}
 }
 

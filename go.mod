@@ -1,0 +1,3 @@
+module netembed
+
+go 1.24

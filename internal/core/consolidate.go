@@ -6,6 +6,7 @@ import (
 
 	"netembed/internal/expr"
 	"netembed/internal/graph"
+	"netembed/internal/sets"
 )
 
 // This file implements the second many-to-one extension sketched in §VIII
@@ -101,9 +102,19 @@ type consSearcher struct {
 
 	order     []graph.NodeID   // query nodes in connected ascending order
 	preNbrs   [][]graph.NodeID // earlier-placed query neighbors per depth
-	base      [][]graph.NodeID // node-constraint-feasible hosts per query node
+	base      []sets.Set       // node-constraint-feasible hosts per query node
+	baseB     []*sets.Bitset   // the same sets as bitsets
 	demand    []float64
 	remaining []float64
+	minDemand float64
+
+	// saturated marks hosts whose remaining capacity has dropped below
+	// the smallest query demand: no further node can land there, so the
+	// candidate materialization subtracts them word-wise instead of
+	// probing remaining[] per host.
+	saturated *sets.Bitset
+	candBits  *sets.Bitset // scratch for materializing candidates
+	scratch   [][]int32    // per-depth candidate buffers
 
 	assign        Mapping
 	feasibleSetup bool
@@ -141,9 +152,19 @@ func (s *consSearcher) init() {
 		s.remaining[r] = c
 	}
 
+	if nq > 0 {
+		s.minDemand = s.demand[0]
+		for _, d := range s.demand[1:] {
+			if d < s.minDemand {
+				s.minDemand = d
+			}
+		}
+	}
+
 	// Base candidates: the node constraint plus the capacity sanity bound
 	// (a host below the node's own demand can never help).
-	s.base = make([][]graph.NodeID, nq)
+	s.base = make([]sets.Set, nq)
+	s.baseB = make([]*sets.Bitset, nq)
 	for i := 0; i < nq; i++ {
 		for r := 0; r < nh; r++ {
 			if s.remaining[r] >= s.demand[i] && s.p.nodeOK(graph.NodeID(i), graph.NodeID(r)) {
@@ -153,7 +174,16 @@ func (s *consSearcher) init() {
 		if len(s.base[i]) == 0 {
 			return // some query node has no host at all: definitive no-match
 		}
+		s.baseB[i] = sets.FromSet(nh, s.base[i])
 	}
+	s.saturated = sets.NewBitset(nh)
+	for r := 0; r < nh; r++ {
+		if s.remaining[r] < s.minDemand {
+			s.saturated.Set(graph.NodeID(r))
+		}
+	}
+	s.candBits = sets.NewBitset(nh)
+	s.scratch = make([][]int32, nq)
 
 	s.order = consOrder(q, s.base)
 	pos := make([]int, nq)
@@ -192,7 +222,7 @@ func (s *consSearcher) init() {
 
 // consOrder is the consolidation analogue of connectedAscendingOrder:
 // seed with the fewest-candidates node, then grow along query edges.
-func consOrder(q *graph.Graph, base [][]graph.NodeID) []graph.NodeID {
+func consOrder(q *graph.Graph, base []sets.Set) []graph.NodeID {
 	nq := q.NumNodes()
 	picked := make([]bool, nq)
 	prefixEdges := make([]int, nq)
@@ -309,8 +339,17 @@ func (s *consSearcher) search(d int) {
 		return
 	}
 	node := s.order[d]
+	// Materialize this depth's candidates: the node's base bitset minus
+	// saturated hosts, ascending — the same order the base slice scan
+	// produced, with packed hosts pruned word-wise up front.
+	buf := s.scratch[d][:0]
+	s.candBits.CopyFrom(s.baseB[node])
+	if s.candBits.AndNotWith(s.saturated) {
+		buf = s.candBits.AppendTo(buf)
+	}
+	s.scratch[d] = buf
 	found := false
-	for _, r := range s.base[node] {
+	for _, r := range buf {
 		if s.checkDeadline() || s.stopped {
 			return
 		}
@@ -331,8 +370,14 @@ func (s *consSearcher) search(d int) {
 		s.stats.NodesVisited++
 		s.assign[node] = r
 		s.remaining[r] -= s.demand[node]
+		if s.remaining[r] < s.minDemand {
+			s.saturated.Set(r)
+		}
 		s.search(d + 1)
 		s.remaining[r] += s.demand[node]
+		if s.remaining[r] >= s.minDemand {
+			s.saturated.Clear(r)
+		}
 		s.assign[node] = -1
 	}
 	if !found {

@@ -29,12 +29,15 @@ func DynamicECF(p *Problem, opt Options) *Result {
 		opt:     opt,
 		nq:      p.Query.NumNodes(),
 		assign:  make(Mapping, p.Query.NumNodes()),
-		used:    sets.NewBits(p.Host.NumNodes()),
+		used:    sets.NewBitset(p.Host.NumNodes()),
 		started: start,
 		stats:   f.Stats(),
 	}
 	for i := range s.assign {
 		s.assign[i] = -1
+	}
+	if f.Dense() {
+		s.bufBits = sets.NewBitset(p.Host.NumNodes())
 	}
 	if opt.Timeout > 0 {
 		s.deadline = start.Add(opt.Timeout)
@@ -63,10 +66,12 @@ type dynSearcher struct {
 
 	nq     int
 	assign Mapping
-	used   *sets.Bits
+	used   *sets.Bitset
 
 	bufA, bufB sets.Set
 	rows       []sets.Set
+	rowsB      []*sets.Bitset
+	bufBits    *sets.Bitset // dense-mode intersection accumulator
 
 	deadline    time.Time
 	hasDeadline bool
@@ -96,8 +101,12 @@ func (s *dynSearcher) checkDeadline() bool {
 
 // candidatesFor computes the current candidate set of an unplaced node:
 // the intersection of filter rows from placed neighbors (or the base set
-// when none), minus used hosts. The result aliases s.bufA.
+// when none), minus used hosts. The result aliases s.bufA. It operates on
+// whichever representation the filters carry.
 func (s *dynSearcher) candidatesFor(q graph.NodeID) sets.Set {
+	if s.f.Dense() {
+		return s.candidatesForDense(q)
+	}
 	s.rows = s.rows[:0]
 	collect := func(nbr graph.NodeID) bool {
 		if s.assign[nbr] < 0 {
@@ -142,6 +151,63 @@ func (s *dynSearcher) candidatesFor(q graph.NodeID) sets.Set {
 		if !s.used.Has(r) {
 			out = append(out, r)
 		}
+	}
+	s.bufA = out
+	return out
+}
+
+// candidatesForDense is candidatesFor on bitset rows: a nil row from a
+// placed neighbor is empty (dead end), otherwise the rows AND together in
+// the accumulator and the used marks subtract word-wise.
+func (s *dynSearcher) candidatesForDense(q graph.NodeID) sets.Set {
+	s.rowsB = s.rowsB[:0]
+	dead := false
+	collect := func(nbr graph.NodeID) bool {
+		if s.assign[nbr] < 0 {
+			return true
+		}
+		for _, t := range s.f.arcTables[arcKey(nbr, q)] {
+			row := s.f.tablesB[t][s.assign[nbr]]
+			if row == nil {
+				return false
+			}
+			s.rowsB = append(s.rowsB, row)
+		}
+		return true
+	}
+	for _, a := range s.p.Query.Arcs(q) {
+		if !collect(a.To) {
+			dead = true
+			break
+		}
+	}
+	if !dead && s.p.Query.Directed() {
+		for _, a := range s.p.Query.InArcs(q) {
+			if !collect(a.To) {
+				dead = true
+				break
+			}
+		}
+	}
+	if dead {
+		s.bufA = s.bufA[:0]
+		return s.bufA
+	}
+	bb := s.bufBits
+	nonempty := true
+	if len(s.rowsB) == 0 {
+		bb.CopyFrom(s.f.baseB[q])
+	} else {
+		bb.CopyFrom(s.rowsB[0])
+		for _, row := range s.rowsB[1:] {
+			if nonempty = bb.IntersectWith(row); !nonempty {
+				break
+			}
+		}
+	}
+	out := s.bufA[:0]
+	if nonempty && bb.AndNotWith(s.used) {
+		out = bb.AppendTo(out)
 	}
 	s.bufA = out
 	return out

@@ -23,6 +23,33 @@ func ECF(p *Problem, opt Options) *Result {
 	return res
 }
 
+// ECFWithFilters runs the ECF search against prebuilt filter matrices,
+// letting callers amortize one BuildFilters across repeated searches —
+// the same query re-embedded as options vary, or benchmarks isolating
+// the search hot path from filter construction. The filter-shaping knobs
+// in opt (LooseRoot, NoDegreeFilter, Repr, Workers) have no effect here;
+// they were fixed when f was built. The returned stats inherit f's
+// filter-build counters.
+func ECFWithFilters(f *Filters, opt Options) *Result {
+	start := time.Now()
+	res := searchWithFilters(f.p, f, opt, nil, start)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// RWBWithFilters is ECFWithFilters with RWB's randomized candidate order
+// and first-solution default.
+func RWBWithFilters(f *Filters, opt Options) *Result {
+	if opt.MaxSolutions == 0 {
+		opt.MaxSolutions = 1
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := searchWithFilters(f.p, f, opt, rng, start)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
 // RWB is Random Walk search with Backtracking (§V-B): the same filters and
 // pruning as ECF, but candidates at every level are tried in random order
 // and the search stops at the first embedding (unless Options.MaxSolutions
@@ -58,12 +85,13 @@ type searcher struct {
 	preArcs [][]preArc     // preArcs[d] = filters from earlier neighbors
 
 	assign Mapping
-	used   *sets.Bits
+	used   *sets.Bitset
 
 	scratch   [][]int32 // per-depth candidate buffers
 	interBuf  sets.Set
 	interBuf2 sets.Set
 	rows      []sets.Set
+	interBits *sets.Bitset // dense-mode intersection accumulator
 
 	deadline    time.Time
 	hasDeadline bool
@@ -95,13 +123,16 @@ func newSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time
 		opt:     opt,
 		rng:     rng,
 		assign:  make(Mapping, nq),
-		used:    sets.NewBits(p.Host.NumNodes()),
+		used:    sets.NewBitset(p.Host.NumNodes()),
 		scratch: make([][]int32, nq),
 		started: start,
 		stats:   f.Stats(),
 	}
 	for i := range s.assign {
 		s.assign[i] = -1
+	}
+	if f.Dense() {
+		s.interBits = sets.NewBitset(p.Host.NumNodes())
 	}
 	if opt.Timeout > 0 {
 		s.deadline = s.started.Add(opt.Timeout)
@@ -252,11 +283,41 @@ func (s *searcher) checkDeadline() bool {
 // candidates computes formula (2) for the node at depth d: the
 // intersection of the filter rows selected by every earlier-placed
 // neighbor, minus hosts already in use. Nodes with no earlier neighbors
-// fall back to their base candidate set (formula (1)).
+// fall back to their base candidate set (formula (1)). The result is
+// materialized into the depth's scratch buffer from whichever
+// representation the filters carry.
 func (s *searcher) candidates(d int) []int32 {
 	node := s.order[d]
 	buf := s.scratch[d][:0]
 	pres := s.preArcs[d]
+	if s.f.Dense() {
+		// Bitset path: AND the rows into the accumulator, subtract the
+		// in-use marks word-wise, and materialize ascending — the same
+		// order the sorted-slice path produces.
+		bb := s.interBits
+		if len(pres) == 0 {
+			bb.CopyFrom(s.f.baseB[node])
+		} else {
+			row := s.f.tablesB[pres[0].table][s.assign[pres[0].tail]]
+			if row == nil {
+				s.scratch[d] = buf
+				return buf
+			}
+			bb.CopyFrom(row)
+			for _, pa := range pres[1:] {
+				row := s.f.tablesB[pa.table][s.assign[pa.tail]]
+				if row == nil || !bb.IntersectWith(row) {
+					s.scratch[d] = buf
+					return buf
+				}
+			}
+		}
+		if bb.AndNotWith(s.used) {
+			buf = bb.AppendTo(buf)
+		}
+		s.scratch[d] = buf
+		return buf
+	}
 	if len(pres) == 0 {
 		for _, r := range s.f.base[node] {
 			if !s.used.Has(r) {

@@ -12,31 +12,45 @@ import (
 // Filters is the paper's sparse 3-D filter construction (§V-A). The cell
 // F[v, r, vs] — "candidate mappings for query node vs when query node v is
 // mapped to host node r" — is laid out as one table per *directed query
-// arc* (v → vs), indexed by r, holding a sorted candidate set. The
-// companion non-match filter F̄ is derivable as the complement against the
-// host adjacency; BuildFilters tracks only its aggregate size, since the
-// search needs just the positive sets.
+// arc* (v → vs), indexed by r, holding a candidate set. The companion
+// non-match filter F̄ is derivable as the complement against the host
+// adjacency; BuildFilters tracks only its aggregate size, since the search
+// needs just the positive sets.
+//
+// Rows are stored in one of two representations, chosen adaptively by
+// Options.Repr (see sets.Bitset): sorted []int32 slices, or dense bitsets
+// over the host universe. Exactly one of tables/tablesB is populated; the
+// search loops ask Dense() and intersect whichever the filters carry. The
+// base candidate sets are always materialized as sorted slices (the
+// ordering heuristics and root sharding read them), with bitset mirrors
+// in dense mode.
 //
 // Base candidate sets realize formula (1): by default tightened to the
 // intersection of per-neighbor unions (still a superset of any feasible
 // root assignment, so completeness is preserved); Options.LooseRoot keeps
 // the paper's literal union.
 type Filters struct {
-	p  *Problem
-	nq int
-	nr int
+	p     *Problem
+	nq    int
+	nr    int
+	dense bool
 
 	// arcTables[key(u,v)] lists table indices applying when u is placed
 	// and v's candidates are needed (two entries only if the digraph has
 	// both (u,v) and (v,u) edges).
 	arcTables map[uint64][]int32
 	// tables[t][r] = sorted candidate set for the arc's head when its tail
-	// is placed at host node r.
+	// is placed at host node r (sparse representation; nil when dense).
 	tables [][]sets.Set
+	// tablesB[t][r] = the same rows as bitsets; a nil row is empty
+	// (dense representation; nil when sparse).
+	tablesB [][]*sets.Bitset
 
 	// base[q] = candidate host nodes for query node q before any
-	// neighbor is placed.
+	// neighbor is placed, always as a sorted slice.
 	base []sets.Set
+	// baseB mirrors base as bitsets in dense mode.
+	baseB []*sets.Bitset
 
 	// nodePass[q] = host nodes passing the node constraint and degree
 	// filter for q (nil when no filtering applies).
@@ -49,6 +63,35 @@ func arcKey(u, v graph.NodeID) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
+// denseWordCap bounds the per-row word count under which bitset rows
+// always win: at ≤16 words (hosts up to 1024 nodes) an intersection is a
+// few branch-free ops, cheaper than merging even short sorted slices.
+const denseWordCap = 16
+
+// chooseDense picks the row representation. Beyond the small-host regime
+// the decision follows density: a filter row for arc (u,v) at host node r
+// is a subset of r's neighbors, so the average host degree bounds the
+// average row cardinality. Word-parallel AND (⌈nr/64⌉ ops) beats merging
+// two average rows (~2·deg ops) once deg ≥ nr/128; requiring nr/64 adds
+// slack so the dense tables (nr/8 bytes per non-empty row) never grossly
+// outsize the slices they replace.
+func chooseDense(repr Repr, nr, hostEdges int) bool {
+	switch repr {
+	case ReprSlice:
+		return false
+	case ReprBitset:
+		return true
+	}
+	if nr == 0 {
+		return false
+	}
+	if (nr+63)/64 <= denseWordCap {
+		return true
+	}
+	avgDeg := 2 * float64(hostEdges) / float64(nr)
+	return avgDeg >= float64(nr)/64
+}
+
 // BuildFilters evaluates the edge constraint over every (query edge, host
 // edge) pair — the first stage of ECF/RWB — and assembles the filter
 // tables and base candidate sets.
@@ -59,6 +102,7 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 		p:         p,
 		nq:        nq,
 		nr:        nr,
+		dense:     chooseDense(opt.Repr, nr, p.Host.NumEdges()),
 		arcTables: make(map[uint64][]int32, 2*p.Query.NumEdges()),
 	}
 
@@ -84,12 +128,9 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 		}
 		f.nodePass[q] = pass
 	}
-	passBits := make([]*sets.Bits, nq)
+	passBits := make([]*sets.Bitset, nq)
 	for q := range passBits {
-		passBits[q] = sets.NewBits(nr)
-		for _, r := range f.nodePass[q] {
-			passBits[q].Set(r)
-		}
+		passBits[q] = sets.FromSet(nr, f.nodePass[q])
 	}
 
 	// One table per directed query arc, allocated serially so table IDs
@@ -98,8 +139,14 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 	// across Options.Workers goroutines — each edge owns its two tables,
 	// so workers never share mutable state beyond the stats counters.
 	newTable := func(u, v graph.NodeID) int32 {
-		id := int32(len(f.tables))
-		f.tables = append(f.tables, make([]sets.Set, nr))
+		var id int32
+		if f.dense {
+			id = int32(len(f.tablesB))
+			f.tablesB = append(f.tablesB, make([]*sets.Bitset, nr))
+		} else {
+			id = int32(len(f.tables))
+			f.tables = append(f.tables, make([]sets.Set, nr))
+		}
 		k := arcKey(u, v)
 		f.arcTables[k] = append(f.arcTables[k], id)
 		return id
@@ -117,22 +164,48 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 	var pairsEval, entries atomic.Int64
 	fillEdge := func(i int) {
 		qe := p.Query.Edge(graph.EdgeID(i))
-		fwd, bwd := f.tables[tableOf[i].fwd], f.tables[tableOf[i].bwd]
 		var localPairs, localEntries int64
 
-		admit := func(rs, rt graph.NodeID, re *graph.Edge) {
-			// Check endpoint admissibility first: a candidate that fails
-			// its node filter can never appear in a mapping.
-			if !passBits[qe.From].Has(rs) || !passBits[qe.To].Has(rt) {
-				return
+		// admit checks endpoint admissibility first — a candidate that
+		// fails its node filter can never appear in a mapping — then the
+		// edge constraint, and records the pairing in this edge's tables.
+		var admit func(rs, rt graph.NodeID, re *graph.Edge)
+		if f.dense {
+			fwd, bwd := f.tablesB[tableOf[i].fwd], f.tablesB[tableOf[i].bwd]
+			admit = func(rs, rt graph.NodeID, re *graph.Edge) {
+				if !passBits[qe.From].Has(rs) || !passBits[qe.To].Has(rt) {
+					return
+				}
+				localPairs++
+				if !p.edgeOK(qe, re, rs, rt) {
+					return
+				}
+				// Rows are allocated lazily: empty rows stay nil so the
+				// dense tables cost memory only where candidates exist.
+				if fwd[rs] == nil {
+					fwd[rs] = sets.NewBitset(nr)
+				}
+				fwd[rs].Set(rt)
+				if bwd[rt] == nil {
+					bwd[rt] = sets.NewBitset(nr)
+				}
+				bwd[rt].Set(rs)
+				localEntries += 2
 			}
-			localPairs++
-			if !p.edgeOK(qe, re, rs, rt) {
-				return
+		} else {
+			fwd, bwd := f.tables[tableOf[i].fwd], f.tables[tableOf[i].bwd]
+			admit = func(rs, rt graph.NodeID, re *graph.Edge) {
+				if !passBits[qe.From].Has(rs) || !passBits[qe.To].Has(rt) {
+					return
+				}
+				localPairs++
+				if !p.edgeOK(qe, re, rs, rt) {
+					return
+				}
+				fwd[rs] = append(fwd[rs], rt)
+				bwd[rt] = append(bwd[rt], rs)
+				localEntries += 2
 			}
-			fwd[rs] = append(fwd[rs], rt)
-			bwd[rt] = append(bwd[rt], rs)
-			localEntries += 2
 		}
 
 		for j := 0; j < p.Host.NumEdges(); j++ {
@@ -143,9 +216,12 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 				admit(re.To, re.From, re)
 			}
 		}
-		for r := 0; r < nr; r++ {
-			fwd[r] = sets.FromUnsorted(fwd[r])
-			bwd[r] = sets.FromUnsorted(bwd[r])
+		if !f.dense {
+			fwd, bwd := f.tables[tableOf[i].fwd], f.tables[tableOf[i].bwd]
+			for r := 0; r < nr; r++ {
+				fwd[r] = sets.FromUnsorted(fwd[r])
+				bwd[r] = sets.FromUnsorted(bwd[r])
+			}
 		}
 		pairsEval.Add(localPairs)
 		entries.Add(localEntries)
@@ -176,12 +252,17 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 	f.stats.EdgePairsEval = pairsEval.Load()
 	f.stats.FilterEntries = entries.Load()
 
-	f.buildBase(opt.LooseRoot)
+	if f.dense {
+		f.buildBaseDense(opt.LooseRoot)
+	} else {
+		f.buildBase(opt.LooseRoot)
+	}
 	f.stats.FilterBuild = time.Since(start)
 	return f
 }
 
-// buildBase computes the per-node base candidate sets (formula (1)).
+// buildBase computes the per-node base candidate sets (formula (1)) on the
+// sorted-slice representation.
 func (f *Filters) buildBase(loose bool) {
 	f.base = make([]sets.Set, f.nq)
 	var scratchA, scratchB sets.Set
@@ -219,6 +300,42 @@ func (f *Filters) buildBase(loose bool) {
 	}
 }
 
+// buildBaseDense is buildBase on bitset rows: the per-arc unions are
+// word-wise ORs and the cross-arc combination one AND/OR per arc.
+func (f *Filters) buildBaseDense(loose bool) {
+	f.base = make([]sets.Set, f.nq)
+	f.baseB = make([]*sets.Bitset, f.nq)
+	u := sets.NewBitset(f.nr)
+	for q := 0; q < f.nq; q++ {
+		qid := graph.NodeID(q)
+		arcs := f.incomingArcTables(qid)
+		if len(arcs) == 0 {
+			f.baseB[q] = sets.FromSet(f.nr, f.nodePass[q])
+			f.base[q] = sets.Clone(f.nodePass[q])
+			continue
+		}
+		acc := sets.NewBitset(f.nr)
+		for i, t := range arcs {
+			u.Reset()
+			for r := 0; r < f.nr; r++ {
+				if row := f.tablesB[t][r]; row != nil {
+					u.UnionWith(row)
+				}
+			}
+			switch {
+			case i == 0:
+				acc.CopyFrom(u)
+			case loose:
+				acc.UnionWith(u)
+			default:
+				acc.IntersectWith(u)
+			}
+		}
+		f.baseB[q] = acc
+		f.base[q] = acc.AppendTo(nil)
+	}
+}
+
 // incomingArcTables returns the table indices of every arc whose head is
 // q, i.e. the filters constraining q's candidates once a neighbor is
 // placed.
@@ -244,13 +361,17 @@ func (f *Filters) incomingArcTables(q graph.NodeID) []int32 {
 	return out
 }
 
+// Dense reports whether the filter tables carry the bitset representation.
+func (f *Filters) Dense() bool { return f.dense }
+
 // Base returns the base candidate set for query node q (do not modify).
 func (f *Filters) Base(q graph.NodeID) sets.Set { return f.base[q] }
 
 // CandidatesGiven returns the filter row for query node head given that
 // query node tail has been placed at host node r, one sorted set per arc
 // table relating the two nodes. An empty result means the pair of nodes is
-// not adjacent in the query.
+// not adjacent in the query. In dense mode the rows are materialized as
+// fresh sorted slices.
 func (f *Filters) CandidatesGiven(tail, head graph.NodeID, r graph.NodeID) []sets.Set {
 	ts := f.arcTables[arcKey(tail, head)]
 	if len(ts) == 0 {
@@ -258,7 +379,13 @@ func (f *Filters) CandidatesGiven(tail, head graph.NodeID, r graph.NodeID) []set
 	}
 	rows := make([]sets.Set, len(ts))
 	for i, t := range ts {
-		rows[i] = f.tables[t][r]
+		if f.dense {
+			if row := f.tablesB[t][r]; row != nil {
+				rows[i] = row.AppendTo(nil)
+			}
+		} else {
+			rows[i] = f.tables[t][r]
+		}
 	}
 	return rows
 }

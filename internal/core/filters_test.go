@@ -18,7 +18,10 @@ var windowProg = expr.MustCompile("rEdge.d >= vEdge.lo && rEdge.d <= vEdge.hi")
 func TestFilterRowsAreSortedSets(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
 		p := smallProblem(t, seed)
-		f := BuildFilters(p, &Options{})
+		f := BuildFilters(p, &Options{Repr: ReprSlice})
+		if f.Dense() {
+			t.Fatal("ReprSlice produced dense filters")
+		}
 		for _, table := range f.tables {
 			for r, row := range table {
 				if !sets.IsSet(row) {
@@ -30,6 +33,48 @@ func TestFilterRowsAreSortedSets(t *testing.T) {
 			if !sets.IsSet(base) {
 				t.Fatalf("seed %d: base[%d] not a sorted set: %v", seed, q, base)
 			}
+		}
+	}
+}
+
+// TestDenseFiltersMatchSparse: both representations must hold exactly the
+// same filter contents — every table row and every base set.
+func TestDenseFiltersMatchSparse(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		p := smallProblem(t, seed)
+		sparse := BuildFilters(p, &Options{Repr: ReprSlice})
+		dense := BuildFilters(p, &Options{Repr: ReprBitset})
+		if !dense.Dense() {
+			t.Fatal("ReprBitset produced sparse filters")
+		}
+		if len(sparse.tables) != len(dense.tablesB) {
+			t.Fatalf("seed %d: table counts differ", seed)
+		}
+		for ti := range sparse.tables {
+			for r := range sparse.tables[ti] {
+				var got sets.Set
+				if row := dense.tablesB[ti][r]; row != nil {
+					got = row.AppendTo(nil)
+				}
+				if !sets.Equal(got, sparse.tables[ti][r]) {
+					t.Fatalf("seed %d: table %d row %d differs: %v vs %v",
+						seed, ti, r, got, sparse.tables[ti][r])
+				}
+			}
+		}
+		for q := 0; q < p.Query.NumNodes(); q++ {
+			qid := graph.NodeID(q)
+			if !sets.Equal(sparse.Base(qid), dense.Base(qid)) {
+				t.Fatalf("seed %d: base[%d] differs: %v vs %v",
+					seed, q, dense.Base(qid), sparse.Base(qid))
+			}
+			if !sets.Equal(dense.baseB[q].AppendTo(nil), dense.Base(qid)) {
+				t.Fatalf("seed %d: baseB[%d] disagrees with base", seed, q)
+			}
+		}
+		if sparse.Stats().EdgePairsEval != dense.Stats().EdgePairsEval ||
+			sparse.Stats().FilterEntries != dense.Stats().FilterEntries {
+			t.Fatalf("seed %d: stats differ across representations", seed)
 		}
 	}
 }
@@ -256,30 +301,46 @@ func TestQuickECFMatchesNaive(t *testing.T) {
 func TestParallelFilterBuildMatchesSerial(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
 		p := smallProblem(t, seed)
-		serial := BuildFilters(p, &Options{})
-		parallel := BuildFilters(p, &Options{Workers: 4})
-		if len(serial.tables) != len(parallel.tables) {
-			t.Fatalf("seed %d: table counts differ", seed)
-		}
-		for ti := range serial.tables {
-			for r := range serial.tables[ti] {
-				if !sets.Equal(serial.tables[ti][r], parallel.tables[ti][r]) {
-					t.Fatalf("seed %d: table %d row %d differs: %v vs %v",
-						seed, ti, r, serial.tables[ti][r], parallel.tables[ti][r])
+		for _, repr := range []Repr{ReprSlice, ReprBitset} {
+			serial := BuildFilters(p, &Options{Repr: repr})
+			parallel := BuildFilters(p, &Options{Workers: 4, Repr: repr})
+			nt := len(serial.tables) + len(serial.tablesB)
+			if nt != len(parallel.tables)+len(parallel.tablesB) {
+				t.Fatalf("seed %d repr %d: table counts differ", seed, repr)
+			}
+			for ti := 0; ti < nt; ti++ {
+				for r := 0; r < p.Host.NumNodes(); r++ {
+					if !sets.Equal(rowAsSlice(serial, int32(ti), graph.NodeID(r)),
+						rowAsSlice(parallel, int32(ti), graph.NodeID(r))) {
+						t.Fatalf("seed %d repr %d: table %d row %d differs",
+							seed, repr, ti, r)
+					}
 				}
 			}
-		}
-		for q := 0; q < p.Query.NumNodes(); q++ {
-			if !sets.Equal(serial.Base(graph.NodeID(q)), parallel.Base(graph.NodeID(q))) {
-				t.Fatalf("seed %d: base[%d] differs", seed, q)
+			for q := 0; q < p.Query.NumNodes(); q++ {
+				if !sets.Equal(serial.Base(graph.NodeID(q)), parallel.Base(graph.NodeID(q))) {
+					t.Fatalf("seed %d repr %d: base[%d] differs", seed, repr, q)
+				}
+			}
+			if serial.Stats().EdgePairsEval != parallel.Stats().EdgePairsEval ||
+				serial.Stats().FilterEntries != parallel.Stats().FilterEntries {
+				t.Fatalf("seed %d repr %d: stats differ: %+v vs %+v",
+					seed, repr, serial.Stats(), parallel.Stats())
 			}
 		}
-		if serial.Stats().EdgePairsEval != parallel.Stats().EdgePairsEval ||
-			serial.Stats().FilterEntries != parallel.Stats().FilterEntries {
-			t.Fatalf("seed %d: stats differ: %+v vs %+v",
-				seed, serial.Stats(), parallel.Stats())
-		}
 	}
+}
+
+// rowAsSlice materializes one filter row as a sorted slice regardless of
+// the representation the filters carry.
+func rowAsSlice(f *Filters, t int32, r graph.NodeID) sets.Set {
+	if f.Dense() {
+		if row := f.tablesB[t][r]; row != nil {
+			return row.AppendTo(nil)
+		}
+		return nil
+	}
+	return f.tables[t][r]
 }
 
 func TestParallelFilterBuildSolutionsAgree(t *testing.T) {

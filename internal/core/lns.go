@@ -58,10 +58,12 @@ type lnsSearcher struct {
 	state   []lnsState
 	links   []int // links[q] = edges from q into the covered set
 	assign  Mapping
-	used    *sets.Bits
+	used    *sets.Bitset
 	covered int
 
-	nodePass []*sets.Bits // admissible hosts per query node
+	nodePass []*sets.Bitset // admissible hosts per query node
+	avail    *sets.Bitset   // scratch: candidate accumulator / dedupe marks
+	scratch  [][]int32      // per-depth candidate buffers (indexed by covered)
 
 	deadline    time.Time
 	hasDeadline bool
@@ -82,17 +84,19 @@ func (s *lnsSearcher) init() {
 	for i := range s.assign {
 		s.assign[i] = -1
 	}
-	s.used = sets.NewBits(s.nr)
+	s.used = sets.NewBitset(s.nr)
+	s.avail = sets.NewBitset(s.nr)
+	s.scratch = make([][]int32, s.nq)
 	if s.opt.Timeout > 0 {
 		s.deadline = s.started.Add(s.opt.Timeout)
 		s.hasDeadline = true
 	}
 	// Node admissibility bitmaps: the only precomputation LNS performs.
-	s.nodePass = make([]*sets.Bits, s.nq)
+	s.nodePass = make([]*sets.Bitset, s.nq)
 	useDegree := !s.opt.NoDegreeFilter
 	for q := 0; q < s.nq; q++ {
 		qid := graph.NodeID(q)
-		b := sets.NewBits(s.nr)
+		b := sets.NewBitset(s.nr)
 		degQ := s.p.Query.Degree(qid)
 		outQ := s.p.Query.OutDegree(qid)
 		for r := 0; r < s.nr; r++ {
@@ -246,12 +250,23 @@ func (s *lnsSearcher) connOK(q graph.NodeID, r graph.NodeID) bool {
 	return ok
 }
 
-// candidateHosts enumerates plausible host nodes for q: when q has covered
-// neighbors, the host neighbors of the covered image with the smallest
-// degree (every valid image must be adjacent to all covered images);
-// otherwise every admissible host node.
+// candidateHosts materializes the plausible host nodes for q into the
+// current depth's scratch buffer: when q has covered neighbors, the host
+// neighbors of the covered image with the smallest degree (every valid
+// image must be adjacent to all covered images); otherwise every
+// admissible host node. Candidates are collected with bitset operations
+// before any is visited, so the shared accumulator is free for the
+// recursive calls visit makes.
 func (s *lnsSearcher) candidateHosts(q graph.NodeID, isSeed bool, visit func(r graph.NodeID) bool) {
-	if !isSeed {
+	buf := s.scratch[s.covered][:0]
+	if isSeed {
+		// Admissible ∧ unused, word-wise, materialized ascending — the
+		// same order the per-host scan produced.
+		s.avail.CopyFrom(s.nodePass[q])
+		if s.avail.AndNotWith(s.used) {
+			buf = s.avail.AppendTo(buf)
+		}
+	} else {
 		// Anchor on the covered neighbor whose image has fewest host arcs.
 		anchor := graph.NodeID(-1)
 		bestDeg := int(^uint(0) >> 1)
@@ -269,34 +284,27 @@ func (s *lnsSearcher) candidateHosts(q graph.NodeID, isSeed bool, visit func(r g
 			}
 		}
 		s.queryNeighbors(q, consider)
-		seen := sets.NewBits(s.nr)
-		emit := func(r graph.NodeID) bool {
-			if seen.Has(r) || s.used.Has(r) || !s.nodePass[q].Has(r) {
-				return true
-			}
-			seen.Set(r)
-			return visit(r)
-		}
-		for _, a := range s.p.Host.Arcs(anchor) {
-			if !emit(a.To) {
+		// avail doubles as the dedupe marks; arc order is preserved.
+		s.avail.Reset()
+		emit := func(r graph.NodeID) {
+			if s.avail.Has(r) || s.used.Has(r) || !s.nodePass[q].Has(r) {
 				return
 			}
+			s.avail.Set(r)
+			buf = append(buf, r)
+		}
+		for _, a := range s.p.Host.Arcs(anchor) {
+			emit(a.To)
 		}
 		if s.p.Host.Directed() {
 			for _, a := range s.p.Host.InArcs(anchor) {
-				if !emit(a.To) {
-					return
-				}
+				emit(a.To)
 			}
 		}
-		return
 	}
-	for r := 0; r < s.nr; r++ {
-		rid := graph.NodeID(r)
-		if s.used.Has(rid) || !s.nodePass[q].Has(rid) {
-			continue
-		}
-		if !visit(rid) {
+	s.scratch[s.covered] = buf
+	for _, r := range buf {
+		if !visit(r) {
 			return
 		}
 	}

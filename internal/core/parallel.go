@@ -14,9 +14,10 @@ import (
 // ParallelECF shards the first level of the ECF permutation tree — the
 // candidate assignments of the root query node — across Options.Workers
 // goroutines (default GOMAXPROCS). All workers share the immutable filter
-// matrices; each explores a disjoint subtree, so the union of their
-// solutions equals sequential ECF's solution set. Solutions are returned
-// sorted for determinism.
+// matrices — slice or bitset rows alike, per Options.Repr — and each
+// carries its own intersection scratch, so each explores a disjoint
+// subtree and the union of their solutions equals sequential ECF's
+// solution set. Solutions are returned sorted for determinism.
 //
 // With Options.MaxSolutions set, the cap applies globally across workers,
 // but which embeddings fill the quota depends on scheduling.

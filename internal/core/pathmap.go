@@ -98,7 +98,7 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	for i := range assign {
 		assign[i] = -1
 	}
-	used := sets.NewBits(nr)
+	used := sets.NewBitset(nr)
 	paths := map[graph.EdgeID]graph.Path{}
 	steps := 0
 

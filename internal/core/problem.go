@@ -230,6 +230,24 @@ const (
 	OrderUnconnected
 )
 
+// Repr selects the candidate-set representation BuildFilters stores in
+// the filter tables and the search loops intersect.
+type Repr int
+
+// Candidate-set representations.
+const (
+	// ReprAuto chooses by host size and adjacency density: dense bitsets
+	// when rows are only a handful of words or the host adjacency is
+	// dense enough that word-parallel AND beats merging sorted slices,
+	// sorted slices otherwise. The default.
+	ReprAuto Repr = iota
+	// ReprSlice forces sorted []int32 rows (the memory-lean sparse
+	// representation; also the ablation baseline for the bitset path).
+	ReprSlice
+	// ReprBitset forces dense bitset rows.
+	ReprBitset
+)
+
 // Options tune a search run. The zero value asks for all solutions with no
 // timeout using the paper's default heuristics.
 type Options struct {
@@ -257,6 +275,10 @@ type Options struct {
 	// goroutines (one query edge per task) and sizes the ParallelECF
 	// worker pool. Zero keeps everything sequential and deterministic.
 	Workers int
+	// Repr selects the candidate-set representation for the ECF/RWB
+	// filter tables. Both representations provably enumerate identical
+	// solution sets; the choice only trades speed against memory.
+	Repr Repr
 }
 
 // Stats reports search effort counters.

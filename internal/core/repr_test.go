@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+// These tests pin the tentpole property of the dual candidate-set
+// representation: searches over bitset filter tables return exactly the
+// solution sets (and, where enumeration is deterministic, the solution
+// sequences) of the sorted-slice tables.
+
+func TestChooseDense(t *testing.T) {
+	cases := []struct {
+		repr      Repr
+		nr, edges int
+		want      bool
+	}{
+		{ReprSlice, 64, 2000, false},            // forced sparse
+		{ReprBitset, 100000, 10, true},          // forced dense
+		{ReprAuto, 0, 0, false},                 // empty host
+		{ReprAuto, 512, 600, true},              // small host: always dense
+		{ReprAuto, 1024, 600, true},             // boundary of the word cap
+		{ReprAuto, 8192, 8192, false},           // large sparse host
+		{ReprAuto, 8192, 8192 * 8192 / 4, true}, // large dense host
+	}
+	for _, c := range cases {
+		if got := chooseDense(c.repr, c.nr, c.edges); got != c.want {
+			t.Errorf("chooseDense(%v, nr=%d, edges=%d) = %v, want %v",
+				c.repr, c.nr, c.edges, got, c.want)
+		}
+	}
+}
+
+func TestReprEquivalenceECF(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := smallProblem(t, seed)
+		sparse := ECF(p, Options{Repr: ReprSlice})
+		dense := ECF(p, Options{Repr: ReprBitset})
+		sameSolutionSets(t, "ECF repr", dense.Solutions, sparse.Solutions)
+		// ECF enumerates candidates ascending in both representations, so
+		// even the sequence must coincide.
+		if len(dense.Solutions) == len(sparse.Solutions) {
+			for i := range dense.Solutions {
+				if mappingKey(dense.Solutions[i]) != mappingKey(sparse.Solutions[i]) {
+					t.Fatalf("seed %d: solution %d out of sequence", seed, i)
+				}
+			}
+		}
+		if dense.Status != sparse.Status || dense.Exhausted != sparse.Exhausted {
+			t.Fatalf("seed %d: outcome classification differs", seed)
+		}
+	}
+}
+
+func TestReprEquivalenceRWB(t *testing.T) {
+	// RWB shuffles the materialized candidate buffer; identical buffers
+	// and identical rng draws mean identical first solutions.
+	for seed := int64(1); seed <= 20; seed++ {
+		p := smallProblem(t, seed)
+		sparse := RWB(p, Options{Repr: ReprSlice, Seed: seed})
+		dense := RWB(p, Options{Repr: ReprBitset, Seed: seed})
+		sameSolutionSets(t, "RWB repr", dense.Solutions, sparse.Solutions)
+	}
+}
+
+func TestReprEquivalenceDynamicECF(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := smallProblem(t, seed)
+		sparse := DynamicECF(p, Options{Repr: ReprSlice})
+		dense := DynamicECF(p, Options{Repr: ReprBitset})
+		sameSolutionSets(t, "DynamicECF repr", dense.Solutions, sparse.Solutions)
+	}
+}
+
+func TestReprEquivalenceParallelECF(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		p := smallProblem(t, seed)
+		sparse := ParallelECF(p, Options{Workers: 4, Repr: ReprSlice})
+		dense := ParallelECF(p, Options{Workers: 4, Repr: ReprBitset})
+		sameSolutionSets(t, "ParallelECF repr", dense.Solutions, sparse.Solutions)
+	}
+}
+
+// TestReprEquivalenceMediumHost cross-checks the representations on a
+// denser PlanetLab-style host where the bitset path is the adaptive
+// default, counting full solution sets.
+func TestReprEquivalenceMediumHost(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 40}, rand.New(rand.NewSource(9)))
+	q, _, err := topo.Subgraph(host, 12, 24, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.05)
+	p, err := NewProblem(q, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := BuildFilters(p, &Options{})
+	if !f.Dense() {
+		t.Error("adaptive choice should pick the dense representation on a small dense host")
+	}
+	sparse := ECF(p, Options{Repr: ReprSlice, MaxSolutions: 2000})
+	dense := ECF(p, Options{Repr: ReprBitset, MaxSolutions: 2000})
+	if len(sparse.Solutions) == 0 {
+		t.Fatal("planted query not found")
+	}
+	sameSolutionSets(t, "medium host repr", dense.Solutions, sparse.Solutions)
+	for _, m := range dense.Solutions {
+		if err := p.Verify(m); err != nil {
+			t.Fatalf("bitset-path solution fails verification: %v", err)
+		}
+	}
+}
+
+// TestParallelECFBitsetRace exercises the shared dense filter tables from
+// concurrent shard workers; run under -race it proves the workers only
+// share immutable rows.
+func TestParallelECFBitsetRace(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 30}, rand.New(rand.NewSource(11)))
+	q, _, err := topo.Subgraph(host, 10, 20, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.1)
+	p, err := NewProblem(q, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ParallelECF(p, Options{Workers: 8, Repr: ReprBitset, MaxSolutions: 200})
+	if len(res.Solutions) == 0 {
+		t.Fatal("planted query not found")
+	}
+	for _, m := range res.Solutions {
+		if err := p.Verify(m); err != nil {
+			t.Fatalf("parallel bitset solution fails verification: %v", err)
+		}
+	}
+	serial := ECF(p, Options{Repr: ReprBitset, MaxSolutions: 0})
+	got, want := solutionSet(res.Solutions), solutionSet(serial.Solutions)
+	for k := range got {
+		if !want[k] {
+			t.Fatalf("parallel found embedding %s that serial ECF did not", k)
+		}
+	}
+}
+
+// TestConsolidateSaturationPruning: the saturated-host bitmap must not
+// change Consolidate's answers, only skip provably packed hosts.
+func TestConsolidateSaturationPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	host := graph.NewUndirected()
+	nh := 6
+	for i := 0; i < nh; i++ {
+		host.AddNode("", graph.Attrs{}.SetNum("capacity", float64(1+rng.Intn(3))))
+	}
+	for u := 0; u < nh; u++ {
+		for v := u + 1; v < nh; v++ {
+			if rng.Float64() < 0.7 {
+				host.MustAddEdge(graph.NodeID(u), graph.NodeID(v), nil)
+			}
+		}
+	}
+	query := graph.NewUndirected()
+	nq := 5
+	for i := 0; i < nq; i++ {
+		query.AddNode("", graph.Attrs{}.SetNum("demand", float64(1+i%2)))
+	}
+	for i := 1; i < nq; i++ {
+		query.MustAddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), nil)
+	}
+	p, err := NewConsolidatedProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Consolidate(p, Options{}, ConsolidateOptions{})
+	for _, m := range res.Solutions {
+		if err := p.VerifyConsolidated(m, ConsolidateOptions{}); err != nil {
+			t.Fatalf("consolidated solution fails verification: %v", err)
+		}
+	}
+	// Every verifying assignment the brute-force enumerator finds must be
+	// in the result (the saturation pruning removes nothing feasible).
+	var m Mapping = make(Mapping, nq)
+	found := solutionSet(res.Solutions)
+	var enumerate func(d int)
+	total := 0
+	enumerate = func(d int) {
+		if d == nq {
+			if p.VerifyConsolidated(m, ConsolidateOptions{}) == nil {
+				total++
+				if !found[mappingKey(m)] {
+					t.Fatalf("feasible consolidated mapping %v missing from result", m)
+				}
+			}
+			return
+		}
+		for r := 0; r < nh; r++ {
+			m[d] = graph.NodeID(r)
+			enumerate(d + 1)
+		}
+	}
+	enumerate(0)
+	if total != len(res.Solutions) {
+		t.Fatalf("Consolidate returned %d solutions, brute force found %d", len(res.Solutions), total)
+	}
+}

@@ -1,0 +1,154 @@
+package sets
+
+import "math/bits"
+
+// Bitset is the dense candidate-set representation: a fixed-universe
+// bitmap over [0, n) packed into 64-bit words. It carries the same set
+// algebra as the sorted-slice Set — intersection, subtraction, union,
+// cardinality — but every binary operation is word-parallel, costing
+// ⌈n/64⌉ machine ops regardless of cardinality. The search inner loops
+// use it both for candidate sets (dense filter rows) and for O(1)
+// membership marks (hosts in use during a search).
+//
+// The zero Bitset is empty with universe 0; use NewBitset or FromSet to
+// size one. All binary operations require operands with equal universe.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset over the universe [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromSet returns a bitset over [0, n) holding the elements of s.
+func FromSet(n int, s Set) *Bitset {
+	b := NewBitset(n)
+	b.AddSet(s)
+	return b
+}
+
+// Len returns the universe size n.
+func (b *Bitset) Len() int { return b.n }
+
+// Set marks x as a member.
+func (b *Bitset) Set(x int32) { b.words[x>>6] |= 1 << (uint(x) & 63) }
+
+// Clear removes x.
+func (b *Bitset) Clear(x int32) { b.words[x>>6] &^= 1 << (uint(x) & 63) }
+
+// Has reports whether x is a member.
+func (b *Bitset) Has(x int32) bool { return b.words[x>>6]&(1<<(uint(x)&63)) != 0 }
+
+// Reset empties the bitset.
+func (b *Bitset) Reset() {
+	clear(b.words)
+}
+
+// Count returns the cardinality by popcount.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether the bitset is non-empty.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AddSet marks every element of the sorted-slice set s.
+func (b *Bitset) AddSet(s Set) {
+	for _, x := range s {
+		b.Set(x)
+	}
+}
+
+// CopyFrom overwrites b with o's contents. The universes must match.
+func (b *Bitset) CopyFrom(o *Bitset) {
+	copy(b.words, o.words)
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// IntersectWith replaces b with b ∩ o and reports whether the result is
+// non-empty, so intersection chains can stop at the first empty set.
+func (b *Bitset) IntersectWith(o *Bitset) bool {
+	var any uint64
+	for i, w := range o.words {
+		b.words[i] &= w
+		any |= b.words[i]
+	}
+	return any != 0
+}
+
+// AndNotWith replaces b with b \ o and reports whether the result is
+// non-empty.
+func (b *Bitset) AndNotWith(o *Bitset) bool {
+	var any uint64
+	for i, w := range o.words {
+		b.words[i] &^= w
+		any |= b.words[i]
+	}
+	return any != 0
+}
+
+// UnionWith replaces b with b ∪ o.
+func (b *Bitset) UnionWith(o *Bitset) {
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// Equal reports whether b and o hold the same members.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendTo appends b's members to dst in ascending order and returns the
+// extended slice — the conversion back to the sorted-slice representation,
+// in the package's Into calling convention.
+func (b *Bitset) AppendTo(dst Set) Set {
+	for i, w := range b.words {
+		base := int32(i << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEach visits the members in ascending order until visit returns false.
+func (b *Bitset) ForEach(visit func(x int32) bool) {
+	for i, w := range b.words {
+		base := int32(i << 6)
+		for w != 0 {
+			if !visit(base + int32(bits.TrailingZeros64(w))) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sets
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The bitset is the dense mirror of the sorted-slice representation, so
+// every algebraic operation is property-tested against its slice
+// counterpart on randomized inputs: agreement here is what lets the
+// search stack swap representations without changing solution sets.
+
+const bitsetUniverse = 200 // spans several words, not word-aligned
+
+// clipU maps arbitrary quick-generated values into [0, bitsetUniverse).
+func clipU(raw []int32) []int32 {
+	out := make([]int32, len(raw))
+	for i, v := range raw {
+		if v < 0 {
+			v = -v
+		}
+		out[i] = v % bitsetUniverse
+	}
+	return out
+}
+
+func TestBitsetRoundTrip(t *testing.T) {
+	f := func(raw []int32) bool {
+		s := FromUnsorted(clipU(raw))
+		b := FromSet(bitsetUniverse, s)
+		return Equal(b.AppendTo(nil), s) && b.Count() == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetIntersectMatchesSlice(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		a := FromUnsorted(clipU(rawA))
+		b := FromUnsorted(clipU(rawB))
+		want := Intersect(a, b)
+		ba := FromSet(bitsetUniverse, a)
+		nonempty := ba.IntersectWith(FromSet(bitsetUniverse, b))
+		return Equal(ba.AppendTo(nil), want) && nonempty == (len(want) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetAndNotMatchesSlice(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		a := FromUnsorted(clipU(rawA))
+		b := FromUnsorted(clipU(rawB))
+		want := Subtract(a, b)
+		ba := FromSet(bitsetUniverse, a)
+		nonempty := ba.AndNotWith(FromSet(bitsetUniverse, b))
+		return Equal(ba.AppendTo(nil), want) && nonempty == (len(want) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetUnionMatchesSlice(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		a := FromUnsorted(clipU(rawA))
+		b := FromUnsorted(clipU(rawB))
+		want := Union(a, b)
+		ba := FromSet(bitsetUniverse, a)
+		ba.UnionWith(FromSet(bitsetUniverse, b))
+		return Equal(ba.AppendTo(nil), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetCardinalityAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		b := NewBitset(n)
+		member := make(map[int32]bool)
+		for i := 0; i < 2*n; i++ {
+			x := int32(rng.Intn(n))
+			if rng.Float64() < 0.6 {
+				b.Set(x)
+				member[x] = true
+			} else {
+				b.Clear(x)
+				delete(member, x)
+			}
+		}
+		if b.Count() != len(member) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, b.Count(), len(member))
+		}
+		if b.Any() != (len(member) > 0) {
+			t.Fatalf("trial %d: Any = %v with %d members", trial, b.Any(), len(member))
+		}
+		for x := int32(0); int(x) < n; x++ {
+			if b.Has(x) != member[x] {
+				t.Fatalf("trial %d: Has(%d) = %v, want %v", trial, x, b.Has(x), member[x])
+			}
+		}
+	}
+}
+
+func TestBitsetForEachAscendingAndEarlyStop(t *testing.T) {
+	s := Set{0, 1, 63, 64, 65, 127, 128, 199}
+	b := FromSet(bitsetUniverse, s)
+	var got Set
+	b.ForEach(func(x int32) bool {
+		got = append(got, x)
+		return true
+	})
+	if !Equal(got, s) {
+		t.Errorf("ForEach visited %v, want %v", got, s)
+	}
+	var first Set
+	b.ForEach(func(x int32) bool {
+		first = append(first, x)
+		return len(first) < 3
+	})
+	if !Equal(first, s[:3]) {
+		t.Errorf("early-stopped ForEach visited %v, want %v", first, s[:3])
+	}
+}
+
+func TestBitsetCopyCloneEqual(t *testing.T) {
+	a := FromSet(130, Set{1, 64, 129})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Set(2)
+	if a.Equal(b) || a.Has(2) {
+		t.Fatal("clone shares storage with original")
+	}
+	c := NewBitset(130)
+	c.CopyFrom(b)
+	if !c.Equal(b) {
+		t.Fatal("CopyFrom result differs")
+	}
+	c.Reset()
+	if c.Any() || c.Count() != 0 {
+		t.Fatal("Reset left members behind")
+	}
+	if a.Equal(NewBitset(131)) {
+		t.Fatal("bitsets with different universes reported equal")
+	}
+}

@@ -1,10 +1,21 @@
-// Package sets provides set algebra over sorted []int32 slices.
+// Package sets provides the two candidate-set representations used by the
+// NETEMBED filter matrices and search inner loops.
 //
-// Candidate sets in the NETEMBED filter matrices are represented as
-// ascending, duplicate-free []int32. The search inner loops are dominated
-// by intersections of such sets, so the operations here are written to be
-// allocation-conscious: every operation has an In-place/Into variant that
-// appends to a caller-provided destination slice.
+// The sparse representation is Set, an ascending duplicate-free []int32:
+// compact when candidate sets are small relative to the host, with merge-
+// or gallop-based intersections costing O(|a|+|b|) or O(|a| log |b|). The
+// dense representation is Bitset, a fixed-universe packed bitmap whose
+// binary operations are word-parallel: intersections cost ⌈n/64⌉ machine
+// ops regardless of cardinality, which wins on small hosts (a row is a
+// handful of words) and on dense filter tables where rows hold a sizable
+// fraction of the host. core.BuildFilters chooses between the two
+// adaptively by host size and adjacency density; Bitset.AppendTo and
+// FromSet convert between them.
+//
+// The search inner loops are dominated by intersections of such sets, so
+// the operations here are written to be allocation-conscious: every
+// operation has an In-place/Into variant that appends to a caller-provided
+// destination slice or overwrites a caller-owned bitset.
 package sets
 
 import "sort"
@@ -266,54 +277,4 @@ func Range(lo, hi int32) Set {
 		s = append(s, v)
 	}
 	return s
-}
-
-// Bits is a fixed-capacity bitmap used to mark hosting-network nodes as
-// in-use during a search. It complements Set: membership updates are O(1)
-// and the search loops test it while streaming candidate sets.
-type Bits struct {
-	words []uint64
-	n     int
-}
-
-// NewBits returns a bitmap able to hold values in [0, n).
-func NewBits(n int) *Bits {
-	return &Bits{words: make([]uint64, (n+63)/64), n: n}
-}
-
-// Len returns the capacity of the bitmap.
-func (b *Bits) Len() int { return b.n }
-
-// Set marks x.
-func (b *Bits) Set(x int32) { b.words[x>>6] |= 1 << (uint(x) & 63) }
-
-// Clear unmarks x.
-func (b *Bits) Clear(x int32) { b.words[x>>6] &^= 1 << (uint(x) & 63) }
-
-// Has reports whether x is marked.
-func (b *Bits) Has(x int32) bool { return b.words[x>>6]&(1<<(uint(x)&63)) != 0 }
-
-// Reset unmarks everything.
-func (b *Bits) Reset() {
-	for i := range b.words {
-		b.words[i] = 0
-	}
-}
-
-// Count returns the number of marked elements.
-func (b *Bits) Count() int {
-	n := 0
-	for _, w := range b.words {
-		n += popcount(w)
-	}
-	return n
-}
-
-func popcount(w uint64) int {
-	n := 0
-	for w != 0 {
-		w &= w - 1
-		n++
-	}
-	return n
 }

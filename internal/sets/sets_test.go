@@ -292,8 +292,8 @@ func clip(raw []int32) []int32 {
 	return out
 }
 
-func TestBits(t *testing.T) {
-	b := NewBits(130)
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
 	if b.Len() != 130 {
 		t.Fatalf("Len = %d", b.Len())
 	}

@@ -108,6 +108,12 @@ type (
 	Status = core.Status
 	// Stats carries search effort counters.
 	Stats = core.Stats
+	// Repr selects the filter tables' candidate-set representation
+	// (adaptive, sorted slices, or dense bitsets).
+	Repr = core.Repr
+	// Filters holds prebuilt ECF/RWB filter matrices for reuse across
+	// searches.
+	Filters = core.Filters
 	// PathOptions tunes the link-to-path (many-to-one) extension (§VIII).
 	PathOptions = core.PathOptions
 	// PathSolution is a many-to-one embedding with witness paths.
@@ -138,6 +144,13 @@ const (
 	StatusInconclusive = core.StatusInconclusive
 )
 
+// Candidate-set representations for Options.Repr.
+const (
+	ReprAuto   = core.ReprAuto
+	ReprSlice  = core.ReprSlice
+	ReprBitset = core.ReprBitset
+)
+
 // Algorithms and helpers.
 var (
 	// NewProblem validates and assembles an embedding problem.
@@ -146,6 +159,12 @@ var (
 	ECF = core.ECF
 	// RWB is Random Walk search with Backtracking (§V-B).
 	RWB = core.RWB
+	// BuildFilters precomputes the §V-A filter matrices for reuse.
+	BuildFilters = core.BuildFilters
+	// ECFWithFilters / RWBWithFilters search over prebuilt filters,
+	// amortizing construction across repeated queries.
+	ECFWithFilters = core.ECFWithFilters
+	RWBWithFilters = core.RWBWithFilters
 	// LNS is Lazy Neighborhood Search (§V-C).
 	LNS = core.LNS
 	// ParallelECF shards ECF's root level over worker goroutines.
