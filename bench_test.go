@@ -9,9 +9,11 @@
 package netembed_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -507,6 +509,60 @@ func BenchmarkServiceEmbed(b *testing.B) {
 		})
 		if err != nil || len(resp.Mappings) == 0 {
 			b.Fatal("service embed failed")
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures end-to-end jobs/sec through the
+// asynchronous job engine — submit, queue, worker search, result — at
+// worker counts 1/4/16, cold (every job a distinct query fingerprint,
+// full search) versus warm (identical query, served from the
+// model-versioned result cache). The gap between the two is the cache's
+// O(1)-reuse win; scaling across worker counts is the pool's win.
+func BenchmarkEngineThroughput(b *testing.B) {
+	host := planetLab(b)
+	q, _, err := topo.Subgraph(host, 8, 12, rand.New(rand.NewSource(15)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.1)
+	req := netembed.Request{
+		Query:          q,
+		EdgeConstraint: "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay",
+		MaxResults:     1,
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(b *testing.B) {
+				svc := netembed.NewService(netembed.NewModel(host), netembed.ServiceConfig{})
+				eng := netembed.NewEngine(svc, netembed.EngineConfig{
+					Workers:    workers,
+					QueueDepth: 4096,
+				})
+				defer eng.Close(context.Background())
+				if mode == "warm" {
+					// Fill the cache line every iteration will hit.
+					if _, err := eng.SubmitWait(context.Background(), req); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var seeds atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						r := req
+						if mode == "cold" {
+							// A fresh seed gives each job its own cache
+							// fingerprint, forcing a full search.
+							r.Seed = seeds.Add(1)
+						}
+						if _, err := eng.SubmitWait(context.Background(), r); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
 		}
 	}
 }

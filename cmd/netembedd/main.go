@@ -8,12 +8,19 @@
 //	netembedd -listen :8080 -host planetlab
 //	netembedd -listen :8080 -host infra.graphml -monitor 5s
 //
-// Endpoints: GET /healthz, GET/PUT /model, POST /embed,
-// POST/DELETE /reserve. See internal/service/httpapi.
+// Endpoints: GET /healthz, GET/PUT /model, POST /embed, POST /jobs,
+// GET/DELETE /jobs/{id}, GET /stats, POST/DELETE /reserve. See
+// internal/service/httpapi.
+//
+// Every embedding query runs on the asynchronous job engine: a bounded
+// queue (-queue) drained by a worker pool (-workers) with a
+// model-versioned result cache (-cache) in front. Saturation answers
+// 429 instead of stacking handler goroutines.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// get a drain window, the monitoring goroutine is stopped, and the
-// process exits cleanly.
+// get a drain window, the job engine finishes running jobs and fails
+// queued ones, the monitoring goroutine is stopped, and the process
+// exits cleanly.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"netembed"
+	"netembed/internal/engine"
 	"netembed/internal/service"
 	"netembed/internal/service/httpapi"
 )
@@ -49,6 +57,9 @@ func run() error {
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 		hdrLimit = flag.Duration("header-timeout", 10*time.Second, "ReadHeaderTimeout guarding against slow-loris clients")
+		workers  = flag.Int("workers", 0, "job-engine worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 128, "job-engine submission queue depth (full queue answers 429)")
+		cache    = flag.Int("cache", 512, "job-engine result cache capacity in entries (negative = disabled)")
 	)
 	flag.Parse()
 
@@ -58,6 +69,11 @@ func run() error {
 	}
 	model := netembed.NewModel(host)
 	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: *timeout})
+	eng := engine.New(svc, engine.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cache,
+	})
 
 	// The monitor goroutine is joined on every exit path — the stop
 	// channel and WaitGroup outlive any serve error.
@@ -79,7 +95,7 @@ func run() error {
 
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           httpapi.New(svc),
+		Handler:           httpapi.NewWithEngine(svc, eng),
 		ReadHeaderTimeout: *hdrLimit,
 	}
 
@@ -95,13 +111,19 @@ func run() error {
 
 	select {
 	case err := <-errc:
+		drainEngine(eng, *drain)
 		stopMonitor()
 		return err
 	case <-ctx.Done():
 		log.Printf("shutdown signal received, draining for up to %v", *drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Stop accepting HTTP first, then drain the job engine (running
+		// jobs finish, queued ones fail cleanly), then join the monitor.
 		err := srv.Shutdown(shutCtx)
+		if engErr := eng.Close(shutCtx); engErr != nil {
+			log.Printf("engine drain cut short: %v", engErr)
+		}
 		stopMonitor()
 		if err != nil {
 			return fmt.Errorf("shutdown: %w", err)
@@ -111,6 +133,15 @@ func run() error {
 		}
 		log.Print("shutdown complete")
 		return nil
+	}
+}
+
+// drainEngine bounds an engine shutdown on the error exit path.
+func drainEngine(eng *engine.Engine, window time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	if err := eng.Close(ctx); err != nil {
+		log.Printf("engine drain cut short: %v", err)
 	}
 }
 

@@ -66,4 +66,19 @@ func main() {
 		}
 	}
 	fmt.Println("\nall embeddings verified ✓")
+
+	// Going further: as a service, queries run through the asynchronous
+	// job engine instead of blocking the caller — submit, poll, cancel,
+	// with identical queries served from a model-versioned cache:
+	//
+	//	svc := netembed.NewService(netembed.NewModel(host), netembed.ServiceConfig{})
+	//	eng := netembed.NewEngine(svc, netembed.EngineConfig{})
+	//	job, _ := eng.Submit(netembed.Request{Query: query, EdgeConstraint: "..."})
+	//	<-job.Done()                  // or poll job.Info().State
+	//	info := job.Info()            // .Response holds the mappings
+	//	_ = info
+	//
+	// Over HTTP the same lifecycle is POST /jobs → GET /jobs/{id} →
+	// DELETE /jobs/{id}; see cmd/netembedd and the README's job-engine
+	// section.
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+// hardHost returns K_n minus a perfect-ish matching covering every
+// vertex. Embedding K_{n-2} into it is infeasible (every (n-2)-subset
+// contains both endpoints of some removed edge) but the proof requires
+// deep backtracking over an astronomically large permutation tree, so an
+// uncanceled search runs essentially forever. That makes it the fixture
+// for cancellation tests: progress is CPU-bound, memory stays flat (no
+// solutions accumulate), and only the Stop hook (or a timeout) can end
+// the run early.
+func hardHost(n int) *graph.Graph {
+	g := graph.NewUndirected()
+	g.AddNodes(n)
+	skip := make(map[[2]int]bool)
+	for i := 0; i+1 < n; i += 2 {
+		skip[[2]int{i, i + 1}] = true
+	}
+	if n%2 == 1 {
+		skip[[2]int{n - 2, n - 1}] = true // odd n: double-cover the tail
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if skip[[2]int{i, j}] {
+				continue
+			}
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), nil)
+		}
+	}
+	return g
+}
+
+func hardProblem(t testing.TB) *Problem {
+	t.Helper()
+	p, err := NewProblem(topo.Clique(14), hardHost(26), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assertCanceled checks that a run ended by the stop hook looks like a
+// cancellation: fast, not exhausted, and not classified complete.
+func assertCanceled(t *testing.T, name string, res *Result, elapsed, within time.Duration) {
+	t.Helper()
+	if elapsed > within {
+		t.Errorf("%s: canceled search took %v, want < %v", name, elapsed, within)
+	}
+	if res.Exhausted {
+		t.Errorf("%s: canceled search reported Exhausted", name)
+	}
+	if res.Status == StatusComplete {
+		t.Errorf("%s: canceled search reported StatusComplete", name)
+	}
+}
+
+// TestStopHookCancelsSearch runs each sequential algorithm on an
+// instance whose full search would take far longer than any test budget,
+// with a hook that asks to stop immediately. Termination within a couple
+// of seconds proves the hook is polled on the hot path; the generous
+// 30s timeout proves it is the hook — not the clock — doing the
+// stopping.
+func TestStopHookCancelsSearch(t *testing.T) {
+	p := hardProblem(t)
+	algos := map[string]func(*Problem, Options) *Result{
+		"ECF":        ECF,
+		"RWB":        RWB,
+		"LNS":        LNS,
+		"DynamicECF": DynamicECF,
+	}
+	for name, run := range algos {
+		t.Run(name, func(t *testing.T) {
+			var polls atomic.Int64
+			opt := Options{
+				Timeout: 30 * time.Second,
+				Stop: func() bool {
+					polls.Add(1)
+					return true
+				},
+			}
+			start := time.Now()
+			res := run(p, opt)
+			assertCanceled(t, name, res, time.Since(start), 5*time.Second)
+			if polls.Load() == 0 {
+				t.Errorf("%s: stop hook was never polled", name)
+			}
+		})
+	}
+}
+
+// TestStopHookCancelsParallelECF flips a shared cancellation flag while
+// the worker pool is mid-search, the exact shape the job engine uses.
+// Run under -race this also proves the hook is safe to share across
+// workers.
+func TestStopHookCancelsParallelECF(t *testing.T) {
+	p := hardProblem(t)
+	var cancel atomic.Bool
+	opt := Options{
+		Timeout: 30 * time.Second,
+		Workers: 4,
+		Stop:    cancel.Load,
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel.Store(true)
+	}()
+	start := time.Now()
+	res := ParallelECF(p, opt)
+	assertCanceled(t, "ParallelECF", res, time.Since(start), 5*time.Second)
+}
+
+// TestStopHookNilIsNoop pins that leaving the hook nil changes nothing:
+// a tiny complete search still exhausts and matches the reference count.
+func TestStopHookNilIsNoop(t *testing.T) {
+	p, err := NewProblem(topo.Ring(4), topo.Clique(5), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ECF(p, Options{})
+	if !res.Exhausted || res.Status != StatusComplete {
+		t.Fatalf("nil hook: got status %v exhausted %v, want complete exhaustive", res.Status, res.Exhausted)
+	}
+	want := len(naiveEmbeddings(p))
+	if len(res.Solutions) != want {
+		t.Fatalf("nil hook: %d solutions, reference says %d", len(res.Solutions), want)
+	}
+}
+
+// TestStopHookAfterBudget cancels after a fixed poll budget and checks
+// the search stops soon after, proving the hook is re-polled throughout
+// the run rather than only at the start.
+func TestStopHookAfterBudget(t *testing.T) {
+	p := hardProblem(t)
+	var polls atomic.Int64
+	const budget = 50
+	opt := Options{
+		Timeout: 30 * time.Second,
+		Stop:    func() bool { return polls.Add(1) > budget },
+	}
+	start := time.Now()
+	res := ECF(p, opt)
+	assertCanceled(t, "ECF", res, time.Since(start), 5*time.Second)
+	if got := polls.Load(); got <= budget {
+		t.Fatalf("expected the hook to be polled past its %d-call budget, got %d", budget, got)
+	}
+}

@@ -119,11 +119,8 @@ type consSearcher struct {
 	assign        Mapping
 	feasibleSetup bool
 
-	deadline    time.Time
-	hasDeadline bool
-	sinceCheck  int
-	timedOut    bool
-	stopped     bool
+	stopClock
+	stopped bool
 
 	started   time.Time
 	solutions []Mapping
@@ -213,10 +210,7 @@ func (s *consSearcher) init() {
 	for i := range s.assign {
 		s.assign[i] = -1
 	}
-	if s.opt.Timeout > 0 {
-		s.deadline = s.started.Add(s.opt.Timeout)
-		s.hasDeadline = true
-	}
+	s.arm(s.started, s.opt.Timeout, s.opt.Stop)
 	s.feasibleSetup = true
 }
 
@@ -264,20 +258,6 @@ func consOrder(q *graph.Graph, base []sets.Set) []graph.NodeID {
 		}
 	}
 	return order
-}
-
-func (s *consSearcher) checkDeadline() bool {
-	if !s.hasDeadline || s.timedOut {
-		return s.timedOut
-	}
-	s.sinceCheck++
-	if s.sinceCheck >= 256 {
-		s.sinceCheck = 0
-		if time.Now().After(s.deadline) {
-			s.timedOut = true
-		}
-	}
-	return s.timedOut
 }
 
 // loopbackOK checks the edge constraint for a query edge whose endpoints

@@ -39,10 +39,7 @@ func DynamicECF(p *Problem, opt Options) *Result {
 	if f.Dense() {
 		s.bufBits = sets.NewBitset(p.Host.NumNodes())
 	}
-	if opt.Timeout > 0 {
-		s.deadline = start.Add(opt.Timeout)
-		s.hasDeadline = true
-	}
+	s.arm(start, opt.Timeout, opt.Stop)
 	if opt.Seed != 0 {
 		s.rng = rand.New(rand.NewSource(opt.Seed))
 	}
@@ -73,30 +70,13 @@ type dynSearcher struct {
 	rowsB      []*sets.Bitset
 	bufBits    *sets.Bitset // dense-mode intersection accumulator
 
-	deadline    time.Time
-	hasDeadline bool
-	sinceCheck  int
-	timedOut    bool
-	stopped     bool
+	stopClock
+	stopped bool
 
 	started   time.Time
 	solutions []Mapping
 	nSol      int
 	stats     Stats
-}
-
-func (s *dynSearcher) checkDeadline() bool {
-	if !s.hasDeadline || s.timedOut {
-		return s.timedOut
-	}
-	s.sinceCheck++
-	if s.sinceCheck >= 256 {
-		s.sinceCheck = 0
-		if time.Now().After(s.deadline) {
-			s.timedOut = true
-		}
-	}
-	return s.timedOut
 }
 
 // candidatesFor computes the current candidate set of an unplaced node:

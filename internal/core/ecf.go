@@ -93,11 +93,8 @@ type searcher struct {
 	rows      []sets.Set
 	interBits *sets.Bitset // dense-mode intersection accumulator
 
-	deadline    time.Time
-	hasDeadline bool
-	sinceCheck  int
-	timedOut    bool
-	stopped     bool
+	stopClock
+	stopped bool
 
 	started   time.Time
 	solutions []Mapping
@@ -134,10 +131,7 @@ func newSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time
 	if f.Dense() {
 		s.interBits = sets.NewBitset(p.Host.NumNodes())
 	}
-	if opt.Timeout > 0 {
-		s.deadline = s.started.Add(opt.Timeout)
-		s.hasDeadline = true
-	}
+	s.arm(s.started, opt.Timeout, opt.Stop)
 	s.order = searchOrder(f, opt.Order)
 	s.preArcs = buildPreArcs(p, f, s.order)
 	return s
@@ -262,22 +256,6 @@ func buildPreArcs(p *Problem, f *Filters, order []graph.NodeID) [][]preArc {
 		}
 	}
 	return pre
-}
-
-// checkDeadline returns true when the search must stop on timeout. The
-// clock is sampled every 256 steps to keep the hot loop cheap.
-func (s *searcher) checkDeadline() bool {
-	if !s.hasDeadline || s.timedOut {
-		return s.timedOut
-	}
-	s.sinceCheck++
-	if s.sinceCheck >= 256 {
-		s.sinceCheck = 0
-		if time.Now().After(s.deadline) {
-			s.timedOut = true
-		}
-	}
-	return s.timedOut
 }
 
 // candidates computes formula (2) for the node at depth d: the

@@ -65,11 +65,8 @@ type lnsSearcher struct {
 	avail    *sets.Bitset   // scratch: candidate accumulator / dedupe marks
 	scratch  [][]int32      // per-depth candidate buffers (indexed by covered)
 
-	deadline    time.Time
-	hasDeadline bool
-	sinceCheck  int
-	timedOut    bool
-	stopped     bool
+	stopClock
+	stopped bool
 
 	started   time.Time
 	solutions []Mapping
@@ -87,10 +84,7 @@ func (s *lnsSearcher) init() {
 	s.used = sets.NewBitset(s.nr)
 	s.avail = sets.NewBitset(s.nr)
 	s.scratch = make([][]int32, s.nq)
-	if s.opt.Timeout > 0 {
-		s.deadline = s.started.Add(s.opt.Timeout)
-		s.hasDeadline = true
-	}
+	s.arm(s.started, s.opt.Timeout, s.opt.Stop)
 	// Node admissibility bitmaps: the only precomputation LNS performs.
 	s.nodePass = make([]*sets.Bitset, s.nq)
 	useDegree := !s.opt.NoDegreeFilter
@@ -111,20 +105,6 @@ func (s *lnsSearcher) init() {
 		}
 		s.nodePass[q] = b
 	}
-}
-
-func (s *lnsSearcher) checkDeadline() bool {
-	if !s.hasDeadline || s.timedOut {
-		return s.timedOut
-	}
-	s.sinceCheck++
-	if s.sinceCheck >= 256 {
-		s.sinceCheck = 0
-		if time.Now().After(s.deadline) {
-			s.timedOut = true
-		}
-	}
-	return s.timedOut
 }
 
 // queryNeighbors visits every query node adjacent to q (both directions

@@ -30,6 +30,9 @@ type PathOptions struct {
 	Timeout time.Duration
 	// MaxSolutions caps returned embeddings (0 = all).
 	MaxSolutions int
+	// Stop, when non-nil, is polled alongside the deadline; returning
+	// true cancels the search (see Options.Stop).
+	Stop func() bool
 }
 
 func (o *PathOptions) applyDefaults() {
@@ -80,11 +83,9 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
 
 	res := &PathResult{}
-	deadline := time.Time{}
-	if opt.Timeout > 0 {
-		deadline = start.Add(opt.Timeout)
-	}
-	timedOut, stopped := false, false
+	var clk stopClock
+	clk.arm(start, opt.Timeout, opt.Stop)
+	stopped := false
 
 	// Order query nodes by descending degree (LNS heuristic 1) but keep
 	// each node adjacent to at least one predecessor when possible.
@@ -100,18 +101,6 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	}
 	used := sets.NewBitset(nr)
 	paths := map[graph.EdgeID]graph.Path{}
-	steps := 0
-
-	checkDeadline := func() bool {
-		if deadline.IsZero() || timedOut {
-			return timedOut
-		}
-		steps++
-		if steps%128 == 0 && time.Now().After(deadline) {
-			timedOut = true
-		}
-		return timedOut
-	}
 
 	// witnessPath finds a path from rs to rt satisfying every composed
 	// metric window of query edge qe, or ok=false.
@@ -133,7 +122,7 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 
 	var rec func(d int)
 	rec = func(d int) {
-		if timedOut || stopped {
+		if clk.timedOut || stopped {
 			return
 		}
 		if d == nq {
@@ -149,7 +138,7 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 		}
 		q := order[d]
 		for r := graph.NodeID(0); int(r) < nr; r++ {
-			if checkDeadline() || stopped {
+			if clk.checkDeadline() || stopped {
 				return
 			}
 			if used.Has(r) || !p.nodeOK(q, r) {
@@ -203,7 +192,7 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	}
 	rec(0)
 
-	res.Exhausted = !timedOut && !stopped
+	res.Exhausted = !clk.timedOut && !stopped
 	res.Status = classify(res.Exhausted, len(res.Solutions))
 	res.Elapsed = time.Since(start)
 	return res

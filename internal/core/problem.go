@@ -271,6 +271,14 @@ type Options struct {
 	// mapping is only valid during the call (clone to retain). Returning
 	// false stops the search (the result is then StatusPartial).
 	OnSolution func(Mapping) bool
+	// Stop, when non-nil, is polled on the same cadence as the timeout
+	// deadline (every few hundred expansions); returning true halts the
+	// search as if the deadline had passed, with whatever solutions were
+	// found so far. It is the cooperative-cancellation hook: wrap a
+	// context (`func() bool { return ctx.Err() != nil }`) or an atomic
+	// flag to stop abandoned searches without waiting out their timeout.
+	// The hook must be safe for concurrent use when Workers > 1.
+	Stop func() bool
 	// Workers > 1 parallelizes filter construction across that many
 	// goroutines (one query edge per task) and sizes the ParallelECF
 	// worker pool. Zero keeps everything sequential and deterministic.

@@ -1,0 +1,49 @@
+package core
+
+import "time"
+
+// stopClock is the shared stop gate of every search loop: it samples the
+// wall-clock deadline and the Options.Stop cancellation hook once per
+// 256 expansions so the hot path stays cheap. The zero value never
+// stops; arm it with the run's start time and options. Every searcher
+// embeds one, so a change to the cancellation cadence lands in all
+// algorithms at once.
+type stopClock struct {
+	deadline    time.Time
+	hasDeadline bool
+	stop        func() bool
+	sinceCheck  int
+	timedOut    bool
+}
+
+// arm installs the deadline (start+timeout, when timeout > 0) and the
+// cancellation hook.
+func (c *stopClock) arm(start time.Time, timeout time.Duration, stop func() bool) {
+	if timeout > 0 {
+		c.deadline = start.Add(timeout)
+		c.hasDeadline = true
+	}
+	c.stop = stop
+}
+
+// checkDeadline returns true when the search must stop on timeout or
+// cancellation.
+func (c *stopClock) checkDeadline() bool {
+	if c.timedOut {
+		return true
+	}
+	if !c.hasDeadline && c.stop == nil {
+		return false
+	}
+	c.sinceCheck++
+	if c.sinceCheck >= 256 {
+		c.sinceCheck = 0
+		if c.hasDeadline && time.Now().After(c.deadline) {
+			c.timedOut = true
+		}
+		if !c.timedOut && c.stop != nil && c.stop() {
+			c.timedOut = true
+		}
+	}
+	return c.timedOut
+}

@@ -9,18 +9,31 @@
 //	GET    /model            current hosting network as GraphML
 //	PUT    /model            replace the hosting network (GraphML body)
 //	POST   /embed            run an embedding query (JSON body, see EmbedRequest)
+//	POST   /jobs             submit an asynchronous embedding job
+//	GET    /jobs/{id}        poll a job's status and result
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET    /stats            job-engine counters
 //	POST   /reserve          reserve host nodes (JSON body, see ReserveRequest)
 //	DELETE /reserve?id=N     release a lease
 //	POST   /negotiate        constraint-relaxation loop (§III negotiation)
 //	POST   /schedule         earliest-window scheduling (§VIII extension)
+//
+// Every embedding query — the synchronous /embed included — flows
+// through the asynchronous job engine (internal/engine), which provides
+// the bounded queue, worker pool, cancellation and the model-versioned
+// result cache. /embed is a thin submit-and-wait wrapper; under queue
+// saturation it answers 429 exactly like /jobs.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
+	"netembed/internal/engine"
 	"netembed/internal/graph"
 	"netembed/internal/graphml"
 	"netembed/internal/service"
@@ -28,19 +41,45 @@ import (
 
 // Server adapts a service.Service to HTTP. It implements http.Handler.
 type Server struct {
-	svc *service.Service
-	mux *http.ServeMux
+	svc       *service.Service
+	eng       *engine.Engine
+	ownEngine bool
+	mux       *http.ServeMux
 }
 
-// New builds the HTTP front end for svc.
+// New builds the HTTP front end for svc around a private job engine with
+// default tuning. The engine starts its goroutines lazily on the first
+// embedding request; Close releases them.
 func New(svc *service.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s := NewWithEngine(svc, engine.New(svc, engine.Config{}))
+	s.ownEngine = true
+	return s
+}
+
+// NewWithEngine builds the HTTP front end over a caller-owned engine
+// (the daemon uses this so it can drain the engine during graceful
+// shutdown). The engine must wrap the same svc.
+func NewWithEngine(svc *service.Service, eng *engine.Engine) *Server {
+	s := &Server{svc: svc, eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/embed", s.handleEmbed)
 	s.mux.HandleFunc("/reserve", s.handleReserve)
+	s.registerJobs()
 	s.registerExtended()
 	return s
+}
+
+// Engine exposes the job engine behind the API.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close drains the server's engine when the server owns it (built via
+// New); engines passed to NewWithEngine stay the caller's to close.
+func (s *Server) Close(ctx context.Context) error {
+	if !s.ownEngine {
+		return nil
+	}
+	return s.eng.Close(ctx)
 }
 
 // ServeHTTP dispatches to the API endpoints.
@@ -103,13 +142,17 @@ type EmbedRequest struct {
 	DemandAttr   string `json:"demandAttr,omitempty"`
 }
 
-// EmbedResponse is the JSON reply of POST /embed.
+// EmbedResponse is the JSON reply of POST /embed (and the result payload
+// of a finished job).
 type EmbedResponse struct {
 	Status       string                 `json:"status"`
 	Mappings     []map[string]string    `json:"mappings"`
 	ModelVersion uint64                 `json:"modelVersion"`
 	ElapsedMs    float64                `json:"elapsedMs"`
 	Stats        map[string]interface{} `json:"stats"`
+	// Cached is true when the answer came from the engine's result cache
+	// (same query fingerprint, same model version) without a new search.
+	Cached bool `json:"cached,omitempty"`
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -127,12 +170,45 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.svc.Embed(sreq)
-	if err != nil {
+	// Submit-and-wait over the engine: the blocking contract is kept, but
+	// the search runs on the worker pool with backpressure and the result
+	// cache in front, and a client disconnect cancels the search.
+	job, err := s.eng.Submit(sreq)
+	switch {
+	case errors.Is(err, engine.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, engine.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, embedResponseJSON(resp))
+	info, err := s.eng.Wait(r.Context(), job.ID())
+	if err != nil {
+		_, _ = s.eng.Cancel(job.ID())
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if info.State != engine.StateDone {
+		switch {
+		case errors.Is(info.Err, engine.ErrShuttingDown):
+			// Failed by the graceful drain: a server-side condition, not
+			// a client error.
+			writeError(w, http.StatusServiceUnavailable, info.Err)
+		case info.State == engine.StateCanceled:
+			// Someone canceled the backing job out from under the
+			// blocking caller (DELETE /jobs/{id} or a drain cut short).
+			writeError(w, http.StatusConflict, info.Err)
+		default:
+			writeError(w, http.StatusBadRequest, info.Err)
+		}
+		return
+	}
+	out := embedResponseJSON(info.Response)
+	out.Cached = info.FromCache
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ReserveRequest is the JSON body of POST /reserve.

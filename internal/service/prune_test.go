@@ -1,0 +1,80 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/graph"
+)
+
+// TestLedgerPrune pins the expiry sweep: a host saturated by a windowed
+// lease frees up once the window ends, and Prune actually drops the
+// expired record instead of leaving it to accumulate.
+func TestLedgerPrune(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{0, 1}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := l.Allocate(core.Mapping{2}) // open-ended: must survive every prune
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(l.SaturatedNodes()); got != 3 {
+		t.Fatalf("during window: %d saturated nodes, want 3", got)
+	}
+	if pruned := l.Prune(now); pruned != 0 {
+		t.Fatalf("prune before expiry removed %d leases, want 0", pruned)
+	}
+	if _, ok := l.Lease(id); !ok {
+		t.Fatal("live windowed lease pruned")
+	}
+
+	// The window ends: the hosts free up and the sweep drops the record.
+	now = end
+	if got := l.SaturatedNodes(); len(got) != 1 || got[0] != graph.NodeID(2) {
+		t.Fatalf("after window: saturated = %v, want just node 2", got)
+	}
+	if pruned := l.Prune(now); pruned != 1 {
+		t.Fatalf("prune after expiry removed %d leases, want 1", pruned)
+	}
+	if _, ok := l.Lease(id); ok {
+		t.Fatal("expired lease still present after Prune")
+	}
+	if _, ok := l.Lease(open); !ok {
+		t.Fatal("open-ended lease wrongly pruned")
+	}
+
+	// The freed hosts are allocatable again.
+	if _, err := l.AllocateWindow(core.Mapping{0, 1}, now, now.Add(time.Hour)); err != nil {
+		t.Fatalf("re-allocating freed hosts: %v", err)
+	}
+}
+
+// TestLedgerPruneIdempotent pins that repeated sweeps are safe and that
+// prune counts accumulate one per expired lease.
+func TestLedgerPruneIdempotent(t *testing.T) {
+	l := NewLedger()
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		win := base.Add(time.Duration(i) * time.Minute)
+		if _, err := l.AllocateWindow(core.Mapping{graph.NodeID(i)}, win, win.Add(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Prune(base.Add(3 * time.Minute)); got != 3 {
+		t.Fatalf("first sweep pruned %d, want 3", got)
+	}
+	if got := l.Prune(base.Add(3 * time.Minute)); got != 0 {
+		t.Fatalf("second sweep pruned %d, want 0", got)
+	}
+	if got := l.Prune(base.Add(time.Hour)); got != 2 {
+		t.Fatalf("final sweep pruned %d, want 2", got)
+	}
+}

@@ -85,6 +85,15 @@ func (l *Ledger) SetClock(clock func() time.Time) {
 	l.clock = clock
 }
 
+// Now reads the ledger's clock — time.Now unless SetClock injected a
+// source. Periodic maintenance (the engine tick) passes this to Prune so
+// simulated clocks never see wall-time deleting their live leases.
+func (l *Ledger) Now() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.clock()
+}
+
 // Ledger errors.
 var (
 	ErrLeaseNotFound = errors.New("service: lease not found")
@@ -145,6 +154,24 @@ func windowsOverlap(aStart, aEnd, bStart, bEnd time.Time) bool {
 		return e.IsZero() || s.IsZero() || s.Before(e)
 	}
 	return startsBefore(aStart, bEnd) && startsBefore(bStart, aEnd)
+}
+
+// Prune removes leases whose validity windows ended at or before now,
+// returning how many were dropped. Expired windowed leases no longer hold
+// resources (active() already excludes them from saturation queries) but
+// their records otherwise accumulate forever; the job engine calls this
+// from its periodic tick so long-lived services stay lean.
+func (l *Ledger) Prune(now time.Time) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for id, lease := range l.leases {
+		if !lease.End.IsZero() && !now.Before(lease.End) {
+			delete(l.leases, id)
+			n++
+		}
+	}
+	return n
 }
 
 // Release frees a lease.

@@ -49,6 +49,11 @@ type Request struct {
 	// Consolidate tunes AlgoConsolidate (capacity/demand attribute names,
 	// loopback semantics); ignored by the injective algorithms.
 	Consolidate core.ConsolidateOptions
+	// Stop, when non-nil, is the cooperative-cancellation hook threaded
+	// into core.Options.Stop: the search polls it on the deadline-check
+	// cadence and halts early when it returns true. The async job engine
+	// wires job cancellation through here.
+	Stop func() bool
 }
 
 // NamedMapping renders an embedding by node names: query node name ->
@@ -162,6 +167,7 @@ func (s *Service) Embed(req Request) (*Response, error) {
 		Timeout:      req.Timeout,
 		MaxSolutions: req.MaxResults,
 		Seed:         req.Seed,
+		Stop:         req.Stop,
 	}
 	if opt.Timeout == 0 {
 		opt.Timeout = s.defaultTimeout
@@ -195,6 +201,7 @@ func (s *Service) Embed(req Request) (*Response, error) {
 		autos, complete := core.AutomorphismsBounded(req.Query, core.Options{
 			Timeout:      2 * time.Second,
 			MaxSolutions: 5000,
+			Stop:         req.Stop, // canceled jobs skip the dedupe pass too
 		})
 		if complete {
 			resp.Mappings = core.CanonicalSolutions(resp.Mappings, autos)

@@ -43,6 +43,7 @@ import (
 
 	"netembed/internal/coords"
 	"netembed/internal/core"
+	"netembed/internal/engine"
 	"netembed/internal/expr"
 	"netembed/internal/graph"
 	"netembed/internal/graphml"
@@ -303,6 +304,50 @@ const (
 	AlgoLNS         = service.AlgoLNS
 	AlgoParallelECF = service.AlgoParallelECF
 	AlgoConsolidate = service.AlgoConsolidate
+)
+
+// Asynchronous job engine (submit/poll/cancel embedding jobs with a
+// bounded queue, worker pool, cooperative cancellation and a
+// model-versioned result cache).
+type (
+	// Engine runs embedding jobs asynchronously against a Service.
+	Engine = engine.Engine
+	// EngineConfig tunes the engine (workers, queue depth, cache).
+	EngineConfig = engine.Config
+	// EngineStats snapshots the engine counters.
+	EngineStats = engine.Stats
+	// Job is one asynchronous embedding request.
+	Job = engine.Job
+	// JobID identifies a submitted job.
+	JobID = engine.JobID
+	// JobInfo is an immutable job snapshot.
+	JobInfo = engine.Info
+	// JobState classifies a job's lifecycle position.
+	JobState = engine.State
+)
+
+// NewEngine builds a job engine over a service and starts its workers.
+var NewEngine = engine.New
+
+// Job lifecycle states.
+const (
+	JobQueued   = engine.StateQueued
+	JobRunning  = engine.StateRunning
+	JobDone     = engine.StateDone
+	JobFailed   = engine.StateFailed
+	JobCanceled = engine.StateCanceled
+)
+
+// Engine sentinel errors.
+var (
+	// ErrQueueFull is the engine's backpressure signal (HTTP 429).
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrJobNotFound reports an unknown job ID.
+	ErrJobNotFound = engine.ErrJobNotFound
+	// ErrEngineShuttingDown rejects submissions to a draining engine.
+	ErrEngineShuttingDown = engine.ErrShuttingDown
+	// ErrJobFinished rejects canceling an already-finished job.
+	ErrJobFinished = engine.ErrJobFinished
 )
 
 // EncodeGraphML writes g as a GraphML document.
