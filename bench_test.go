@@ -723,3 +723,107 @@ func BenchmarkRepr_ParallelECF(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIndexDelta is the tentpole measurement of PR 3: the cost of
+// going from "a monitor delta landed" to "queryable filters for the next
+// search" on a 512-node hosting network. The delta-apply variant patches
+// the persistent capability index copy-on-write and builds the filters
+// from strata and adjacency bitsets; the full-rebuild variant is the
+// pre-index world — every publish forces BuildFilters to rescan the
+// host. The acceptance bar is delta-apply ≥ 5x faster.
+func BenchmarkIndexDelta(b *testing.B) {
+	host := reprHost(b, 512)
+	q, _, err := topo.Subgraph(host, 16, 32, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Topology-only query: the regime where the filter tables are pure
+	// structure and the index fast path applies end to end.
+	newProblem := func(g *netembed.Graph) *netembed.Problem {
+		p, err := netembed.NewProblem(q, g, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	delta := func(i int) *netembed.Delta {
+		return &netembed.Delta{SetNodeAttrs: []netembed.NodeAttrUpdate{{
+			Node: host.Node(netembed.NodeID(i % host.NumNodes())).Name,
+			Set:  netembed.Attrs{}.SetNum("slots", float64(1+i%4)),
+		}}}
+	}
+
+	b.Run("delta-apply", func(b *testing.B) {
+		model := netembed.NewModel(host)
+		model.EnableIndex(netembed.IndexConfig{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Apply(delta(i)); err != nil {
+				b.Fatal(err)
+			}
+			g, idx, _ := model.SnapshotIndexed()
+			f := core.BuildFilters(newProblem(g), &netembed.Options{Index: idx})
+			if len(f.Base(0)) == 0 {
+				b.Fatal("empty base candidates")
+			}
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		model := netembed.NewModel(host)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Apply(delta(i)); err != nil {
+				b.Fatal(err)
+			}
+			g, _ := model.Snapshot()
+			f := core.BuildFilters(newProblem(g), &netembed.Options{})
+			if len(f.Base(0)) == 0 {
+				b.Fatal("empty base candidates")
+			}
+		}
+	})
+}
+
+// BenchmarkBatchEmbed measures the batch endpoint's amortization: 16
+// first-match queries answered via one EmbedBatch snapshot versus 16
+// independent Embed calls, with the capability index on and off.
+func BenchmarkBatchEmbed(b *testing.B) {
+	host := reprHost(b, 128)
+	reqs := make([]netembed.Request, 16)
+	for i := range reqs {
+		q, _, err := topo.Subgraph(host, 8+i%5, 16, rand.New(rand.NewSource(int64(40+i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = netembed.Request{Query: q, MaxResults: 1}
+	}
+	for _, indexed := range []bool{true, false} {
+		model := netembed.NewModel(host)
+		if indexed {
+			model.EnableIndex(netembed.IndexConfig{})
+		}
+		svc := netembed.NewService(model, netembed.ServiceConfig{})
+		run := func(batch bool) func(*testing.B) {
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if batch {
+						results, _ := svc.EmbedBatch(reqs)
+						for _, r := range results {
+							if r.Err != nil {
+								b.Fatal(r.Err)
+							}
+						}
+					} else {
+						for _, req := range reqs {
+							if _, err := svc.Embed(req); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("indexed=%v/batch", indexed), run(true))
+		b.Run(fmt.Sprintf("indexed=%v/sequential", indexed), run(false))
+	}
+}

@@ -1,0 +1,218 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when a gated benchmark regressed beyond a threshold. CI runs it after
+// benchstat: benchstat renders the human-readable comparison, benchgate
+// enforces the gate and emits the machine-readable artifact
+// (BENCH_pr<N>.json) the workflow uploads.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt -out bench.json \
+//	          -gate '^BenchmarkRepr_|^BenchmarkEngineThroughput' -threshold 0.10
+//
+// Per benchmark the median ns/op across repetitions (-count 5 runs) is
+// compared; medians shrug off the one-off scheduling hiccups that make
+// means useless on shared CI runners. Benchmarks present on only one
+// side are reported but never gate (new or deleted benchmarks must not
+// fail the pipeline that introduces them).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "bench output of the base commit")
+		headPath  = flag.String("head", "", "bench output of the PR head")
+		outPath   = flag.String("out", "", "JSON report path (empty = stdout only)")
+		gateExpr  = flag.String("gate", "^BenchmarkRepr_|^BenchmarkEngineThroughput", "regexp of benchmarks that gate the build")
+		threshold = flag.Float64("threshold", 0.10, "maximum tolerated relative ns/op regression on gated benchmarks")
+	)
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+
+	base, err := parseFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	report := Compare(base, head, gate, *threshold)
+	if *outPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	for _, r := range report.Results {
+		marker := " "
+		if r.Regression {
+			marker = "!"
+		}
+		fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
+			marker, r.Name, r.BaseNsOp, r.HeadNsOp, r.Delta*100, gatedSuffix(r.Gated))
+	}
+	if len(report.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) regressed beyond %.0f%%: %s\n",
+			len(report.Regressions), *threshold*100, strings.Join(report.Regressions, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: no gated regression beyond %.0f%%\n", *threshold*100)
+}
+
+func gatedSuffix(gated bool) string {
+	if gated {
+		return "  [gated]"
+	}
+	return ""
+}
+
+// Report is the JSON artifact uploaded by CI.
+type Report struct {
+	Gate        string   `json:"gate"`
+	Threshold   float64  `json:"threshold"`
+	Results     []Result `json:"results"`
+	Regressions []string `json:"regressions"`
+}
+
+// Result compares one benchmark across the two runs. Delta is relative:
+// (head-base)/base, positive = slower.
+type Result struct {
+	Name       string  `json:"name"`
+	BaseNsOp   float64 `json:"baseNsOp"`
+	HeadNsOp   float64 `json:"headNsOp"`
+	Delta      float64 `json:"delta"`
+	Gated      bool    `json:"gated"`
+	Regression bool    `json:"regression"`
+	// OnlyIn marks benchmarks present on a single side ("base"/"head");
+	// they never gate.
+	OnlyIn string `json:"onlyIn,omitempty"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBench extracts ns/op samples per benchmark name from `go test
+// -bench` output. The trailing -GOMAXPROCS suffix is stripped so runs
+// from differently sized machines still line up.
+func ParseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: Name-P  iterations  value ns/op  [more pairs].
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op %q for %s", fields[i], name)
+			}
+			out[name] = append(out[name], v)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples, err := ParseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return samples, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Compare builds the gate report from two parsed runs.
+func Compare(base, head map[string][]float64, gate *regexp.Regexp, threshold float64) *Report {
+	names := make(map[string]bool, len(base)+len(head))
+	for n := range base {
+		names[n] = true
+	}
+	for n := range head {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	report := &Report{Gate: gate.String(), Threshold: threshold}
+	for _, name := range ordered {
+		res := Result{Name: name, Gated: gate.MatchString(name)}
+		bs, inBase := base[name]
+		hs, inHead := head[name]
+		switch {
+		case inBase && inHead:
+			res.BaseNsOp = median(bs)
+			res.HeadNsOp = median(hs)
+			if res.BaseNsOp > 0 {
+				res.Delta = (res.HeadNsOp - res.BaseNsOp) / res.BaseNsOp
+			}
+			res.Regression = res.Gated && res.Delta > threshold
+		case inBase:
+			res.BaseNsOp = median(bs)
+			res.OnlyIn = "base"
+		default:
+			res.HeadNsOp = median(hs)
+			res.OnlyIn = "head"
+		}
+		if res.Regression {
+			report.Regressions = append(report.Regressions, name)
+		}
+		report.Results = append(report.Results, res)
+	}
+	return report
+}

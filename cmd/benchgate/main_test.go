@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const baseRun = `
+goos: linux
+goarch: amd64
+pkg: netembed
+BenchmarkRepr_ECF_Search/n512/bitset-8         	     100	   1000000 ns/op
+BenchmarkRepr_ECF_Search/n512/bitset-8         	     100	   1100000 ns/op
+BenchmarkRepr_ECF_Search/n512/bitset-8         	     100	    900000 ns/op
+BenchmarkEngineThroughput/w4/warm-8            	    5000	      2000 ns/op	 120 B/op	       3 allocs/op
+BenchmarkEngineThroughput/w4/warm-8            	    5000	      2200 ns/op	 120 B/op	       3 allocs/op
+BenchmarkFig08_ECF_PlanetLab-8                 	      50	   5000000 ns/op
+BenchmarkGone-8                                	      10	    111111 ns/op
+PASS
+`
+
+const headRun = `
+BenchmarkRepr_ECF_Search/n512/bitset-16        	     100	   1050000 ns/op
+BenchmarkRepr_ECF_Search/n512/bitset-16        	     100	   1060000 ns/op
+BenchmarkRepr_ECF_Search/n512/bitset-16        	     100	   1040000 ns/op
+BenchmarkEngineThroughput/w4/warm-16           	    5000	      3000 ns/op
+BenchmarkEngineThroughput/w4/warm-16           	    5000	      3100 ns/op
+BenchmarkFig08_ECF_PlanetLab-16                	      50	  50000000 ns/op
+BenchmarkNew/sub-16                            	      10	    222222 ns/op
+`
+
+func parse(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	m, err := ParseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parse(t, baseRun)
+	if got := len(m["BenchmarkRepr_ECF_Search/n512/bitset"]); got != 3 {
+		t.Fatalf("got %d samples, want 3 (GOMAXPROCS suffix must be stripped)", got)
+	}
+	if got := m["BenchmarkEngineThroughput/w4/warm"]; len(got) != 2 || got[0] != 2000 {
+		t.Fatalf("engine samples = %v", got)
+	}
+	if _, ok := m["PASS"]; ok {
+		t.Fatal("non-benchmark lines leaked into the parse")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkRepr_|^BenchmarkEngineThroughput`)
+	report := Compare(parse(t, baseRun), parse(t, headRun), gate, 0.10)
+
+	byName := map[string]Result{}
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+
+	// Repr: medians 1000000 -> 1050000 = +5%: gated but tolerated.
+	repr := byName["BenchmarkRepr_ECF_Search/n512/bitset"]
+	if !repr.Gated || repr.Regression {
+		t.Fatalf("repr: %+v, want gated and within threshold", repr)
+	}
+	if repr.BaseNsOp != 1000000 || repr.HeadNsOp != 1050000 {
+		t.Fatalf("repr medians = %v -> %v", repr.BaseNsOp, repr.HeadNsOp)
+	}
+
+	// Engine: 2100 -> 3050 = +45%: gated regression.
+	eng := byName["BenchmarkEngineThroughput/w4/warm"]
+	if !eng.Regression {
+		t.Fatalf("engine: %+v, want regression", eng)
+	}
+
+	// Fig08 regressed 10x but is not gated.
+	fig := byName["BenchmarkFig08_ECF_PlanetLab"]
+	if fig.Gated || fig.Regression {
+		t.Fatalf("fig08: %+v, want ungated and non-failing", fig)
+	}
+
+	// One-sided benchmarks are reported but never gate.
+	if byName["BenchmarkGone"].OnlyIn != "base" || byName["BenchmarkNew/sub"].OnlyIn != "head" {
+		t.Fatal("one-sided benchmarks misreported")
+	}
+
+	if len(report.Regressions) != 1 || report.Regressions[0] != "BenchmarkEngineThroughput/w4/warm" {
+		t.Fatalf("regressions = %v", report.Regressions)
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkRepr_`)
+	report := Compare(parse(t, baseRun), parse(t, headRun), gate, 0.10)
+	if len(report.Regressions) != 0 {
+		t.Fatalf("regressions = %v, want none under a Repr-only gate", report.Regressions)
+	}
+}
+
+// TestWorkflowGateMatchesSubBenchmarks pins the CI workflow's GATE to the
+// names benchgate actually compares: full sub-benchmark paths (with the
+// GOMAXPROCS suffix stripped). A right-anchored pattern would silently
+// gate nothing for benchmarks that only emit sub-benchmark lines.
+func TestWorkflowGateMatchesSubBenchmarks(t *testing.T) {
+	raw, err := os.ReadFile("../../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("reading workflow: %v", err)
+	}
+	m := regexp.MustCompile(`(?m)^\s*GATE:\s*'([^']+)'`).FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("no GATE env var found in ci.yml")
+	}
+	gate, err := regexp.Compile(string(m[1]))
+	if err != nil {
+		t.Fatalf("GATE does not compile: %v", err)
+	}
+	for _, name := range []string{
+		"BenchmarkRepr_ECF_Search/n512/bitset",
+		"BenchmarkEngineThroughput/workers=4/warm",
+		"BenchmarkEngineThroughput/workers=16/cold",
+	} {
+		if !gate.MatchString(name) {
+			t.Errorf("GATE %q does not gate %q", m[1], name)
+		}
+	}
+	for _, name := range []string{"BenchmarkFig08_ECF_PlanetLab", "BenchmarkIndexDelta/delta-apply"} {
+		if gate.MatchString(name) {
+			t.Errorf("GATE %q unexpectedly gates %q", m[1], name)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}

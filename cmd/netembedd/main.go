@@ -8,14 +8,20 @@
 //	netembedd -listen :8080 -host planetlab
 //	netembedd -listen :8080 -host infra.graphml -monitor 5s
 //
-// Endpoints: GET /healthz, GET/PUT /model, POST /embed, POST /jobs,
-// GET/DELETE /jobs/{id}, GET /stats, POST/DELETE /reserve. See
-// internal/service/httpapi.
+// Endpoints: GET /healthz, GET/PUT /model, POST /deltas, POST /embed,
+// POST /embed/batch, POST /jobs, GET/DELETE /jobs/{id}, GET /stats,
+// POST/DELETE /reserve. See internal/service/httpapi.
 //
 // Every embedding query runs on the asynchronous job engine: a bounded
 // queue (-queue) drained by a worker pool (-workers) with a
 // model-versioned result cache (-cache) in front. Saturation answers
 // 429 instead of stacking handler goroutines.
+//
+// With -index (the default) the model maintains a persistent
+// host-capability index that the filter construction intersects instead
+// of rescanning the host; POST /deltas patches both the model graph and
+// the index copy-on-write, so monitor publishes cost what they touch,
+// not what the network measures.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, the job engine finishes running jobs and fails
@@ -60,6 +66,7 @@ func run() error {
 		workers  = flag.Int("workers", 0, "job-engine worker pool size (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 128, "job-engine submission queue depth (full queue answers 429)")
 		cache    = flag.Int("cache", 512, "job-engine result cache capacity in entries (negative = disabled)")
+		useIndex = flag.Bool("index", true, "maintain the host-capability index (degree strata, adjacency bitsets, attribute postings); deltas patch it instead of rebuilding")
 	)
 	flag.Parse()
 
@@ -68,6 +75,9 @@ func run() error {
 		return err
 	}
 	model := netembed.NewModel(host)
+	if *useIndex {
+		model.EnableIndex(netembed.IndexConfig{})
+	}
 	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: *timeout})
 	eng := engine.New(svc, engine.Config{
 		Workers:       *workers,

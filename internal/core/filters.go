@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netembed/internal/graph"
+	"netembed/internal/index"
 	"netembed/internal/sets"
 )
 
@@ -95,26 +96,73 @@ func chooseDense(repr Repr, nr, hostEdges int) bool {
 // BuildFilters evaluates the edge constraint over every (query edge, host
 // edge) pair — the first stage of ECF/RWB — and assembles the filter
 // tables and base candidate sets.
+//
+// With a compatible Options.Index the expensive scans are replaced by
+// index lookups: node admissibility intersects the index's degree strata
+// (evaluating the node constraint only on stratum members), and when no
+// edge constraint applies the filter tables are assembled row-wise from
+// adjacency bitsets instead of iterating every (query edge, host edge)
+// pair. Both paths produce identical candidate sets; the scan remains
+// the oracle the property tests compare against.
 func BuildFilters(p *Problem, opt *Options) *Filters {
 	start := time.Now()
+	idx := opt.Index
+	if idx != nil &&
+		(idx.NumNodes() != p.Host.NumNodes() ||
+			idx.Directed() != p.Host.Directed() ||
+			opt.Repr == ReprSlice) {
+		// Stale snapshot (universe mismatch) or forced sparse rows: the
+		// index cannot serve this build, scan instead.
+		idx = nil
+	}
 	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	dense := chooseDense(opt.Repr, nr, p.Host.NumEdges())
+	if idx != nil {
+		dense = true // index-backed tables are assembled as bitsets
+	}
 	f := &Filters{
 		p:         p,
 		nq:        nq,
 		nr:        nr,
-		dense:     chooseDense(opt.Repr, nr, p.Host.NumEdges()),
+		dense:     dense,
 		arcTables: make(map[uint64][]int32, 2*p.Query.NumEdges()),
 	}
 
 	// Per-node admissibility: node constraint ∧ degree filter.
 	f.nodePass = make([]sets.Set, nq)
+	passBits := make([]*sets.Bitset, nq)
+	if idx != nil {
+		f.buildNodePassIndexed(opt, idx, passBits)
+	} else {
+		f.buildNodePassScan(opt, passBits)
+	}
+
+	if idx != nil && p.EdgeConstraint == nil {
+		f.fillTablesIndexed(idx, passBits)
+	} else {
+		f.fillTablesScan(opt, passBits)
+	}
+
+	if f.dense {
+		f.buildBaseDense(opt.LooseRoot)
+	} else {
+		f.buildBase(opt.LooseRoot)
+	}
+	f.stats.FilterBuild = time.Since(start)
+	return f
+}
+
+// buildNodePassScan computes per-node admissibility by scanning every
+// (query node, host node) pair.
+func (f *Filters) buildNodePassScan(opt *Options, passBits []*sets.Bitset) {
+	p := f.p
 	useDegree := !opt.NoDegreeFilter
-	for q := 0; q < nq; q++ {
+	for q := 0; q < f.nq; q++ {
 		qid := graph.NodeID(q)
 		var pass sets.Set
 		degQ := p.Query.Degree(qid)
 		outQ := p.Query.OutDegree(qid)
-		for r := 0; r < nr; r++ {
+		for r := 0; r < f.nr; r++ {
 			rid := graph.NodeID(r)
 			if useDegree {
 				if p.Host.Degree(rid) < degQ || p.Host.OutDegree(rid) < outQ {
@@ -127,31 +175,60 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 			pass = append(pass, rid)
 		}
 		f.nodePass[q] = pass
+		passBits[q] = sets.FromSet(f.nr, pass)
 	}
-	passBits := make([]*sets.Bitset, nq)
-	for q := range passBits {
-		passBits[q] = sets.FromSet(nr, f.nodePass[q])
-	}
+}
 
-	// One table per directed query arc, allocated serially so table IDs
-	// and the arc index are deterministic; the expensive fill loop over
-	// (query edge × host edge) pairs is then sharded per query edge
-	// across Options.Workers goroutines — each edge owns its two tables,
-	// so workers never share mutable state beyond the stats counters.
+// buildNodePassIndexed computes the same admissibility sets from the
+// index's degree strata: one AND of two ladder rungs per query node, with
+// the node constraint evaluated only on the stratum members.
+func (f *Filters) buildNodePassIndexed(opt *Options, idx *index.Index, passBits []*sets.Bitset) {
+	p := f.p
+	for q := 0; q < f.nq; q++ {
+		qid := graph.NodeID(q)
+		var pass *sets.Bitset
+		if opt.NoDegreeFilter {
+			pass = idx.DegreeAtLeast(0).Clone()
+		} else {
+			pass = idx.DegreeAtLeast(p.Query.Degree(qid)).Clone()
+			pass.IntersectWith(idx.OutDegreeAtLeast(p.Query.OutDegree(qid)))
+		}
+		if p.NodeConstraint != nil {
+			// ForEach snapshots each word before visiting, so clearing
+			// the bit just visited is safe.
+			pass.ForEach(func(r graph.NodeID) bool {
+				if !p.nodeOK(qid, r) {
+					pass.Clear(r)
+				}
+				return true
+			})
+		}
+		passBits[q] = pass
+		f.nodePass[q] = pass.AppendTo(nil)
+	}
+}
+
+// edgeTables pairs the two table IDs owned by one query edge.
+type edgeTables struct{ fwd, bwd int32 }
+
+// newArcTables allocates one table per directed query arc, serially so
+// table IDs and the arc index are deterministic regardless of how the
+// fill stage is parallelized.
+func (f *Filters) newArcTables() []edgeTables {
+	p := f.p
 	newTable := func(u, v graph.NodeID) int32 {
 		var id int32
 		if f.dense {
 			id = int32(len(f.tablesB))
-			f.tablesB = append(f.tablesB, make([]*sets.Bitset, nr))
+			f.tablesB = append(f.tablesB, make([]*sets.Bitset, f.nr))
 		} else {
 			id = int32(len(f.tables))
-			f.tables = append(f.tables, make([]sets.Set, nr))
+			f.tables = append(f.tables, make([]sets.Set, f.nr))
 		}
 		k := arcKey(u, v)
 		f.arcTables[k] = append(f.arcTables[k], id)
 		return id
 	}
-	type edgeTables struct{ fwd, bwd int32 }
 	tableOf := make([]edgeTables, p.Query.NumEdges())
 	for i := 0; i < p.Query.NumEdges(); i++ {
 		qe := p.Query.Edge(graph.EdgeID(i))
@@ -160,6 +237,17 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 			bwd: newTable(qe.To, qe.From), // To placed -> candidates for From
 		}
 	}
+	return tableOf
+}
+
+// fillTablesScan evaluates the edge constraint over every (query edge,
+// host edge) pair, sharding the fill per query edge across
+// Options.Workers goroutines — each edge owns its two tables, so workers
+// never share mutable state beyond the stats counters.
+func (f *Filters) fillTablesScan(opt *Options, passBits []*sets.Bitset) {
+	p := f.p
+	nr := f.nr
+	tableOf := f.newArcTables()
 
 	var pairsEval, entries atomic.Int64
 	fillEdge := func(i int) {
@@ -251,14 +339,51 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 	}
 	f.stats.EdgePairsEval = pairsEval.Load()
 	f.stats.FilterEntries = entries.Load()
+}
 
-	if f.dense {
-		f.buildBaseDense(opt.LooseRoot)
-	} else {
-		f.buildBase(opt.LooseRoot)
+// fillTablesIndexed assembles the topology-only filter tables from the
+// index's adjacency bitsets: the row for arc (u→v) at host node r is
+// adj(r) ∧ pass(v), two word-parallel ops instead of a scan over the
+// host edge list. Valid only when no edge constraint applies — with one,
+// every (query edge, host edge) pair must be evaluated and
+// fillTablesScan runs instead.
+//
+// Rows live in one arena per table (a single backing allocation); rows
+// that intersect to nothing stay nil exactly like the scan's lazily
+// allocated rows. EdgePairsEval stays 0 on this path — no pairs are
+// evaluated, which is the point — while FilterEntries still counts the
+// candidate bits stored.
+func (f *Filters) fillTablesIndexed(idx *index.Index, passBits []*sets.Bitset) {
+	p := f.p
+	tableOf := f.newArcTables()
+	var entries int64
+	fill := func(table []*sets.Bitset, tailPass, headPass *sets.Bitset, adj func(graph.NodeID) *sets.Bitset) {
+		n := tailPass.Count()
+		if n == 0 || !headPass.Any() {
+			return
+		}
+		arena := sets.MakeBitsets(f.nr, n)
+		next := 0
+		tailPass.ForEach(func(r graph.NodeID) bool {
+			row := &arena[next]
+			row.CopyFrom(adj(r))
+			if row.IntersectWith(headPass) {
+				table[r] = row
+				next++
+				entries += int64(row.Count())
+			}
+			return true
+		})
 	}
-	f.stats.FilterBuild = time.Since(start)
-	return f
+	for i := 0; i < p.Query.NumEdges(); i++ {
+		qe := p.Query.Edge(graph.EdgeID(i))
+		// fwd: From placed at r -> To's candidates are r's out-neighbors;
+		// bwd: To placed at r -> From's candidates are r's in-neighbors
+		// (both reduce to plain neighbors on undirected hosts).
+		fill(f.tablesB[tableOf[i].fwd], passBits[qe.From], passBits[qe.To], idx.Neighbors)
+		fill(f.tablesB[tableOf[i].bwd], passBits[qe.To], passBits[qe.From], idx.InNeighbors)
+	}
+	f.stats.FilterEntries = entries
 }
 
 // buildBase computes the per-node base candidate sets (formula (1)) on the

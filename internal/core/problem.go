@@ -18,6 +18,7 @@ import (
 
 	"netembed/internal/expr"
 	"netembed/internal/graph"
+	"netembed/internal/index"
 )
 
 // Mapping is an embedding: Mapping[q] is the hosting-network node assigned
@@ -283,6 +284,17 @@ type Options struct {
 	// goroutines (one query edge per task) and sizes the ParallelECF
 	// worker pool. Zero keeps everything sequential and deterministic.
 	Workers int
+	// Index, when non-nil, is a prebuilt host-capability index
+	// (internal/index) for the hosting network BuildFilters can consult
+	// instead of rescanning the host: node admissibility intersects
+	// degree strata, and topology-only filter tables (no edge
+	// constraint) are assembled from adjacency bitsets. The index must
+	// describe the Problem's host graph — same node universe, same
+	// orientation — or it is ignored; both paths provably produce
+	// identical candidate sets (the full scan stays the oracle in the
+	// property tests). Index-backed filters always carry the bitset
+	// representation, so ReprSlice also falls back to the scan.
+	Index *index.Index
 	// Repr selects the candidate-set representation for the ECF/RWB
 	// filter tables. Both representations provably enumerate identical
 	// solution sets; the choice only trades speed against memory.

@@ -52,8 +52,10 @@ func requestKey(req service.Request) (string, bool) {
 // hashGraph feeds a canonical, collision-framed serialization of g into
 // h: orientation, then nodes in ID order (name + attrs), then edges in
 // ID order (endpoints + attrs). Attribute maps are iterated in sorted
-// name order so equal graphs always produce equal bytes — unlike the
-// GraphML encoder, whose key-ID assignment follows map iteration order.
+// name order so equal graphs always produce equal bytes (the GraphML
+// encoder is canonical the same way since its key IDs were pinned to
+// sorted-name order, but hashing the in-memory form stays cheaper than
+// serializing).
 func hashGraph(h hash.Hash, g *graph.Graph) {
 	writeUint(h, boolBit(g.Directed()))
 	writeUint(h, uint64(g.NumNodes()))

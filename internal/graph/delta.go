@@ -1,0 +1,248 @@
+package graph
+
+import "fmt"
+
+// Delta is an incremental change to a graph — the unit the monitoring
+// infrastructure publishes instead of a whole re-measured network. All
+// elements are addressed by name (the external identity GraphML and the
+// service layer speak), never by NodeID: IDs are dense and renumber when
+// nodes are removed, so they are meaningless across snapshots.
+//
+// ApplyDelta processes the operation groups in a fixed order:
+//
+//  1. RemoveEdges, then RemoveNodes (removing a node drops its incident
+//     edges implicitly),
+//  2. AddNodes, then AddEdges (so a delta can replace a node wholesale:
+//     remove + re-add under the same name),
+//  3. SetNodeAttrs, then SetEdgeAttrs, which may reference both surviving
+//     and newly added elements.
+type Delta struct {
+	// RemoveEdges drops edges by endpoint names (order-insensitive on
+	// undirected graphs).
+	RemoveEdges []EdgeRef
+	// RemoveNodes drops nodes (and their incident edges) by name.
+	RemoveNodes []string
+	// AddNodes inserts new named nodes with optional attribute bags.
+	AddNodes []NodeSpec
+	// AddEdges inserts new edges between named nodes.
+	AddEdges []EdgeSpec
+	// SetNodeAttrs edits node attribute bags: Set entries overwrite,
+	// Unset names are removed.
+	SetNodeAttrs []NodeAttrUpdate
+	// SetEdgeAttrs edits edge attribute bags the same way.
+	SetEdgeAttrs []EdgeAttrUpdate
+}
+
+// NodeSpec names a node added by a delta.
+type NodeSpec struct {
+	Name  string
+	Attrs Attrs
+}
+
+// EdgeSpec names an edge added by a delta.
+type EdgeSpec struct {
+	Source, Target string
+	Attrs          Attrs
+}
+
+// EdgeRef addresses an existing edge by endpoint names.
+type EdgeRef struct {
+	Source, Target string
+}
+
+// NodeAttrUpdate edits one node's attribute bag.
+type NodeAttrUpdate struct {
+	Node  string
+	Set   Attrs
+	Unset []string
+}
+
+// EdgeAttrUpdate edits one edge's attribute bag.
+type EdgeAttrUpdate struct {
+	Source, Target string
+	Set            Attrs
+	Unset          []string
+}
+
+// Empty reports whether the delta carries no operations.
+func (d *Delta) Empty() bool {
+	return d == nil ||
+		len(d.RemoveEdges) == 0 && len(d.RemoveNodes) == 0 &&
+			len(d.AddNodes) == 0 && len(d.AddEdges) == 0 &&
+			len(d.SetNodeAttrs) == 0 && len(d.SetEdgeAttrs) == 0
+}
+
+// Structural reports whether the delta changes the graph's topology
+// (node or edge add/remove) rather than only attribute values. Structural
+// deltas renumber IDs and force index rebuilds; attribute-only deltas are
+// applied copy-on-write.
+func (d *Delta) Structural() bool {
+	return d != nil &&
+		(len(d.RemoveEdges) > 0 || len(d.RemoveNodes) > 0 ||
+			len(d.AddNodes) > 0 || len(d.AddEdges) > 0)
+}
+
+// Counts summarizes the delta for logs and API replies.
+func (d *Delta) Counts() (structuralOps, attrOps int) {
+	if d == nil {
+		return 0, 0
+	}
+	return len(d.RemoveEdges) + len(d.RemoveNodes) + len(d.AddNodes) + len(d.AddEdges),
+		len(d.SetNodeAttrs) + len(d.SetEdgeAttrs)
+}
+
+// ApplyDelta returns a new graph with d applied; g itself is never
+// modified, so concurrent readers of g stay consistent. Attribute-only
+// deltas take a copy-on-write fast path: the adjacency, edge index and
+// name index are shared with g and only the node/edge records (plus the
+// attribute bags actually touched) are copied. Structural deltas rebuild
+// into a fresh graph, renumbering IDs densely.
+//
+// Errors (unknown names, duplicate adds, self-loops) leave no partial
+// result: the returned graph is nil and g is untouched.
+func (g *Graph) ApplyDelta(d *Delta) (*Graph, error) {
+	if d.Empty() {
+		return g, nil
+	}
+	if !d.Structural() {
+		return g.applyAttrDelta(d)
+	}
+	return g.applyStructuralDelta(d)
+}
+
+// applyAttrDelta is the copy-on-write fast path for attribute-only deltas.
+func (g *Graph) applyAttrDelta(d *Delta) (*Graph, error) {
+	next := &Graph{
+		directed: g.directed,
+		nodes:    append([]Node(nil), g.nodes...),
+		edges:    append([]Edge(nil), g.edges...),
+		out:      g.out,   // structure is untouched: share adjacency,
+		in:       g.in,    // the edge index and the name index with g
+		index:    g.index, // (all are read-only after construction)
+		names:    g.names,
+	}
+	for _, up := range d.SetNodeAttrs {
+		id, ok := next.names[up.Node]
+		if !ok {
+			return nil, fmt.Errorf("graph: delta references unknown node %q", up.Node)
+		}
+		next.nodes[id].Attrs = patchAttrs(next.nodes[id].Attrs, up.Set, up.Unset)
+	}
+	for _, up := range d.SetEdgeAttrs {
+		id, err := next.edgeByNames(up.Source, up.Target)
+		if err != nil {
+			return nil, err
+		}
+		next.edges[id].Attrs = patchAttrs(next.edges[id].Attrs, up.Set, up.Unset)
+	}
+	return next, nil
+}
+
+// patchAttrs returns a fresh bag with set/unset applied; the original bag
+// is shared with the previous snapshot and must not be written.
+func patchAttrs(old, set Attrs, unset []string) Attrs {
+	out := old.Clone()
+	for name, v := range set {
+		out = out.Set(name, v)
+	}
+	for _, name := range unset {
+		if out.Has(name) {
+			delete(out, name)
+		}
+	}
+	return out
+}
+
+// applyStructuralDelta rebuilds the graph with the delta's removals,
+// additions and attribute edits applied, in the documented order.
+func (g *Graph) applyStructuralDelta(d *Delta) (*Graph, error) {
+	dropEdge := make(map[uint64]bool, len(d.RemoveEdges))
+	for _, ref := range d.RemoveEdges {
+		u, okU := g.names[ref.Source]
+		v, okV := g.names[ref.Target]
+		if !okU || !okV {
+			return nil, fmt.Errorf("graph: delta removes unknown edge %q-%q", ref.Source, ref.Target)
+		}
+		key := g.edgeKey(u, v)
+		if _, ok := g.index[key]; !ok {
+			return nil, fmt.Errorf("graph: delta removes missing edge %q-%q", ref.Source, ref.Target)
+		}
+		dropEdge[key] = true
+	}
+	dropNode := make(map[string]bool, len(d.RemoveNodes))
+	for _, name := range d.RemoveNodes {
+		if _, ok := g.names[name]; !ok {
+			return nil, fmt.Errorf("graph: delta removes unknown node %q", name)
+		}
+		dropNode[name] = true
+	}
+
+	next := New(g.directed)
+	for _, n := range g.nodes {
+		if !dropNode[n.Name] {
+			next.AddNode(n.Name, n.Attrs.Clone())
+		}
+	}
+	for _, spec := range d.AddNodes {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("graph: delta adds a node without a name")
+		}
+		if _, dup := next.names[spec.Name]; dup {
+			return nil, fmt.Errorf("graph: delta adds duplicate node %q", spec.Name)
+		}
+		next.AddNode(spec.Name, spec.Attrs.Clone())
+	}
+	for i, e := range g.edges {
+		if dropEdge[g.edgeKey(e.From, e.To)] {
+			continue
+		}
+		uName, vName := g.nodes[e.From].Name, g.nodes[e.To].Name
+		if dropNode[uName] || dropNode[vName] {
+			continue // incident edges leave with their node
+		}
+		u, _ := next.names[uName]
+		v, _ := next.names[vName]
+		if _, err := next.AddEdge(u, v, e.Attrs.Clone()); err != nil {
+			return nil, fmt.Errorf("graph: delta rebuild of edge %d: %w", i, err)
+		}
+	}
+	for _, spec := range d.AddEdges {
+		u, okU := next.names[spec.Source]
+		v, okV := next.names[spec.Target]
+		if !okU || !okV {
+			return nil, fmt.Errorf("graph: delta adds edge between unknown nodes %q-%q", spec.Source, spec.Target)
+		}
+		if _, err := next.AddEdge(u, v, spec.Attrs.Clone()); err != nil {
+			return nil, fmt.Errorf("graph: delta edge %q-%q: %w", spec.Source, spec.Target, err)
+		}
+	}
+	for _, up := range d.SetNodeAttrs {
+		id, ok := next.names[up.Node]
+		if !ok {
+			return nil, fmt.Errorf("graph: delta references unknown node %q", up.Node)
+		}
+		next.nodes[id].Attrs = patchAttrs(next.nodes[id].Attrs, up.Set, up.Unset)
+	}
+	for _, up := range d.SetEdgeAttrs {
+		id, err := next.edgeByNames(up.Source, up.Target)
+		if err != nil {
+			return nil, err
+		}
+		next.edges[id].Attrs = patchAttrs(next.edges[id].Attrs, up.Set, up.Unset)
+	}
+	return next, nil
+}
+
+// edgeByNames resolves an edge by endpoint names.
+func (g *Graph) edgeByNames(source, target string) (EdgeID, error) {
+	u, okU := g.names[source]
+	v, okV := g.names[target]
+	if !okU || !okV {
+		return -1, fmt.Errorf("graph: delta references unknown edge %q-%q", source, target)
+	}
+	id, ok := g.index[g.edgeKey(u, v)]
+	if !ok {
+		return -1, fmt.Errorf("graph: delta references missing edge %q-%q", source, target)
+	}
+	return id, nil
+}

@@ -205,7 +205,11 @@ func DecodeString(s string) (*graph.Graph, error) {
 
 // Encode writes g to w as a GraphML document. Attribute keys are declared
 // per target (node/edge) with types inferred from the values; mixing types
-// under one attribute name on the same target is rejected.
+// under one attribute name on the same target is rejected. Key IDs are
+// canonical: attribute names are collected first and IDs assigned in
+// sorted-name order (dn0, dn1, … for nodes; de0, de1, … for edges), so
+// equal graphs always serialize to identical bytes — golden files and
+// fingerprints over the encoding are stable across runs.
 func Encode(w io.Writer, g *graph.Graph) error {
 	type keySlot struct {
 		id   string
@@ -214,7 +218,7 @@ func Encode(w io.Writer, g *graph.Graph) error {
 	nodeKeys := make(map[string]*keySlot)
 	edgeKeys := make(map[string]*keySlot)
 
-	register := func(m map[string]*keySlot, prefix string, attrs graph.Attrs) error {
+	register := func(m map[string]*keySlot, attrs graph.Attrs) error {
 		for name, v := range attrs {
 			if v.IsMissing() {
 				continue
@@ -225,20 +229,34 @@ func Encode(w io.Writer, g *graph.Graph) error {
 				}
 				continue
 			}
-			m[name] = &keySlot{id: fmt.Sprintf("%s%d", prefix, len(m)), kind: v.Kind()}
+			m[name] = &keySlot{kind: v.Kind()}
 		}
 		return nil
 	}
 	for i := 0; i < g.NumNodes(); i++ {
-		if err := register(nodeKeys, "dn", g.Node(graph.NodeID(i)).Attrs); err != nil {
+		if err := register(nodeKeys, g.Node(graph.NodeID(i)).Attrs); err != nil {
 			return err
 		}
 	}
 	for i := 0; i < g.NumEdges(); i++ {
-		if err := register(edgeKeys, "de", g.Edge(graph.EdgeID(i)).Attrs); err != nil {
+		if err := register(edgeKeys, g.Edge(graph.EdgeID(i)).Attrs); err != nil {
 			return err
 		}
 	}
+	// Assign IDs only after the full attribute sets are known, in sorted
+	// name order — map iteration order must never leak into the document.
+	assignIDs := func(m map[string]*keySlot, prefix string) {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			m[name].id = fmt.Sprintf("%s%d", prefix, i)
+		}
+	}
+	assignIDs(nodeKeys, "dn")
+	assignIDs(edgeKeys, "de")
 
 	typeName := func(k graph.Kind) string {
 		switch k {

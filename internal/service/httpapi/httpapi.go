@@ -8,7 +8,11 @@
 //	GET    /healthz          liveness probe
 //	GET    /model            current hosting network as GraphML
 //	PUT    /model            replace the hosting network (GraphML body)
+//	POST   /deltas           publish an incremental model change (JSON body,
+//	                         see DeltaRequest) — the monitor's patch path
 //	POST   /embed            run an embedding query (JSON body, see EmbedRequest)
+//	POST   /embed/batch      run several queries against one model snapshot
+//	                         (JSON body, see BatchEmbedRequest)
 //	POST   /jobs             submit an asynchronous embedding job
 //	GET    /jobs/{id}        poll a job's status and result
 //	DELETE /jobs/{id}        cancel a queued or running job
@@ -66,6 +70,7 @@ func NewWithEngine(svc *service.Service, eng *engine.Engine) *Server {
 	s.mux.HandleFunc("/embed", s.handleEmbed)
 	s.mux.HandleFunc("/reserve", s.handleReserve)
 	s.registerJobs()
+	s.registerDeltas()
 	s.registerExtended()
 	return s
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"netembed/internal/graph"
+	"netembed/internal/index"
 )
 
 // Model holds the authoritative description of the hosting network. It is
@@ -19,16 +20,44 @@ import (
 // snapshots and never block writers; updates swap in a whole new graph and
 // bump the version. This is what lets embedding queries run concurrently
 // with monitoring updates without locks in the search path.
+//
+// A model can additionally maintain a host-capability index
+// (internal/index) kept in lockstep with the graph: every publish swaps
+// in a matching index snapshot, and Apply — the delta path monitors
+// should prefer — patches it incrementally instead of rebuilding.
+// Readers take (graph, index) pairs atomically via SnapshotIndexed.
 type Model struct {
 	mu      sync.RWMutex
 	g       *graph.Graph
 	version uint64
+	idx     *index.Index // nil unless EnableIndex was called
+	idxCfg  index.Config
 }
 
 // NewModel wraps an initial hosting network. The graph must not be
 // mutated by the caller afterwards.
 func NewModel(g *graph.Graph) *Model {
 	return &Model{g: g, version: 1}
+}
+
+// EnableIndex attaches a host-capability index to the model and keeps it
+// current across every subsequent publish: whole-graph swaps rebuild it,
+// deltas patch it copy-on-write. Idempotent; safe to call on a live
+// model.
+func (m *Model) EnableIndex(cfg index.Config) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.idx == nil {
+		m.idxCfg = cfg
+		m.idx = index.Build(m.g, m.version, cfg)
+	}
+}
+
+// Indexed reports whether the model maintains a capability index.
+func (m *Model) Indexed() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.idx != nil
 }
 
 // Snapshot returns the current hosting network and its version. The graph
@@ -39,11 +68,28 @@ func (m *Model) Snapshot() (*graph.Graph, uint64) {
 	return m.g, m.version
 }
 
+// SnapshotIndexed returns the current hosting network, its capability
+// index (nil when indexing is disabled) and the version, as one
+// consistent triple. Both structures are shared and immutable.
+func (m *Model) SnapshotIndexed() (*graph.Graph, *index.Index, uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.g, m.idx, m.version
+}
+
 // Version returns the current model version.
 func (m *Model) Version() uint64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.version
+}
+
+// reindex refreshes the index (if enabled) after a whole-graph swap.
+// Callers hold m.mu.
+func (m *Model) reindex() {
+	if m.idx != nil {
+		m.idx = index.Build(m.g, m.version, m.idxCfg)
+	}
 }
 
 // Update replaces the hosting network and returns the new version.
@@ -52,6 +98,7 @@ func (m *Model) Update(g *graph.Graph) uint64 {
 	defer m.mu.Unlock()
 	m.g = g
 	m.version++
+	m.reindex()
 	return m.version
 }
 
@@ -69,11 +116,14 @@ func (m *Model) UpdateIf(g *graph.Graph, version uint64) (uint64, bool) {
 	}
 	m.g = g
 	m.version++
+	m.reindex()
 	return m.version, true
 }
 
 // Mutate clones the current snapshot, applies fn to the clone, swaps it in
-// and returns the new version. This is the update path used by monitors.
+// and returns the new version. Prefer Apply for changes expressible as a
+// Delta: Mutate cannot know what fn touched, so an attached index is
+// rebuilt from scratch.
 func (m *Model) Mutate(fn func(*graph.Graph)) uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -81,7 +131,34 @@ func (m *Model) Mutate(fn func(*graph.Graph)) uint64 {
 	fn(next)
 	m.g = next
 	m.version++
+	m.reindex()
 	return m.version
+}
+
+// Apply publishes an incremental change: the graph is patched
+// copy-on-write (attribute-only deltas share all structure with the
+// previous snapshot) and an attached index is patched rather than
+// rebuilt. This is the delta-native update path monitors should publish
+// through. On error — and for an empty delta, which changes nothing and
+// must not invalidate version-keyed caches — the model is unchanged and
+// the current version is returned.
+func (m *Model) Apply(d *graph.Delta) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d.Empty() {
+		return m.version, nil
+	}
+	next, err := m.g.ApplyDelta(d)
+	if err != nil {
+		return m.version, err
+	}
+	prev := m.g
+	m.g = next
+	m.version++
+	if m.idx != nil {
+		m.idx = m.idx.Apply(prev, next, d, m.version)
+	}
+	return m.version, nil
 }
 
 // MonitorConfig shapes the simulated measurement feed.
@@ -127,38 +204,57 @@ func NewMonitor(model *Model, cfg MonitorConfig) *Monitor {
 // Steps returns how many measurement rounds have been published.
 func (mo *Monitor) Steps() int { return mo.steps }
 
-// Step publishes one measurement round and returns the new model version.
+// Step publishes one measurement round — as a Delta, the way a real
+// monitoring feed republishes only the links it re-measured — and returns
+// the new model version. The drifted values are computed against the
+// snapshot current at the start of the step; the monitor is expected to
+// be the only writer of the delay attributes it owns.
 func (mo *Monitor) Step() uint64 {
 	mo.steps++
-	// Pre-draw the randomness so the mutation closure stays deterministic
-	// regardless of how Mutate schedules it.
-	type drift struct {
-		edge   graph.EdgeID
-		factor float64
+	// The monitor is not the only writer: a POST /deltas can remove an
+	// edge between the snapshot and Apply, failing the whole (atomic)
+	// round. Re-measure against a fresh snapshot instead of silently
+	// dropping the round; give up only if writer churn wins repeatedly.
+	for attempt := 0; ; attempt++ {
+		g, _ := mo.model.Snapshot()
+		version, err := mo.model.Apply(mo.measure(g))
+		if err == nil {
+			return version
+		}
+		if attempt == 2 {
+			return mo.model.Version()
+		}
 	}
-	g, _ := mo.model.Snapshot()
+}
+
+// measure samples a fraction of g's edges and returns the delta drifting
+// their delay attributes.
+func (mo *Monitor) measure(g *graph.Graph) *graph.Delta {
 	n := g.NumEdges()
 	count := int(float64(n) * mo.cfg.EdgeFraction)
 	if count < 1 && n > 0 {
 		count = 1
 	}
-	drifts := make([]drift, 0, count)
+	var delta graph.Delta
 	for i := 0; i < count; i++ {
-		drifts = append(drifts, drift{
-			edge:   graph.EdgeID(mo.rng.Intn(n)),
-			factor: 1 + (mo.rng.Float64()*2-1)*mo.cfg.JitterPct,
-		})
-	}
-	return mo.model.Mutate(func(g *graph.Graph) {
-		for _, d := range drifts {
-			attrs := g.Edge(d.edge).Attrs
-			for _, name := range []string{"minDelay", "avgDelay", "maxDelay"} {
-				if v, ok := attrs.Float(name); ok {
-					attrs.SetNum(name, v*d.factor)
-				}
+		e := g.Edge(graph.EdgeID(mo.rng.Intn(n)))
+		factor := 1 + (mo.rng.Float64()*2-1)*mo.cfg.JitterPct
+		var set graph.Attrs
+		for _, name := range []string{"minDelay", "avgDelay", "maxDelay"} {
+			if v, ok := e.Attrs.Float(name); ok {
+				set = set.SetNum(name, v*factor)
 			}
 		}
-	})
+		if set == nil {
+			continue
+		}
+		delta.SetEdgeAttrs = append(delta.SetEdgeAttrs, graph.EdgeAttrUpdate{
+			Source: g.Node(e.From).Name,
+			Target: g.Node(e.To).Name,
+			Set:    set,
+		})
+	}
+	return &delta
 }
 
 // Run publishes rounds every Interval until stop is closed.

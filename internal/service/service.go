@@ -9,6 +9,7 @@ import (
 	"netembed/internal/core"
 	"netembed/internal/expr"
 	"netembed/internal/graph"
+	"netembed/internal/index"
 )
 
 // Algorithm names a mapping algorithm exposed by the service.
@@ -140,6 +141,39 @@ const reservedAttr = "netembedReserved"
 
 // Embed answers one embedding request against the current model snapshot.
 func (s *Service) Embed(req Request) (*Response, error) {
+	host, idx, version := s.model.SnapshotIndexed()
+	return s.embedOn(host, idx, version, req)
+}
+
+// BatchResult pairs one EmbedBatch item's answer with its error; exactly
+// one of the fields is set.
+type BatchResult struct {
+	Response *Response
+	Err      error
+}
+
+// EmbedBatch answers several embedding requests against one consistent
+// model snapshot: the hosting network, capability index and version are
+// taken once and shared by every item, so a batch of queries amortizes
+// the snapshot (and the index the filters intersect) instead of racing
+// the monitoring feed between items. Items run sequentially in order;
+// per-item failures land in the matching BatchResult without aborting
+// the rest. The shared version is returned alongside the results.
+func (s *Service) EmbedBatch(reqs []Request) ([]BatchResult, uint64) {
+	host, idx, version := s.model.SnapshotIndexed()
+	out := make([]BatchResult, len(reqs))
+	for i, req := range reqs {
+		resp, err := s.embedOn(host, idx, version, req)
+		out[i] = BatchResult{Response: resp, Err: err}
+	}
+	return out, version
+}
+
+// embedOn answers one request against a fixed (host, index, version)
+// snapshot. The index may be nil (indexing disabled); when present it is
+// threaded into core.Options so BuildFilters intersects strata instead
+// of rescanning the host.
+func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, req Request) (*Response, error) {
 	start := time.Now()
 	if req.Query == nil {
 		return nil, ErrNoQuery
@@ -149,8 +183,10 @@ func (s *Service) Embed(req Request) (*Response, error) {
 		return nil, err
 	}
 
-	host, version := s.model.Snapshot()
 	if req.ExcludeReserved {
+		// Reservation marks only add node attributes — the structure the
+		// index describes (degrees, adjacency) is untouched, so the index
+		// stays valid for the marked clone.
 		host = s.withReservationMarks(host)
 	}
 
@@ -168,6 +204,7 @@ func (s *Service) Embed(req Request) (*Response, error) {
 		MaxSolutions: req.MaxResults,
 		Seed:         req.Seed,
 		Stop:         req.Stop,
+		Index:        idx,
 	}
 	if opt.Timeout == 0 {
 		opt.Timeout = s.defaultTimeout

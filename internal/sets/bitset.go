@@ -22,6 +22,21 @@ func NewBitset(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// MakeBitsets returns count empty bitsets over the universe [0, n), all
+// backed by a single contiguous words allocation. Table-shaped layouts
+// (one row per host node) use this to cut allocator traffic from one
+// object per row to two per table; the rows stay independent — writing
+// one never touches another's words.
+func MakeBitsets(n, count int) []Bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, words*count)
+	out := make([]Bitset, count)
+	for i := range out {
+		out[i] = Bitset{words: backing[i*words : (i+1)*words : (i+1)*words], n: n}
+	}
+	return out
+}
+
 // FromSet returns a bitset over [0, n) holding the elements of s.
 func FromSet(n int, s Set) *Bitset {
 	b := NewBitset(n)

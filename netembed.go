@@ -47,6 +47,7 @@ import (
 	"netembed/internal/expr"
 	"netembed/internal/graph"
 	"netembed/internal/graphml"
+	"netembed/internal/index"
 	"netembed/internal/service"
 	"netembed/internal/topo"
 	"netembed/internal/trace"
@@ -64,7 +65,26 @@ type (
 	NodeID = graph.NodeID
 	// EdgeID indexes edges within a Graph.
 	EdgeID = graph.EdgeID
+	// Delta is an incremental, name-addressed change to a graph — the
+	// unit monitors publish via Model.Apply and POST /deltas.
+	Delta = graph.Delta
+	// NodeSpec / EdgeSpec / EdgeRef / NodeAttrUpdate / EdgeAttrUpdate
+	// are the Delta operation records.
+	NodeSpec       = graph.NodeSpec
+	EdgeSpec       = graph.EdgeSpec
+	EdgeRef        = graph.EdgeRef
+	NodeAttrUpdate = graph.NodeAttrUpdate
+	EdgeAttrUpdate = graph.EdgeAttrUpdate
+	// Index is a persistent, version-stamped host-capability snapshot
+	// (degree strata, adjacency bitsets, attribute postings) patched
+	// copy-on-write by deltas.
+	Index = index.Index
+	// IndexConfig tunes index construction (strata attributes/levels).
+	IndexConfig = index.Config
 )
+
+// BuildIndex computes a fresh capability index over a hosting network.
+var BuildIndex = index.Build
 
 // Graph constructors.
 var (
@@ -237,6 +257,8 @@ type (
 	Request = service.Request
 	// Response is the service's answer.
 	Response = service.Response
+	// BatchResult is one EmbedBatch item's outcome.
+	BatchResult = service.BatchResult
 	// Algorithm selects a search strategy by name.
 	Algorithm = service.Algorithm
 	// LeaseID identifies a reservation.
