@@ -827,3 +827,138 @@ func BenchmarkBatchEmbed(b *testing.B) {
 		b.Run(fmt.Sprintf("indexed=%v/sequential", indexed), run(false))
 	}
 }
+
+// --- Search engine: forward checking + CBJ vs the chronological oracle ---
+//
+// BenchmarkSearch_FC_vs_Chrono is the tentpole measurement of the FC-CBJ
+// engine rebuild. Three instances, each run under both engines against
+// identical prebuilt filters:
+//
+//   - dense512/subgraph: a 24-node planted query on the 512-node dense
+//     host — the deep bottom-heavy tree where the chronological searcher
+//     re-intersects every earlier neighbor's row per visit and forward
+//     checking pays one AND per future neighbor instead.
+//   - dense512/clique: a 7-clique on the same host — the complete query
+//     graph is the FC engine's structural worst case (every level
+//     re-prunes every future domain, nothing amortizes), so this
+//     sub-benchmark pins the expected engine *parity* and guards the
+//     maintenance overhead from regressing.
+//   - nomatch512: topo.BackjumpAdversary on a 512-node host — a jointly
+//     infeasible query whose conflict involves only the root and a
+//     pendant triangle; conflict-directed backjumping vaults the branchy
+//     middle levels the oracle must re-enumerate per root.
+//
+// The acceptance bars: fc ≥1.5x faster than chrono on the dense-host
+// subgraph workload, ≥2x on nomatch512, and no worse than parity on
+// the clique worst case (measured: ≈2x, ≈14x, ≈1.03x — see README and
+// bench/BENCH_pr4_baseline.json).
+func BenchmarkSearch_FC_vs_Chrono(b *testing.B) {
+	engines := []struct {
+		name string
+		eng  netembed.SearchEngine
+	}{
+		{"chrono", core.SearchChrono},
+		{"fc", core.SearchFC},
+	}
+
+	runWithFilters := func(b *testing.B, f *netembed.Filters, opt netembed.Options, wantSolutions bool) {
+		b.Helper()
+		var n int64
+		opt.OnSolution = func(netembed.Mapping) bool { n++; return true }
+		for i := 0; i < b.N; i++ {
+			n = 0
+			core.ECFWithFilters(f, opt)
+			if wantSolutions && n == 0 {
+				b.Fatal("planted query not found")
+			}
+			if !wantSolutions && n != 0 {
+				b.Fatal("infeasible query matched")
+			}
+		}
+	}
+
+	host := reprHost(b, 512)
+
+	b.Run("dense512/subgraph", func(b *testing.B) {
+		p := subgraphProblemSlack(b, host, 24, 3, 0.05)
+		f := core.BuildFilters(p, &netembed.Options{})
+		for _, e := range engines {
+			b.Run(e.name, func(b *testing.B) {
+				runWithFilters(b, f, netembed.Options{Engine: e.eng, MaxSolutions: 500_000}, true)
+			})
+		}
+	})
+
+	b.Run("dense512/clique", func(b *testing.B) {
+		// A complete query graph is forward checking's structural worst
+		// case — every level re-prunes every future domain, so the
+		// incremental engine has nothing to amortize and the two engines
+		// should track each other. This sub-benchmark pins that parity
+		// (and guards the maintenance overhead from regressing); the
+		// wins live in subgraph (deep amortization) and nomatch
+		// (wipeouts + backjumping).
+		q := topo.Clique(7)
+		topo.SetDelayWindow(q, 15, 50)
+		p, err := netembed.NewProblem(q, host, avgWindow, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := core.BuildFilters(p, &netembed.Options{})
+		for _, e := range engines {
+			b.Run(e.name, func(b *testing.B) {
+				runWithFilters(b, f, netembed.Options{Engine: e.eng, MaxSolutions: 200_000}, true)
+			})
+		}
+	})
+
+	b.Run("nomatch512", func(b *testing.B) {
+		// 64+320+64+64 = 512 hosts; the full no-match proof must be
+		// produced every iteration. OrderNatural pins the adversarial
+		// order (middle chain before the conflict triangle).
+		q, g, err := topo.BackjumpAdversary(64, 320, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := netembed.NewProblem(q, g, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := core.BuildFilters(p, &netembed.Options{})
+		for _, e := range engines {
+			b.Run(e.name, func(b *testing.B) {
+				runWithFilters(b, f, netembed.Options{Engine: e.eng, Order: core.OrderNatural}, false)
+			})
+		}
+	})
+}
+
+// BenchmarkParallelECF_StealVsStatic pins the work-stealing scheduler
+// against PR 1's static first-level sharding on topo.SkewedRing: one
+// root candidate owns a combinatorially large subtree while the decoy
+// roots die after a shallow probe. Round-robin sharding pins the heavy
+// root (plus a few dead decoys) to one worker and the rest of the pool
+// idles; stealing redistributes the heavy root's second level.
+func BenchmarkParallelECF_StealVsStatic(b *testing.B) {
+	q, host := topo.SkewedRing(12, 15, 7)
+	seedOnly := netembed.MustCompile("!has(vNode.seed) || has(rNode.seed)")
+	p, err := netembed.NewProblem(q, host, delayWindow, seedOnly)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		eng  netembed.SearchEngine
+	}{
+		{"static", core.SearchChrono},
+		{"steal", core.SearchFC},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := core.ParallelECF(p, netembed.Options{Workers: 4, Engine: v.eng})
+				if len(res.Solutions) != 0 || res.Status != core.StatusComplete {
+					b.Fatal("skewed instance should be a definitive no-match")
+				}
+			}
+		})
+	}
+}

@@ -122,12 +122,19 @@ func TestWorkflowGateMatchesSubBenchmarks(t *testing.T) {
 		"BenchmarkRepr_ECF_Search/n512/bitset",
 		"BenchmarkEngineThroughput/workers=4/warm",
 		"BenchmarkEngineThroughput/workers=16/cold",
+		"BenchmarkSearch_FC_vs_Chrono/dense512/subgraph/fc",
+		"BenchmarkSearch_FC_vs_Chrono/dense512/clique/chrono",
+		"BenchmarkSearch_FC_vs_Chrono/nomatch512/fc",
 	} {
 		if !gate.MatchString(name) {
 			t.Errorf("GATE %q does not gate %q", m[1], name)
 		}
 	}
-	for _, name := range []string{"BenchmarkFig08_ECF_PlanetLab", "BenchmarkIndexDelta/delta-apply"} {
+	for _, name := range []string{
+		"BenchmarkFig08_ECF_PlanetLab",
+		"BenchmarkIndexDelta/delta-apply",
+		"BenchmarkParallelECF_StealVsStatic/steal",
+	} {
 		if gate.MatchString(name) {
 			t.Errorf("GATE %q unexpectedly gates %q", m[1], name)
 		}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -56,17 +57,18 @@ func main() {
 
 func run() error {
 	var (
-		listen   = flag.String("listen", ":8080", "HTTP listen address")
-		hostPath = flag.String("host", "planetlab", "hosting network GraphML file, or 'planetlab'")
-		seed     = flag.Int64("seed", 1, "seed for the synthetic host")
-		monitor  = flag.Duration("monitor", 0, "enable the simulated monitoring feed with this period (0 = off)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
-		hdrLimit = flag.Duration("header-timeout", 10*time.Second, "ReadHeaderTimeout guarding against slow-loris clients")
-		workers  = flag.Int("workers", 0, "job-engine worker pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 128, "job-engine submission queue depth (full queue answers 429)")
-		cache    = flag.Int("cache", 512, "job-engine result cache capacity in entries (negative = disabled)")
-		useIndex = flag.Bool("index", true, "maintain the host-capability index (degree strata, adjacency bitsets, attribute postings); deltas patch it instead of rebuilding")
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		hostPath  = flag.String("host", "planetlab", "hosting network GraphML file, or 'planetlab'")
+		seed      = flag.Int64("seed", 1, "seed for the synthetic host")
+		monitor   = flag.Duration("monitor", 0, "enable the simulated monitoring feed with this period (0 = off)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+		hdrLimit  = flag.Duration("header-timeout", 10*time.Second, "ReadHeaderTimeout guarding against slow-loris clients")
+		workers   = flag.Int("workers", 0, "job-engine worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 128, "job-engine submission queue depth (full queue answers 429)")
+		cache     = flag.Int("cache", 512, "job-engine result cache capacity in entries (negative = disabled)")
+		useIndex  = flag.Bool("index", true, "maintain the host-capability index (degree strata, adjacency bitsets, attribute postings); deltas patch it instead of rebuilding")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	)
 	flag.Parse()
 
@@ -101,6 +103,27 @@ func run() error {
 	stopMonitor := func() {
 		close(monStop)
 		monWG.Wait()
+	}
+
+	// Profiling stays off the service mux and off by default: search hot
+	// spots are CPU-profiled against a running daemon only when the
+	// operator opts in, and the debug endpoints never share a port with
+	// the public API.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: *hdrLimit}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		defer psrv.Close()
 	}
 
 	srv := &http.Server{

@@ -116,6 +116,17 @@ type consSearcher struct {
 	candBits  *sets.Bitset // scratch for materializing candidates
 	scratch   [][]int32    // per-depth candidate buffers
 
+	// Forward-checking state (SearchFC engine only): live domains per
+	// query node, pruned when an earlier neighbor is placed — a later
+	// neighbor must land on the placed host's adjacency or co-locate on
+	// the host itself — with trail-backed undo and an early wipeout
+	// check. Edge constraints stay lazily evaluated per candidate, so
+	// the pruning is topology-only and provably solution-preserving.
+	fc       bool
+	ds       *domains
+	adj      *hostAdj         // host adjacency ∪ self (co-location)
+	postNbrs [][]graph.NodeID // later-placed query neighbors per depth
+
 	assign        Mapping
 	feasibleSetup bool
 
@@ -188,12 +199,18 @@ func (s *consSearcher) init() {
 		pos[n] = d
 	}
 	s.preNbrs = make([][]graph.NodeID, nq)
+	s.postNbrs = make([][]graph.NodeID, nq)
 	for d, n := range s.order {
 		seen := map[graph.NodeID]bool{}
 		add := func(nbr graph.NodeID) {
-			if pos[nbr] < d && !seen[nbr] {
-				seen[nbr] = true
+			if seen[nbr] || pos[nbr] == d {
+				return
+			}
+			seen[nbr] = true
+			if pos[nbr] < d {
 				s.preNbrs[d] = append(s.preNbrs[d], nbr)
+			} else {
+				s.postNbrs[d] = append(s.postNbrs[d], nbr)
 			}
 		}
 		for _, a := range q.Arcs(n) {
@@ -204,6 +221,16 @@ func (s *consSearcher) init() {
 				add(a.To)
 			}
 		}
+	}
+
+	s.fc = s.opt.Engine != SearchChrono
+	if s.fc {
+		s.ds = newDomains(nh, nq)
+		for i := 0; i < nq; i++ {
+			s.ds.dom[i].CopyFrom(s.baseB[i])
+			s.ds.count[i] = int32(len(s.base[i]))
+		}
+		s.adj = newHostAdj(h, true)
 	}
 
 	s.assign = make(Mapping, nq)
@@ -319,11 +346,16 @@ func (s *consSearcher) search(d int) {
 		return
 	}
 	node := s.order[d]
-	// Materialize this depth's candidates: the node's base bitset minus
-	// saturated hosts, ascending — the same order the base slice scan
-	// produced, with packed hosts pruned word-wise up front.
+	// Materialize this depth's candidates: the node's live domain (base
+	// bitset under SearchChrono) minus saturated hosts, ascending — the
+	// same order the base slice scan produced, with packed hosts pruned
+	// word-wise up front.
 	buf := s.scratch[d][:0]
-	s.candBits.CopyFrom(s.baseB[node])
+	if s.fc {
+		s.candBits.CopyFrom(&s.ds.dom[node])
+	} else {
+		s.candBits.CopyFrom(s.baseB[node])
+	}
 	if s.candBits.AndNotWith(s.saturated) {
 		buf = s.candBits.AppendTo(buf)
 	}
@@ -348,6 +380,16 @@ func (s *consSearcher) search(d int) {
 		}
 		found = true
 		s.stats.NodesVisited++
+		var mark, amark int
+		if s.fc {
+			mark, amark = s.ds.mark()
+			if !s.fcPrune(d, r) {
+				// A later neighbor lost its last plausible host: reject
+				// before descending.
+				s.ds.undoTo(mark, amark)
+				continue
+			}
+		}
 		s.assign[node] = r
 		s.remaining[r] -= s.demand[node]
 		if s.remaining[r] < s.minDemand {
@@ -359,10 +401,32 @@ func (s *consSearcher) search(d int) {
 			s.saturated.Clear(r)
 		}
 		s.assign[node] = -1
+		if s.fc {
+			s.ds.undoTo(mark, amark)
+		}
 	}
 	if !found {
 		s.stats.Backtracks++
 	}
+}
+
+// fcPrune forward-checks placing the depth-d node on host r: every
+// later-placed query neighbor must map into r's adjacency or co-locate
+// on r itself. Reports false on wipeout; the caller undoes via its mark.
+func (s *consSearcher) fcPrune(d int, r graph.NodeID) bool {
+	if len(s.postNbrs[d]) == 0 {
+		return true
+	}
+	row := s.adj.row(r)
+	for _, nbr := range s.postNbrs[d] {
+		s.stats.PruneOps++
+		if s.ds.intersect(nbr, row) == 0 {
+			s.stats.Wipeouts++
+			s.stats.WipeoutDepthSum += int64(d)
+			return false
+		}
+	}
+	return true
 }
 
 func (s *consSearcher) record() {

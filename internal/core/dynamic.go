@@ -23,6 +23,18 @@ import (
 func DynamicECF(p *Problem, opt Options) *Result {
 	start := time.Now()
 	f := BuildFilters(p, &opt)
+	if opt.Engine != SearchChrono {
+		// FC engine in dynamic mode: the live domain counts make the MRV
+		// pick an O(nq) read instead of a full re-intersection per open
+		// node, and backjumping prunes on top.
+		var rng *rand.Rand
+		if opt.Seed != 0 {
+			rng = rand.New(rand.NewSource(opt.Seed))
+		}
+		s := newFCSearcher(p, f, opt, rng, start, true)
+		s.run()
+		return s.result()
+	}
 	s := &dynSearcher{
 		p:       p,
 		f:       f,

@@ -102,13 +102,22 @@ type searcher struct {
 	stats     Stats
 }
 
-// searchWithFilters runs the shared ECF/RWB depth-first search. The start
-// time anchors both TimeToFirst and the timeout deadline, so filter
+// searchWithFilters runs the shared ECF/RWB search. The start time
+// anchors both TimeToFirst and the timeout deadline, so filter
 // construction counts toward the query's budget, exactly as the paper's
-// end-to-end response times do.
+// end-to-end response times do. The default engine is the
+// forward-checking searcher with conflict-directed backjumping (fc.go);
+// Options.Engine = SearchChrono selects the chronological
+// recompute-per-visit DFS below, kept as the property-test oracle and
+// ablation baseline. Both enumerate identical solution sequences.
 func searchWithFilters(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time) *Result {
-	s := newSearcher(p, f, opt, rng, start)
-	s.search(0)
+	if opt.Engine == SearchChrono {
+		s := newSearcher(p, f, opt, rng, start)
+		s.search(0)
+		return s.result()
+	}
+	s := newFCSearcher(p, f, opt, rng, start, false)
+	s.run()
 	return s.result()
 }
 
@@ -226,22 +235,25 @@ func connectedAscendingOrder(f *Filters) []graph.NodeID {
 // buildPreArcs precomputes, for each depth, the filter tables fed by
 // neighbors that the order places earlier. Every query edge appears at
 // exactly one depth: the one where its later endpoint is expanded, which
-// is where adjacency and the edge constraint get enforced.
+// is where adjacency and the edge constraint get enforced. Deduplication
+// uses one reusable generation-stamped mask over table IDs instead of a
+// fresh map per query node — this runs inside every ECFWithFilters call,
+// including the warm-cache engine paths.
 func buildPreArcs(p *Problem, f *Filters, order []graph.NodeID) [][]preArc {
 	pos := make([]int, len(order))
 	for d, q := range order {
 		pos[q] = d
 	}
+	seen := newTableStamp(len(f.tables) + len(f.tablesB))
 	pre := make([][]preArc, len(order))
 	for d, q := range order {
-		seen := map[int32]bool{}
+		seen.next()
 		add := func(nbr graph.NodeID) {
 			if pos[nbr] >= d {
 				return
 			}
 			for _, t := range f.arcTables[arcKey(nbr, q)] {
-				if !seen[t] {
-					seen[t] = true
+				if seen.mark(t) {
 					pre[d] = append(pre[d], preArc{tail: nbr, table: t})
 				}
 			}

@@ -1,0 +1,636 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// This file is the forward-checking search engine with conflict-directed
+// backjumping (FC-CBJ) that backs ECF, RWB, DynamicECF and ParallelECF.
+//
+// The chronological searcher (ecf.go) recomputes the candidate set of the
+// node at depth d on every visit by re-intersecting the filter rows of
+// all its earlier-placed neighbors: O(#earlier-neighbors × full row
+// intersection) per visit, paid again for every sibling assignment. The
+// FC engine inverts the bookkeeping: every unassigned query node carries
+// a live domain bitset, and *assigning* a node AND-prunes only the
+// domains of its not-yet-assigned neighbors — O(#future-neighbors × one
+// word-parallel AND). Materializing a depth's candidates is then one
+// word-wise subtraction of the in-use marks and a bitset-to-slice
+// conversion. Mutations are undone through a trail of (node, saved word
+// span) entries, so backtracking restores exact domain state without
+// recomputation. (Injectivity is deliberately not propagated into the
+// domains per assignment: an O(nq) clear loop per visit costs more than
+// it prunes, so used-blocking is applied at materialization and folded
+// into the conflict sets lazily at dead ends.)
+//
+// A domain that empties during pruning is a wipeout: the current
+// assignment provably cannot extend to a solution, and the search
+// rejects it *before* descending. On top of the trail the engine keeps
+// per-node conflict sets (pastFC: which depths pruned this node's
+// domain) and per-depth conflict sets (conf: why values at this depth
+// failed). When every value at depth d fails, the engine backjumps
+// straight to the deepest level that contributed to any failure instead
+// of enumerating the levels in between (Prosser's FC-CBJ). Because the
+// engine enumerates *all* solutions, any subtree that produced a
+// solution backtracks chronologically — jumping is only ever applied to
+// provably solution-free subtrees, which keeps enumeration complete and
+// the solution sequence identical to the chronological searcher's.
+//
+// The engine runs on both filter representations: dense rows AND
+// directly, sparse rows are splatted into a scratch bitset first. The
+// chronological searcher is kept (unexported, selectable via
+// Options.Engine = SearchChrono) as the property-test oracle and
+// ablation baseline.
+
+// postArc names one filter table constraining a later-placed neighbor,
+// fed by the node expanded at the current depth.
+type postArc struct {
+	head  graph.NodeID // the not-yet-placed query neighbor
+	table int32
+}
+
+// fcTrailEntry records one domain mutation: the words overwritten (a
+// span in the shared arena), the previous cardinality, and whether the
+// mutation was the pruning depth's first touch of this node's domain
+// (so undo must clear the pastFC bit).
+type fcTrailEntry struct {
+	node      int32
+	w0        int32 // first saved word index
+	nw        int32 // saved word count
+	off       int32 // offset into the arena
+	prevCount int32
+	clearFC   bool
+}
+
+// fcSearcher is the state of one FC-CBJ search. Static mode fixes the
+// variable order up front (ECF/RWB); dynamic mode re-selects the
+// unassigned node with the smallest live domain at every depth
+// (DynamicECF's most-constrained-variable rule, now O(nq) reads of the
+// maintained counts instead of a full re-intersection per open node).
+type fcSearcher struct {
+	p       *Problem
+	f       *Filters
+	opt     Options
+	rng     *rand.Rand // nil for ECF, set for RWB
+	dynamic bool
+
+	nq    int
+	nr    int
+	words int // words per host-universe bitset
+
+	order   []graph.NodeID // order[d] = node expanded at depth d
+	depthOf []int32        // node -> depth, -1 while unassigned
+	posts   [][]postArc    // static mode: tables feeding later depths
+
+	assign   Mapping
+	used     *sets.Bitset  // hosts held by assigned nodes
+	dom      []sets.Bitset // live domain per query node
+	domCount []int32
+	candBits *sets.Bitset // materialization scratch: dom ∧ ¬used
+
+	trail []fcTrailEntry
+	arena []uint64
+
+	// Conflict sets over the depth universe [0, nq).
+	pastFC  []sets.Bitset // pastFC[node]: depths that pruned node's domain
+	conf    []sets.Bitset // conf[d]: why values at depth d failed
+	jumpBuf *sets.Bitset
+
+	rowBits *sets.Bitset // sparse-row scratch
+	scratch [][]int32    // per-depth candidate buffers
+
+	stopClock
+	stopped bool
+
+	started   time.Time
+	solutions []Mapping
+	nSol      int
+	stats     Stats
+}
+
+func newFCSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time, dynamic bool) *fcSearcher {
+	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
+	s := &fcSearcher{
+		p:       p,
+		f:       f,
+		opt:     opt,
+		rng:     rng,
+		dynamic: dynamic,
+		nq:      nq,
+		nr:      nr,
+		words:   (nr + 63) / 64,
+		assign:  make(Mapping, nq),
+		depthOf: make([]int32, nq),
+		scratch: make([][]int32, nq),
+		started: start,
+		stats:   f.Stats(),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+		s.depthOf[i] = -1
+	}
+	s.dom = sets.MakeBitsets(nr, nq)
+	s.domCount = make([]int32, nq)
+	for q := 0; q < nq; q++ {
+		if f.Dense() {
+			s.dom[q].CopyFrom(f.baseB[q])
+		} else {
+			s.dom[q].AddSet(f.base[q])
+		}
+		s.domCount[q] = int32(len(f.base[q]))
+	}
+	s.used = sets.NewBitset(nr)
+	s.candBits = sets.NewBitset(nr)
+	s.pastFC = sets.MakeBitsets(nq, nq)
+	s.conf = sets.MakeBitsets(nq, nq)
+	s.jumpBuf = sets.NewBitset(nq)
+	if !f.Dense() {
+		s.rowBits = sets.NewBitset(nr)
+	}
+	s.arm(start, opt.Timeout, opt.Stop)
+	if dynamic {
+		s.order = make([]graph.NodeID, nq)
+	} else {
+		s.order = searchOrder(f, opt.Order)
+		for d, q := range s.order {
+			s.depthOf[q] = int32(d)
+		}
+		s.posts = buildPostArcs(p, f, s.order)
+	}
+	return s
+}
+
+// buildPostArcs precomputes, for each depth, the filter tables whose tail
+// is the depth's node and whose head the order places later — the
+// domains forward checking prunes when the node is assigned. It is the
+// mirror image of buildPreArcs, deduplicated with the same stamp mask.
+func buildPostArcs(p *Problem, f *Filters, order []graph.NodeID) [][]postArc {
+	pos := make([]int, len(order))
+	for d, q := range order {
+		pos[q] = d
+	}
+	nTables := len(f.tables) + len(f.tablesB) // exactly one is populated
+	seen := newTableStamp(nTables)
+	posts := make([][]postArc, len(order))
+	for d, q := range order {
+		seen.next()
+		add := func(nbr graph.NodeID) {
+			if pos[nbr] <= d {
+				return
+			}
+			for _, t := range f.arcTables[arcKey(q, nbr)] {
+				if seen.mark(t) {
+					posts[d] = append(posts[d], postArc{head: nbr, table: t})
+				}
+			}
+		}
+		for _, a := range p.Query.Arcs(q) {
+			add(a.To)
+		}
+		if p.Query.Directed() {
+			for _, a := range p.Query.InArcs(q) {
+				add(a.To)
+			}
+		}
+		// Prune deepest-first: the latest-ordered neighbor has been
+		// intersected by the most ancestors already, so its domain is the
+		// likeliest to wipe out — detecting that before paying for the
+		// remaining prunes shortens every failed assignment.
+		sort.Slice(posts[d], func(a, b int) bool {
+			return pos[posts[d][a].head] > pos[posts[d][b].head]
+		})
+	}
+	return posts
+}
+
+// run drives the search from the root. The return value of search is a
+// backjump target; at the root it only signals termination.
+func (s *fcSearcher) run() {
+	s.search(0)
+}
+
+// fcUndoTo pops trail entries down to mark, restoring domain words,
+// counts and pastFC bits for the pruning depth d. The arena shrinks back
+// to amark.
+func (s *fcSearcher) undoTo(mark, amark, d int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		e := &s.trail[i]
+		s.dom[e.node].RestoreSpan(s.arena[e.off:e.off+e.nw], int(e.w0))
+		s.domCount[e.node] = e.prevCount
+		if e.clearFC {
+			s.pastFC[e.node].Clear(int32(d))
+		}
+	}
+	s.trail = s.trail[:mark]
+	s.arena = s.arena[:amark]
+}
+
+// wipeout records that assigning at depth d emptied node q's domain: the
+// depths that pruned q are exactly the reasons this value fails.
+func (s *fcSearcher) wipeout(d int, q graph.NodeID) {
+	s.stats.Wipeouts++
+	s.stats.WipeoutDepthSum += int64(d)
+	s.conf[d].UnionWith(&s.pastFC[q])
+}
+
+// pruneRow ANDs one filter row into a future neighbor's domain and
+// reports false on wipeout. A nil/empty row empties the domain outright.
+//
+// Static mode skips the cardinality maintenance (nothing reads counts —
+// wipeouts are detected by emptiness and MRV does not run) and records
+// the pruning depth in pastFC whether or not the AND removed anything:
+// the arc exists, so the conservative conflict entry only shortens
+// jumps, never breaks them. Dynamic mode pays the popcount to keep the
+// live domain sizes the MRV pick reads, and keeps pastFC exact.
+func (s *fcSearcher) pruneRow(d int, head graph.NodeID, table, r int32) bool {
+	s.stats.PruneOps++
+	dm := &s.dom[head]
+	off := len(s.arena)
+	prev := s.domCount[head]
+
+	var row *sets.Bitset
+	if s.f.Dense() {
+		row = s.f.tablesB[table][r]
+	} else if sl := s.f.tables[table][r]; len(sl) != 0 {
+		s.rowBits.Reset()
+		s.rowBits.AddSet(sl)
+		row = s.rowBits
+	}
+
+	// Read-only wipeout probe first: a prune that would empty the domain
+	// rejects the assignment without mutating anything — no save, no
+	// trail entry, nothing to undo — and in the common non-empty case the
+	// probe usually answers from the first word.
+	if row == nil || !dm.Intersects(row) {
+		s.wipeout(d, head)
+		return false
+	}
+
+	if !s.dynamic {
+		s.arena, _ = dm.IntersectSave(s.arena, row) // non-empty by the probe
+		clearFC := !s.pastFC[head].Has(int32(d))
+		if clearFC {
+			s.pastFC[head].Set(int32(d))
+		}
+		s.trail = append(s.trail, fcTrailEntry{
+			node: int32(head), w0: 0, nw: int32(s.words), off: int32(off),
+			prevCount: prev, clearFC: clearFC,
+		})
+		return true
+	}
+
+	s.arena = dm.SaveSpan(s.arena, 0, s.words)
+	cnt := dm.IntersectCount(row)
+	if cnt == int(prev) {
+		// Nothing removed: this depth did not constrain head, so it must
+		// not enter head's conflict set; drop the trail entry too.
+		s.arena = s.arena[:off]
+		return true
+	}
+	clearFC := false
+	if !s.pastFC[head].Has(int32(d)) {
+		s.pastFC[head].Set(int32(d))
+		clearFC = true
+	}
+	s.trail = append(s.trail, fcTrailEntry{
+		node: int32(head), w0: 0, nw: int32(s.words), off: int32(off),
+		prevCount: prev, clearFC: clearFC,
+	})
+	s.domCount[head] = int32(cnt)
+	if cnt == 0 {
+		s.wipeout(d, head)
+		return false
+	}
+	return true
+}
+
+// forwardCheck propagates the assignment node ↦ r made at depth d: the
+// filter rows toward every unassigned neighbor AND-prune that
+// neighbor's domain. It reports false as soon as any future domain
+// wipes out; the caller undoes via its trail mark. Injectivity is NOT
+// propagated eagerly — the in-use marks are subtracted word-wise when a
+// depth materializes its candidates, and the blocked-by-used conflict
+// term is reconstructed lazily at dead ends (see expand) — because an
+// O(nq) per-assignment clear loop costs more than it prunes.
+func (s *fcSearcher) forwardCheck(d int, node graph.NodeID, r int32) bool {
+	if s.dynamic {
+		prune := func(nbr graph.NodeID) bool {
+			if s.depthOf[nbr] >= 0 {
+				return true
+			}
+			for _, t := range s.f.arcTables[arcKey(node, nbr)] {
+				if !s.pruneRow(d, nbr, t, r) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, a := range s.p.Query.Arcs(node) {
+			if !prune(a.To) {
+				return false
+			}
+		}
+		if s.p.Query.Directed() {
+			for _, a := range s.p.Query.InArcs(node) {
+				if !prune(a.To) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, pa := range s.posts[d] {
+		if !s.pruneRow(d, pa.head, pa.table, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// pickMRV returns the unassigned node with the smallest live domain
+// (ties to the lowest node ID, matching the chronological DynamicECF's
+// scan order).
+func (s *fcSearcher) pickMRV() graph.NodeID {
+	best := graph.NodeID(-1)
+	bestCount := int32(0)
+	for q := 0; q < s.nq; q++ {
+		if s.depthOf[q] >= 0 {
+			continue
+		}
+		if best < 0 || s.domCount[q] < bestCount {
+			best, bestCount = graph.NodeID(q), s.domCount[q]
+			if bestCount == 0 {
+				break // cannot do better than a dead end
+			}
+		}
+	}
+	return best
+}
+
+// search expands depth d and returns the backjump target: a value jd < d
+// tells every level above d to unwind without trying further values
+// until depth jd is reached. -1 unwinds the entire search (no level's
+// assignment contributed to the failure — or the run was aborted, which
+// the stopClock flags distinguish).
+func (s *fcSearcher) search(d int) int {
+	if d == s.nq {
+		s.record()
+		return d - 1 // a solution pins every level: backtrack chronologically
+	}
+	var node graph.NodeID
+	if s.dynamic {
+		node = s.pickMRV()
+		s.order[d] = node
+		s.depthOf[node] = int32(d)
+	} else {
+		node = s.order[d]
+	}
+	jd := s.expand(d, node)
+	if s.dynamic {
+		s.depthOf[node] = -1
+	}
+	return jd
+}
+
+// materialize converts node's live domain minus the in-use marks into
+// the depth's scratch buffer, ascending.
+func (s *fcSearcher) materialize(d int, node graph.NodeID) []int32 {
+	buf := s.scratch[d][:0]
+	s.candBits.CopyFrom(&s.dom[node])
+	if s.candBits.AndNotWith(s.used) {
+		buf = s.candBits.AppendTo(buf)
+	}
+	s.scratch[d] = buf
+	return buf
+}
+
+func (s *fcSearcher) expand(d int, node graph.NodeID) int {
+	s.conf[d].Reset()
+	buf := s.materialize(d, node)
+	if s.rng != nil {
+		s.rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	}
+	nSolBefore := s.nSol
+	for _, r := range buf {
+		if s.checkDeadline() || s.stopped {
+			return -1
+		}
+		s.stats.NodesVisited++
+		mark, amark := len(s.trail), len(s.arena)
+		s.assign[node] = r
+		s.used.Set(r)
+		if s.forwardCheck(d, node, r) {
+			jd := s.search(d + 1)
+			if jd < d {
+				s.undoTo(mark, amark, d)
+				s.used.Clear(r)
+				s.assign[node] = -1
+				return jd
+			}
+		}
+		s.undoTo(mark, amark, d)
+		s.used.Clear(r)
+		s.assign[node] = -1
+	}
+	if s.nSol > nSolBefore || s.timedOut || s.stopped {
+		// Solutions below (or an abort): chronological, so enumeration
+		// stays complete.
+		return d - 1
+	}
+	s.stats.Backtracks++ // a dead-ended subtree root: no solution below
+	// Conflict-directed backjump: the deepest level that pruned this
+	// node's domain, holds one of its remaining values (injectivity is
+	// not propagated eagerly, so the blocked-by-used term is
+	// reconstructed here), or contributed to any value's failure. Depth
+	// d itself can appear via wipeout unions; it is not a valid target.
+	js := s.jumpBuf
+	js.CopyFrom(&s.conf[d])
+	js.UnionWith(&s.pastFC[node])
+	if s.dynamic {
+		for q := 0; q < s.nq; q++ {
+			if dd := s.depthOf[q]; dd >= 0 && int(dd) < d && s.dom[node].Has(int32(s.assign[q])) {
+				js.Set(dd)
+			}
+		}
+	} else {
+		for dd := 0; dd < d; dd++ {
+			if s.dom[node].Has(int32(s.assign[s.order[dd]])) {
+				js.Set(int32(dd))
+			}
+		}
+	}
+	js.Clear(int32(d))
+	jump := js.Max()
+	if jump >= 0 {
+		if int(jump) < d-1 {
+			s.stats.Backjumps++
+		}
+		s.conf[jump].UnionWith(js)
+		s.conf[jump].Clear(jump)
+	} else if d > 1 {
+		s.stats.Backjumps++ // the whole prefix is skipped
+	}
+	return int(jump)
+}
+
+func (s *fcSearcher) record() {
+	if s.nSol == 0 {
+		s.stats.TimeToFirst = time.Since(s.started)
+	}
+	s.nSol++
+	if s.opt.OnSolution != nil {
+		if !s.opt.OnSolution(s.assign) {
+			s.stopped = true
+		}
+	} else {
+		s.solutions = append(s.solutions, s.assign.Clone())
+	}
+	if s.opt.MaxSolutions > 0 && s.nSol >= s.opt.MaxSolutions {
+		s.stopped = true
+	}
+}
+
+func (s *fcSearcher) result() *Result {
+	exhausted := !s.timedOut && !s.stopped
+	res := &Result{
+		Solutions: s.solutions,
+		Exhausted: exhausted,
+		Status:    classify(exhausted, s.nSol),
+		Stats:     s.stats,
+	}
+	res.Stats.Elapsed = time.Since(s.started)
+	return res
+}
+
+// tableStamp is a reusable generation-stamped seen mask over filter
+// table IDs — the allocation-free replacement for the per-depth
+// map[int32]bool the pre/post-arc builders used to make.
+type tableStamp struct {
+	gen   []int32
+	round int32
+}
+
+func newTableStamp(n int) *tableStamp {
+	return &tableStamp{gen: make([]int32, n)}
+}
+
+// next starts a new deduplication round.
+func (t *tableStamp) next() { t.round++ }
+
+// mark records table id for the current round and reports whether it was
+// unseen.
+func (t *tableStamp) mark(id int32) bool {
+	if t.gen[id] == t.round {
+		return false
+	}
+	t.gen[id] = t.round
+	return true
+}
+
+// domains is the trail-backed live-domain store the LNS and Consolidate
+// searches reuse from the FC engine: one bitset per query node, mutated
+// through clear/intersect so every change lands on the trail, and undone
+// span-wise from a mark. (The full fcSearcher additionally needs
+// conflict bookkeeping, so it carries its own copy of this machinery.)
+type domains struct {
+	dom   []sets.Bitset
+	count []int32
+	words int
+	trail []fcTrailEntry
+	arena []uint64
+}
+
+func newDomains(nr, nq int) *domains {
+	return &domains{
+		dom:   sets.MakeBitsets(nr, nq),
+		count: make([]int32, nq),
+		words: (nr + 63) / 64,
+	}
+}
+
+// mark returns the trail/arena positions undoTo restores to.
+func (ds *domains) mark() (int, int) { return len(ds.trail), len(ds.arena) }
+
+func (ds *domains) undoTo(mark, amark int) {
+	for i := len(ds.trail) - 1; i >= mark; i-- {
+		e := &ds.trail[i]
+		ds.dom[e.node].RestoreSpan(ds.arena[e.off:e.off+e.nw], int(e.w0))
+		ds.count[e.node] = e.prevCount
+	}
+	ds.trail = ds.trail[:mark]
+	ds.arena = ds.arena[:amark]
+}
+
+// clear removes host r from node q's domain (trail-logged) and returns
+// the remaining cardinality.
+func (ds *domains) clear(q graph.NodeID, r int32) int32 {
+	if !ds.dom[q].Has(r) {
+		return ds.count[q]
+	}
+	w0 := sets.WordOf(r)
+	off := len(ds.arena)
+	ds.arena = ds.dom[q].SaveSpan(ds.arena, w0, 1)
+	ds.dom[q].Clear(r)
+	ds.trail = append(ds.trail, fcTrailEntry{
+		node: int32(q), w0: int32(w0), nw: 1, off: int32(off), prevCount: ds.count[q],
+	})
+	ds.count[q]--
+	return ds.count[q]
+}
+
+// intersect ANDs row into node q's domain (trail-logged when anything
+// changes) and returns the remaining cardinality.
+func (ds *domains) intersect(q graph.NodeID, row *sets.Bitset) int32 {
+	off := len(ds.arena)
+	ds.arena = ds.dom[q].SaveSpan(ds.arena, 0, ds.words)
+	cnt := int32(ds.dom[q].IntersectCount(row))
+	if cnt == ds.count[q] {
+		ds.arena = ds.arena[:off]
+		return cnt
+	}
+	ds.trail = append(ds.trail, fcTrailEntry{
+		node: int32(q), w0: 0, nw: int32(ds.words), off: int32(off), prevCount: ds.count[q],
+	})
+	ds.count[q] = cnt
+	return cnt
+}
+
+// hostAdj lazily materializes per-host-node adjacency bitsets (out ∪ in
+// on directed hosts, optionally including the node itself for
+// consolidation's co-location). LNS and Consolidate use the rows to
+// forward-prune the domains of future query neighbors; rows are built
+// only for hosts the search actually assigns.
+type hostAdj struct {
+	g           *graph.Graph
+	includeSelf bool
+	rows        []*sets.Bitset
+}
+
+func newHostAdj(g *graph.Graph, includeSelf bool) *hostAdj {
+	return &hostAdj{g: g, includeSelf: includeSelf, rows: make([]*sets.Bitset, g.NumNodes())}
+}
+
+func (h *hostAdj) row(r graph.NodeID) *sets.Bitset {
+	if b := h.rows[r]; b != nil {
+		return b
+	}
+	b := sets.NewBitset(h.g.NumNodes())
+	for _, a := range h.g.Arcs(r) {
+		b.Set(a.To)
+	}
+	if h.g.Directed() {
+		for _, a := range h.g.InArcs(r) {
+			b.Set(a.To)
+		}
+	}
+	if h.includeSelf {
+		b.Set(r)
+	}
+	h.rows[r] = b
+	return b
+}

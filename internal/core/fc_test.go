@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+	"netembed/internal/trace"
+)
+
+// These tests pin the tentpole property of the FC-CBJ engine: the
+// forward-checking searcher with conflict-directed backjumping (fc.go)
+// enumerates exactly the solution sets — and, where enumeration is
+// deterministic, the solution sequences — of the chronological oracle
+// (Options.Engine = SearchChrono), across representations, orderings,
+// orientations, caps and cancellation.
+
+// engines runs the same problem under both engines and hands the two
+// results to check.
+func withBothEngines(p *Problem, opt Options, run func(*Problem, Options) *Result) (fc, chrono *Result) {
+	fcOpt, chOpt := opt, opt
+	fcOpt.Engine = SearchFC
+	chOpt.Engine = SearchChrono
+	return run(p, fcOpt), run(p, chOpt)
+}
+
+func assertSameSequence(t *testing.T, label string, fc, chrono *Result) {
+	t.Helper()
+	sameSolutionSets(t, label, fc.Solutions, chrono.Solutions)
+	if len(fc.Solutions) == len(chrono.Solutions) {
+		for i := range fc.Solutions {
+			if mappingKey(fc.Solutions[i]) != mappingKey(chrono.Solutions[i]) {
+				t.Fatalf("%s: solution %d out of sequence", label, i)
+			}
+		}
+	}
+	if fc.Status != chrono.Status || fc.Exhausted != chrono.Exhausted {
+		t.Fatalf("%s: outcome classification differs: fc %v/%v chrono %v/%v",
+			label, fc.Status, fc.Exhausted, chrono.Status, chrono.Exhausted)
+	}
+}
+
+func TestFCMatchesChronoECF(t *testing.T) {
+	orders := []OrderMode{OrderAscending, OrderNatural, OrderDescending, OrderUnconnected}
+	reprs := []Repr{ReprSlice, ReprBitset}
+	for seed := int64(1); seed <= 20; seed++ {
+		p := smallProblem(t, seed)
+		for _, repr := range reprs {
+			for _, order := range orders {
+				opt := Options{Repr: repr, Order: order}
+				fc, chrono := withBothEngines(p, opt, ECF)
+				assertSameSequence(t,
+					fmt.Sprintf("seed %d repr %v order %v", seed, repr, order), fc, chrono)
+			}
+		}
+	}
+}
+
+func TestFCMatchesChronoMaxSolutions(t *testing.T) {
+	// Capped runs must return the identical solution prefix: both engines
+	// enumerate candidates ascending and the FC engine only skips
+	// provably solution-free subtrees.
+	for seed := int64(1); seed <= 15; seed++ {
+		p := smallProblem(t, seed)
+		for _, cap := range []int{1, 2, 3, 7} {
+			fc, chrono := withBothEngines(p, Options{MaxSolutions: cap}, ECF)
+			assertSameSequence(t, fmt.Sprintf("seed %d cap %d", seed, cap), fc, chrono)
+		}
+	}
+}
+
+func TestFCMatchesChronoDirected(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		host := graph.NewDirected()
+		nr := 4 + rng.Intn(4)
+		host.AddNodes(nr)
+		for u := 0; u < nr; u++ {
+			for v := 0; v < nr; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					host.AddEdge(graph.NodeID(u), graph.NodeID(v), nil)
+				}
+			}
+		}
+		query := graph.NewDirected()
+		nq := 2 + rng.Intn(3)
+		query.AddNodes(nq)
+		for i := 1; i < nq; i++ {
+			if rng.Intn(2) == 0 {
+				query.MustAddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), nil)
+			} else {
+				query.MustAddEdge(graph.NodeID(i), graph.NodeID(rng.Intn(i)), nil)
+			}
+		}
+		p, err := NewProblem(query, host, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, chrono := withBothEngines(p, Options{}, ECF)
+		assertSameSequence(t, fmt.Sprintf("seed %d directed", seed), fc, chrono)
+		fcD, chronoD := withBothEngines(p, Options{}, DynamicECF)
+		sameSolutionSets(t, fmt.Sprintf("seed %d directed dynamic", seed), fcD.Solutions, chronoD.Solutions)
+	}
+}
+
+func TestFCMatchesChronoRWBAndDynamic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := smallProblem(t, seed)
+		// RWB to exhaustion: the shuffle sequences diverge (the FC engine
+		// skips subtrees the oracle descends into), so only the sets must
+		// coincide.
+		fcR, chR := withBothEngines(p, Options{MaxSolutions: 1 << 30, Seed: seed}, RWB)
+		sameSolutionSets(t, fmt.Sprintf("seed %d RWB", seed), fcR.Solutions, chR.Solutions)
+		fcD, chD := withBothEngines(p, Options{}, DynamicECF)
+		sameSolutionSets(t, fmt.Sprintf("seed %d DynamicECF", seed), fcD.Solutions, chD.Solutions)
+	}
+}
+
+func TestFCMatchesChronoLNSAndConsolidate(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := smallProblem(t, seed)
+		fcL, chL := withBothEngines(p, Options{}, LNS)
+		sameSolutionSets(t, fmt.Sprintf("seed %d LNS", seed), fcL.Solutions, chL.Solutions)
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		host := graph.NewUndirected()
+		nh := 5 + rng.Intn(3)
+		for i := 0; i < nh; i++ {
+			host.AddNode("", graph.Attrs{}.SetNum("capacity", float64(1+rng.Intn(3))))
+		}
+		for u := 0; u < nh; u++ {
+			for v := u + 1; v < nh; v++ {
+				if rng.Float64() < 0.6 {
+					host.MustAddEdge(graph.NodeID(u), graph.NodeID(v), nil)
+				}
+			}
+		}
+		query := graph.NewUndirected()
+		nq := 4 + rng.Intn(2)
+		for i := 0; i < nq; i++ {
+			query.AddNode("", graph.Attrs{}.SetNum("demand", float64(1+i%2)))
+		}
+		for i := 1; i < nq; i++ {
+			query.MustAddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), nil)
+		}
+		p, err := NewConsolidatedProblem(query, host, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(p *Problem, opt Options) *Result { return Consolidate(p, opt, ConsolidateOptions{}) }
+		fc, chrono := withBothEngines(p, Options{}, run)
+		assertSameSequence(t, fmt.Sprintf("seed %d consolidate", seed), fc, chrono)
+	}
+}
+
+func TestWorkStealingParallelMatchesSequential(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 50}, rand.New(rand.NewSource(14)))
+	q, _, err := topo.Subgraph(host, 8, 12, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.1)
+	p, err := NewProblem(q, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ECF(p, Options{})
+	if len(seq.Solutions) == 0 {
+		t.Fatal("planted query not found")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par := ParallelECF(p, Options{Workers: workers})
+		sameSolutionSets(t, fmt.Sprintf("steal workers=%d", workers), par.Solutions, seq.Solutions)
+		if par.Status != StatusComplete {
+			t.Errorf("workers=%d status %v", workers, par.Status)
+		}
+	}
+	// The static-shard ablation must agree too.
+	static := ParallelECF(p, Options{Workers: 4, Engine: SearchChrono})
+	sameSolutionSets(t, "static shards", static.Solutions, seq.Solutions)
+	// Capped runs respect the global budget.
+	if len(seq.Solutions) > 3 {
+		capped := ParallelECF(p, Options{Workers: 4, MaxSolutions: 3})
+		if len(capped.Solutions) != 3 {
+			t.Errorf("parallel cap: %d solutions", len(capped.Solutions))
+		}
+		for _, m := range capped.Solutions {
+			if err := p.Verify(m); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// TestWorkStealingActuallySteals pins that the deque is exercised: a
+// query whose first-level candidate count is far below the worker count
+// forces idle workers onto published second-level subtrees.
+func TestWorkStealingActuallySteals(t *testing.T) {
+	host := trace.SyntheticPlanetLab(trace.Config{Sites: 40}, rand.New(rand.NewSource(16)))
+	q, _, err := topo.Subgraph(host, 10, 16, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.WidenDelayWindows(q, 0.15)
+	p, err := NewProblem(q, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ECF(p, Options{})
+	par := ParallelECF(p, Options{Workers: 8})
+	sameSolutionSets(t, "steal-heavy", par.Solutions, seq.Solutions)
+	if par.Stats.Steals == 0 {
+		t.Error("expected at least one steal on a skewed instance with 8 workers")
+	}
+}
+
+// backjumpProblem wraps topo.BackjumpAdversary (see its doc: a
+// triangle-free host whose pendant-triangle query is jointly infeasible
+// but locally satisfiable everywhere) into a Problem.
+func backjumpProblem(t testing.TB, nA, nM, mid int) *Problem {
+	t.Helper()
+	q, g, err := topo.BackjumpAdversary(nA, nM, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(q, g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBackjumpingPrunesAndAgrees: on the adversarial instance the FC
+// engine must (a) agree with the oracle that there is no match, (b)
+// actually backjump, and (c) expand far fewer nodes.
+func TestBackjumpingPrunesAndAgrees(t *testing.T) {
+	p := backjumpProblem(t, 32, 96, 3)
+	// OrderNatural pins the adversarial order (middle before the
+	// triangle); the ascending heuristic would sort the conflict first,
+	// which is exactly what a hostile instance avoids.
+	opt := Options{Order: OrderNatural}
+	fc, chrono := withBothEngines(p, opt, ECF)
+	assertSameSequence(t, "backjump nomatch", fc, chrono)
+	if len(fc.Solutions) != 0 || fc.Status != StatusComplete {
+		t.Fatalf("instance unexpectedly feasible: %d solutions, %v", len(fc.Solutions), fc.Status)
+	}
+	if fc.Stats.Backjumps == 0 {
+		t.Error("FC engine never backjumped on the adversarial instance")
+	}
+	if fc.Stats.Wipeouts == 0 || fc.Stats.PruneOps == 0 || fc.Stats.WipeoutDepthSum == 0 {
+		t.Errorf("FC counters not populated: %+v", fc.Stats)
+	}
+	if fc.Stats.NodesVisited*4 > chrono.Stats.NodesVisited {
+		t.Errorf("FC visited %d nodes, oracle %d — expected ≥4x pruning",
+			fc.Stats.NodesVisited, chrono.Stats.NodesVisited)
+	}
+	if chrono.Stats.Backjumps != 0 || chrono.Stats.PruneOps != 0 {
+		t.Errorf("oracle reported FC counters: %+v", chrono.Stats)
+	}
+}
+
+// TestFCStopCancellation extends the cancellation suite to the FC paths:
+// the engine and the work-stealing pool must halt via the Stop hook well
+// before the defensive timeout, mid-search.
+func TestFCStopCancellation(t *testing.T) {
+	p := hardProblem(t)
+	for name, run := range map[string]func(*Problem, Options) *Result{
+		"ECF-fc":        ECF,
+		"DynamicECF-fc": DynamicECF,
+		"LNS-fc":        LNS,
+	} {
+		t.Run(name, func(t *testing.T) {
+			var polls atomic.Int64
+			opt := Options{
+				Timeout: 30 * time.Second,
+				Stop:    func() bool { return polls.Add(1) > 40 },
+			}
+			start := time.Now()
+			res := run(p, opt)
+			assertCanceled(t, name, res, time.Since(start), 5*time.Second)
+		})
+	}
+	t.Run("ParallelECF-steal", func(t *testing.T) {
+		var cancel atomic.Bool
+		opt := Options{Timeout: 30 * time.Second, Workers: 8, Stop: cancel.Load}
+		go func() {
+			time.Sleep(100 * time.Millisecond)
+			cancel.Store(true)
+		}()
+		start := time.Now()
+		res := ParallelECF(p, opt)
+		assertCanceled(t, "ParallelECF-steal", res, time.Since(start), 5*time.Second)
+	})
+}
+
+// TestParallelFutileStaysExhausted regression-tests the futile-flag
+// path: a query whose infeasibility is independent of the root (a
+// triangle pinned by node constraint to a triangle-free host pool,
+// disjoint from the pool the root edge maps into) makes a worker's
+// conflict analysis return jump -1 and raise the futile flag. The pool
+// must still report sequential ECF's definitive answer — zero
+// solutions, exhausted, StatusComplete — not a truncated/inconclusive
+// search (the flag used to ride the Stop hook, which the stopClock
+// records as a timeout).
+func TestParallelFutileStaysExhausted(t *testing.T) {
+	host := graph.NewUndirected()
+	const nA, nB = 10, 64
+	for i := 0; i < nA; i++ {
+		host.AddNode("", graph.Attrs{}.SetNum("pool", 1))
+	}
+	for i := 0; i < nB; i++ {
+		host.AddNode("", graph.Attrs{}.SetNum("pool", 2))
+	}
+	for u := 0; u < nA; u++ {
+		for v := u + 1; v < nA; v++ {
+			host.MustAddEdge(graph.NodeID(u), graph.NodeID(v), nil)
+		}
+	}
+	// Pool 2: a {1,5}-circulant — triangle-free (no a+b=c over ±{1,5}).
+	for i := 0; i < nB; i++ {
+		host.MustAddEdge(graph.NodeID(nA+i), graph.NodeID(nA+(i+1)%nB), nil)
+		host.MustAddEdge(graph.NodeID(nA+i), graph.NodeID(nA+(i+5)%nB), nil)
+	}
+	q := graph.NewUndirected()
+	q.AddNode("", graph.Attrs{}.SetNum("pool", 1))
+	q.AddNode("", graph.Attrs{}.SetNum("pool", 1))
+	for i := 0; i < 3; i++ {
+		q.AddNode("", graph.Attrs{}.SetNum("pool", 2))
+	}
+	q.MustAddEdge(0, 1, nil) // root component: satisfiable in pool 1
+	q.MustAddEdge(2, 3, nil) // triangle: impossible in triangle-free pool 2
+	q.MustAddEdge(3, 4, nil)
+	q.MustAddEdge(2, 4, nil)
+	p, err := NewProblem(q, host, nil, expr.MustCompile("vNode.pool == rNode.pool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ECF(p, Options{Order: OrderNatural})
+	if len(seq.Solutions) != 0 || !seq.Exhausted || seq.Status != StatusComplete {
+		t.Fatalf("sequential baseline wrong: %d solutions, exhausted=%v status=%v",
+			len(seq.Solutions), seq.Exhausted, seq.Status)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for i := 0; i < 5; i++ { // scheduling-sensitive: repeat
+			res := ParallelECF(p, Options{Workers: workers, Order: OrderNatural})
+			if len(res.Solutions) != 0 || !res.Exhausted || res.Status != StatusComplete {
+				t.Fatalf("workers=%d run %d: got %d solutions, exhausted=%v status=%v, want definitive no-match",
+					workers, i, len(res.Solutions), res.Exhausted, res.Status)
+			}
+		}
+	}
+}

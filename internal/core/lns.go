@@ -12,13 +12,26 @@ import (
 // matched), Neighbors (adjacent to a covered node) and External — and
 // grows a valid partial match one neighbor at a time, evaluating
 // constraints on demand only for the edges that connect the chosen
-// neighbor to the covered set. Its working memory is O(|Q| + |R|),
-// trading the ECF/RWB filter space for repeated constraint evaluations.
+// neighbor to the covered set. It keeps no filter tables, trading that
+// space for repeated constraint evaluations.
 //
 // Heuristics (as in the paper): the seed vertex is the largest-degree
 // query node, and each step expands the neighbor with the most links into
 // the covered set, maximizing the conjunction of constraints that prunes
 // candidates.
+//
+// With the default SearchFC engine the cover loop forward-checks: every
+// uncovered query node carries a live domain bitset (admissible hosts ∩
+// host-adjacency of all covered neighbors ∩ unused), pruned via the
+// shared trail when a node is covered and restored on backtrack, with an
+// early wipeout check that rejects a cover before descending. The
+// domains add O(|Q|·|R|/64) words of working memory but change neither
+// the solution set nor the lazy constraint evaluation. Candidates are
+// materialized in ascending host-ID order, whereas the chronological
+// path visits the anchor's arc-insertion order — full enumerations are
+// identical, but a MaxSolutions-capped run may surface a different
+// (equally valid) member of the set. Options.Engine = SearchChrono
+// keeps the anchor-neighbor candidate generation as the oracle.
 func LNS(p *Problem, opt Options) *Result {
 	start := time.Now()
 	s := &lnsSearcher{
@@ -65,6 +78,11 @@ type lnsSearcher struct {
 	avail    *sets.Bitset   // scratch: candidate accumulator / dedupe marks
 	scratch  [][]int32      // per-depth candidate buffers (indexed by covered)
 
+	// Forward-checking state (SearchFC engine only).
+	fc  bool
+	ds  *domains // live domains per uncovered query node
+	adj *hostAdj // lazy host adjacency rows
+
 	stopClock
 	stopped bool
 
@@ -105,6 +123,52 @@ func (s *lnsSearcher) init() {
 		}
 		s.nodePass[q] = b
 	}
+	s.fc = s.opt.Engine != SearchChrono
+	if s.fc {
+		s.ds = newDomains(s.nr, s.nq)
+		for q := 0; q < s.nq; q++ {
+			s.ds.dom[q].CopyFrom(s.nodePass[q])
+			s.ds.count[q] = int32(s.nodePass[q].Count())
+		}
+		s.adj = newHostAdj(s.p.Host, false)
+	}
+}
+
+// fcPrune propagates covering q at r into the uncovered domains:
+// injectivity clears r everywhere, and every uncovered query neighbor of
+// q intersects with r's host adjacency. It reports false on the first
+// wipeout; the caller undoes via its trail mark.
+func (s *lnsSearcher) fcPrune(q graph.NodeID, r graph.NodeID) bool {
+	for e := 0; e < s.nq; e++ {
+		eid := graph.NodeID(e)
+		if eid == q || s.state[e] == lnsCovered {
+			continue
+		}
+		if s.ds.clear(eid, r) == 0 {
+			s.wipeout()
+			return false
+		}
+	}
+	row := s.adj.row(r)
+	ok := true
+	s.queryNeighbors(q, func(nbr graph.NodeID) {
+		if !ok || nbr == q || s.state[nbr] == lnsCovered {
+			return
+		}
+		s.stats.PruneOps++
+		if s.ds.intersect(nbr, row) == 0 {
+			ok = false
+		}
+	})
+	if !ok {
+		s.wipeout()
+	}
+	return ok
+}
+
+func (s *lnsSearcher) wipeout() {
+	s.stats.Wipeouts++
+	s.stats.WipeoutDepthSum += int64(s.covered)
 }
 
 // queryNeighbors visits every query node adjacent to q (both directions
@@ -239,6 +303,19 @@ func (s *lnsSearcher) connOK(q graph.NodeID, r graph.NodeID) bool {
 // recursive calls visit makes.
 func (s *lnsSearcher) candidateHosts(q graph.NodeID, isSeed bool, visit func(r graph.NodeID) bool) {
 	buf := s.scratch[s.covered][:0]
+	if s.fc {
+		// The live domain already folds together admissibility, the host
+		// adjacency of every covered neighbor (not just the smallest-degree
+		// anchor) and the in-use marks; materialize it ascending.
+		buf = s.ds.dom[q].AppendTo(buf)
+		s.scratch[s.covered] = buf
+		for _, r := range buf {
+			if !visit(r) {
+				return
+			}
+		}
+		return
+	}
 	if isSeed {
 		// Admissible ∧ unused, word-wise, materialized ascending — the
 		// same order the per-host scan produced.
@@ -309,6 +386,20 @@ func (s *lnsSearcher) search() {
 			return true
 		}
 		found = true
+		if s.fc {
+			mark, amark := s.ds.mark()
+			if !s.fcPrune(q, r) {
+				// Some uncovered node lost its last host: reject before
+				// descending.
+				s.ds.undoTo(mark, amark)
+				return true
+			}
+			undo := s.cover(q, r)
+			s.search()
+			undo()
+			s.ds.undoTo(mark, amark)
+			return !s.timedOut && !s.stopped
+		}
 		undo := s.cover(q, r)
 		s.search()
 		undo()

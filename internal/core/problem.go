@@ -231,6 +231,27 @@ const (
 	OrderUnconnected
 )
 
+// SearchEngine selects the inner-search implementation behind
+// ECF/RWB/DynamicECF/ParallelECF (and the forward-checked candidate
+// pruning inside LNS and Consolidate).
+type SearchEngine int
+
+// Inner-search engines.
+const (
+	// SearchFC is the incremental forward-checking engine with
+	// conflict-directed backjumping and (for ParallelECF) work-stealing
+	// parallel search: live domain bitsets per unassigned query node,
+	// AND-pruned on assignment and restored from a trail on backtrack,
+	// with dead-ends jumping past levels that contributed nothing to the
+	// failure. The default.
+	SearchFC SearchEngine = iota
+	// SearchChrono is the chronological DFS that recomputes candidate
+	// sets per visit (and the static first-level sharding in
+	// ParallelECF). Kept as the property-test oracle and ablation
+	// baseline; both engines enumerate identical solution sets.
+	SearchChrono
+)
+
 // Repr selects the candidate-set representation BuildFilters stores in
 // the filter tables and the search loops intersect.
 type Repr int
@@ -299,18 +320,28 @@ type Options struct {
 	// filter tables. Both representations provably enumerate identical
 	// solution sets; the choice only trades speed against memory.
 	Repr Repr
+	// Engine selects the inner-search implementation (default SearchFC,
+	// the forward-checking + backjumping engine). SearchChrono keeps the
+	// chronological recompute-per-visit searcher for oracle tests and
+	// ablation benchmarks; both enumerate identical solution sets.
+	Engine SearchEngine
 }
 
 // Stats reports search effort counters.
 type Stats struct {
-	FilterBuild   time.Duration // time spent building filter matrices (ECF/RWB)
-	EdgePairsEval int64         // constraint evaluations during filter build
-	FilterEntries int64         // total candidate entries stored in F
-	NodesVisited  int64         // permutation-tree nodes expanded
-	Backtracks    int64         // dead ends requiring backtracking
-	ConstraintChk int64         // on-demand constraint evaluations (LNS)
-	TimeToFirst   time.Duration // elapsed time when the first solution appeared
-	Elapsed       time.Duration // total search time, filter build included
+	FilterBuild     time.Duration // time spent building filter matrices (ECF/RWB)
+	EdgePairsEval   int64         // constraint evaluations during filter build
+	FilterEntries   int64         // total candidate entries stored in F
+	NodesVisited    int64         // permutation-tree nodes expanded
+	Backtracks      int64         // dead ends requiring backtracking
+	ConstraintChk   int64         // on-demand constraint evaluations (LNS)
+	PruneOps        int64         // forward-checking domain AND-prunes
+	Wipeouts        int64         // future-domain wipeouts caught before descending
+	WipeoutDepthSum int64         // sum of depths at which wipeouts fired
+	Backjumps       int64         // conflict-directed jumps skipping ≥1 level
+	Steals          int64         // subtrees stolen by idle parallel workers
+	TimeToFirst     time.Duration // elapsed time when the first solution appeared
+	Elapsed         time.Duration // total search time, filter build included
 }
 
 // Result is the outcome of one search run.

@@ -205,6 +205,17 @@ type Stats struct {
 
 	QueueFullRejections int64 `json:"queueFullRejections"`
 	LeasesPruned        int64 `json:"leasesPruned"`
+
+	// Cumulative search-effort counters, summed over every job answered
+	// by a fresh search (cache hits replay a result without searching,
+	// so they add nothing): forward-checking domain prunes,
+	// conflict-directed backjumps, and work-stealing task migrations
+	// inside ParallelECF. They make the FC-CBJ engine's pruning work
+	// observable at the service level without scraping per-job stats.
+	SearchPruneOps  int64 `json:"searchPruneOps"`
+	SearchBackjumps int64 `json:"searchBackjumps"`
+	SearchWipeouts  int64 `json:"searchWipeouts"`
+	SearchSteals    int64 `json:"searchSteals"`
 }
 
 // Engine runs embedding jobs asynchronously against a service. Safe for
@@ -237,6 +248,11 @@ type Engine struct {
 	cacheMisses  atomic.Int64
 	rejections   atomic.Int64
 	leasesPruned atomic.Int64
+
+	searchPruneOps  atomic.Int64
+	searchBackjumps atomic.Int64
+	searchWipeouts  atomic.Int64
+	searchSteals    atomic.Int64
 }
 
 // New builds an engine over svc. The worker pool and maintenance tick
@@ -415,6 +431,10 @@ func (e *Engine) Stats() Stats {
 		CacheEntries:        e.cache.len(),
 		QueueFullRejections: e.rejections.Load(),
 		LeasesPruned:        e.leasesPruned.Load(),
+		SearchPruneOps:      e.searchPruneOps.Load(),
+		SearchBackjumps:     e.searchBackjumps.Load(),
+		SearchWipeouts:      e.searchWipeouts.Load(),
+		SearchSteals:        e.searchSteals.Load(),
 	}
 }
 
@@ -539,6 +559,10 @@ func (e *Engine) run(job *Job) {
 			e.failed.Add(1)
 		}
 	default:
+		e.searchPruneOps.Add(resp.Stats.PruneOps)
+		e.searchBackjumps.Add(resp.Stats.Backjumps)
+		e.searchWipeouts.Add(resp.Stats.Wipeouts)
+		e.searchSteals.Add(resp.Stats.Steals)
 		if job.cacheable && cacheableResponse(req, resp) {
 			e.cache.put(job.cacheKey, resp.ModelVersion, resp)
 		}

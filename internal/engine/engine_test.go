@@ -492,3 +492,29 @@ func TestTickPrunesLedgerAndCache(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestStatsAccumulateSearchCounters pins that completed searches fold
+// their FC-engine effort counters (prunes, wipeouts) into the engine's
+// cumulative /stats, and that cache hits add nothing.
+func TestStatsAccumulateSearchCounters(t *testing.T) {
+	e, _ := newTestEngine(t, Config{Workers: 1})
+	req := fastRequest(7)
+	if _, err := e.SubmitWait(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.SearchPruneOps == 0 {
+		t.Errorf("SearchPruneOps = 0 after a completed search, want > 0")
+	}
+	// A cache-served replay must not inflate the counters.
+	if _, err := e.SubmitWait(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.Stats()
+	if st2.CacheHits == 0 {
+		t.Fatalf("expected the identical resubmission to hit the cache")
+	}
+	if st2.SearchPruneOps != st.SearchPruneOps {
+		t.Errorf("cache hit changed SearchPruneOps: %d -> %d", st.SearchPruneOps, st2.SearchPruneOps)
+	}
+}

@@ -169,11 +169,16 @@ func embedResponseJSON(resp *service.Response) EmbedResponse {
 		ModelVersion: resp.ModelVersion,
 		ElapsedMs:    float64(resp.Elapsed) / float64(time.Millisecond),
 		Stats: map[string]interface{}{
-			"nodesVisited":  resp.Stats.NodesVisited,
-			"backtracks":    resp.Stats.Backtracks,
-			"edgePairsEval": resp.Stats.EdgePairsEval,
-			"filterEntries": resp.Stats.FilterEntries,
-			"timeToFirstMs": float64(resp.Stats.TimeToFirst) / float64(time.Millisecond),
+			"nodesVisited":    resp.Stats.NodesVisited,
+			"backtracks":      resp.Stats.Backtracks,
+			"edgePairsEval":   resp.Stats.EdgePairsEval,
+			"filterEntries":   resp.Stats.FilterEntries,
+			"pruneOps":        resp.Stats.PruneOps,
+			"wipeouts":        resp.Stats.Wipeouts,
+			"wipeoutDepthSum": resp.Stats.WipeoutDepthSum,
+			"backjumps":       resp.Stats.Backjumps,
+			"steals":          resp.Stats.Steals,
+			"timeToFirstMs":   float64(resp.Stats.TimeToFirst) / float64(time.Millisecond),
 		},
 	}
 	for i, nm := range resp.Named {

@@ -47,6 +47,23 @@ func FromSet(n int, s Set) *Bitset {
 // Len returns the universe size n.
 func (b *Bitset) Len() int { return b.n }
 
+// WordOf returns the index of the word holding member x.
+func WordOf(x int32) int { return int(x >> 6) }
+
+// SaveSpan appends the words in [w0, w0+n) to dst and returns the
+// extended slice. Together with RestoreSpan it is the trail primitive of
+// the forward-checking search: before a domain is pruned, the touched
+// word span is saved onto a shared arena; backtracking copies it back.
+func (b *Bitset) SaveSpan(dst []uint64, w0, n int) []uint64 {
+	return append(dst, b.words[w0:w0+n]...)
+}
+
+// RestoreSpan copies src back over the words starting at w0, undoing the
+// mutations made since the matching SaveSpan.
+func (b *Bitset) RestoreSpan(src []uint64, w0 int) {
+	copy(b.words[w0:], src)
+}
+
 // Set marks x as a member.
 func (b *Bitset) Set(x int32) { b.words[x>>6] |= 1 << (uint(x) & 63) }
 
@@ -108,6 +125,69 @@ func (b *Bitset) IntersectWith(o *Bitset) bool {
 		any |= b.words[i]
 	}
 	return any != 0
+}
+
+// IntersectCount replaces b with b ∩ o and returns the resulting
+// cardinality in the same pass — the forward-checking prune step, where
+// the count both detects wipeouts (0) and keeps the live domain sizes
+// the dynamic variable ordering reads.
+func (b *Bitset) IntersectCount(o *Bitset) int {
+	n := 0
+	for i, w := range o.words {
+		b.words[i] &= w
+		n += bits.OnesCount64(b.words[i])
+	}
+	return n
+}
+
+// Intersects reports whether b ∩ o is non-empty, exiting on the first
+// overlapping word — the read-only wipeout probe: a prune that would
+// empty the domain can reject its assignment without mutating anything,
+// and the common non-empty case usually answers from word zero.
+func (b *Bitset) Intersects(o *Bitset) bool {
+	for i, w := range b.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectSave appends b's current words to arena, then replaces b
+// with b ∩ o, reporting the extended arena and whether the result is
+// non-empty. Fusing the trail save with the AND reads b's words once —
+// the forward-checking prune step at its hottest.
+func (b *Bitset) IntersectSave(arena []uint64, o *Bitset) ([]uint64, bool) {
+	var any uint64
+	for i, w := range b.words {
+		arena = append(arena, w)
+		b.words[i] = w & o.words[i]
+		any |= b.words[i]
+	}
+	return arena, any != 0
+}
+
+// IntersectCountInto sets dst = a ∩ b and returns the resulting
+// cardinality. dst may alias a (the in-place prune) or be a separate
+// accumulator; all three must share a universe.
+func IntersectCountInto(dst, a, b *Bitset) int {
+	n := 0
+	for i := range dst.words {
+		dst.words[i] = a.words[i] & b.words[i]
+		n += bits.OnesCount64(dst.words[i])
+	}
+	return n
+}
+
+// Max returns the largest member, or -1 when the bitset is empty — the
+// backjump-target computation over conflict sets.
+func (b *Bitset) Max() int32 {
+	for i := len(b.words) - 1; i >= 0; i-- {
+		if w := b.words[i]; w != 0 {
+			return int32(i<<6) + int32(63-bits.LeadingZeros64(w))
+		}
+	}
+	return -1
 }
 
 // AndNotWith replaces b with b \ o and reports whether the result is

@@ -152,3 +152,63 @@ func TestBitsetCopyCloneEqual(t *testing.T) {
 		t.Fatal("bitsets with different universes reported equal")
 	}
 }
+
+func TestBitsetIntersectCount(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		sa, sb := FromUnsorted(clipU(rawA)), FromUnsorted(clipU(rawB))
+		a, b := FromSet(bitsetUniverse, sa), FromSet(bitsetUniverse, sb)
+		want := IntersectInto(nil, sa, sb)
+		into := NewBitset(bitsetUniverse)
+		if n := IntersectCountInto(into, a, b); n != len(want) || !Equal(into.AppendTo(nil), want) {
+			return false
+		}
+		if n := a.IntersectCount(b); n != len(want) {
+			return false
+		}
+		return Equal(a.AppendTo(nil), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetSaveRestoreSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBitset(bitsetUniverse)
+	for i := 0; i < 120; i++ {
+		b.Set(int32(rng.Intn(bitsetUniverse)))
+	}
+	before := b.AppendTo(nil)
+	// Save a span, mutate inside it, restore, and check byte identity.
+	w0, n := 1, 2
+	saved := b.SaveSpan(nil, w0, n)
+	if len(saved) != n {
+		t.Fatalf("SaveSpan returned %d words, want %d", len(saved), n)
+	}
+	for x := int32(64); x < 192; x++ {
+		b.Clear(x)
+	}
+	b.RestoreSpan(saved, w0)
+	if !Equal(b.AppendTo(nil), before) {
+		t.Fatal("RestoreSpan did not undo the mutation")
+	}
+	if WordOf(63) != 0 || WordOf(64) != 1 || WordOf(199) != 3 {
+		t.Fatal("WordOf wrong")
+	}
+}
+
+func TestBitsetMax(t *testing.T) {
+	b := NewBitset(bitsetUniverse)
+	if b.Max() != -1 {
+		t.Fatal("empty Max != -1")
+	}
+	b.Set(3)
+	b.Set(130)
+	if b.Max() != 130 {
+		t.Fatalf("Max = %d, want 130", b.Max())
+	}
+	b.Clear(130)
+	if b.Max() != 3 {
+		t.Fatalf("Max after clear = %d, want 3", b.Max())
+	}
+}
