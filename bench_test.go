@@ -932,6 +932,81 @@ func BenchmarkSearch_FC_vs_Chrono(b *testing.B) {
 	})
 }
 
+// BenchmarkPathEmbed_FC_vs_Seed pins the rebuilt path-mode (§VIII
+// link-to-path) searcher against the seed-era chronological scan. The
+// seed re-runs an exhaustive simple-path DFS for every (candidate,
+// assigned neighbor) pair it probes — on the dense 512-site host a
+// single fruitless probe walks ~10^5 partial paths — while the FC engine
+// prunes candidate domains with the hop-bounded reachability oracle,
+// rejects hopeless probes with optimistic metric bounds, and memoizes
+// witness lookups per (window class, src, dst), so re-probed pairs cost
+// a map hit.
+//
+//	windowed: multi-hop delay windows, solution enumeration capped —
+//	          the service's typical capped path query.
+//	nomatch:  a window below the cheapest hosting edge, full no-match
+//	          proof (128 sites: the seed's per-probe DFS makes 512
+//	          infeasible to benchmark).
+func BenchmarkPathEmbed_FC_vs_Seed(b *testing.B) {
+	engines := []struct {
+		name string
+		eng  netembed.SearchEngine
+	}{
+		{"seed", core.SearchChrono},
+		{"fc", core.SearchFC},
+	}
+
+	pathQuery := func(n int, lo, hi float64) *netembed.Graph {
+		q := netembed.Ring(n)
+		topo.SetDelayWindow(q, lo, hi)
+		return q
+	}
+	run := func(b *testing.B, p *netembed.Problem, opt netembed.PathOptions, wantSolutions bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res := core.PathEmbed(p, opt)
+			if wantSolutions && len(res.Solutions) == 0 {
+				b.Fatal("windowed query found nothing")
+			}
+			if !wantSolutions && (len(res.Solutions) != 0 || res.Status != core.StatusComplete) {
+				b.Fatal("nomatch query must be a definitive no-match")
+			}
+		}
+	}
+
+	b.Run("dense512/windowed", func(b *testing.B) {
+		host := reprHost(b, 512)
+		// 25..38ms composed avgDelay: satisfiable mostly by 2-hop
+		// intra-region compositions, so witnesses take real search.
+		p, err := netembed.NewProblem(pathQuery(4, 25, 38), host, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range engines {
+			b.Run(e.name, func(b *testing.B) {
+				run(b, p, netembed.PathOptions{MaxHops: 2, MaxSolutions: 100, Engine: e.eng}, true)
+			})
+		}
+	})
+
+	b.Run("nomatch128", func(b *testing.B) {
+		host := reprHost(b, 128)
+		// The synthetic trace's delay floor is 6ms: a 1..3ms window is
+		// infeasible at any hop count, and proving it makes the seed DFS
+		// every candidate pair while the FC engine's edge-value floor
+		// rejects every probe in O(1).
+		p, err := netembed.NewProblem(pathQuery(3, 1, 3), host, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range engines {
+			b.Run(e.name, func(b *testing.B) {
+				run(b, p, netembed.PathOptions{MaxHops: 2, Engine: e.eng}, false)
+			})
+		}
+	})
+}
+
 // BenchmarkParallelECF_StealVsStatic pins the work-stealing scheduler
 // against PR 1's static first-level sharding on topo.SkewedRing: one
 // root candidate owns a combinatorially large subtree while the decoy

@@ -125,6 +125,9 @@ func TestWorkflowGateMatchesSubBenchmarks(t *testing.T) {
 		"BenchmarkSearch_FC_vs_Chrono/dense512/subgraph/fc",
 		"BenchmarkSearch_FC_vs_Chrono/dense512/clique/chrono",
 		"BenchmarkSearch_FC_vs_Chrono/nomatch512/fc",
+		"BenchmarkPathEmbed_FC_vs_Seed/dense512/windowed/fc",
+		"BenchmarkPathEmbed_FC_vs_Seed/dense512/windowed/seed",
+		"BenchmarkPathEmbed_FC_vs_Seed/nomatch128/fc",
 	} {
 		if !gate.MatchString(name) {
 			t.Errorf("GATE %q does not gate %q", m[1], name)

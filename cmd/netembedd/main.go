@@ -12,6 +12,10 @@
 // POST /embed/batch, POST /jobs, GET/DELETE /jobs/{id}, GET /stats,
 // POST/DELETE /reserve. See internal/service/httpapi.
 //
+// Path-mode (§VIII link-to-path) queries — algorithm "path" — map query
+// edges onto multi-hop hosting paths; -path-hops sets the default
+// witness hop bound for requests that carry no maxHops.
+//
 // Every embedding query runs on the asynchronous job engine: a bounded
 // queue (-queue) drained by a worker pool (-workers) with a
 // model-versioned result cache (-cache) in front. Saturation answers
@@ -68,6 +72,7 @@ func run() error {
 		queue     = flag.Int("queue", 128, "job-engine submission queue depth (full queue answers 429)")
 		cache     = flag.Int("cache", 512, "job-engine result cache capacity in entries (negative = disabled)")
 		useIndex  = flag.Bool("index", true, "maintain the host-capability index (degree strata, adjacency bitsets, attribute postings); deltas patch it instead of rebuilding")
+		pathHops  = flag.Int("path-hops", 3, "default witness hop bound for path-mode (link-to-path) queries that carry no maxHops")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	)
 	flag.Parse()
@@ -80,7 +85,13 @@ func run() error {
 	if *useIndex {
 		model.EnableIndex(netembed.IndexConfig{})
 	}
-	svc := netembed.NewService(model, netembed.ServiceConfig{DefaultTimeout: *timeout})
+	if *pathHops < 0 {
+		return fmt.Errorf("-path-hops %d is negative", *pathHops)
+	}
+	svc := netembed.NewService(model, netembed.ServiceConfig{
+		DefaultTimeout:  *timeout,
+		DefaultPathHops: *pathHops,
+	})
 	eng := engine.New(svc, engine.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"netembed/internal/graph"
+	"netembed/internal/index"
 	"netembed/internal/sets"
 )
 
@@ -31,12 +32,31 @@ type PathOptions struct {
 	// MaxSolutions caps returned embeddings (0 = all).
 	MaxSolutions int
 	// Stop, when non-nil, is polled alongside the deadline; returning
-	// true cancels the search (see Options.Stop).
+	// true cancels the search (see Options.Stop). The hook reaches all
+	// the way into the per-pair witness DFS, so cancellation latency is
+	// bounded even mid-enumeration on dense hosts.
 	Stop func() bool
+	// Index, when non-nil, supplies the hop-bounded reachability oracle
+	// from a prebuilt host-capability index (internal/index), cached
+	// across runs and invalidated by structural deltas. It must describe
+	// the Problem's host — same node universe, same orientation — or it
+	// is ignored and the rows are computed per run.
+	Index *index.Index
+	// Engine selects the searcher: SearchFC (default) is the indexed
+	// forward-checking engine with reachability-pruned domains, witness
+	// memoization and optimistic metric bounds; SearchChrono keeps the
+	// chronological scan that re-runs a witness DFS per candidate pair —
+	// the property-test oracle and ablation baseline. Both enumerate
+	// identical solution sequences.
+	Engine SearchEngine
 }
 
 func (o *PathOptions) applyDefaults() {
-	if o.MaxHops == 0 {
+	// MaxHops <= 0 is clamped to the default: zero is "unset", and a
+	// negative bound used to slip through to PathsWithin, whose old
+	// `len == maxHops` guard then never fired — an unbounded enumeration
+	// of every simple host path.
+	if o.MaxHops <= 0 {
 		o.MaxHops = 3
 	}
 	if o.DelayAttr == "" {
@@ -51,6 +71,15 @@ func (o *PathOptions) applyDefaults() {
 	if len(o.Metrics) == 0 {
 		o.Metrics = []MetricSpec{DefaultDelaySpec(o.DelayAttr, o.WindowLo, o.WindowHi)}
 	}
+}
+
+// EffectiveMetrics returns the metric specs a PathEmbed run with these
+// options will enforce, with defaults applied: the single delay window
+// (DelayAttr bounded by WindowLo/WindowHi) when Metrics is empty. The
+// service layer uses it to surface typo'd attribute names.
+func (o PathOptions) EffectiveMetrics() []MetricSpec {
+	o.applyDefaults()
+	return o.Metrics
 }
 
 // PathSolution is one many-to-one embedding: an injective node mapping
@@ -69,6 +98,9 @@ type PathResult struct {
 	Status    Status
 	Exhausted bool
 	Elapsed   time.Duration
+	// Stats carries the search effort counters; path mode additionally
+	// fills WitnessProbes, WitnessHits and ReachPrunes.
+	Stats Stats
 }
 
 // PathEmbed searches for embeddings where query edges map to hosting
@@ -77,8 +109,25 @@ type PathResult struct {
 // images; the edge constraint program is not consulted (path acceptance
 // is defined by the window attributes). Solutions enumerate node
 // mappings; each carries one witness path per query edge.
+//
+// The default engine (SearchFC, pathfc.go) precomputes a hop-bounded
+// reachability oracle, forward-prunes candidate domains with it, rejects
+// witness probes whose best-possible composed metrics already violate the
+// window, and memoizes witness lookups. PathOptions.Engine = SearchChrono
+// selects the chronological scan instead; both enumerate the same
+// solution sequence.
 func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	opt.applyDefaults()
+	if opt.Engine == SearchChrono {
+		return pathEmbedChrono(p, opt)
+	}
+	return pathEmbedFC(p, opt)
+}
+
+// pathEmbedChrono is the chronological path searcher: a host-node scan
+// per depth that re-runs a witness DFS for every candidate pair. Kept as
+// the property-test oracle and ablation baseline for the FC engine.
+func pathEmbedChrono(p *Problem, opt PathOptions) *PathResult {
 	start := time.Now()
 	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
 
@@ -103,11 +152,14 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	paths := map[graph.EdgeID]graph.Path{}
 
 	// witnessPath finds a path from rs to rt satisfying every composed
-	// metric window of query edge qe, or ok=false.
+	// metric window of query edge qe, or ok=false. The run's stop clock
+	// is threaded into the enumeration itself: a canceled or timed-out
+	// search must not keep burning CPU inside a large path DFS.
 	witnessPath := func(qe *graph.Edge, rs, rt graph.NodeID) (graph.Path, bool) {
 		var found graph.Path
 		ok := false
-		p.Host.PathsWithin(rs, rt, opt.MaxHops, func(path graph.Path) bool {
+		res.Stats.WitnessProbes++
+		p.Host.PathsWithinStop(rs, rt, opt.MaxHops, clk.checkDeadline, func(path graph.Path) bool {
 			if !pathMetricsOK(p.Host, qe, path.Edges, opt.Metrics) {
 				return true
 			}
@@ -144,6 +196,7 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 			if used.Has(r) || !p.nodeOK(q, r) {
 				continue
 			}
+			res.Stats.NodesVisited++
 			// Every edge to an already-assigned neighbor needs a witness.
 			type chosen struct {
 				edge graph.EdgeID
@@ -195,6 +248,7 @@ func PathEmbed(p *Problem, opt PathOptions) *PathResult {
 	res.Exhausted = !clk.timedOut && !stopped
 	res.Status = classify(res.Exhausted, len(res.Solutions))
 	res.Elapsed = time.Since(start)
+	res.Stats.Elapsed = res.Elapsed
 	return res
 }
 
@@ -268,9 +322,17 @@ func VerifyPathSolution(p *Problem, opt PathOptions, sol PathSolution) error {
 				return errBadPathEdge(i, j)
 			}
 		}
-		if !pathMetricsOK(p.Host, qe, path.Edges, opt.Metrics) {
-			composed, _ := opt.Metrics[0].composeAlong(p.Host, path.Edges)
-			return errPathWindow(i, composed)
+		// Evaluate the specs one by one so the error names the spec that
+		// actually failed — reporting Metrics[0]'s composed value when a
+		// different spec tripped pointed debugging at the wrong metric.
+		for _, spec := range opt.Metrics {
+			composed, ok := spec.composeAlong(p.Host, path.Edges)
+			if !ok {
+				return errPathMissingAttr(i, spec.Attr)
+			}
+			if !spec.withinWindow(qe, composed) {
+				return errPathWindow(i, spec.Attr, composed)
+			}
 		}
 	}
 	return nil
@@ -315,8 +377,12 @@ func errBadPathEdge(edge, step int) error {
 	return fmt.Errorf("core: witness path for query edge %d is not a host walk at step %d", edge, step)
 }
 
-func errPathWindow(edge int, total float64) error {
-	return fmt.Errorf("core: witness path for query edge %d has delay %.2f outside the window", edge, total)
+func errPathWindow(edge int, attr string, total float64) error {
+	return fmt.Errorf("core: witness path for query edge %d has composed %s %.2f outside the window", edge, attr, total)
+}
+
+func errPathMissingAttr(edge int, attr string) error {
+	return fmt.Errorf("core: witness path for query edge %d crosses an edge without required attribute %q", edge, attr)
 }
 
 func errMappingSize(got, want int) error {

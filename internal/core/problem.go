@@ -340,6 +340,9 @@ type Stats struct {
 	WipeoutDepthSum int64         // sum of depths at which wipeouts fired
 	Backjumps       int64         // conflict-directed jumps skipping ≥1 level
 	Steals          int64         // subtrees stolen by idle parallel workers
+	WitnessProbes   int64         // path-mode witness DFS enumerations actually run
+	WitnessHits     int64         // path-mode witness answers served from the memo
+	ReachPrunes     int64         // witness probes rejected by the reachability/bound oracle
 	TimeToFirst     time.Duration // elapsed time when the first solution appeared
 	Elapsed         time.Duration // total search time, filter build included
 }

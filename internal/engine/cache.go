@@ -46,6 +46,22 @@ func requestKey(req service.Request) (string, bool) {
 	writeUint(h, math.Float64bits(req.Consolidate.DefaultCapacity))
 	writeUint(h, boolBit(req.Consolidate.Loopback != nil))
 	hashAttrs(h, req.Consolidate.Loopback)
+	// Path-mode tuning: two path requests differing in hop bound, window
+	// attributes or metric conjunction have different answers, so every
+	// field joins the fingerprint.
+	writeUint(h, uint64(req.Path.MaxHops))
+	writeString(h, req.Path.DelayAttr)
+	writeString(h, req.Path.WindowLo)
+	writeString(h, req.Path.WindowHi)
+	writeUint(h, uint64(len(req.Path.Metrics)))
+	for _, spec := range req.Path.Metrics {
+		writeString(h, spec.Attr)
+		writeUint(h, uint64(spec.Rule))
+		writeString(h, spec.LoAttr)
+		writeString(h, spec.HiAttr)
+		writeUint(h, math.Float64bits(spec.MissingEdge))
+		writeUint(h, boolBit(spec.MissingFails))
+	}
 	return hex.EncodeToString(h.Sum(nil)), true
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"netembed/internal/core"
 	"netembed/internal/graph"
 	"netembed/internal/service"
 )
@@ -66,6 +67,19 @@ func TestRequestKeySensitivity(t *testing.T) {
 		"query topology": func(r *service.Request) {
 			r.Query = attrQuery()
 			r.Query.AddNode("c", nil)
+		},
+		"path max hops":   func(r *service.Request) { r.Path.MaxHops = 4 },
+		"path delay attr": func(r *service.Request) { r.Path.DelayAttr = "p95Delay" },
+		"path window lo":  func(r *service.Request) { r.Path.WindowLo = "floorDelay" },
+		"path window hi":  func(r *service.Request) { r.Path.WindowHi = "ceilDelay" },
+		"path metrics": func(r *service.Request) {
+			r.Path.Metrics = []core.MetricSpec{{Attr: "bandwidth", Rule: core.Bottleneck, LoAttr: "minBandwidth"}}
+		},
+		"path metric rule": func(r *service.Request) {
+			r.Path.Metrics = []core.MetricSpec{{Attr: "bandwidth", Rule: core.Multiplicative, LoAttr: "minBandwidth"}}
+		},
+		"path missing fails": func(r *service.Request) {
+			r.Path.Metrics = []core.MetricSpec{{Attr: "bandwidth", Rule: core.Bottleneck, LoAttr: "minBandwidth", MissingFails: true}}
 		},
 	}
 	for name, mutate := range mutations {

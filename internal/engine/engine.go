@@ -216,6 +216,13 @@ type Stats struct {
 	SearchBackjumps int64 `json:"searchBackjumps"`
 	SearchWipeouts  int64 `json:"searchWipeouts"`
 	SearchSteals    int64 `json:"searchSteals"`
+
+	// Path-mode counters, summed the same way: witness DFS enumerations
+	// actually run, witness answers served from the per-run memo, and
+	// witness probes rejected by the reachability/bound oracle.
+	SearchWitnessProbes int64 `json:"searchWitnessProbes"`
+	SearchWitnessHits   int64 `json:"searchWitnessHits"`
+	SearchReachPrunes   int64 `json:"searchReachPrunes"`
 }
 
 // Engine runs embedding jobs asynchronously against a service. Safe for
@@ -249,10 +256,13 @@ type Engine struct {
 	rejections   atomic.Int64
 	leasesPruned atomic.Int64
 
-	searchPruneOps  atomic.Int64
-	searchBackjumps atomic.Int64
-	searchWipeouts  atomic.Int64
-	searchSteals    atomic.Int64
+	searchPruneOps      atomic.Int64
+	searchBackjumps     atomic.Int64
+	searchWipeouts      atomic.Int64
+	searchSteals        atomic.Int64
+	searchWitnessProbes atomic.Int64
+	searchWitnessHits   atomic.Int64
+	searchReachPrunes   atomic.Int64
 }
 
 // New builds an engine over svc. The worker pool and maintenance tick
@@ -435,6 +445,9 @@ func (e *Engine) Stats() Stats {
 		SearchBackjumps:     e.searchBackjumps.Load(),
 		SearchWipeouts:      e.searchWipeouts.Load(),
 		SearchSteals:        e.searchSteals.Load(),
+		SearchWitnessProbes: e.searchWitnessProbes.Load(),
+		SearchWitnessHits:   e.searchWitnessHits.Load(),
+		SearchReachPrunes:   e.searchReachPrunes.Load(),
 	}
 }
 
@@ -563,6 +576,9 @@ func (e *Engine) run(job *Job) {
 		e.searchBackjumps.Add(resp.Stats.Backjumps)
 		e.searchWipeouts.Add(resp.Stats.Wipeouts)
 		e.searchSteals.Add(resp.Stats.Steals)
+		e.searchWitnessProbes.Add(resp.Stats.WitnessProbes)
+		e.searchWitnessHits.Add(resp.Stats.WitnessHits)
+		e.searchReachPrunes.Add(resp.Stats.ReachPrunes)
 		if job.cacheable && cacheableResponse(req, resp) {
 			e.cache.put(job.cacheKey, resp.ModelVersion, resp)
 		}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -315,6 +316,114 @@ func TestPathsWithin(t *testing.T) {
 	g.PathsWithin(0, 2, 3, func(Path) bool { n++; return false })
 	if n != 1 {
 		t.Errorf("early stop yielded %d paths", n)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	// Line 0-1-2-3 with unit costs, plus a shortcut 0-3 of cost 10.
+	g := NewUndirected()
+	g.AddNodes(4)
+	for i := 0; i < 3; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), nil)
+	}
+	shortcut := g.MustAddEdge(0, 3, nil)
+	cost := func(e EdgeID) float64 {
+		if e == shortcut {
+			return 10
+		}
+		return 1
+	}
+	d := g.Distances(0, cost)
+	for i, want := range []float64{0, 1, 2, 3} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %v, want %v", i, d[i], want)
+		}
+	}
+	// +Inf cost marks an edge unusable; node 3 is then reached only via
+	// the line.
+	d = g.Distances(3, func(e EdgeID) float64 {
+		if e == shortcut {
+			return math.Inf(1)
+		}
+		return 1
+	})
+	if d[0] != 3 {
+		t.Errorf("dist[0] with unusable shortcut = %v, want 3", d[0])
+	}
+	// Unreachable nodes stay +Inf.
+	iso := NewUndirected()
+	iso.AddNodes(2)
+	if d := iso.Distances(0, func(EdgeID) float64 { return 1 }); !math.IsInf(d[1], 1) {
+		t.Errorf("unreachable dist = %v, want +Inf", d[1])
+	}
+}
+
+// TestPathsWithinNegativeMaxHops pins the hop-bound hardening: a negative
+// bound used to slip past the `len(edges) == maxHops` guard and enumerate
+// every simple path of the graph. It must behave as an empty bound.
+func TestPathsWithinNegativeMaxHops(t *testing.T) {
+	g := NewUndirected()
+	g.AddNodes(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.MustAddEdge(NodeID(i), NodeID(j), nil)
+		}
+	}
+	for _, maxHops := range []int{-1, -100, 0} {
+		n := 0
+		g.PathsWithin(0, 2, maxHops, func(Path) bool { n++; return true })
+		if n != 0 {
+			t.Errorf("maxHops=%d yielded %d paths, want 0", maxHops, n)
+		}
+		// The trivial src==dst zero-edge path is still admitted.
+		n = 0
+		g.PathsWithin(3, 3, maxHops, func(p Path) bool {
+			if len(p.Edges) != 0 {
+				t.Errorf("maxHops=%d yielded non-trivial self path %v", maxHops, p.Nodes)
+			}
+			n++
+			return true
+		})
+		if n != 1 {
+			t.Errorf("maxHops=%d self paths = %d, want 1", maxHops, n)
+		}
+	}
+}
+
+// TestPathsWithinStop pins the cancellation hook: once stop reports true,
+// the enumeration aborts without visiting further paths.
+func TestPathsWithinStop(t *testing.T) {
+	// Complete graph: plenty of simple paths to abandon.
+	g := NewUndirected()
+	g.AddNodes(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			g.MustAddEdge(NodeID(i), NodeID(j), nil)
+		}
+	}
+	yields, polls := 0, 0
+	g.PathsWithinStop(0, 7, 5, func() bool {
+		polls++
+		return yields >= 2 // cancel after the second witness
+	}, func(Path) bool {
+		yields++
+		return true
+	})
+	if yields != 2 {
+		t.Errorf("yields = %d, want enumeration cut at 2", yields)
+	}
+	if polls == 0 {
+		t.Error("stop hook never polled")
+	}
+
+	// A stop that fires immediately yields nothing at all.
+	yields = 0
+	g.PathsWithinStop(0, 7, 5, func() bool { return true }, func(Path) bool {
+		yields++
+		return true
+	})
+	if yields != 0 {
+		t.Errorf("immediate stop yielded %d paths", yields)
 	}
 }
 

@@ -180,16 +180,67 @@ func (g *Graph) ShortestPath(src, dst NodeID, cost func(EdgeID) float64) (Path, 
 	return p, true
 }
 
+// Distances runs Dijkstra from src over the whole graph and returns the
+// per-node minimum cost, +Inf for unreachable nodes. cost must be
+// non-negative; returning +Inf marks an edge unusable. ShortestPath is
+// the single-target variant that also materializes the path.
+func (g *Graph) Distances(src NodeID, cost func(EdgeID) float64) []float64 {
+	n := len(g.nodes)
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.n] {
+			continue
+		}
+		done[it.n] = true
+		for _, a := range g.out[it.n] {
+			if done[a.To] {
+				continue
+			}
+			c := cost(a.Edge)
+			if c < 0 {
+				c = 0
+			}
+			if nd := it.dist + c; nd < dist[a.To] {
+				dist[a.To] = nd
+				heap.Push(q, pqItem{a.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
 // PathsWithin enumerates all simple paths from src to dst with at most
 // maxHops edges, invoking yield for each. Returning false from yield stops
 // the enumeration. This supports the link-to-path (many-to-one) embedding
-// extension, where hop counts are small.
+// extension, where hop counts are small. A maxHops <= 0 admits only the
+// trivial zero-edge path (src == dst); in particular a negative bound
+// never enumerates unboundedly.
 func (g *Graph) PathsWithin(src, dst NodeID, maxHops int, yield func(Path) bool) {
+	g.PathsWithinStop(src, dst, maxHops, nil, yield)
+}
+
+// PathsWithinStop is PathsWithin with a cooperative cancellation hook:
+// stop, when non-nil, is polled at every enumeration step, and returning
+// true abandons the whole enumeration immediately. Path enumerations are
+// exponential in maxHops on dense graphs, so a caller holding a deadline
+// or a cancellation flag must be able to cut the inner DFS short — not
+// just refrain from starting the next one.
+func (g *Graph) PathsWithinStop(src, dst NodeID, maxHops int, stop func() bool, yield func(Path) bool) {
 	onPath := make([]bool, len(g.nodes))
 	var nodes []NodeID
 	var edges []EdgeID
 	var rec func(at NodeID) bool
 	rec = func(at NodeID) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		nodes = append(nodes, at)
 		onPath[at] = true
 		defer func() {
@@ -203,7 +254,9 @@ func (g *Graph) PathsWithin(src, dst NodeID, maxHops int, yield func(Path) bool)
 			}
 			return yield(p)
 		}
-		if len(edges) == maxHops {
+		// >= (not ==) so a negative bound is an empty bound rather than an
+		// unbounded one: the guard must fire on the first comparison.
+		if len(edges) >= maxHops {
 			return true
 		}
 		for _, a := range g.out[at] {

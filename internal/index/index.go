@@ -126,6 +126,12 @@ type Index struct {
 	strata map[string][]*sets.Bitset
 
 	zero *sets.Bitset // shared empty set for out-of-ladder queries
+
+	// reach is the snapshot's lazily-built hop-bounded reachability
+	// tables (see reach.go). Never nil. Structural patches install a
+	// fresh cache; attribute-only patches share the previous snapshot's,
+	// since reachability depends only on adjacency.
+	reach *reachCache
 }
 
 // Build computes a fresh index over g, stamped with the model version it
@@ -142,6 +148,7 @@ func Build(g *graph.Graph, version uint64, cfg Config) *Index {
 		postings: make(map[string]*Postings),
 		strata:   make(map[string][]*sets.Bitset, len(cfg.StrataAttrs)),
 		zero:     sets.NewBitset(n),
+		reach:    newReachCache(),
 	}
 	if ix.directed {
 		ix.adjIn = make([]*sets.Bitset, n)
@@ -342,6 +349,9 @@ func (ix *Index) Apply(old, next *graph.Graph, d *graph.Delta, version uint64) *
 
 	if len(d.AddEdges) > 0 || len(d.RemoveEdges) > 0 {
 		out.patchStructure(old, next, d)
+		// Adjacency changed: any cached reachability tables are stale for
+		// the new snapshot (the old snapshot keeps its own).
+		out.reach = newReachCache()
 	}
 	if len(d.SetNodeAttrs) > 0 {
 		out.patchAttrs(old, next, d)

@@ -1,0 +1,157 @@
+package index
+
+import (
+	"sync"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// This file is the hop-bounded reachability oracle backing the path-mode
+// (link-to-path, §VIII) search: Reach(k)[r] is the bitset of nodes with a
+// walk of 1..k edges from r — equivalently, by walk shortening, the nodes
+// with a *simple path* of at most k edges from r, which is exactly the
+// necessary condition for a witness hosting path to exist. The path
+// searcher AND-prunes candidate domains with these rows the way the FC
+// engine prunes with 1-hop filter rows, and rejects witness probes for
+// unreachable pairs without ever starting a DFS.
+//
+// Tables are built lazily, one level at a time, from the recurrence
+//
+//	reach[1][r] = adj(r)
+//	reach[k][r] = reach[k-1][r] ∪ ⋃_{t ∈ adj(r)} reach[k-1][t]
+//
+// and cached on the Index snapshot behind a mutex, so repeated path
+// queries against one model version pay the construction once. The cache
+// rides the index's copy-on-write discipline: a structural delta
+// (edge/node add/remove) gives the patched snapshot a fresh, empty cache,
+// while attribute-only deltas — which cannot change reachability — share
+// the previous snapshot's tables.
+
+// reachCache holds one snapshot's lazily-built reachability tables.
+// fwd[k-1][r] = nodes reachable from r within k out-hops; rev is the same
+// over in-arcs (nodes that reach r), nil until requested and aliased to
+// fwd on undirected graphs. The done flags record that the tables
+// reached their transitive-closure fixed point — higher hop bounds then
+// answer from the last level instead of building identical copies.
+type reachCache struct {
+	mu      sync.Mutex
+	fwd     [][]sets.Bitset
+	fwdDone bool
+	rev     [][]sets.Bitset
+	revDone bool
+}
+
+// newReachCache returns an empty cache; Index.Build and structural
+// patches install one so stale tables can never leak across versions.
+func newReachCache() *reachCache { return &reachCache{} }
+
+// extendReach grows levels toward maxHops using the recurrence above,
+// stopping early — and flipping *done — once a level reproduces its
+// predecessor: the closure has converged (at most the graph's diameter,
+// never past n-1 since a simple path has at most n-1 edges), so an
+// arbitrarily large client-supplied hop bound costs diameter-many
+// levels, not maxHops allocations.
+func extendReach(levels [][]sets.Bitset, done *bool, n, maxHops int, adj func(graph.NodeID) *sets.Bitset) [][]sets.Bitset {
+	for k := len(levels); k < maxHops && !*done; k++ {
+		rows := sets.MakeBitsets(n, n)
+		same := k > 0
+		for r := 0; r < n; r++ {
+			row := &rows[r]
+			if k == 0 {
+				row.CopyFrom(adj(graph.NodeID(r)))
+				continue
+			}
+			prev := levels[k-1]
+			row.CopyFrom(&prev[r])
+			adj(graph.NodeID(r)).ForEach(func(t int32) bool {
+				row.UnionWith(&prev[t])
+				return true
+			})
+			if same && !row.Equal(&prev[r]) {
+				same = false
+			}
+		}
+		if same {
+			*done = true
+			break
+		}
+		levels = append(levels, rows)
+	}
+	return levels
+}
+
+// levelAt returns the closure for the requested bound: the exact level
+// when built, the converged last level otherwise.
+func levelAt(levels [][]sets.Bitset, maxHops int) []sets.Bitset {
+	if maxHops > len(levels) {
+		maxHops = len(levels)
+	}
+	return levels[maxHops-1]
+}
+
+// ReachWithin returns the forward reachability rows for the given hop
+// bound: row r holds every node with a path of 1..maxHops edges from r
+// (out-arcs; all arcs when undirected). maxHops < 1 is treated as 1.
+// The rows are cached on the snapshot and must be treated as read-only;
+// the call is safe for concurrent use.
+func (ix *Index) ReachWithin(maxHops int) []sets.Bitset {
+	maxHops = clampHops(maxHops, ix.n)
+	c := ix.reach
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fwd = extendReach(c.fwd, &c.fwdDone, ix.n, maxHops, func(r graph.NodeID) *sets.Bitset { return ix.adjOut[r] })
+	return levelAt(c.fwd, maxHops)
+}
+
+// ReachWithinRev returns the reverse rows: row r holds every node with a
+// path of 1..maxHops edges *to* r. On undirected graphs this is
+// ReachWithin. Read-only; safe for concurrent use.
+func (ix *Index) ReachWithinRev(maxHops int) []sets.Bitset {
+	if !ix.directed {
+		return ix.ReachWithin(maxHops)
+	}
+	maxHops = clampHops(maxHops, ix.n)
+	c := ix.reach
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rev = extendReach(c.rev, &c.revDone, ix.n, maxHops, func(r graph.NodeID) *sets.Bitset { return ix.adjIn[r] })
+	return levelAt(c.rev, maxHops)
+}
+
+// clampHops bounds a hop count to [1, n-1]: a negative or zero bound is
+// treated as 1, and a simple path can never have more than n-1 edges.
+func clampHops(maxHops, n int) int {
+	if maxHops < 1 {
+		maxHops = 1
+	}
+	if n > 1 && maxHops > n-1 {
+		maxHops = n - 1
+	}
+	return maxHops
+}
+
+// BuildReach computes the forward and reverse hop-bounded reachability
+// rows for a graph directly, without an Index — the fallback for path
+// searches against unindexed hosts. On undirected graphs rev aliases fwd.
+func BuildReach(g *graph.Graph, maxHops int) (fwd, rev []sets.Bitset) {
+	n := g.NumNodes()
+	maxHops = clampHops(maxHops, n)
+	adjFwd := make([]*sets.Bitset, n)
+	for r := 0; r < n; r++ {
+		adjFwd[r] = adjacencyBits(n, g.Arcs(graph.NodeID(r)))
+	}
+	var fwdDone bool
+	fl := extendReach(nil, &fwdDone, n, maxHops, func(r graph.NodeID) *sets.Bitset { return adjFwd[r] })
+	fwd = levelAt(fl, maxHops)
+	if !g.Directed() {
+		return fwd, fwd
+	}
+	adjRev := make([]*sets.Bitset, n)
+	for r := 0; r < n; r++ {
+		adjRev[r] = adjacencyBits(n, g.InArcs(graph.NodeID(r)))
+	}
+	var revDone bool
+	rl := extendReach(nil, &revDone, n, maxHops, func(r graph.NodeID) *sets.Bitset { return adjRev[r] })
+	return fwd, levelAt(rl, maxHops)
+}

@@ -1,0 +1,215 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// reachOracle computes, by BFS, whether x is reachable from r by a walk
+// of 1..k edges (equivalently a simple path of at most k edges when
+// x != r, and a cycle through r when x == r).
+func reachOracle(g *graph.Graph, r graph.NodeID, k int) map[graph.NodeID]bool {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[r] = 0
+	queue := []graph.NodeID{r}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Arcs(at) {
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[at] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	out := map[graph.NodeID]bool{}
+	for x := 0; x < n; x++ {
+		if x != int(r) && dist[x] >= 1 && dist[x] <= k {
+			out[graph.NodeID(x)] = true
+		}
+	}
+	// Self-reachability: a closed walk r -> ... -> t -> r of length
+	// dist[t]+1 for any in-neighbor t of r.
+	for _, a := range g.InArcs(r) {
+		if dist[a.To] >= 0 && dist[a.To]+1 <= k {
+			out[r] = true
+			break
+		}
+	}
+	return out
+}
+
+func checkReachRows(t *testing.T, label string, g *graph.Graph, rows []sets.Bitset, k int, reverse bool) {
+	t.Helper()
+	probe := g
+	if reverse && g.Directed() {
+		// Reverse rows on the reversed graph equal forward rows.
+		probe = reversed(g)
+	}
+	for r := 0; r < g.NumNodes(); r++ {
+		want := reachOracle(probe, graph.NodeID(r), k)
+		for x := 0; x < g.NumNodes(); x++ {
+			if rows[r].Has(int32(x)) != want[graph.NodeID(x)] {
+				t.Fatalf("%s: k=%d row %d node %d: got %v want %v",
+					label, k, r, x, rows[r].Has(int32(x)), want[graph.NodeID(x)])
+			}
+		}
+	}
+}
+
+// reversed returns g with every directed edge flipped.
+func reversed(g *graph.Graph) *graph.Graph {
+	out := graph.NewDirected()
+	for i := 0; i < g.NumNodes(); i++ {
+		out.AddNode(g.Node(graph.NodeID(i)).Name, g.Node(graph.NodeID(i)).Attrs)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		out.MustAddEdge(e.To, e.From, e.Attrs)
+	}
+	return out
+}
+
+func TestReachWithinMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		directed := trial%2 == 1
+		g := randomGraph(rng, directed)
+		ix := Build(g, 1, Config{})
+		for _, k := range []int{1, 2, 3, 5} {
+			checkReachRows(t, fmt.Sprintf("trial %d fwd", trial), g, ix.ReachWithin(k), k, false)
+			checkReachRows(t, fmt.Sprintf("trial %d rev", trial), g, ix.ReachWithinRev(k), k, true)
+		}
+		// Level monotonicity: reach[k] ⊆ reach[k+1].
+		lo, hi := ix.ReachWithin(2), ix.ReachWithin(3)
+		for r := range lo {
+			probe := lo[r].Clone()
+			if probe.AndNotWith(&hi[r]) {
+				t.Fatalf("trial %d: reach[2][%d] not a subset of reach[3][%d]", trial, r, r)
+			}
+		}
+	}
+}
+
+func TestBuildReachMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(rng, trial%2 == 0)
+		ix := Build(g, 1, Config{})
+		const k = 3
+		fwd, rev := BuildReach(g, k)
+		ixFwd, ixRev := ix.ReachWithin(k), ix.ReachWithinRev(k)
+		for r := range fwd {
+			if !fwd[r].Equal(&ixFwd[r]) || !rev[r].Equal(&ixRev[r]) {
+				t.Fatalf("trial %d: BuildReach row %d disagrees with Index", trial, r)
+			}
+		}
+	}
+}
+
+// TestReachFixedPointConvergence pins the closure early-exit: an
+// arbitrarily large hop bound builds at most diameter-many levels and
+// answers with the transitive closure.
+func TestReachFixedPointConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		g := randomGraph(rng, trial%2 == 0)
+		ix := Build(g, 1, Config{})
+		n := g.NumNodes()
+		closure := ix.ReachWithin(1 << 30) // must return promptly
+		want := ix.ReachWithin(n - 1)      // simple paths top out at n-1 edges
+		for r := 0; r < n; r++ {
+			if !closure[r].Equal(&want[r]) {
+				t.Fatalf("trial %d: huge-bound row %d differs from the n-1 closure", trial, r)
+			}
+		}
+		if built := len(ix.reach.fwd); built > n {
+			t.Fatalf("trial %d: %d levels built for an n=%d graph", trial, built, n)
+		}
+		fwd, rev := BuildReach(g, 1<<30)
+		for r := 0; r < n; r++ {
+			if !fwd[r].Equal(&closure[r]) {
+				t.Fatalf("trial %d: BuildReach huge-bound row %d differs", trial, r)
+			}
+		}
+		_ = rev
+	}
+}
+
+func TestReachClampsMaxHops(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddNodes(3)
+	g.MustAddEdge(0, 1, nil)
+	ix := Build(g, 1, Config{})
+	for _, k := range []int{-3, 0, 1} {
+		rows := ix.ReachWithin(k)
+		if !rows[0].Has(1) || rows[0].Has(2) {
+			t.Fatalf("k=%d rows not clamped to 1-hop adjacency", k)
+		}
+	}
+	fwd, _ := BuildReach(g, -1)
+	if !fwd[0].Has(1) || fwd[0].Has(2) {
+		t.Fatal("BuildReach did not clamp a negative bound")
+	}
+}
+
+// TestReachDeltaInvalidation pins the copy-on-write contract: a structural
+// delta gives the patched snapshot a fresh cache reflecting the new
+// adjacency while the old snapshot keeps its tables, and an attribute-only
+// delta shares the previous cache outright.
+func TestReachDeltaInvalidation(t *testing.T) {
+	g := graph.NewUndirected()
+	for i := 0; i < 5; i++ {
+		g.AddNode(fmt.Sprintf("h%d", i), nil)
+	}
+	// Line 0-1-2-3-4.
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), nil)
+	}
+	ix := Build(g, 1, Config{})
+	before := ix.ReachWithin(2)
+	if !before[0].Has(2) || before[0].Has(3) {
+		t.Fatal("baseline reach rows wrong")
+	}
+
+	// Structural delta: shortcut edge 0-3.
+	d := &graph.Delta{AddEdges: []graph.EdgeSpec{{Source: "h0", Target: "h3"}}}
+	next, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2 := ix.Apply(g, next, d, 2)
+	if ix2.reach == ix.reach {
+		t.Fatal("structural delta shared the reachability cache")
+	}
+	after := ix2.ReachWithin(2)
+	if !after[0].Has(3) || !after[0].Has(4) {
+		t.Fatal("patched snapshot does not see the new edge's reachability")
+	}
+	checkReachRows(t, "after structural delta", next, after, 2, false)
+	// The old snapshot's rows are untouched.
+	if before[0].Has(3) {
+		t.Fatal("old snapshot's reach rows mutated by Apply")
+	}
+
+	// Attribute-only delta: reachability is unchanged, so the cache is
+	// shared with the previous snapshot.
+	ad := &graph.Delta{SetNodeAttrs: []graph.NodeAttrUpdate{{Node: "h1", Set: graph.Attrs{}.SetNum("slots", 4)}}}
+	next2, err := next.ApplyDelta(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix3 := ix2.Apply(next, next2, ad, 3)
+	if ix3.reach != ix2.reach {
+		t.Fatal("attribute-only delta did not share the reachability cache")
+	}
+	checkReachRows(t, "after attr delta", next2, ix3.ReachWithin(2), 2, false)
+}

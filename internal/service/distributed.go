@@ -100,8 +100,12 @@ func (f *Federation) Embed(req Request) (*Response, string, error) {
 		resp, err := f.global.Embed(req)
 		return resp, "global", err
 	}
-	// Budget: half the timeout split across eligible shards, the rest for
-	// the global fallback.
+	// Budget: half the timeout split across eligible shards, and the
+	// global fallback gets whatever actually remains — not a flat
+	// timeout/2, which silently halved the budget when no shard was
+	// eligible (or when the shards answered quickly) even though nothing
+	// had consumed the first half.
+	start := time.Now()
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = f.global.defaultTimeout
@@ -134,9 +138,21 @@ func (f *Federation) Embed(req Request) (*Response, string, error) {
 		}
 	}
 	greq := req
-	greq.Timeout = timeout / 2
+	greq.Timeout = remainingBudget(timeout, time.Since(start))
 	resp, err := f.global.Embed(greq)
 	return resp, "global", err
+}
+
+// remainingBudget is the fallback's slice of the request timeout: the
+// full budget minus what the shard round actually spent, floored at a
+// millisecond so an overrun still gets a token attempt rather than the
+// service default.
+func remainingBudget(timeout, elapsed time.Duration) time.Duration {
+	remaining := timeout - elapsed
+	if remaining < time.Millisecond {
+		remaining = time.Millisecond
+	}
+	return remaining
 }
 
 // translate rewrites a shard response's mappings into global node IDs.

@@ -62,6 +62,81 @@ func TestFederationPartitions(t *testing.T) {
 	}
 }
 
+func TestRemainingBudget(t *testing.T) {
+	for _, tc := range []struct {
+		timeout, elapsed, want time.Duration
+	}{
+		{time.Second, 0, time.Second},                                 // nothing consumed: full budget
+		{time.Second, 300 * time.Millisecond, 700 * time.Millisecond}, // shard round spent 300ms
+		{time.Second, 2 * time.Second, time.Millisecond},              // overrun: token floor
+		{400 * time.Millisecond, time.Millisecond, 399 * time.Millisecond},
+	} {
+		if got := remainingBudget(tc.timeout, tc.elapsed); got != tc.want {
+			t.Errorf("remainingBudget(%v, %v) = %v, want %v", tc.timeout, tc.elapsed, got, tc.want)
+		}
+	}
+}
+
+// TestFederationFallbackGetsFullBudget is the regression test for the
+// halved fallback budget: with no eligible shard nothing consumes any of
+// the timeout, so the global service must get (essentially) all of it.
+// The old code handed it a flat timeout/2, so a global search on an
+// instance too large to exhaust stopped at half time; the run time of
+// the whole Embed call is the observable.
+func TestFederationFallbackGetsFullBudget(t *testing.T) {
+	// K26 minus a perfect matching, each node its own singleton region:
+	// every shard is smaller than the query, so the fallback starts with
+	// the budget untouched. Embedding K14 into this host is infeasible
+	// but the proof tree is ~5e13 nodes (see core's cancellation
+	// fixture), so the global search is guaranteed to run out its full
+	// timeout without accumulating solutions.
+	const n = 26
+	g := graph.NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddNode("", graph.Attrs{}.SetStr("region", string(rune('A'+i))))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if i%2 == 0 && j == i+1 {
+				continue // the removed matching edge
+			}
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), nil)
+		}
+	}
+	f, err := NewFederation(g, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := topo.Clique(14)
+	for _, s := range f.shards {
+		if s.svc.mustNodeCount() >= query.NumNodes() {
+			t.Fatalf("shard %s unexpectedly eligible", s.name)
+		}
+	}
+	const timeout = 400 * time.Millisecond
+	start := time.Now()
+	resp, where, err := f.Embed(Request{Query: query, Timeout: timeout})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "global" {
+		t.Fatalf("answered by %q, want global", where)
+	}
+	if resp.Status == core.StatusComplete {
+		t.Fatal("instance exhausted early; it no longer exercises the budget")
+	}
+	// Generous lower bound: well above the timeout/2 the old code
+	// granted, well below the timeout plus scheduling slack.
+	if elapsed < 300*time.Millisecond {
+		t.Errorf("fallback ran %v, want ≥300ms of the %v budget (old code stopped near %v)",
+			elapsed, timeout, timeout/2)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("fallback ran %v, timeout not honored", elapsed)
+	}
+}
+
 func TestFederationAnswersLocallyWhenPossible(t *testing.T) {
 	host := federationHost()
 	f, err := NewFederation(host, "region", Config{})

@@ -145,6 +145,13 @@ func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) 
 	if err != nil {
 		return service.Request{}, err
 	}
+	if req.MaxHops < 0 {
+		return service.Request{}, fmt.Errorf("maxHops %d is negative", req.MaxHops)
+	}
+	metrics, err := decodeMetricSpecs(req.Metrics)
+	if err != nil {
+		return service.Request{}, err
+	}
 	return service.Request{
 		Query:           query,
 		EdgeConstraint:  req.EdgeConstraint,
@@ -158,7 +165,49 @@ func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) 
 			CapacityAttr: req.CapacityAttr,
 			DemandAttr:   req.DemandAttr,
 		},
+		Path: service.PathRequestOptions{
+			MaxHops:   req.MaxHops,
+			DelayAttr: req.DelayAttr,
+			WindowLo:  req.WindowLo,
+			WindowHi:  req.WindowHi,
+			Metrics:   metrics,
+		},
 	}, nil
+}
+
+// decodeMetricSpecs translates the wire metric constraints, rejecting
+// unknown composition rules and empty attributes up front so the handler
+// answers 400 instead of the searcher silently matching nothing.
+func decodeMetricSpecs(specs []MetricSpecJSON) ([]core.MetricSpec, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out := make([]core.MetricSpec, len(specs))
+	for i, s := range specs {
+		if s.Attr == "" {
+			return nil, fmt.Errorf("metrics[%d]: missing attr", i)
+		}
+		var rule core.Compose
+		switch s.Rule {
+		case "additive", "":
+			rule = core.Additive
+		case "bottleneck":
+			rule = core.Bottleneck
+		case "multiplicative":
+			rule = core.Multiplicative
+		default:
+			return nil, fmt.Errorf("metrics[%d]: unknown rule %q (want additive, bottleneck or multiplicative)", i, s.Rule)
+		}
+		out[i] = core.MetricSpec{
+			Attr:         s.Attr,
+			Rule:         rule,
+			LoAttr:       s.LoAttr,
+			HiAttr:       s.HiAttr,
+			MissingEdge:  s.MissingEdge,
+			MissingFails: s.MissingFails,
+		}
+	}
+	return out, nil
 }
 
 // embedResponseJSON renders a service response in the wire form.
@@ -178,11 +227,23 @@ func embedResponseJSON(resp *service.Response) EmbedResponse {
 			"wipeoutDepthSum": resp.Stats.WipeoutDepthSum,
 			"backjumps":       resp.Stats.Backjumps,
 			"steals":          resp.Stats.Steals,
+			"witnessProbes":   resp.Stats.WitnessProbes,
+			"witnessHits":     resp.Stats.WitnessHits,
+			"reachPrunes":     resp.Stats.ReachPrunes,
 			"timeToFirstMs":   float64(resp.Stats.TimeToFirst) / float64(time.Millisecond),
 		},
 	}
 	for i, nm := range resp.Named {
 		out.Mappings[i] = map[string]string(nm)
+	}
+	if len(resp.Paths) > 0 {
+		out.Paths = make([][]PathWitnessJSON, len(resp.Paths))
+		for i, witnesses := range resp.Paths {
+			out.Paths[i] = make([]PathWitnessJSON, len(witnesses))
+			for j, w := range witnesses {
+				out.Paths[i][j] = PathWitnessJSON{Source: w.Source, Target: w.Target, Path: w.Path, Cost: w.Cost}
+			}
+		}
 	}
 	return out
 }

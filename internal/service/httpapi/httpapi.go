@@ -129,8 +129,11 @@ type EmbedRequest struct {
 	// EdgeConstraint / NodeConstraint are constraint-language sources.
 	EdgeConstraint string `json:"edgeConstraint,omitempty"`
 	NodeConstraint string `json:"nodeConstraint,omitempty"`
-	// Algorithm is one of ecf, rwb, lns, parallel-ecf, consolidate
-	// (default ecf).
+	// Algorithm is one of ecf, rwb, lns, parallel-ecf, consolidate, path
+	// (default ecf). "path" is the §VIII link-to-path extension: query
+	// edges ride multi-hop hosting paths under composed metric windows,
+	// tuned by the maxHops/delayAttr/windowLo/windowHi/metrics fields;
+	// witness paths come back in the response's "paths".
 	Algorithm string `json:"algorithm,omitempty"`
 	// TimeoutMs bounds the search in milliseconds.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
@@ -145,13 +148,55 @@ type EmbedRequest struct {
 	// by the injective algorithms.
 	CapacityAttr string `json:"capacityAttr,omitempty"`
 	DemandAttr   string `json:"demandAttr,omitempty"`
+	// MaxHops bounds witness path length for the path algorithm (0 = the
+	// daemon default; negative values answer 400).
+	MaxHops int `json:"maxHops,omitempty"`
+	// DelayAttr / WindowLo / WindowHi rename the path algorithm's default
+	// single-metric delay window.
+	DelayAttr string `json:"delayAttr,omitempty"`
+	WindowLo  string `json:"windowLo,omitempty"`
+	WindowHi  string `json:"windowHi,omitempty"`
+	// Metrics, when non-empty, replaces the delay window with a
+	// conjunction of composed-metric constraints for the path algorithm.
+	Metrics []MetricSpecJSON `json:"metrics,omitempty"`
+}
+
+// MetricSpecJSON is the wire form of one composed-metric constraint for
+// path-mode requests.
+type MetricSpecJSON struct {
+	// Attr is the hosting-edge attribute to compose.
+	Attr string `json:"attr"`
+	// Rule is one of additive, bottleneck, multiplicative.
+	Rule string `json:"rule"`
+	// LoAttr / HiAttr name the query-edge attributes bounding the
+	// composed value; either may be empty (unbounded on that side).
+	LoAttr string `json:"loAttr,omitempty"`
+	HiAttr string `json:"hiAttr,omitempty"`
+	// MissingEdge substitutes for a hosting edge lacking Attr;
+	// MissingFails instead disqualifies paths crossing such an edge.
+	MissingEdge  float64 `json:"missingEdge,omitempty"`
+	MissingFails bool    `json:"missingFails,omitempty"`
+}
+
+// PathWitnessJSON renders one query edge's witness hosting path.
+type PathWitnessJSON struct {
+	// Source / Target are the query edge's endpoint node names.
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Path lists the hosting node names the witness crosses, in order.
+	Path []string `json:"path"`
+	// Cost is the first metric's composed value along the witness.
+	Cost float64 `json:"cost"`
 }
 
 // EmbedResponse is the JSON reply of POST /embed (and the result payload
 // of a finished job).
 type EmbedResponse struct {
-	Status       string                 `json:"status"`
-	Mappings     []map[string]string    `json:"mappings"`
+	Status   string              `json:"status"`
+	Mappings []map[string]string `json:"mappings"`
+	// Paths holds, for path-algorithm answers, each mapping's witness
+	// hosting paths (parallel to Mappings, one per query edge).
+	Paths        [][]PathWitnessJSON    `json:"paths,omitempty"`
 	ModelVersion uint64                 `json:"modelVersion"`
 	ElapsedMs    float64                `json:"elapsedMs"`
 	Stats        map[string]interface{} `json:"stats"`

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -16,14 +17,37 @@ import (
 type Algorithm string
 
 // The mapping algorithms of §V plus the parallel driver and the §VIII
-// many-to-one node-consolidation extension.
+// many-to-one extensions (node consolidation and link-to-path mapping).
 const (
 	AlgoECF         Algorithm = "ecf"
 	AlgoRWB         Algorithm = "rwb"
 	AlgoLNS         Algorithm = "lns"
 	AlgoParallelECF Algorithm = "parallel-ecf"
 	AlgoConsolidate Algorithm = "consolidate"
+	// AlgoPathEmbed is the §VIII link-to-path extension: query edges ride
+	// multi-hop hosting paths under composed metric windows instead of
+	// single hosting edges. Tuned by Request.Path; witness paths come
+	// back in Response.Paths.
+	AlgoPathEmbed Algorithm = "path"
 )
+
+// PathRequestOptions shapes an AlgoPathEmbed request: the hop bound and
+// the metric windows witness paths must satisfy. The zero value asks for
+// the defaults (MaxHops from the service config, additive avgDelay
+// bounded by the query edges' minDelay/maxDelay attributes).
+type PathRequestOptions struct {
+	// MaxHops bounds witness path length in edges (0 = service default;
+	// negative values are rejected with ErrBadPathOptions).
+	MaxHops int
+	// DelayAttr / WindowLo / WindowHi rename the default single-metric
+	// delay window (see core.PathOptions).
+	DelayAttr string
+	WindowLo  string
+	WindowHi  string
+	// Metrics, when non-empty, replaces the delay window with a
+	// conjunction of composed-metric constraints.
+	Metrics []core.MetricSpec
+}
 
 // Request is one embedding query submitted to the service.
 type Request struct {
@@ -50,6 +74,9 @@ type Request struct {
 	// Consolidate tunes AlgoConsolidate (capacity/demand attribute names,
 	// loopback semantics); ignored by the injective algorithms.
 	Consolidate core.ConsolidateOptions
+	// Path tunes AlgoPathEmbed (hop bound, metric windows); ignored by
+	// the other algorithms.
+	Path PathRequestOptions
 	// Stop, when non-nil, is the cooperative-cancellation hook threaded
 	// into core.Options.Stop: the search polls it on the deadline-check
 	// cadence and halts early when it returns true. The async job engine
@@ -61,6 +88,16 @@ type Request struct {
 // hosting node name.
 type NamedMapping map[string]string
 
+// PathWitness renders one query edge's witness hosting path by names:
+// the query edge's endpoints, the hosting nodes the path crosses in
+// order, and the first metric's composed value along it.
+type PathWitness struct {
+	Source string
+	Target string
+	Path   []string
+	Cost   float64
+}
+
 // Response is the service's answer to a Request.
 type Response struct {
 	// Status classifies the result set per §VII-E: complete, partial or
@@ -70,6 +107,10 @@ type Response struct {
 	Mappings []core.Mapping
 	// Named holds the same embeddings keyed by node names.
 	Named []NamedMapping
+	// Paths holds, for AlgoPathEmbed answers, each mapping's witness
+	// hosting paths (parallel to Mappings, one witness per query edge,
+	// ordered by query edge ID). Nil for the other algorithms.
+	Paths [][]PathWitness
 	// ModelVersion identifies the hosting-network snapshot answered
 	// against.
 	ModelVersion uint64
@@ -86,15 +127,19 @@ type Response struct {
 // compiles constraint programs, dispatches to the §V algorithms and
 // classifies results. It is safe for concurrent use.
 type Service struct {
-	model          *Model
-	ledger         *Ledger
-	defaultTimeout time.Duration
+	model           *Model
+	ledger          *Ledger
+	defaultTimeout  time.Duration
+	defaultPathHops int
 }
 
 // Config tunes a Service.
 type Config struct {
 	// DefaultTimeout applies when a Request carries none (default 30s).
 	DefaultTimeout time.Duration
+	// DefaultPathHops is the witness hop bound for AlgoPathEmbed requests
+	// that carry none (default 3, the core default).
+	DefaultPathHops int
 }
 
 // SlotsAttr is the hosting-node attribute carrying multi-tenant capacity:
@@ -108,9 +153,10 @@ func New(model *Model, cfg Config) *Service {
 		cfg.DefaultTimeout = 30 * time.Second
 	}
 	s := &Service{
-		model:          model,
-		ledger:         NewLedger(),
-		defaultTimeout: cfg.DefaultTimeout,
+		model:           model,
+		ledger:          NewLedger(),
+		defaultTimeout:  cfg.DefaultTimeout,
+		defaultPathHops: cfg.DefaultPathHops,
 	}
 	s.ledger.SetCapacity(func(r graph.NodeID) int {
 		g, _ := model.Snapshot()
@@ -134,6 +180,10 @@ func (s *Service) Ledger() *Ledger { return s.ledger }
 var (
 	ErrNoQuery          = errors.New("service: request has no query network")
 	ErrUnknownAlgorithm = errors.New("service: unknown algorithm")
+	// ErrBadPathOptions rejects malformed AlgoPathEmbed tuning — today a
+	// negative MaxHops, which must never reach the searcher (it used to
+	// disable the hop bound entirely).
+	ErrBadPathOptions = errors.New("service: bad path options")
 )
 
 // reservedAttr marks hosts hidden from requests with ExcludeReserved.
@@ -188,6 +238,10 @@ func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, r
 		// index describes (degrees, adjacency) is untouched, so the index
 		// stays valid for the marked clone.
 		host = s.withReservationMarks(host)
+	}
+
+	if req.Algorithm == AlgoPathEmbed {
+		return s.embedPath(host, idx, version, req, edgeProg, nodeProg, start)
 	}
 
 	newProblem := core.NewProblem
@@ -252,6 +306,134 @@ func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, r
 		resp.Named[i] = nameMapping(req.Query, host, m)
 	}
 	return resp, nil
+}
+
+// embedPath answers an AlgoPathEmbed request: query edges map onto
+// hosting paths of at most MaxHops edges whose composed metrics satisfy
+// the query edge's windows (§VIII link-to-path). The capability index, if
+// present, supplies the hop-bounded reachability oracle; witness paths
+// come back in Response.Paths, by names, one per query edge and ordered
+// by query edge ID.
+func (s *Service) embedPath(host *graph.Graph, idx *index.Index, version uint64, req Request, edgeProg, nodeProg *expr.Program, start time.Time) (*Response, error) {
+	if req.Path.MaxHops < 0 {
+		return nil, fmt.Errorf("%w: MaxHops %d is negative", ErrBadPathOptions, req.Path.MaxHops)
+	}
+	p, err := core.NewProblem(req.Query, host, nil, nodeProg)
+	if err != nil {
+		return nil, err
+	}
+	popt := core.PathOptions{
+		MaxHops:      req.Path.MaxHops,
+		DelayAttr:    req.Path.DelayAttr,
+		WindowLo:     req.Path.WindowLo,
+		WindowHi:     req.Path.WindowHi,
+		Metrics:      req.Path.Metrics,
+		Timeout:      req.Timeout,
+		MaxSolutions: req.MaxResults,
+		Stop:         req.Stop,
+		Index:        idx,
+	}
+	if popt.MaxHops == 0 {
+		popt.MaxHops = s.defaultPathHops // 0 falls through to the core default
+	}
+	if popt.Timeout == 0 {
+		popt.Timeout = s.defaultTimeout
+	}
+	res := core.PathEmbed(p, popt)
+
+	resp := &Response{
+		Status:       res.Status,
+		ModelVersion: version,
+		Stats:        res.Stats,
+		Elapsed:      time.Since(start),
+		Warnings:     attrWarnings(host, nodeProg),
+	}
+	resp.Warnings = append(resp.Warnings, pathAttrWarnings(host, req.Query, req.Path, popt.EffectiveMetrics())...)
+	if edgeProg != nil {
+		resp.Warnings = append(resp.Warnings,
+			"path mode does not consult the edge constraint: witness acceptance is defined by the metric windows")
+	}
+	if req.DedupeSymmetric {
+		resp.Warnings = append(resp.Warnings,
+			"symmetry dedupe is not applied in path mode")
+	}
+	resp.Mappings = make([]core.Mapping, len(res.Solutions))
+	resp.Named = make([]NamedMapping, len(res.Solutions))
+	resp.Paths = make([][]PathWitness, len(res.Solutions))
+	for i, sol := range res.Solutions {
+		resp.Mappings[i] = sol.Nodes
+		resp.Named[i] = nameMapping(req.Query, host, sol.Nodes)
+		witnesses := make([]PathWitness, 0, len(sol.Paths))
+		for e := 0; e < req.Query.NumEdges(); e++ {
+			path, ok := sol.Paths[graph.EdgeID(e)]
+			if !ok {
+				continue
+			}
+			qe := req.Query.Edge(graph.EdgeID(e))
+			w := PathWitness{
+				Source: req.Query.Node(qe.From).Name,
+				Target: req.Query.Node(qe.To).Name,
+				Path:   make([]string, len(path.Nodes)),
+				Cost:   path.Cost,
+			}
+			for j, r := range path.Nodes {
+				w.Path[j] = host.Node(r).Name
+			}
+			witnesses = append(witnesses, w)
+		}
+		resp.Paths[i] = witnesses
+	}
+	return resp, nil
+}
+
+// pathAttrWarnings flags path-metric attribute names that nothing
+// defines — the same silent-rejection footgun attrWarnings surfaces for
+// constraint programs: a typo'd composed attribute (avgDeley) makes
+// every hosting edge contribute MissingEdge, and a typo'd window name
+// leaves the spec vacuously unconstrained. Window names are only
+// checked when the caller set them explicitly; absent windows on the
+// default spec legitimately mean "any path within MaxHops".
+func pathAttrWarnings(host, query *graph.Graph, opts PathRequestOptions, specs []core.MetricSpec) []string {
+	var warnings []string
+	edgeHas := func(g *graph.Graph, attr string) bool {
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.Edge(graph.EdgeID(i)).Attrs.Has(attr) {
+				return true
+			}
+		}
+		return g.NumEdges() == 0
+	}
+	for _, spec := range specs {
+		if !edgeHas(host, spec.Attr) {
+			warnings = append(warnings,
+				fmt.Sprintf("path metric composes rEdge.%s but no hosting edge defines %q", spec.Attr, spec.Attr))
+		}
+	}
+	explicit := map[string]bool{}
+	for _, name := range []string{opts.WindowLo, opts.WindowHi} {
+		if name != "" {
+			explicit[name] = true
+		}
+	}
+	for _, spec := range opts.Metrics {
+		for _, name := range []string{spec.LoAttr, spec.HiAttr} {
+			if name != "" {
+				explicit[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(explicit))
+	for name := range explicit {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !edgeHas(query, name) {
+			warnings = append(warnings,
+				fmt.Sprintf("path window reads vEdge.%s but no query edge defines %q", name, name))
+		}
+	}
+	return warnings
 }
 
 // attrWarnings flags hosting-side attribute references that no node or

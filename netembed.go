@@ -272,6 +272,10 @@ type (
 	Response = service.Response
 	// BatchResult is one EmbedBatch item's outcome.
 	BatchResult = service.BatchResult
+	// PathRequestOptions shapes an AlgoPathEmbed (link-to-path) request.
+	PathRequestOptions = service.PathRequestOptions
+	// PathWitness renders one query edge's witness hosting path by names.
+	PathWitness = service.PathWitness
 	// Algorithm selects a search strategy by name.
 	Algorithm = service.Algorithm
 	// LeaseID identifies a reservation.
@@ -339,6 +343,9 @@ const (
 	AlgoLNS         = service.AlgoLNS
 	AlgoParallelECF = service.AlgoParallelECF
 	AlgoConsolidate = service.AlgoConsolidate
+	// AlgoPathEmbed maps query edges onto bounded-hop hosting paths
+	// (§VIII link-to-path), tuned by Request.Path.
+	AlgoPathEmbed = service.AlgoPathEmbed
 )
 
 // Asynchronous job engine (submit/poll/cancel embedding jobs with a
