@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis API surface netembedvet needs. The
+// container this repo builds in has no module proxy access, so the
+// x/tools framework cannot be vendored; this package keeps the same
+// shape (Analyzer, Pass, Diagnostic, Reportf) so the analyzers port to
+// the real framework mechanically if the dependency ever becomes
+// available.
+//
+// Differences from x/tools, by design:
+//   - no Facts: cross-package state is carried by stateful analyzer
+//     instances, which the driver runs over packages in dependency
+//     order (see internal/analysis/driver);
+//   - no SSA/inspector helpers: analyzers walk the AST directly;
+//   - suppression (//netembedvet:allow) is applied centrally by the
+//     driver, not per analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Name doubles as the
+// suppression key in //netembedvet:allow comments.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow annotations.
+	Name string
+	// Doc is the one-paragraph contract description shown by -help.
+	Doc string
+	// Run checks one package. Diagnostics go through pass.Report; the
+	// returned error aborts the whole run (reserve it for internal
+	// failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,117 @@
+// Package analysistest runs netembedvet analyzers over self-contained
+// testdata modules and checks their diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata module is an ordinary directory with its own go.mod (so
+// the repo's ./... patterns never descend into it) whose files carry
+// expectations on the lines where diagnostics must appear:
+//
+//	out.postings[k] = v // want `written without cloning`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message. Every diagnostic must match a want on its exact
+// line, and every want must be matched by a diagnostic — seeded
+// violations prove the analyzer fires, silent lines prove it stays
+// quiet. Suppression (//netembedvet:allow) is applied before matching,
+// so annotation behavior is testable the same way.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"netembed/internal/analysis"
+	"netembed/internal/analysis/driver"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the module rooted at dir (all packages, ./...) with the
+// given analyzers and enforces the want expectations in its sources.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	findings, err := driver.Run(dir, []string{"./..."}, analyzers)
+	if err != nil {
+		t.Fatalf("driver.Run(%s): %v", dir, err)
+	}
+
+	wants := collectWants(t, dir)
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func matchWant(wants []*want, f driver.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.line != f.Pos.Line {
+			continue
+		}
+		// Compare by base name: the driver reports absolute paths.
+		if filepath.Base(w.file) != filepath.Base(f.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every .go file under dir (including nested
+// testdata packages) for want comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, rerr := regexp.Compile(m[1])
+				if rerr != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", path, m[1], rerr)
+				}
+				wants = append(wants, &want{
+					file:    path,
+					line:    fset.Position(c.Pos()).Line,
+					pattern: re,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting wants under %s: %v", dir, err)
+	}
+	return wants
+}

@@ -1,0 +1,288 @@
+// Package cowwrite enforces the copy-on-write snapshot contract of
+// internal/graph and internal/index: a struct field marked with a
+// `//cow:shared` comment holds backing storage that may be shared
+// between snapshots (COW adjacency rows, ladder rungs, postings,
+// attribute bags), so element-level writes through it are only legal
+// after the function has re-bound the whole field to a fresh copy.
+// PR 3 shipped exactly this bug: Index.patchAttrs spliced new entries
+// into postings slices still shared with the previous snapshot, so
+// in-flight searches saw a half-patched index.
+//
+// Checked mutations (through the field directly, or through a local
+// alias `p := x.F`):
+//
+//   - element assignment:   x.F[i] = v, x.F[i].G = v, x.F[i]++
+//   - map deletion:         delete(x.F, k)
+//   - mutator method calls: x.F.Set(...), x.F[i].UnionWith(...), and
+//     the other in-place Bitset/Attrs mutators
+//
+// A mutation is allowed when the same function has already re-bound
+// the field wholesale (x.F = make(...), x.F = append([]T(nil),
+// x.F...), a composite literal with a cloning field value, ...).
+// Re-binding from a bare read of the same field (next.F = g.F) is
+// sharing, not cloning, and does not license writes. The check is
+// per-function and position-ordered — the COW idiom is always
+// clone-then-patch in one function; construction-time mutation in
+// builder methods is annotated per function with //netembedvet:allow.
+package cowwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"netembed/internal/analysis"
+)
+
+// New returns the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "cowwrite",
+		Doc:  "element writes through //cow:shared fields require cloning the field first",
+		Run:  run,
+	}
+}
+
+// mutators are methods that write their receiver in place (sets.Bitset
+// and graph.Attrs surface). Calling one on shared storage mutates every
+// snapshot that shares it.
+var mutators = map[string]bool{
+	"Set": true, "Clear": true, "Reset": true, "Fill": true,
+	"Add": true, "AddSet": true, "RemoveSet": true,
+	"UnionWith": true, "IntersectWith": true, "AndNotWith": true,
+}
+
+const marker = "cow:shared"
+
+func run(pass *analysis.Pass) error {
+	shared := collectShared(pass)
+	if len(shared) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, shared)
+		}
+	}
+	return nil
+}
+
+// collectShared finds every struct field in the package whose
+// declaration carries the //cow:shared marker.
+func collectShared(pass *analysis.Pass) map[types.Object]bool {
+	shared := make(map[types.Object]bool)
+	mark := func(field *ast.Field) {
+		has := false
+		// CommentGroup.Text() strips //name:value directive comments, which
+		// is exactly the shape of the marker — scan the raw list instead.
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, cmt := range cg.List {
+				if strings.Contains(cmt.Text, marker) {
+					has = true
+				}
+			}
+		}
+		if !has {
+			return
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				shared[obj] = true
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				mark(f)
+			}
+			return true
+		})
+	}
+	return shared
+}
+
+// fieldOf resolves a selector to the struct field object it reads, or
+// nil for methods and package selectors.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	shared map[types.Object]bool
+	// aliases maps a local object to the shared field it was bound to
+	// with a bare `p := x.F` read.
+	aliases map[types.Object]types.Object
+	// clonedAt records, per shared field, the earliest position at
+	// which the function re-bound it wholesale to a fresh value.
+	clonedAt map[types.Object]token.Pos
+}
+
+// root walks an expression chain (selectors, indexes, parens, derefs)
+// to the outermost shared field it passes through. indexed reports
+// whether the chain goes through at least one index expression after
+// the field — i.e. the expression denotes an element of the shared
+// storage rather than the field itself.
+func (c *checker) root(e ast.Expr, sawIndex bool) (types.Object, bool) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if f := fieldOf(c.pass, x); f != nil && c.shared[f] {
+			return f, sawIndex
+		}
+		return c.root(x.X, sawIndex)
+	case *ast.IndexExpr:
+		return c.root(x.X, true)
+	case *ast.ParenExpr:
+		return c.root(x.X, sawIndex)
+	case *ast.StarExpr:
+		return c.root(x.X, sawIndex)
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[x]
+		if f, ok := c.aliases[obj]; ok {
+			return f, sawIndex
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// bareFieldRead reports whether e is a plain read of field f (possibly
+// parenthesized): the RHS shape that shares storage instead of cloning.
+func (c *checker) bareFieldRead(e ast.Expr, f types.Object) bool {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return fieldOf(c.pass, sel) == f
+}
+
+func (c *checker) cloned(f types.Object, at token.Pos) bool {
+	pos, ok := c.clonedAt[f]
+	return ok && pos < at
+}
+
+func (c *checker) violation(pos token.Pos, f types.Object, what string) {
+	c.pass.Reportf(pos, "%s %s of //cow:shared field %s without cloning the field first: the storage may be shared with another snapshot",
+		what, "write", f.Name())
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, shared map[types.Object]bool) {
+	c := &checker{
+		pass:     pass,
+		shared:   shared,
+		aliases:  make(map[types.Object]types.Object),
+		clonedAt: make(map[types.Object]token.Pos),
+	}
+
+	// First pass: record whole-field clones and bare aliases, in
+	// position order (ast.Inspect visits in source order).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				// p := x.F — bare alias of a shared field.
+				if id, ok := lhs.(*ast.Ident); ok && st.Tok == token.DEFINE && rhs != nil {
+					if sel, ok := rhs.(*ast.SelectorExpr); ok {
+						if f := fieldOf(pass, sel); f != nil && shared[f] {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								c.aliases[obj] = f
+							}
+						}
+					}
+				}
+				// x.F = <fresh value> — a wholesale re-bind. Cloning from
+				// a bare read of the same field is sharing, not cloning.
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if f := fieldOf(pass, sel); f != nil && shared[f] && rhs != nil && !c.bareFieldRead(rhs, f) {
+						if _, seen := c.clonedAt[f]; !seen {
+							c.clonedAt[f] = st.Pos()
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				f := pass.TypesInfo.Uses[key]
+				if f == nil || !shared[f] || c.bareFieldRead(kv.Value, f) {
+					continue
+				}
+				if _, seen := c.clonedAt[f]; !seen {
+					c.clonedAt[f] = st.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: flag element-level mutations that precede any clone.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				f, indexed := c.root(lhs, false)
+				if f == nil || !indexed || c.cloned(f, st.Pos()) {
+					continue
+				}
+				c.violation(lhs.Pos(), f, "element")
+			}
+		case *ast.IncDecStmt:
+			if f, indexed := c.root(st.X, false); f != nil && indexed && !c.cloned(f, st.Pos()) {
+				c.violation(st.Pos(), f, "element")
+			}
+		case *ast.CallExpr:
+			// delete(x.F, k)
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) == 2 {
+				if f, _ := c.root(st.Args[0], false); f != nil && !c.cloned(f, st.Pos()) {
+					c.violation(st.Pos(), f, "map")
+				}
+				return true
+			}
+			// x.F[i].Set(...) / x.F.Set(...) — in-place mutator methods.
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && mutators[sel.Sel.Name] {
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if f, _ := c.root(sel.X, false); f != nil && !c.cloned(f, st.Pos()) {
+						c.violation(st.Pos(), f, "mutator-method")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package cowwrite_test
+
+import (
+	"testing"
+
+	"netembed/internal/analysis/analysistest"
+	"netembed/internal/analysis/cowwrite"
+)
+
+func TestCowwrite(t *testing.T) {
+	analysistest.Run(t, "testdata/cow", cowwrite.New())
+}

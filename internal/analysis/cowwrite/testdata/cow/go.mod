@@ -1,0 +1,3 @@
+module cowtest
+
+go 1.23

@@ -1,0 +1,331 @@
+// Package driver loads Go packages from source and runs netembedvet
+// analyzers over them. It is the stdlib-only stand-in for
+// golang.org/x/tools/go/packages plus the multichecker driver: package
+// metadata and export data come from `go list -export -deps -json`,
+// target packages are re-parsed and type-checked from source (so
+// analyzers see comments and positions), and dependencies are imported
+// from compiled export data via go/importer's lookup hook.
+//
+// Packages are analyzed in dependency order, so a stateful analyzer
+// (keycomplete records //cachekey:ignore marks on type declarations)
+// always sees a type's defining package before its consumers, as long
+// as both are in the run's patterns. Run over ./... for full fidelity.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"netembed/internal/analysis"
+)
+
+// Finding is one unsuppressed diagnostic from a run.
+type Finding struct {
+	Analyzer string
+	Message  string
+	Pos      token.Position
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// listPackage is the subset of `go list -json` output the driver reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Run loads the packages matching patterns in module directory dir and
+// applies every analyzer to each, in dependency order. The returned
+// findings exclude diagnostics suppressed by a
+// `//netembedvet:allow <analyzer> <reason>` comment (same line, the
+// line above, or the doc comment of the enclosing declaration; a bare
+// allow without a reason suppresses nothing). Findings are sorted by
+// position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	targets := make(map[string]*listPackage)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets[p.ImportPath] = p
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q (package not in `go list -deps` closure)", path)
+		}
+		return os.Open(f)
+	})
+
+	var findings []Finding
+	for _, p := range topoOrder(targets) {
+		fs, err := runPackage(fset, imp, p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// load shells out to `go list -export -deps -json`. The -export flag
+// compiles whatever is stale, so a run doubles as a build check: a
+// package that does not compile fails the load with the go tool's
+// error text.
+func load(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listPackage
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// topoOrder sorts the target packages so every package follows its
+// in-target imports (dependency-first). Ties break by import path for
+// deterministic output.
+func topoOrder(targets map[string]*listPackage) []*listPackage {
+	paths := make([]string, 0, len(targets))
+	for p := range targets {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var order []*listPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := targets[path]
+		if !ok || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			visit(d)
+		}
+		state[path] = 2
+		order = append(order, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return order
+}
+
+// runPackage parses, type-checks and analyzes one package, then filters
+// the diagnostics through the allow annotations.
+func runPackage(fset *token.FileSet, imp types.Importer, p *listPackage, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+
+	allow := collectAllows(fset, files)
+	var findings []Finding
+	for _, az := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  az,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := az.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allow.suppressed(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Message: d.Message, Pos: pos})
+		}
+		if err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", az.Name, p.ImportPath, err)
+		}
+	}
+	return findings, nil
+}
+
+// allowIndex records where //netembedvet:allow annotations apply: exact
+// source lines (the comment's own line, reaching one line down when it
+// stands alone) and whole declaration ranges (annotation in a doc
+// comment).
+type allowIndex struct {
+	// lines maps filename -> line -> analyzer names allowed there.
+	lines map[string]map[int]map[string]bool
+	// spans holds declaration ranges covered by a doc-comment allow.
+	spans []allowSpan
+}
+
+type allowSpan struct {
+	file       string
+	start, end int // line range, inclusive
+	analyzer   string
+}
+
+const allowPrefix = "netembedvet:allow"
+
+// parseAllow extracts the analyzer name from one allow comment, or ""
+// if the comment is not a well-formed allow. The reason is mandatory:
+// an annotation that doesn't say why suppresses nothing, so every
+// exception in the tree documents its justification.
+func parseAllow(text string) string {
+	text = strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), allowPrefix)
+	if text == "" || (text[0] != ' ' && text[0] != '\t') {
+		return ""
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 { // analyzer name + at least one word of reason
+		return ""
+	}
+	return fields[0]
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{lines: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, allowPrefix) {
+					continue
+				}
+				name := parseAllow(c.Text)
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx.lines[pos.Filename] = byLine
+				}
+				mark := func(line int) {
+					if byLine[line] == nil {
+						byLine[line] = make(map[string]bool)
+					}
+					byLine[line][name] = true
+				}
+				mark(pos.Line)
+				mark(pos.Line + 1) // a standalone allow covers the next line
+			}
+		}
+		// Doc-comment allows cover the whole declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				name := parseAllow(c.Text)
+				if name == "" {
+					continue
+				}
+				start := fset.Position(decl.Pos())
+				end := fset.Position(decl.End())
+				idx.spans = append(idx.spans, allowSpan{
+					file: start.Filename, start: start.Line, end: end.Line, analyzer: name,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+func (a *allowIndex) suppressed(analyzer string, pos token.Position) bool {
+	if byLine := a.lines[pos.Filename]; byLine != nil && byLine[pos.Line][analyzer] {
+		return true
+	}
+	for _, s := range a.spans {
+		if s.analyzer == analyzer && s.file == pos.Filename && s.start <= pos.Line && pos.Line <= s.end {
+			return true
+		}
+	}
+	return false
+}

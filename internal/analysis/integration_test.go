@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNetembedvetOnFixture runs the real multichecker binary (via `go
+// run`, the same entry point CI uses) over the seeded fixture module
+// and asserts the exit status and every diagnostic position. This is
+// the test that pins the CI lint job's failure behavior: if the driver
+// stopped loading packages, stopped reporting, or an analyzer went
+// silent, the expected findings disappear and this test fails.
+func TestNetembedvetOnFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the netembedvet binary")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := collectSeeds(t, filepath.Join(repoRoot, "internal", "analysis", "testdata", "fixture", "fixture.go"))
+	if len(seeds) == 0 {
+		t.Fatal("fixture has no seed markers")
+	}
+
+	cmd := exec.Command("go", "run", "./cmd/netembedvet", "-C", filepath.Join("internal", "analysis", "testdata", "fixture"), "./...")
+	cmd.Dir = repoRoot
+	out, err := cmd.CombinedOutput()
+
+	// Findings must exit 1 — not 0 (CI would pass on violations) and
+	// not 2 (a driver failure would mask what the analyzers think).
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("netembedvet on the seeded fixture: want exit 1, got err=%v\noutput:\n%s", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("netembedvet exit code = %d, want 1\noutput:\n%s", code, out)
+	}
+
+	for analyzer, line := range seeds {
+		re := regexp.MustCompile(fmt.Sprintf(`fixture\.go:%d:\d+: .+ \(%s\)`, line, analyzer))
+		if !re.Match(out) {
+			t.Errorf("no %s diagnostic at fixture.go:%d\noutput:\n%s", analyzer, line, out)
+		}
+	}
+	if want := fmt.Sprintf("netembedvet: %d finding(s)", len(seeds)); !strings.Contains(string(out), want) {
+		t.Errorf("output does not report %q (extra or missing findings)\noutput:\n%s", want, out)
+	}
+}
+
+// collectSeeds maps analyzer name -> line number for every
+// `// seed:<analyzer>` marker in the fixture.
+func collectSeeds(t *testing.T, path string) map[string]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	seeds := make(map[string]int)
+	re := regexp.MustCompile(`// seed:([a-z]+)`)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			if prev, dup := seeds[m[1]]; dup {
+				t.Fatalf("duplicate seed marker for %s (lines %d and %d)", m[1], prev, line)
+			}
+			seeds[m[1]] = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return seeds
+}

@@ -1,0 +1,217 @@
+// Package keycomplete enforces the cache-fingerprint contract of the
+// engine's request cache: a function annotated with
+//
+//	//keycomplete:fingerprint <pkg>.<Type>
+//
+// (one directive per type, in the function's doc comment) must consume
+// every exported field of each listed type — by reading it through a
+// selector or setting it as a composite-literal key — or the field's
+// declaration must carry a `// cachekey:ignore` mark explaining why the
+// field cannot change the request's answer.
+//
+// The contract this mechanizes: engine.requestKey hashes every
+// result-shaping field of service.Request (and the option structs it
+// embeds), and the service's option-assembly functions copy every
+// core.Options / core.PathOptions field from fingerprinted request
+// state. A field added to any of these types without updating the hash
+// silently poisons the cache — two requests differing only in the new
+// field would collide and replay each other's answers. That failure is
+// invisible in tests (the cache still "works") and catastrophic in
+// production, which is why the check is mechanical.
+//
+// The analyzer is stateful across packages: struct shapes and ignore
+// marks are collected while analyzing the defining package (the driver
+// analyzes dependencies first), so a function in package engine can
+// fingerprint types from package service. Ignore marks that cover a
+// field the function does consume are reported too — a stale mark is a
+// lie waiting to excuse the next real omission.
+package keycomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"netembed/internal/analysis"
+)
+
+const (
+	directive  = "keycomplete:fingerprint"
+	ignoreMark = "cachekey:ignore"
+)
+
+// New returns a fresh analyzer instance. Instances accumulate struct
+// shapes across packages and must not be shared between driver runs.
+func New() *analysis.Analyzer {
+	s := &state{structs: make(map[string]*structInfo)}
+	return &analysis.Analyzer{
+		Name: "keycomplete",
+		Doc:  "every exported field of a fingerprinted type must join the cache key or carry // cachekey:ignore",
+		Run:  s.run,
+	}
+}
+
+// structInfo is the fingerprint-relevant shape of one struct type.
+type structInfo struct {
+	fields  []string // exported field names, declaration order
+	ignored map[string]bool
+}
+
+type state struct {
+	// structs maps "pkgname.TypeName" to the shape collected from the
+	// defining package. Keyed by package name, not path — that is what
+	// the annotation can spell, and the repo has no name collisions.
+	structs map[string]*structInfo
+}
+
+func (s *state) run(pass *analysis.Pass) error {
+	s.collect(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			if roots := fingerprintRoots(fd.Doc); len(roots) > 0 {
+				s.check(pass, fd, roots)
+			}
+		}
+	}
+	return nil
+}
+
+// collect records every struct type declared in the package.
+func (s *state) collect(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			info := &structInfo{ignored: make(map[string]bool)}
+			for _, f := range st.Fields.List {
+				ign := hasIgnoreMark(f)
+				for _, name := range f.Names {
+					if !name.IsExported() {
+						continue
+					}
+					info.fields = append(info.fields, name.Name)
+					if ign {
+						info.ignored[name.Name] = true
+					}
+				}
+			}
+			s.structs[pass.Pkg.Name()+"."+ts.Name.Name] = info
+			return true
+		})
+	}
+}
+
+// hasIgnoreMark reports whether the field declaration carries
+// cachekey:ignore in its doc or trailing comment. Raw comment text is
+// scanned because CommentGroup.Text strips directive-shaped lines.
+func hasIgnoreMark(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, ignoreMark) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fingerprintRoots extracts the pkg.Type arguments of the fingerprint
+// directives in a doc comment.
+func fingerprintRoots(doc *ast.CommentGroup) []string {
+	var roots []string
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, directive) {
+			continue
+		}
+		if arg := strings.TrimSpace(strings.TrimPrefix(text, directive)); arg != "" {
+			roots = append(roots, arg)
+		}
+	}
+	return roots
+}
+
+func (s *state) check(pass *analysis.Pass, fd *ast.FuncDecl, roots []string) {
+	consumed := make(map[string]bool) // "pkg.Type.Field"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if key := namedKey(sel.Recv()); key != "" {
+					consumed[key+"."+x.Sel.Name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[x]
+			if !ok {
+				return true
+			}
+			key := namedKey(tv.Type)
+			if key == "" {
+				return true
+			}
+			for _, el := range x.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					consumed[key+"."+id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, root := range roots {
+		info := s.structs[root]
+		if info == nil {
+			pass.Reportf(fd.Name.Pos(), "keycomplete:fingerprint %s: type not found in the analyzed packages (spell it as packagename.TypeName)", root)
+			continue
+		}
+		for _, field := range info.fields {
+			has := consumed[root+"."+field]
+			if info.ignored[field] {
+				if has {
+					pass.Reportf(fd.Name.Pos(), "%s.%s is marked // cachekey:ignore but %s consumes it; drop the stale mark", root, field, fd.Name.Name)
+				}
+				continue
+			}
+			if !has {
+				pass.Reportf(fd.Name.Pos(), "%s does not consume %s.%s: hash it into the key or mark the field // cachekey:ignore", fd.Name.Name, root, field)
+			}
+		}
+	}
+}
+
+// namedKey resolves a type to its "pkgname.TypeName" key, looking
+// through pointers. Non-named and universe types yield "".
+func namedKey(t types.Type) string {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			obj := x.Obj()
+			if obj.Pkg() == nil {
+				return ""
+			}
+			return obj.Pkg().Name() + "." + obj.Name()
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package keycomplete_test
+
+import (
+	"testing"
+
+	"netembed/internal/analysis/analysistest"
+	"netembed/internal/analysis/keycomplete"
+)
+
+func TestKeycomplete(t *testing.T) {
+	analysistest.Run(t, "testdata/key", keycomplete.New())
+}

@@ -1,0 +1,3 @@
+module keytest
+
+go 1.23

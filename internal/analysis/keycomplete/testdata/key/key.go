@@ -1,0 +1,72 @@
+// Package key seeds keycomplete violations: fingerprint functions that
+// drop fields, stale ignore marks, and unknown type references.
+package key
+
+import "keytest/opts"
+
+// Request is the cacheable query.
+type Request struct {
+	Query string
+	Limit int
+	Opt   opts.Options
+	// Debug affects logging only.
+	Debug  bool // cachekey:ignore debug flag changes log volume, not the answer
+	hidden int  // unexported: never required
+}
+
+// goodKey consumes every fingerprinted field, across both packages.
+//
+//keycomplete:fingerprint key.Request
+//keycomplete:fingerprint opts.Options
+func goodKey(r Request) int {
+	return len(r.Query) + r.Limit + int(r.Opt.Timeout) + int(r.Opt.Seed)
+}
+
+// litKey consumes fields as composite-literal keys.
+//
+//keycomplete:fingerprint opts.Options
+func litKey(timeout, seed int64) opts.Options {
+	return opts.Options{Timeout: timeout, Seed: seed}
+}
+
+// badKey forgets Limit.
+//
+//keycomplete:fingerprint key.Request
+func badKey(r Request) int { // want `badKey does not consume key.Request.Limit`
+	return len(r.Query) + int(r.Opt.Timeout)
+}
+
+// badNested forgets the cross-package Seed.
+//
+//keycomplete:fingerprint opts.Options
+func badNested(o opts.Options) int64 { // want `badNested does not consume opts.Options.Seed`
+	return o.Timeout
+}
+
+// staleIgnore consumes Debug even though the field is ignore-marked.
+//
+//keycomplete:fingerprint key.Request
+func staleIgnore(r Request) int { // want `key.Request.Debug is marked // cachekey:ignore but staleIgnore consumes it`
+	if r.Debug {
+		return 0
+	}
+	return len(r.Query) + r.Limit + int(r.Opt.Timeout)
+}
+
+// unknownType names a type the driver never analyzed.
+//
+//keycomplete:fingerprint nope.Missing
+func unknownType() { // want `keycomplete:fingerprint nope.Missing: type not found`
+}
+
+// allowedKey drops Limit, but the omission is justified per function.
+//
+//netembedvet:allow keycomplete prototype helper, never used for the shared cache
+//keycomplete:fingerprint key.Request
+func allowedKey(r Request) int {
+	return len(r.Query) + int(r.Opt.Seed)
+}
+
+var sink = goodKey(Request{}) + badKey(Request{}) + staleIgnore(Request{}) + allowedKey(Request{}) + int(badNested(litKey(1, 2)))
+
+func init() { unknownType(); _ = sink; _ = Request{}.hidden }

@@ -1,0 +1,13 @@
+// Package opts defines option types fingerprinted from another
+// package, exercising the analyzer's cross-package state.
+package opts
+
+// Options tunes a search run.
+type Options struct {
+	Timeout int64
+	Seed    int64
+	// Workers only changes how the answer is computed, never the answer.
+	Workers int // cachekey:ignore per-process parallelism cannot change the result set
+	// Trace toggles diagnostic logging.
+	Trace bool // cachekey:ignore logging side channel, not part of the answer
+}

@@ -1,0 +1,227 @@
+// Package statsthread enforces the stats-plumbing contract: every int64
+// counter of a stats struct must thread through each aggregation point
+// exactly once. A function annotated with
+//
+//	//statsthread:fold <pkg>.<Type> [except F1,F2,...]
+//
+// (in its doc comment) is an aggregation point — a parallel-worker
+// merge, a cumulative engine fold, a wire-format response builder. The
+// analyzer requires each exported int64 field of the type to be read
+// through a selector in exactly one statement of the function: zero
+// statements means the counter is silently dropped from that view
+// (PR 5 shipped exactly this — witness-cache counters that never
+// reached the /stats endpoint), two or more means it is double-merged.
+//
+// Counters a fold intentionally skips are listed in the except clause:
+// ParallelECF's tail merge, for example, excepts the filter-build and
+// path-mode counters its workers can never increment. Excepted fields
+// must then appear in zero statements — an except entry covering a
+// field the function does fold is stale and reported — and must name
+// real int64 counters, so a counter that changes type or name cannot
+// hide in an except list.
+//
+// Only fields of basic type int64 are counters; time.Duration fields
+// (int64 underneath, but not foldable by summing statements) and
+// non-numeric fields are out of scope. Statement granularity is what
+// makes `dst.X += src.X` (two selector reads, one fold) count once.
+package statsthread
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"netembed/internal/analysis"
+)
+
+const directive = "statsthread:fold"
+
+// New returns a fresh analyzer instance. Instances accumulate struct
+// shapes across packages and must not be shared between driver runs.
+func New() *analysis.Analyzer {
+	s := &state{counters: make(map[string][]string)}
+	return &analysis.Analyzer{
+		Name: "statsthread",
+		Doc:  "every int64 stats counter must thread through each annotated fold exactly once",
+		Run:  s.run,
+	}
+}
+
+type state struct {
+	// counters maps "pkgname.TypeName" to its exported int64 field
+	// names, collected from the defining package (analyzed first).
+	counters map[string][]string
+}
+
+func (s *state) run(pass *analysis.Pass) error {
+	s.collect(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directive) {
+					continue
+				}
+				s.check(pass, fd, strings.TrimSpace(strings.TrimPrefix(text, directive)))
+			}
+		}
+	}
+	return nil
+}
+
+// collect records the int64 counter fields of every struct type
+// declared in the package.
+func (s *state) collect(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			key := pass.Pkg.Name() + "." + ts.Name.Name
+			var counters []string
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if !name.IsExported() {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if b, ok := obj.Type().(*types.Basic); ok && b.Kind() == types.Int64 {
+						counters = append(counters, name.Name)
+					}
+				}
+			}
+			s.counters[key] = counters
+			return true
+		})
+	}
+}
+
+// parseArgs splits "pkg.Type except A,B" into the type key and the
+// except set.
+func parseArgs(arg string) (root string, except map[string]bool) {
+	except = make(map[string]bool)
+	fields := strings.Fields(arg)
+	if len(fields) == 0 {
+		return "", except
+	}
+	root = fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(arg, root))
+	if rest == "" {
+		return root, except
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, "except"))
+	for _, f := range strings.Split(rest, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			except[f] = true
+		}
+	}
+	return root, except
+}
+
+func (s *state) check(pass *analysis.Pass, fd *ast.FuncDecl, arg string) {
+	root, except := parseArgs(arg)
+	if root == "" {
+		pass.Reportf(fd.Name.Pos(), "statsthread:fold needs a pkg.Type argument")
+		return
+	}
+	counters, ok := s.counters[root]
+	if !ok {
+		pass.Reportf(fd.Name.Pos(), "statsthread:fold %s: type not found in the analyzed packages (spell it as packagename.TypeName)", root)
+		return
+	}
+	isCounter := make(map[string]bool, len(counters))
+	for _, c := range counters {
+		isCounter[c] = true
+	}
+	for e := range except {
+		if !isCounter[e] {
+			pass.Reportf(fd.Name.Pos(), "except names %s.%s, which is not an int64 counter field", root, e)
+		}
+	}
+
+	// folds[field] = positions of the distinct innermost statements that
+	// read the field. stack tracks enclosing nodes: ast.Inspect pushes on
+	// non-nil visits and signals pops with nil.
+	folds := make(map[string]map[token.Pos]bool)
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sl, ok := pass.TypesInfo.Selections[sel]
+		if !ok || sl.Kind() != types.FieldVal || !isCounter[sel.Sel.Name] {
+			return true
+		}
+		if namedKey(sl.Recv()) != root {
+			return true
+		}
+		stmt := enclosingStmt(stack)
+		if folds[sel.Sel.Name] == nil {
+			folds[sel.Sel.Name] = make(map[token.Pos]bool)
+		}
+		folds[sel.Sel.Name][stmt] = true
+		return true
+	})
+
+	for _, c := range counters {
+		n := len(folds[c])
+		switch {
+		case except[c] && n > 0:
+			pass.Reportf(fd.Name.Pos(), "%s.%s is listed in except but %s folds it; drop it from the except list", root, c, fd.Name.Name)
+		case !except[c] && n == 0:
+			pass.Reportf(fd.Name.Pos(), "%s does not fold %s.%s: the counter is dropped from this aggregate (merge it, or list it in except)", fd.Name.Name, root, c)
+		case !except[c] && n > 1:
+			pass.Reportf(fd.Name.Pos(), "%s folds %s.%s in %d statements: counters must be merged exactly once", fd.Name.Name, root, c, n)
+		}
+	}
+}
+
+// enclosingStmt returns the position of the innermost statement on the
+// stack, or the function body's position when the selector is outside
+// any statement (impossible in practice).
+func enclosingStmt(stack []ast.Node) token.Pos {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if st, ok := stack[i].(ast.Stmt); ok {
+			return st.Pos()
+		}
+	}
+	return stack[0].Pos()
+}
+
+// namedKey resolves a type to its "pkgname.TypeName" key, looking
+// through pointers.
+func namedKey(t types.Type) string {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			obj := x.Obj()
+			if obj.Pkg() == nil {
+				return ""
+			}
+			return obj.Pkg().Name() + "." + obj.Name()
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package statsthread_test
+
+import (
+	"testing"
+
+	"netembed/internal/analysis/analysistest"
+	"netembed/internal/analysis/statsthread"
+)
+
+func TestStatsthread(t *testing.T) {
+	analysistest.Run(t, "testdata/stats", statsthread.New())
+}

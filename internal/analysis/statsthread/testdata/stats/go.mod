@@ -1,0 +1,3 @@
+module statstest
+
+go 1.23

@@ -1,0 +1,91 @@
+// Package stats seeds statsthread violations: dropped counters,
+// double folds, stale and bogus except entries.
+package stats
+
+// Duration mimics time.Duration: int64 underneath, not a counter.
+type Duration int64
+
+// Stats carries search counters plus non-counter fields.
+type Stats struct {
+	Nodes      int64
+	Backtracks int64
+	Prunes     int64
+	Took       Duration // named type: not a counter
+	Phase      string   // non-numeric: not a counter
+	hidden     int64    // unexported: not required
+}
+
+// View is a wire-format projection of Stats.
+type View struct {
+	N, B, P int64
+}
+
+// goodMerge folds every counter exactly once.
+//
+//statsthread:fold stats.Stats
+func goodMerge(dst, src *Stats) {
+	dst.Nodes += src.Nodes
+	dst.Backtracks += src.Backtracks
+	dst.Prunes += src.Prunes
+	dst.Took += src.Took
+}
+
+// goodSnapshot folds all counters in one composite-literal statement,
+// the wire-response shape.
+//
+//statsthread:fold stats.Stats
+func goodSnapshot(s *Stats) View {
+	return View{N: s.Nodes, B: s.Backtracks, P: s.Prunes}
+}
+
+// goodExcept intentionally skips Prunes and says so.
+//
+//statsthread:fold stats.Stats except Prunes
+func goodExcept(dst, src *Stats) {
+	dst.Nodes += src.Nodes
+	dst.Backtracks += src.Backtracks
+}
+
+// badMissing drops Prunes without excepting it.
+//
+//statsthread:fold stats.Stats
+func badMissing(dst, src *Stats) { // want `badMissing does not fold stats.Stats.Prunes`
+	dst.Nodes += src.Nodes
+	dst.Backtracks += src.Backtracks
+}
+
+// badDouble merges Nodes twice.
+//
+//statsthread:fold stats.Stats
+func badDouble(dst, src *Stats) { // want `badDouble folds stats.Stats.Nodes in 2 statements`
+	dst.Nodes += src.Nodes
+	dst.Backtracks += src.Backtracks
+	dst.Prunes += src.Prunes
+	dst.Nodes += src.hidden
+}
+
+// badStaleExcept excepts Prunes but folds it anyway.
+//
+//statsthread:fold stats.Stats except Prunes
+func badStaleExcept(dst, src *Stats) { // want `stats.Stats.Prunes is listed in except but badStaleExcept folds it`
+	dst.Nodes += src.Nodes
+	dst.Backtracks += src.Backtracks
+	dst.Prunes += src.Prunes
+}
+
+// badBogusExcept excepts a field that is not a counter.
+//
+//statsthread:fold stats.Stats except Took
+func badBogusExcept(dst, src *Stats) { // want `except names stats.Stats.Took, which is not an int64 counter field`
+	dst.Nodes += src.Nodes
+	dst.Backtracks += src.Backtracks
+	dst.Prunes += src.Prunes
+}
+
+// allowedPartial drops counters with a per-function justification.
+//
+//netembedvet:allow statsthread debug dump, not an aggregate anyone reads back
+//statsthread:fold stats.Stats
+func allowedPartial(s *Stats) int64 {
+	return s.Nodes
+}

@@ -1,0 +1,278 @@
+// Package stoppoll enforces the cooperative-cancellation contract:
+// search-shaped code that holds a stop capability must actually poll it.
+// Two shipped bugs motivate the check — PR 2 found searchers whose
+// descent loops never consulted Options.Stop, and PR 5 found a witness
+// DFS (graph.PathsWithin) that enumerated simple paths with no stop
+// hook at all, making cancellation latency unbounded on dense hosts.
+//
+// A function has a *stop capability* when its receiver or a parameter
+// carries one of:
+//   - a type whose method set includes checkDeadline (everything that
+//     embeds core's stopClock);
+//   - a struct with a `Stop func() bool` field (core.Options,
+//     core.PathOptions, service.Request, ...);
+//   - a `func() bool` parameter whose name mentions "stop" (the
+//     graph.PathsWithinStop idiom).
+//
+// A capability-bearing function is *search-shaped* when it recurses
+// (directly, or through a self-calling local closure) or contains an
+// unconditional `for { ... }` loop — the two shapes whose running time
+// is not bounded by their inputs' size. Such a function must either
+// poll the capability (call checkDeadline, the stop parameter, or a
+// .Stop field) or delegate it onward (pass the capability value, or
+// call a method on a checkDeadline-bearing value, which re-enters the
+// contract one level down). Bounded scans — plain loops over nodes,
+// edges or domains — are deliberately out of scope: they finish on
+// their own, and flagging them would drown the signal.
+package stoppoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"netembed/internal/analysis"
+)
+
+// New returns the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "stoppoll",
+		Doc:  "recursive/unbounded search code holding a stop capability must poll or delegate it",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasCheckDeadline reports whether t's method set (through pointers,
+// including unexported methods) contains checkDeadline.
+func hasCheckDeadline(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, "checkDeadline")
+	if _, ok := obj.(*types.Func); ok {
+		return true
+	}
+	return false
+}
+
+// isStopFuncType reports whether t is func() bool.
+func isStopFuncType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// hasStopField reports whether t (through pointers) is a struct with a
+// `Stop func() bool` field.
+func hasStopField(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Stop" && isStopFuncType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCapabilityType reports whether a value of type t carries a stop
+// capability that a callee could poll.
+func isCapabilityType(pass *analysis.Pass, t types.Type) bool {
+	return t != nil && (hasCheckDeadline(pass, t) || hasStopField(t) || isStopFuncType(t))
+}
+
+// capability describes what the function has to poll.
+type capability struct {
+	stopParams map[types.Object]bool // func() bool params named *stop*
+	hasClock   bool                  // receiver/param with checkDeadline in its method set
+	hasOptions bool                  // receiver/param with a Stop func() bool field
+}
+
+func (c *capability) any() bool {
+	return c.hasClock || c.hasOptions || len(c.stopParams) > 0
+}
+
+func capabilityOf(pass *analysis.Pass, fd *ast.FuncDecl) *capability {
+	cap := &capability{stopParams: make(map[types.Object]bool)}
+	scan := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if hasCheckDeadline(pass, t) {
+				cap.hasClock = true
+			}
+			if hasStopField(t) {
+				cap.hasOptions = true
+			}
+			if isStopFuncType(t) {
+				for _, name := range field.Names {
+					if strings.Contains(strings.ToLower(name.Name), "stop") ||
+						name.Name == "checkDeadline" {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							cap.stopParams[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	scan(fd.Recv)
+	scan(fd.Type.Params)
+	return cap
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	cap := capabilityOf(pass, fd)
+	if !cap.any() {
+		return
+	}
+
+	fnObj := pass.TypesInfo.Defs[fd.Name]
+
+	// closures maps a local function-typed variable to the FuncLits
+	// assigned to it, for recursive-closure detection.
+	closureBodies := make(map[types.Object][]*ast.FuncLit)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				lit, ok := rhs.(*ast.FuncLit)
+				if !ok || i >= len(st.Lhs) {
+					continue
+				}
+				if id, ok := st.Lhs[i].(*ast.Ident); ok {
+					var obj types.Object
+					if st.Tok.String() == ":=" {
+						obj = pass.TypesInfo.Defs[id]
+					} else {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						closureBodies[obj] = append(closureBodies[obj], lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var (
+		searchShaped ast.Node // first evidence: recursion site or `for {`
+		polls        bool
+		delegates    bool
+	)
+
+	calleeObj := func(call *ast.CallExpr) types.Object {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+				return sel.Obj()
+			}
+			return pass.TypesInfo.Uses[fun.Sel]
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			if st.Cond == nil && searchShaped == nil {
+				searchShaped = st
+			}
+		case *ast.CallExpr:
+			obj := calleeObj(st)
+
+			// Recursion: the function calls itself, or calls a local
+			// closure that calls itself.
+			if fnObj != nil && obj == fnObj && searchShaped == nil {
+				searchShaped = st
+			}
+			if lits, ok := closureBodies[obj]; ok && searchShaped == nil {
+				for _, lit := range lits {
+					self := false
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						if c, ok := m.(*ast.CallExpr); ok {
+							if id, ok := c.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+								self = true
+							}
+						}
+						return !self
+					})
+					if self {
+						searchShaped = st
+						break
+					}
+				}
+			}
+
+			// Polls.
+			switch fun := st.Fun.(type) {
+			case *ast.Ident:
+				if cap.stopParams[pass.TypesInfo.Uses[fun]] || fun.Name == "checkDeadline" {
+					polls = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "checkDeadline" || fun.Sel.Name == "Stop" {
+					polls = true
+				}
+			}
+
+			// Delegation: the capability travels into the call. A call to
+			// the function itself is recursion, not delegation — otherwise
+			// every recursive method on a clock-bearing receiver would
+			// vacuously "delegate" to itself.
+			if obj != fnObj {
+				for _, arg := range st.Args {
+					if tv, ok := pass.TypesInfo.Types[arg]; ok && isCapabilityType(pass, tv.Type) {
+						delegates = true
+					}
+				}
+				if fun, ok := st.Fun.(*ast.SelectorExpr); ok {
+					if tv, ok := pass.TypesInfo.Types[fun.X]; ok && hasCheckDeadline(pass, tv.Type) {
+						delegates = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if searchShaped != nil && !polls && !delegates {
+		pass.Reportf(searchShaped.Pos(),
+			"%s holds a stop capability and is search-shaped (recursive or `for {`), but never polls checkDeadline/Stop or passes the capability on",
+			fd.Name.Name)
+	}
+}

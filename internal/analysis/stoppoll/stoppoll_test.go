@@ -1,0 +1,12 @@
+package stoppoll_test
+
+import (
+	"testing"
+
+	"netembed/internal/analysis/analysistest"
+	"netembed/internal/analysis/stoppoll"
+)
+
+func TestStoppoll(t *testing.T) {
+	analysistest.Run(t, "testdata/stop", stoppoll.New())
+}

@@ -1,0 +1,3 @@
+module stoptest
+
+go 1.23

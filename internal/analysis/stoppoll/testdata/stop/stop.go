@@ -1,0 +1,140 @@
+// Package stop seeds stoppoll violations: search-shaped functions that
+// hold a stop capability and never poll or delegate it.
+package stop
+
+// stopClock mimics core's shared stop gate.
+type stopClock struct{ timedOut bool }
+
+func (c *stopClock) checkDeadline() bool { return c.timedOut }
+
+// Options mimics core.Options.
+type Options struct {
+	MaxSolutions int
+	Stop         func() bool
+}
+
+type searcher struct {
+	stopClock
+	assign []int
+}
+
+// goodRecursive polls the embedded clock on every expansion.
+func (s *searcher) goodRecursive(d int) {
+	if d >= len(s.assign) {
+		return
+	}
+	for r := range s.assign {
+		if s.checkDeadline() {
+			return
+		}
+		s.assign[d] = r
+		s.goodRecursive(d + 1)
+	}
+}
+
+// badRecursive descends forever without consulting the clock it embeds.
+func (s *searcher) badRecursive(d int) {
+	if d >= len(s.assign) {
+		return
+	}
+	for r := range s.assign {
+		s.assign[d] = r
+		s.badRecursive(d + 1) // want `badRecursive holds a stop capability and is search-shaped`
+	}
+}
+
+// badDriver spins an unbounded driver loop without polling Options.Stop.
+func badDriver(opt Options, work chan int) int {
+	n := 0
+	for { // want `badDriver holds a stop capability and is search-shaped`
+		v, ok := <-work
+		if !ok {
+			return n
+		}
+		n += v
+		if opt.MaxSolutions > 0 && n >= opt.MaxSolutions {
+			return n
+		}
+	}
+}
+
+// goodDriver polls the hook each round.
+func goodDriver(opt Options, work chan int) int {
+	n := 0
+	for {
+		if opt.Stop != nil && opt.Stop() {
+			return n
+		}
+		v, ok := <-work
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+// goodDelegate hands the options (and thus the hook) to the searcher.
+func goodDelegate(opt Options, s *searcher) {
+	for {
+		if run(opt, s) {
+			return
+		}
+	}
+}
+
+func run(opt Options, s *searcher) bool { return opt.MaxSolutions == 0 }
+
+// badClosure is the PathsWithin bug shape: a recursive DFS closure that
+// ignores the stop parameter the enclosing function received.
+func badClosure(adj [][]int, stop func() bool) int {
+	visited := 0
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited++
+		for _, w := range adj[v] {
+			dfs(w) // want `badClosure holds a stop capability and is search-shaped`
+		}
+	}
+	dfs(0)
+	return visited
+}
+
+// goodClosure polls the hook inside the DFS.
+func goodClosure(adj [][]int, stop func() bool) int {
+	visited := 0
+	var dfs func(v int)
+	dfs = func(v int) {
+		if stop != nil && stop() {
+			return
+		}
+		visited++
+		for _, w := range adj[v] {
+			dfs(w)
+		}
+	}
+	dfs(0)
+	return visited
+}
+
+// boundedScan has the capability but only bounded loops: out of scope.
+func boundedScan(opt Options, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total + opt.MaxSolutions
+}
+
+// allowedDriver demonstrates the doc-comment suppression.
+//
+//netembedvet:allow stoppoll drains a closed channel, bounded by queue depth
+func allowedDriver(opt Options, work chan int) int {
+	n := 0
+	for {
+		v, ok := <-work
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}

@@ -1,0 +1,3 @@
+module trailtest
+
+go 1.23

@@ -1,0 +1,77 @@
+// Package trail seeds trailbalance violations: pushes whose saved words
+// can never reach a RestoreSpan unwind.
+package trail
+
+// Bitset mimics sets.Bitset's trail primitives.
+type Bitset struct{ words []uint64 }
+
+func (b *Bitset) SaveSpan(dst []uint64, w0, n int) []uint64 {
+	return append(dst, b.words[w0:w0+n]...)
+}
+
+func (b *Bitset) IntersectSave(arena []uint64, o *Bitset) ([]uint64, bool) {
+	arena = b.SaveSpan(arena, 0, len(b.words))
+	return arena, true
+}
+
+func (b *Bitset) RestoreSpan(src []uint64, w0 int) {
+	copy(b.words[w0:], src)
+}
+
+type searcher struct {
+	dom   []Bitset
+	arena []uint64
+	trail []int
+}
+
+// good is the fc.go idiom: the arena is a field, the unwind pops it.
+func (s *searcher) good(q int, row *Bitset) {
+	off := len(s.arena)
+	var ok bool
+	s.arena, ok = s.dom[q].IntersectSave(s.arena, row)
+	if ok {
+		s.trail = append(s.trail, off)
+	}
+}
+
+func (s *searcher) undo() {
+	for i := len(s.trail) - 1; i >= 0; i-- {
+		off := s.trail[i]
+		s.dom[0].RestoreSpan(s.arena[off:], 0)
+	}
+	s.trail = s.trail[:0]
+}
+
+// discarded drops the pushed words on the floor.
+func (s *searcher) discarded(q int) {
+	s.dom[q].SaveSpan(nil, 0, 1) // want `result of SaveSpan is discarded`
+}
+
+// blanked assigns the saved slice to the blank identifier.
+func (s *searcher) blanked(q int, row *Bitset) {
+	_, _ = s.dom[q].IntersectSave(s.arena, row) // want `saved span of IntersectSave is assigned to _`
+}
+
+// deadLocal saves into a local that is only ever blank-discarded.
+func (s *searcher) deadLocal(q int) {
+	saved := s.dom[q].SaveSpan(nil, 0, 1) // want `saved span of SaveSpan is never used again`
+	_ = saved
+}
+
+// liveLocal records the save into an outer slice — fine.
+func (s *searcher) liveLocal(q int) []uint64 {
+	saved := s.dom[q].SaveSpan(nil, 0, 1)
+	return saved
+}
+
+// allowed demonstrates the suppression syntax.
+func (s *searcher) allowed(q int) {
+	//netembedvet:allow trailbalance scratch probe, restored by caller
+	s.dom[q].SaveSpan(nil, 0, 1)
+}
+
+// bareAllow has no reason, so the finding stays.
+func (s *searcher) bareAllow(q int) {
+	//netembedvet:allow trailbalance
+	s.dom[q].SaveSpan(nil, 0, 1) // want `result of SaveSpan is discarded`
+}

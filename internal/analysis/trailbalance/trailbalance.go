@@ -1,0 +1,170 @@
+// Package trailbalance enforces the trail push/pop contract of the
+// forward-checking machinery (core/fc.go, core/pathfc.go): words saved
+// onto a trail arena with Bitset.SaveSpan or Bitset.IntersectSave must
+// be able to reach a matching RestoreSpan, or the backtracking unwind
+// silently corrupts the domains it is supposed to rewind.
+//
+// The checker is flow-insensitive but catches the shipped bug class
+// (an undo path that was never wired) with three rules:
+//
+//  1. a SaveSpan/IntersectSave result that is discarded (expression
+//     statement, or the saved slice assigned to the blank identifier)
+//     can never be restored — reported always;
+//  2. a SaveSpan/IntersectSave result assigned only to a local variable
+//     that is never used again cannot reach an unwind — reported;
+//  3. a package that pushes spans but contains no RestoreSpan call at
+//     all has no unwind to reach — every push site is reported.
+//
+// Storing the saved words in a struct field, an outer variable, or
+// returning them counts as recording them for a later unwind; pairing
+// pushes with pops across functions is the unwind's job, not this
+// checker's.
+package trailbalance
+
+import (
+	"go/ast"
+	"go/token"
+
+	"netembed/internal/analysis"
+)
+
+// New returns the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "trailbalance",
+		Doc:  "SaveSpan/IntersectSave trail pushes must be reachable by a RestoreSpan unwind",
+		Run:  run,
+	}
+}
+
+func isSaveCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "SaveSpan", "IntersectSave":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) error {
+	type saveSite struct {
+		pos  token.Pos
+		name string
+	}
+	var saves []saveSite
+	restores := 0
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "RestoreSpan" {
+				restores++
+			}
+			if name, ok := isSaveCall(call); ok {
+				saves = append(saves, saveSite{pos: call.Pos(), name: name})
+			}
+			return true
+		})
+
+		// Rule 1+2: inspect each function body for discarded or dead saves.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+
+	// Rule 3: pushes with no unwind anywhere in the package.
+	if restores == 0 {
+		for _, s := range saves {
+			pass.Reportf(s.pos, "%s pushes trail words, but the package never calls RestoreSpan: the trail can never unwind", s.name)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// locals maps a local variable object (defined from a save call) to
+	// its definition position; a later use removes it.
+	type deadSave struct {
+		pos  token.Pos
+		name string
+	}
+	pending := make(map[*ast.Object]deadSave)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if name, ok := isSaveCall(call); ok {
+					pass.Reportf(call.Pos(), "result of %s is discarded: the saved words can never be restored", name)
+				}
+			}
+		case *ast.AssignStmt:
+			allBlank := true
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name, ok := isSaveCall(call)
+				if !ok {
+					continue
+				}
+				// The saved slice is the call's first result. With
+				// multiple RHS values, position i matches LHS i; a
+				// single multi-value call maps result 0 to LHS 0.
+				var lhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					lhs = st.Lhs[i]
+				} else if len(st.Lhs) > 0 {
+					lhs = st.Lhs[0]
+				}
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent {
+					continue // field / index target: recorded for a later unwind
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "saved span of %s is assigned to _: the saved words can never be restored", name)
+					continue
+				}
+				if st.Tok == token.DEFINE && id.Obj != nil {
+					pending[id.Obj] = deadSave{pos: call.Pos(), name: name}
+				}
+			}
+			// `_ = saved` discards the value: pruning the traversal here
+			// keeps that read from counting as a real use.
+			if allBlank {
+				return false
+			}
+		case *ast.Ident:
+			if st.Obj != nil {
+				if ds, ok := pending[st.Obj]; ok {
+					// Any use after the defining statement keeps it alive.
+					if st.Pos() > ds.pos {
+						delete(pending, st.Obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, ds := range pending {
+		pass.Reportf(ds.pos, "saved span of %s is never used again: it cannot reach a RestoreSpan unwind", ds.name)
+	}
+}

@@ -1,0 +1,12 @@
+package trailbalance_test
+
+import (
+	"testing"
+
+	"netembed/internal/analysis/analysistest"
+	"netembed/internal/analysis/trailbalance"
+)
+
+func TestTrailbalance(t *testing.T) {
+	analysistest.Run(t, "testdata/trail", trailbalance.New())
+}

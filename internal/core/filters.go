@@ -244,6 +244,8 @@ func (f *Filters) newArcTables() []edgeTables {
 // host edge) pair, sharding the fill per query edge across
 // Options.Workers goroutines — each edge owns its two tables, so workers
 // never share mutable state beyond the stats counters.
+//
+//netembedvet:allow stoppoll the worker `for {}` drains a bounded atomic cursor over query edges; filter build is O(|Eq|·|Er|) work measured by Stats.FilterBuild, not an unbounded search
 func (f *Filters) fillTablesScan(opt *Options, passBits []*sets.Bitset) {
 	p := f.p
 	nr := f.nr

@@ -30,6 +30,14 @@ import (
 // solutions are returned sorted for determinism. With
 // Options.MaxSolutions set, the cap applies globally across workers, but
 // which embeddings fill the quota depends on scheduling.
+//
+// The tail merge folds the pool's shared counters onto the filter-build
+// stats. The excepted counters cannot be incremented here: EdgePairsEval
+// and FilterEntries arrive inside f.Stats() from the build phase,
+// ConstraintChk is LNS-only, and the Witness/Reach counters are
+// path-mode-only.
+//
+//statsthread:fold core.Stats except EdgePairsEval, FilterEntries, ConstraintChk, WitnessProbes, WitnessHits, ReachPrunes
 func ParallelECF(p *Problem, opt Options) *Result {
 	if opt.Engine == SearchChrono {
 		return parallelECFStatic(p, opt)
@@ -271,6 +279,15 @@ func newStealWorker(p *Problem, f *Filters, opt Options, sh *stealShared) *steal
 	return &stealWorker{sh: sh, s: s, nq: p.Query.NumNodes()}
 }
 
+// loop claims fresh roots until the cursor runs dry, then steals
+// published subtrees until the pool drains, and finally flushes the
+// worker's private stats into the shared atomics. The excepted counters
+// have no per-worker component: filter-build and LNS counters are never
+// incremented inside a subtree search, Steals is counted at steal time
+// directly on the shared atomic, and the path-mode Witness/Reach
+// counters never run under ParallelECF.
+//
+//statsthread:fold core.Stats except EdgePairsEval, FilterEntries, ConstraintChk, Steals, WitnessProbes, WitnessHits, ReachPrunes
 func (w *stealWorker) loop() {
 	sh := w.sh
 	for {

@@ -48,7 +48,7 @@ type PathOptions struct {
 	// chronological scan that re-runs a witness DFS per candidate pair —
 	// the property-test oracle and ablation baseline. Both enumerate
 	// identical solution sequences.
-	Engine SearchEngine
+	Engine SearchEngine // cachekey:ignore both engines provably enumerate identical solutions
 }
 
 func (o *PathOptions) applyDefaults() {

@@ -279,20 +279,20 @@ type Options struct {
 	// MaxSolutions stops the search after this many embeddings (0 = all).
 	MaxSolutions int
 	// Order selects the ECF/RWB node ordering heuristic.
-	Order OrderMode
+	Order OrderMode // cachekey:ignore not settable from a service request; constant per process
 	// Seed drives RWB's randomized candidate choice.
 	Seed int64
 	// LooseRoot uses the paper's literal formula (1) (union of filter
 	// cells) for base candidate sets instead of the tighter per-neighbor
 	// intersection refinement. Ablation knob; both are complete.
-	LooseRoot bool
+	LooseRoot bool // cachekey:ignore ablation knob, not settable from a service request
 	// NoDegreeFilter disables the host-degree >= query-degree candidate
 	// filter. Ablation knob; the filter never removes feasible embeddings.
-	NoDegreeFilter bool
+	NoDegreeFilter bool // cachekey:ignore ablation knob, not settable from a service request
 	// OnSolution, when non-nil, streams each embedding as it is found; the
 	// mapping is only valid during the call (clone to retain). Returning
 	// false stops the search (the result is then StatusPartial).
-	OnSolution func(Mapping) bool
+	OnSolution func(Mapping) bool // cachekey:ignore streaming hook, not settable from a service request
 	// Stop, when non-nil, is polled on the same cadence as the timeout
 	// deadline (every few hundred expansions); returning true halts the
 	// search as if the deadline had passed, with whatever solutions were
@@ -304,7 +304,7 @@ type Options struct {
 	// Workers > 1 parallelizes filter construction across that many
 	// goroutines (one query edge per task) and sizes the ParallelECF
 	// worker pool. Zero keeps everything sequential and deterministic.
-	Workers int
+	Workers int // cachekey:ignore parallelism cannot change the (sorted) result set
 	// Index, when non-nil, is a prebuilt host-capability index
 	// (internal/index) for the hosting network BuildFilters can consult
 	// instead of rescanning the host: node admissibility intersects
@@ -319,12 +319,12 @@ type Options struct {
 	// Repr selects the candidate-set representation for the ECF/RWB
 	// filter tables. Both representations provably enumerate identical
 	// solution sets; the choice only trades speed against memory.
-	Repr Repr
+	Repr Repr // cachekey:ignore representation choice provably enumerates identical solutions
 	// Engine selects the inner-search implementation (default SearchFC,
 	// the forward-checking + backjumping engine). SearchChrono keeps the
 	// chronological recompute-per-visit searcher for oracle tests and
 	// ablation benchmarks; both enumerate identical solution sets.
-	Engine SearchEngine
+	Engine SearchEngine // cachekey:ignore both engines provably enumerate identical solutions
 }
 
 // Stats reports search effort counters.

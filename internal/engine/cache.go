@@ -28,6 +28,16 @@ import (
 // caller-supplied Stop hook can truncate the search at an arbitrary
 // point, so its (partial) answer must never be replayed to other
 // callers. Those return ok=false.
+//
+// The keycomplete analyzer holds this function to the request types it
+// serializes: every exported field below must be hashed (or gate
+// cacheability) here, so a new request knob cannot silently alias cache
+// entries.
+//
+//keycomplete:fingerprint service.Request
+//keycomplete:fingerprint service.PathRequestOptions
+//keycomplete:fingerprint core.ConsolidateOptions
+//keycomplete:fingerprint core.MetricSpec
 func requestKey(req service.Request) (string, bool) {
 	if req.Query == nil || req.ExcludeReserved || req.Stop != nil {
 		return "", false

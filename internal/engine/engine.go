@@ -217,6 +217,18 @@ type Stats struct {
 	SearchWipeouts  int64 `json:"searchWipeouts"`
 	SearchSteals    int64 `json:"searchSteals"`
 
+	// Volume counters for the same searches: filter-build work
+	// (constraint evaluations and stored candidates), tree size
+	// (nodes expanded, dead ends), on-demand constraint checks (LNS),
+	// and the wipeout-depth sum that turns SearchWipeouts into an
+	// average prune depth.
+	SearchNodesVisited    int64 `json:"searchNodesVisited"`
+	SearchBacktracks      int64 `json:"searchBacktracks"`
+	SearchEdgePairsEval   int64 `json:"searchEdgePairsEval"`
+	SearchFilterEntries   int64 `json:"searchFilterEntries"`
+	SearchConstraintChk   int64 `json:"searchConstraintChk"`
+	SearchWipeoutDepthSum int64 `json:"searchWipeoutDepthSum"`
+
 	// Path-mode counters, summed the same way: witness DFS enumerations
 	// actually run, witness answers served from the per-run memo, and
 	// witness probes rejected by the reachability/bound oracle.
@@ -256,13 +268,19 @@ type Engine struct {
 	rejections   atomic.Int64
 	leasesPruned atomic.Int64
 
-	searchPruneOps      atomic.Int64
-	searchBackjumps     atomic.Int64
-	searchWipeouts      atomic.Int64
-	searchSteals        atomic.Int64
-	searchWitnessProbes atomic.Int64
-	searchWitnessHits   atomic.Int64
-	searchReachPrunes   atomic.Int64
+	searchPruneOps        atomic.Int64
+	searchBackjumps       atomic.Int64
+	searchWipeouts        atomic.Int64
+	searchSteals          atomic.Int64
+	searchWitnessProbes   atomic.Int64
+	searchWitnessHits     atomic.Int64
+	searchReachPrunes     atomic.Int64
+	searchNodesVisited    atomic.Int64
+	searchBacktracks      atomic.Int64
+	searchEdgePairsEval   atomic.Int64
+	searchFilterEntries   atomic.Int64
+	searchConstraintChk   atomic.Int64
+	searchWipeoutDepthSum atomic.Int64
 }
 
 // New builds an engine over svc. The worker pool and maintenance tick
@@ -448,6 +466,13 @@ func (e *Engine) Stats() Stats {
 		SearchWitnessProbes: e.searchWitnessProbes.Load(),
 		SearchWitnessHits:   e.searchWitnessHits.Load(),
 		SearchReachPrunes:   e.searchReachPrunes.Load(),
+
+		SearchNodesVisited:    e.searchNodesVisited.Load(),
+		SearchBacktracks:      e.searchBacktracks.Load(),
+		SearchEdgePairsEval:   e.searchEdgePairsEval.Load(),
+		SearchFilterEntries:   e.searchFilterEntries.Load(),
+		SearchConstraintChk:   e.searchConstraintChk.Load(),
+		SearchWipeoutDepthSum: e.searchWipeoutDepthSum.Load(),
 	}
 }
 
@@ -518,7 +543,10 @@ func (e *Engine) worker() {
 }
 
 // run executes one job: re-check cancellation and the cache, then search
-// with the job's Stop hook threaded through the request.
+// with the job's Stop hook threaded through the request. Fresh answers
+// fold their effort counters into the engine's cumulative totals.
+//
+//statsthread:fold core.Stats
 func (e *Engine) run(job *Job) {
 	if job.cancelFlag.Load() {
 		// Canceled while queued; Cancel normally finished it already, but
@@ -579,6 +607,12 @@ func (e *Engine) run(job *Job) {
 		e.searchWitnessProbes.Add(resp.Stats.WitnessProbes)
 		e.searchWitnessHits.Add(resp.Stats.WitnessHits)
 		e.searchReachPrunes.Add(resp.Stats.ReachPrunes)
+		e.searchNodesVisited.Add(resp.Stats.NodesVisited)
+		e.searchBacktracks.Add(resp.Stats.Backtracks)
+		e.searchEdgePairsEval.Add(resp.Stats.EdgePairsEval)
+		e.searchFilterEntries.Add(resp.Stats.FilterEntries)
+		e.searchConstraintChk.Add(resp.Stats.ConstraintChk)
+		e.searchWipeoutDepthSum.Add(resp.Stats.WipeoutDepthSum)
 		if job.cacheable && cacheableResponse(req, resp) {
 			e.cache.put(job.cacheKey, resp.ModelVersion, resp)
 		}

@@ -155,6 +155,8 @@ func patchAttrs(old, set Attrs, unset []string) Attrs {
 
 // applyStructuralDelta rebuilds the graph with the delta's removals,
 // additions and attribute edits applied, in the documented order.
+//
+//netembedvet:allow cowwrite next is freshly built by New in this function and every record slice below is grown by AddNode/AddEdge; nothing shares the storage until next is returned
 func (g *Graph) applyStructuralDelta(d *Delta) (*Graph, error) {
 	dropEdge := make(map[uint64]bool, len(d.RemoveEdges))
 	for _, ref := range d.RemoveEdges {

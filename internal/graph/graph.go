@@ -46,12 +46,12 @@ type Arc struct {
 // New or NewUndirected.
 type Graph struct {
 	directed bool
-	nodes    []Node
-	edges    []Edge
-	out      [][]Arc // out-adjacency (all adjacency when undirected)
-	in       [][]Arc // in-adjacency, directed graphs only
-	index    map[uint64]EdgeID
-	names    map[string]NodeID
+	nodes    []Node            //cow:shared
+	edges    []Edge            //cow:shared
+	out      [][]Arc           //cow:shared — out-adjacency (all adjacency when undirected)
+	in       [][]Arc           //cow:shared — in-adjacency, directed graphs only
+	index    map[uint64]EdgeID //cow:shared
+	names    map[string]NodeID //cow:shared
 }
 
 // New returns an empty graph with the given orientation.
@@ -81,6 +81,8 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // AddNode appends a node and returns its ID. An empty name is replaced by
 // a generated one; duplicate names are rejected by panicking, since node
 // names are the external identity used by GraphML and the service layer.
+//
+//netembedvet:allow cowwrite construction-phase builder: the graph has not been published as a snapshot yet, so nothing shares its storage
 func (g *Graph) AddNode(name string, attrs Attrs) NodeID {
 	if name == "" {
 		name = fmt.Sprintf("n%d", len(g.nodes))
@@ -122,6 +124,8 @@ func (g *Graph) edgeKey(u, v NodeID) uint64 {
 }
 
 // AddEdge inserts an edge from u to v and returns its ID.
+//
+//netembedvet:allow cowwrite construction-phase builder: the graph has not been published as a snapshot yet, so nothing shares its storage
 func (g *Graph) AddEdge(u, v NodeID, attrs Attrs) (EdgeID, error) {
 	if u < 0 || int(u) >= len(g.nodes) || v < 0 || int(v) >= len(g.nodes) {
 		return -1, ErrNoSuchNode

@@ -110,20 +110,20 @@ type Index struct {
 
 	// adjOut[r] = out-neighbors of r (all neighbors when undirected);
 	// adjIn is directed-only (nil otherwise — use adjOut).
-	adjOut []*sets.Bitset
-	adjIn  []*sets.Bitset
+	adjOut []*sets.Bitset //cow:shared
+	adjIn  []*sets.Bitset //cow:shared
 
 	// degAtLeast[d] = nodes with Degree ≥ d (degAtLeast[0] = everyone);
 	// outDegAtLeast is the same ladder over OutDegree. Undirected graphs
 	// share one ladder (Degree == OutDegree there).
-	degAtLeast    []*sets.Bitset
-	outDegAtLeast []*sets.Bitset
+	degAtLeast    []*sets.Bitset //cow:shared
+	outDegAtLeast []*sets.Bitset //cow:shared
 
 	// postings holds sorted postings for every numeric node attribute.
-	postings map[string]*Postings
+	postings map[string]*Postings //cow:shared
 	// strata[attr][k-1] = nodes with attr ≥ k, for the configured
 	// capacity-style attributes.
-	strata map[string][]*sets.Bitset
+	strata map[string][]*sets.Bitset //cow:shared
 
 	zero *sets.Bitset // shared empty set for out-of-ladder queries
 
@@ -438,6 +438,8 @@ func patchLadder(ladder []*sets.Bitset, n int, touched map[graph.NodeID]bool, ol
 // patchAttrs re-derives postings and strata for the (node, attribute)
 // pairs the delta edits. Within one delta the last write wins, matching
 // graph.ApplyDelta's patch order.
+//
+//netembedvet:allow cowwrite the cloned flag gates every map write below behind clonePostingsMaps, which re-binds both postings and strata to fresh maps before the first write
 func (out *Index) patchAttrs(old, next *graph.Graph, d *graph.Delta) {
 	// final[attr][id] records each touched pair once, with its final
 	// numeric value (nil = absent/non-numeric after the delta).

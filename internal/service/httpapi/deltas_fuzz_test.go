@@ -1,0 +1,60 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"testing"
+
+	"netembed/internal/graph"
+)
+
+// FuzzDeltaDecode drives arbitrary JSON through the /deltas wire
+// decoder and, when a delta survives validation, applies it to a small
+// model graph. The invariants: decodeDelta never panics on any decoded
+// DeltaRequest, a delta it accepts never breaks ApplyDelta's
+// all-or-nothing contract (nil result iff error), and an applied delta
+// leaves the original graph untouched (the copy-on-write contract the
+// monitor pipeline relies on).
+func FuzzDeltaDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"removeNodes":["a"]}`))
+	f.Add([]byte(`{"addNodes":[{"name":"x","attrs":{"capacity":3}}],"addEdges":[{"source":"x","target":"a"}]}`))
+	f.Add([]byte(`{"setNodeAttrs":[{"node":"a","attrs":{"capacity":null,"zone":"east"}}]}`))
+	f.Add([]byte(`{"removeEdges":[{"source":"a","target":"b"}],"setEdgeAttrs":[{"source":"b","target":"c","attrs":{"avgDelay":2.5}}]}`))
+	f.Add([]byte(`{"addNodes":[{"name":""}]}`))
+	f.Add([]byte(`{"addNodes":[{"name":"a","attrs":{"bad":[1,2]}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req DeltaRequest
+		if json.Unmarshal(data, &req) != nil {
+			t.Skip("not a DeltaRequest")
+		}
+		d, err := decodeDelta(&req)
+		if err != nil {
+			return // rejected as malformed: the handler's 400 path
+		}
+		if d == nil {
+			t.Fatal("decodeDelta returned nil delta with nil error")
+		}
+
+		g := graph.NewUndirected()
+		a := g.AddNode("a", graph.Attrs{}.SetNum("capacity", 2))
+		b := g.AddNode("b", nil)
+		c := g.AddNode("c", nil)
+		g.MustAddEdge(a, b, graph.Attrs{}.SetNum("avgDelay", 1))
+		g.MustAddEdge(b, c, nil)
+
+		next, err := g.ApplyDelta(d)
+		if (next == nil) != (err != nil) {
+			t.Fatalf("ApplyDelta all-or-nothing contract broken: next=%v err=%v", next, err)
+		}
+		// The original graph must be untouched whatever happened.
+		if g.NumNodes() != 3 || g.NumEdges() != 2 {
+			t.Fatalf("ApplyDelta mutated the receiver: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		}
+		if id, ok := g.NodeByName("a"); !ok {
+			t.Fatal("ApplyDelta dropped node a from the receiver")
+		} else if v, ok := g.Node(id).Attrs.Float("capacity"); !ok || v != 2 {
+			t.Fatalf("ApplyDelta mutated node a's attrs in the receiver: capacity=%v ok=%v", v, ok)
+		}
+	})
+}

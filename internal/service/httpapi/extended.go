@@ -211,6 +211,8 @@ func decodeMetricSpecs(specs []MetricSpecJSON) ([]core.MetricSpec, error) {
 }
 
 // embedResponseJSON renders a service response in the wire form.
+//
+//statsthread:fold core.Stats
 func embedResponseJSON(resp *service.Response) EmbedResponse {
 	out := EmbedResponse{
 		Status:       resp.Status.String(),
@@ -222,6 +224,7 @@ func embedResponseJSON(resp *service.Response) EmbedResponse {
 			"backtracks":      resp.Stats.Backtracks,
 			"edgePairsEval":   resp.Stats.EdgePairsEval,
 			"filterEntries":   resp.Stats.FilterEntries,
+			"constraintChk":   resp.Stats.ConstraintChk,
 			"pruneOps":        resp.Stats.PruneOps,
 			"wipeouts":        resp.Stats.Wipeouts,
 			"wipeoutDepthSum": resp.Stats.WipeoutDepthSum,

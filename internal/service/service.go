@@ -223,6 +223,13 @@ func (s *Service) EmbedBatch(reqs []Request) ([]BatchResult, uint64) {
 // snapshot. The index may be nil (indexing disabled); when present it is
 // threaded into core.Options so BuildFilters intersects strata instead
 // of rescanning the host.
+//
+// keycomplete holds this function to core.Options: every Options field
+// must be set here from fingerprinted request state (or be marked
+// cachekey:ignore on its declaration), so an option that shapes answers
+// cannot bypass the engine cache's request fingerprint.
+//
+//keycomplete:fingerprint core.Options
 func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, req Request) (*Response, error) {
 	start := time.Now()
 	if req.Query == nil {
@@ -314,6 +321,8 @@ func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, r
 // present, supplies the hop-bounded reachability oracle; witness paths
 // come back in Response.Paths, by names, one per query edge and ordered
 // by query edge ID.
+//
+//keycomplete:fingerprint core.PathOptions
 func (s *Service) embedPath(host *graph.Graph, idx *index.Index, version uint64, req Request, edgeProg, nodeProg *expr.Program, start time.Time) (*Response, error) {
 	if req.Path.MaxHops < 0 {
 		return nil, fmt.Errorf("%w: MaxHops %d is negative", ErrBadPathOptions, req.Path.MaxHops)
