@@ -1037,3 +1037,64 @@ func BenchmarkParallelECF_StealVsStatic(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRepair_SeededVsScratch pins the lifecycle re-optimizer's
+// core claim on the pinned adversarial instance: after a delta breaks
+// one node of a line-3 embedding parked at the top of a 512-node
+// substrate's ID space (while opening a fresh eligible pocket at the
+// bottom), the LNS destroy/repair search seeded with the old mapping
+// both answers faster than a from-scratch re-embed and moves strictly
+// fewer nodes (1 versus all 3 — scratch search lands in the low-ID
+// pocket). The benchmark fails if either half of that claim breaks.
+func BenchmarkRepair_SeededVsScratch(b *testing.B) {
+	// Post-delta state of the adversarial host: K_512 where the pod held
+	// {500,501,502}, node 501 just lost its membership, and nodes 0..9
+	// just gained theirs.
+	host := topo.Clique(512)
+	pod := func(id int) {
+		host.Node(netembed.NodeID(id)).Attrs = host.Node(netembed.NodeID(id)).Attrs.SetNum("pod", 1)
+	}
+	pod(500)
+	pod(502)
+	for id := 0; id < 10; id++ {
+		pod(id)
+	}
+	p, err := netembed.NewProblem(topo.Line(3), host, nil, netembed.MustCompile("rNode.pod > 0"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	old := netembed.Mapping{500, 501, 502}
+
+	moved := func(m netembed.Mapping) int {
+		n := 0
+		for q, r := range m {
+			if old[q] != r {
+				n++
+			}
+		}
+		return n
+	}
+
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.SeededRepair(p, old, core.RepairOptions{})
+			if res.Mapping == nil {
+				b.Fatal("seeded repair found nothing")
+			}
+			if len(res.Moved) != 1 {
+				b.Fatalf("seeded repair moved %d nodes, want 1", len(res.Moved))
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.ECF(p, netembed.Options{MaxSolutions: 1})
+			if len(res.Solutions) == 0 {
+				b.Fatal("scratch re-embed found nothing")
+			}
+			if moved(res.Solutions[0]) <= 1 {
+				b.Fatalf("scratch re-embed moved %d nodes — the instance no longer separates seeded from scratch", moved(res.Solutions[0]))
+			}
+		}
+	})
+}

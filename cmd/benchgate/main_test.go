@@ -128,6 +128,8 @@ func TestWorkflowGateMatchesSubBenchmarks(t *testing.T) {
 		"BenchmarkPathEmbed_FC_vs_Seed/dense512/windowed/fc",
 		"BenchmarkPathEmbed_FC_vs_Seed/dense512/windowed/seed",
 		"BenchmarkPathEmbed_FC_vs_Seed/nomatch128/fc",
+		"BenchmarkRepair_SeededVsScratch/seeded",
+		"BenchmarkRepair_SeededVsScratch/scratch",
 	} {
 		if !gate.MatchString(name) {
 			t.Errorf("GATE %q does not gate %q", m[1], name)

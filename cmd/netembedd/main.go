@@ -10,7 +10,14 @@
 //
 // Endpoints: GET /healthz, GET/PUT /model, POST /deltas, POST /embed,
 // POST /embed/batch, POST /jobs, GET/DELETE /jobs/{id}, GET /stats,
-// POST/DELETE /reserve. See internal/service/httpapi.
+// POST/DELETE /reserve, POST/GET/DELETE /embeddings. See
+// internal/service/httpapi.
+//
+// Embeddings placed through POST /embeddings are long-lived managed
+// objects: the lifecycle manager re-verifies them against every model
+// publish, and a background repair pass — paced by -repair-interval and
+// budgeted by -max-migration-frac — migrates degraded ones with
+// minimal node movement, committing atomically through the ledger.
 //
 // Path-mode (§VIII link-to-path) queries — algorithm "path" — map query
 // edges onto multi-hop hosting paths; -path-hops sets the default
@@ -49,6 +56,7 @@ import (
 
 	"netembed"
 	"netembed/internal/engine"
+	"netembed/internal/lifecycle"
 	"netembed/internal/service"
 	"netembed/internal/service/httpapi"
 )
@@ -74,6 +82,8 @@ func run() error {
 		useIndex  = flag.Bool("index", true, "maintain the host-capability index (degree strata, adjacency bitsets, attribute postings); deltas patch it instead of rebuilding")
 		pathHops  = flag.Int("path-hops", 3, "default witness hop bound for path-mode (link-to-path) queries that carry no maxHops")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		repairInt = flag.Duration("repair-interval", 5*time.Second, "pace of the embedding lifecycle's background repair pass (0 = lifecycle disabled)")
+		maxMigr   = flag.Float64("max-migration-frac", 1, "repair-plan migration budget as a fraction of each embedding's query nodes (>= 1 = unbounded)")
 	)
 	flag.Parse()
 
@@ -137,9 +147,28 @@ func run() error {
 		defer psrv.Close()
 	}
 
+	api := httpapi.NewWithEngine(svc, eng)
+	if *maxMigr <= 0 {
+		return fmt.Errorf("-max-migration-frac %v is not positive", *maxMigr)
+	}
+	if *repairInt > 0 {
+		// The lifecycle manager rides the engine's maintenance tick: every
+		// model publish triggers a health sweep over the managed
+		// embeddings, and degraded ones get minimal-migration repair plans
+		// at most once per -repair-interval.
+		mgr := lifecycle.NewManager(svc, lifecycle.Config{
+			RepairInterval:   *repairInt,
+			MaxMigrationFrac: *maxMigr,
+		})
+		eng.SetMaintainer(mgr)
+		api.AttachLifecycle(mgr)
+		log.Printf("embedding lifecycle enabled, repair pass every %v (migration budget %.0f%%)",
+			*repairInt, *maxMigr*100)
+	}
+
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           httpapi.NewWithEngine(svc, eng),
+		Handler:           api,
 		ReadHeaderTimeout: *hdrLimit,
 	}
 

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/sets"
+)
+
+// This file is the seeded destroy/repair searcher behind the embedding
+// lifecycle's migration-aware re-optimization: given an embedding that a
+// model delta degraded, find a *minimal-migration* repair — a valid
+// mapping that agrees with the old one on as many query nodes as
+// possible — instead of re-embedding from scratch and moving everything.
+//
+// The search is LNS-shaped (destroy a neighborhood, repair it, grow the
+// neighborhood on failure): the destroy set seeds with exactly the query
+// nodes whose assignments the live snapshot invalidates (vanished or
+// duplicated images, failed node constraints, violated incident edges),
+// every node outside the set stays pinned to its old image, and the
+// repair pass reassigns only the destroyed nodes — preferring each
+// node's old image first, so a node destroyed because of a neighbor's
+// violation gladly stays put. When no completion exists for the current
+// destroy set, the set grows by its query-graph neighborhood and the
+// search retries, which realizes the lifecycle objective (violations
+// fixed minus nodes moved): the smallest migrations are proven
+// impossible before a larger one is ever considered.
+
+// RepairOptions tunes SeededRepair.
+type RepairOptions struct {
+	// Timeout bounds the whole destroy/repair loop (0 = unbounded).
+	Timeout time.Duration
+	// MaxMoved caps how many query nodes a repair plan may reassign
+	// (0 = no cap beyond the query size). Neighborhood growth stops at
+	// the cap: a repair needing more migrations than the budget allows
+	// reports no mapping rather than exceeding it.
+	MaxMoved int
+	// Stop is the cooperative-cancellation hook, polled on the standard
+	// deadline-check cadence (see Options.Stop).
+	Stop func() bool
+}
+
+// RepairResult reports one SeededRepair run.
+type RepairResult struct {
+	// Mapping is the repaired embedding, nil when none was found within
+	// the budget/timeout. When the old mapping already verifies clean it
+	// is returned unchanged with no Moved entries.
+	Mapping Mapping
+	// Moved lists the query nodes whose image changed, ascending.
+	Moved []graph.NodeID
+	// Destroyed is the size of the final destroy neighborhood (Moved can
+	// be smaller: a destroyed node may win back its old image).
+	Destroyed int
+	// Infeasible is true when the failure is a proof: the destroy set
+	// covered every query node and the full search space was exhausted,
+	// so no embedding exists on this snapshot at all — the lifecycle
+	// reports such embeddings Broken, not retry-forever.
+	Infeasible bool
+	// Exhausted is false when a timeout or Stop cut the run short; the
+	// absence of a repair is then inconclusive.
+	Exhausted bool
+	// Stats carries the search effort counters.
+	Stats Stats
+}
+
+// repairSearcher carries one destroy-set attempt's state.
+type repairSearcher struct {
+	p   *Problem
+	nq  int
+	nr  int
+	old Mapping
+
+	stopClock
+	stats *Stats
+}
+
+// SeededRepair computes a minimal-migration repair of old against p's
+// (live) host. The old mapping may be arbitrarily stale: images out of
+// range (vanished hosts re-resolve to -1), duplicated, or constraint-
+// violating entries are what seed the destroy set. The query graph must
+// be p.Query; len(old) must equal its node count.
+func SeededRepair(p *Problem, old Mapping, opt RepairOptions) *RepairResult {
+	start := time.Now()
+	res := &RepairResult{Exhausted: true}
+	s := &repairSearcher{
+		p:     p,
+		nq:    p.Query.NumNodes(),
+		nr:    p.Host.NumNodes(),
+		old:   old,
+		stats: &res.Stats,
+	}
+	s.arm(start, opt.Timeout, opt.Stop)
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	if len(old) != s.nq {
+		// A mapping of the wrong shape cannot seed anything; treat every
+		// node as destroyed and fall through to the growth loop's tail.
+		old = make(Mapping, s.nq)
+		for i := range old {
+			old[i] = -1
+		}
+		s.old = old
+	}
+
+	maxMoved := opt.MaxMoved
+	if maxMoved <= 0 || maxMoved > s.nq {
+		maxMoved = s.nq
+	}
+
+	inSet := s.seedDestroySet()
+	if len(inSet) == 0 {
+		// Nothing violated: the old mapping is already healthy.
+		res.Mapping = old.Clone()
+		return res
+	}
+
+	for {
+		size := len(inSet)
+		if size > maxMoved {
+			// The smallest conceivable repair already exceeds the
+			// migration budget.
+			res.Destroyed = size
+			return res
+		}
+		m, ok := s.repairWith(inSet)
+		if s.timedOut {
+			res.Exhausted = false
+			res.Destroyed = size
+			return res
+		}
+		if ok {
+			res.Mapping = m
+			res.Destroyed = size
+			for q := 0; q < s.nq; q++ {
+				if m[q] != old[q] {
+					res.Moved = append(res.Moved, graph.NodeID(q))
+				}
+			}
+			return res
+		}
+		if size == s.nq {
+			// Full destroy set, exhausted search, no solution: a proof.
+			res.Destroyed = size
+			res.Infeasible = true
+			return res
+		}
+		s.growDestroySet(inSet)
+	}
+}
+
+// seedDestroySet computes the minimal violating neighborhood: query
+// nodes whose images vanished, collide, or fail the node constraint,
+// plus — for each violated query edge with neither endpoint already in
+// the set — the endpoint incident to more violated edges (ties break to
+// the lower node ID, deterministically).
+func (s *repairSearcher) seedDestroySet() map[graph.NodeID]bool {
+	inSet := make(map[graph.NodeID]bool)
+	imageOf := make(map[graph.NodeID]graph.NodeID, s.nq)
+	for q := 0; q < s.nq; q++ {
+		qid := graph.NodeID(q)
+		r := s.old[q]
+		if r < 0 || int(r) >= s.nr {
+			inSet[qid] = true
+			continue
+		}
+		if _, dup := imageOf[r]; dup {
+			// Injectivity broken (two names resolved to one survivor
+			// after a delta): destroy the later claimant, keep the first.
+			inSet[qid] = true
+			continue
+		}
+		imageOf[r] = qid
+		if !s.p.nodeOK(qid, r) {
+			inSet[qid] = true
+		}
+	}
+	// Count edge violations per still-pinned node, then pull one endpoint
+	// of every violated pinned-pinned edge into the set.
+	violations := make([]int, s.nq)
+	violated := make([][2]graph.NodeID, 0)
+	for i := 0; i < s.p.Query.NumEdges(); i++ {
+		qe := s.p.Query.Edge(graph.EdgeID(i))
+		if inSet[qe.From] || inSet[qe.To] {
+			continue // already scheduled for reassignment
+		}
+		s.stats.ConstraintChk++
+		if s.p.EdgeFeasible(qe, s.old[qe.From], s.old[qe.To]) {
+			continue
+		}
+		violations[qe.From]++
+		violations[qe.To]++
+		violated = append(violated, [2]graph.NodeID{qe.From, qe.To})
+	}
+	for _, pair := range violated {
+		u, v := pair[0], pair[1]
+		if inSet[u] || inSet[v] {
+			continue
+		}
+		pick := u
+		if violations[v] > violations[u] || (violations[v] == violations[u] && v < u) {
+			pick = v
+		}
+		inSet[pick] = true
+	}
+	return inSet
+}
+
+// growDestroySet expands the neighborhood by the query-graph neighbors
+// of the current set; when that reaches a fixed point short of the whole
+// query (a disconnected component), the lowest-ID survivor joins so the
+// loop always makes progress toward the full re-embed.
+func (s *repairSearcher) growDestroySet(inSet map[graph.NodeID]bool) {
+	var frontier []graph.NodeID
+	for q := range inSet {
+		for _, a := range s.p.Query.Arcs(q) {
+			if !inSet[a.To] {
+				frontier = append(frontier, a.To)
+			}
+		}
+		if s.p.Query.Directed() {
+			for _, a := range s.p.Query.InArcs(q) {
+				if !inSet[a.To] {
+					frontier = append(frontier, a.To)
+				}
+			}
+		}
+	}
+	if len(frontier) == 0 {
+		for q := 0; q < s.nq; q++ {
+			if !inSet[graph.NodeID(q)] {
+				inSet[graph.NodeID(q)] = true
+				return
+			}
+		}
+		return
+	}
+	for _, q := range frontier {
+		inSet[q] = true
+	}
+}
+
+// repairWith attempts a completion that pins every node outside the
+// destroy set to its old image and reassigns the destroyed ones. It
+// reports ok=false when the (exhaustive, for this set) search finds no
+// completion; the caller then grows the set. Candidate order prefers a
+// destroyed node's old image so migrations happen only when forced.
+func (s *repairSearcher) repairWith(inSet map[graph.NodeID]bool) (Mapping, bool) {
+	// Pinned images occupy their hosts for the whole attempt.
+	used := sets.NewBitset(s.nr)
+	assign := make(Mapping, s.nq)
+	for q := 0; q < s.nq; q++ {
+		qid := graph.NodeID(q)
+		if inSet[qid] {
+			assign[q] = -1
+			continue
+		}
+		assign[q] = s.old[q]
+		used.Set(s.old[q])
+	}
+
+	// Per-destroyed-node candidate domains: node-admissible, unused by a
+	// pin, and consistent with every edge into the pinned region. Edges
+	// between two destroyed nodes are checked during the DFS.
+	destroyed := make([]graph.NodeID, 0, len(inSet))
+	for q := range inSet {
+		destroyed = append(destroyed, q)
+	}
+	sortNodeIDs(destroyed)
+
+	cands := make(map[graph.NodeID][]graph.NodeID, len(destroyed))
+	for _, q := range destroyed {
+		var list []graph.NodeID
+		// Old image first: zero-migration reassignments win ties.
+		if r := s.old[q]; r >= 0 && int(r) < s.nr {
+			if s.candidateOK(q, r, assign, used) {
+				list = append(list, r)
+			}
+		}
+		for r := graph.NodeID(0); int(r) < s.nr; r++ {
+			if s.checkDeadline() {
+				return nil, false
+			}
+			if r == s.old[q] {
+				continue
+			}
+			if s.candidateOK(q, r, assign, used) {
+				list = append(list, r)
+			}
+		}
+		if len(list) == 0 {
+			s.stats.Wipeouts++
+			s.stats.WipeoutDepthSum += int64(s.nq - len(destroyed))
+			return nil, false
+		}
+		cands[q] = list
+	}
+
+	// Most-constrained first: fewest candidates, ties to lower ID.
+	order := append([]graph.NodeID(nil), destroyed...)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if len(cands[a]) < len(cands[b]) || (len(cands[a]) == len(cands[b]) && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if s.checkDeadline() {
+			return false
+		}
+		if d == len(order) {
+			return true
+		}
+		q := order[d]
+		found := false
+		for _, r := range cands[q] {
+			if used.Has(r) {
+				continue
+			}
+			s.stats.NodesVisited++
+			if !s.edgesToAssignedOK(q, r, assign) {
+				continue
+			}
+			assign[q] = r
+			used.Set(r)
+			if rec(d + 1) {
+				return true
+			}
+			used.Clear(r)
+			assign[q] = -1
+			found = true
+			if s.timedOut {
+				return false
+			}
+		}
+		if !found {
+			s.stats.Backtracks++
+		}
+		return false
+	}
+	if rec(0) {
+		return assign.Clone(), true
+	}
+	return nil, false
+}
+
+// candidateOK filters one (destroyed node, host) pairing against the
+// pinned region: node constraint, injectivity with pins, and every query
+// edge from q into a pinned neighbor (host edge exists, right
+// orientation, edge constraint holds).
+func (s *repairSearcher) candidateOK(q, r graph.NodeID, assign Mapping, used *sets.Bitset) bool {
+	if used.Has(r) || !s.p.nodeOK(q, r) {
+		return false
+	}
+	return s.edgesOK(q, r, assign, true)
+}
+
+// edgesToAssignedOK checks q→r against everything currently assigned —
+// pins and earlier destroyed nodes alike.
+func (s *repairSearcher) edgesToAssignedOK(q, r graph.NodeID, assign Mapping) bool {
+	return s.edgesOK(q, r, assign, false)
+}
+
+// edgesOK verifies every query edge between q (placed at r) and an
+// assigned neighbor. pinnedOnly restricts the sweep to edges whose other
+// endpoint lies outside the destroy set (the candidate pre-filter);
+// otherwise every assigned neighbor counts (the DFS consistency check).
+func (s *repairSearcher) edgesOK(q, r graph.NodeID, assign Mapping, pinnedOnly bool) bool {
+	check := func(a graph.Arc, qIsFrom bool) bool {
+		other := a.To
+		if assign[other] < 0 {
+			return true
+		}
+		if pinnedOnly && s.old[other] != assign[other] {
+			// Skip destroyed-but-assigned neighbors in pre-filter mode;
+			// with assign fresh from the pin pass this branch is moot, but
+			// keeps the helper honest if reused mid-search.
+			return true
+		}
+		qe := s.p.Query.Edge(a.Edge)
+		rs, rt := r, assign[other]
+		if !qIsFrom {
+			rs, rt = assign[other], r
+		}
+		s.stats.ConstraintChk++
+		return s.p.EdgeFeasible(qe, rs, rt)
+	}
+	for _, a := range s.p.Query.Arcs(q) {
+		if !check(a, s.p.Query.Edge(a.Edge).From == q) {
+			return false
+		}
+	}
+	if s.p.Query.Directed() {
+		for _, a := range s.p.Query.InArcs(q) {
+			if !check(a, false) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortNodeIDs sorts ascending in place (insertion sort; destroy sets are
+// small by design).
+func sortNodeIDs(s []graph.NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FindWitness searches the host for one witness path for query edge qe
+// between the mapped endpoints rs→rt under the options' composed-metric
+// windows, honoring MaxHops, the timeout and the Stop hook. It is the
+// re-routing primitive of the embedding lifecycle: a path-mode embedding
+// whose witness a delta broke can often be healed by a fresh witness
+// with zero node migrations. The returned path's Cost is the first
+// metric's composed value, matching PathEmbed's convention.
+func FindWitness(host *graph.Graph, qe *graph.Edge, rs, rt graph.NodeID, opt PathOptions) (graph.Path, bool) {
+	opt.applyDefaults()
+	var clk stopClock
+	clk.arm(time.Now(), opt.Timeout, opt.Stop)
+	var found graph.Path
+	ok := false
+	host.PathsWithinStop(rs, rt, opt.MaxHops, clk.checkDeadline, func(path graph.Path) bool {
+		if !pathMetricsOK(host, qe, path.Edges, opt.Metrics) {
+			return true
+		}
+		path.Cost, _ = opt.Metrics[0].composeAlong(host, path.Edges)
+		found, ok = path, true
+		return false
+	})
+	return found, ok
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/topo"
+)
+
+// delayHost stamps every edge of g with the standard 10..20 delay range
+// accepted by delayWindow against a 5..25 query window.
+func delayHost(g *graph.Graph) *graph.Graph {
+	for i := 0; i < g.NumEdges(); i++ {
+		g.Edge(graph.EdgeID(i)).Attrs = graph.Attrs{}.
+			SetNum("minDelay", 10).SetNum("maxDelay", 20)
+	}
+	return g
+}
+
+// breakHostEdge pushes the host edge between u and v outside every
+// 5..25 query window, simulating a delta that degraded the link.
+func breakHostEdge(t *testing.T, g *graph.Graph, u, v graph.NodeID) {
+	t.Helper()
+	id, ok := g.EdgeBetween(u, v)
+	if !ok {
+		t.Fatalf("no host edge %d-%d to break", u, v)
+	}
+	g.Edge(id).Attrs = graph.Attrs{}.SetNum("minDelay", 100).SetNum("maxDelay", 200)
+}
+
+func lineOnCliqueProblem(t *testing.T, nHost int) *Problem {
+	t.Helper()
+	host := delayHost(topo.Clique(nHost))
+	query := topo.Line(3)
+	topo.SetDelayWindow(query, 5, 25)
+	p, err := NewProblem(query, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSeededRepairHealthyNoop(t *testing.T) {
+	p := lineOnCliqueProblem(t, 5)
+	old := Mapping{0, 1, 2}
+	res := SeededRepair(p, old, RepairOptions{})
+	if res.Mapping == nil || len(res.Moved) != 0 || res.Destroyed != 0 {
+		t.Fatalf("healthy mapping was disturbed: %+v", res)
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("returned mapping invalid: %v", err)
+	}
+	old[0] = 4 // the result must be a copy, not an alias
+	if res.Mapping[0] != 0 {
+		t.Fatal("result aliases the input mapping")
+	}
+}
+
+func TestSeededRepairSingleMove(t *testing.T) {
+	p := lineOnCliqueProblem(t, 5)
+	breakHostEdge(t, p.Host, 1, 2)
+	old := Mapping{0, 1, 2}
+	res := SeededRepair(p, old, RepairOptions{})
+	if res.Mapping == nil {
+		t.Fatal("no repair found")
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("repair invalid: %v", err)
+	}
+	// On a clique with one broken edge, moving a single endpoint off the
+	// broken link suffices; a minimal-migration repair must find it.
+	if len(res.Moved) != 1 {
+		t.Fatalf("moved %v, want exactly one node", res.Moved)
+	}
+	if !res.Exhausted || res.Infeasible {
+		t.Fatalf("bad flags: %+v", res)
+	}
+	kept := 0
+	for q := range old {
+		if res.Mapping[q] == old[q] {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Fatalf("kept %d assignments, want 2 (mapping %v)", kept, res.Mapping)
+	}
+}
+
+func TestSeededRepairVanishedHost(t *testing.T) {
+	p := lineOnCliqueProblem(t, 5)
+	// A structural delta removed the host; the lifecycle re-resolves the
+	// name to -1.
+	old := Mapping{0, -1, 2}
+	res := SeededRepair(p, old, RepairOptions{})
+	if res.Mapping == nil {
+		t.Fatal("no repair found")
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("repair invalid: %v", err)
+	}
+	if len(res.Moved) != 1 || res.Moved[0] != 1 {
+		t.Fatalf("moved %v, want just the vanished node", res.Moved)
+	}
+	if res.Mapping[0] != 0 || res.Mapping[2] != 2 {
+		t.Fatalf("surviving pins disturbed: %v", res.Mapping)
+	}
+}
+
+func TestSeededRepairDuplicateImages(t *testing.T) {
+	p := lineOnCliqueProblem(t, 5)
+	// Two query nodes re-resolved to the same survivor after a delta
+	// merged their hosts' names; injectivity must be restored.
+	old := Mapping{0, 1, 1}
+	res := SeededRepair(p, old, RepairOptions{})
+	if res.Mapping == nil {
+		t.Fatal("no repair found")
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("repair invalid: %v", err)
+	}
+	if len(res.Moved) != 1 || res.Moved[0] != 2 {
+		t.Fatalf("moved %v, want just the later duplicate claimant", res.Moved)
+	}
+}
+
+// TestSeededRepairGrowsNeighborhood pins the LNS growth loop: on a ring
+// the single-endpoint destroy set is provably unrepairable, so the set
+// must expand until a two-node migration succeeds — and nodes destroyed
+// but re-placed at their old image must not count as moved.
+func TestSeededRepairGrowsNeighborhood(t *testing.T) {
+	host := delayHost(topo.Ring(8))
+	query := topo.Line(3)
+	topo.SetDelayWindow(query, 5, 25)
+	p, err := NewProblem(query, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakHostEdge(t, host, 1, 2)
+	old := Mapping{0, 1, 2}
+	res := SeededRepair(p, old, RepairOptions{})
+	if res.Mapping == nil {
+		t.Fatal("no repair found")
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("repair invalid: %v", err)
+	}
+	if len(res.Moved) != 2 {
+		t.Fatalf("moved %v, want two nodes (one ring flank must relocate)", res.Moved)
+	}
+	if res.Destroyed <= len(res.Moved)-1 {
+		t.Fatalf("destroyed %d with %d moved: growth never happened", res.Destroyed, len(res.Moved))
+	}
+}
+
+func TestSeededRepairRespectsMoveBudget(t *testing.T) {
+	host := delayHost(topo.Ring(8))
+	query := topo.Line(3)
+	topo.SetDelayWindow(query, 5, 25)
+	p, err := NewProblem(query, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakHostEdge(t, host, 1, 2)
+	res := SeededRepair(p, Mapping{0, 1, 2}, RepairOptions{MaxMoved: 1})
+	if res.Mapping != nil {
+		t.Fatalf("repair %v returned under a 1-move budget that needs 2", res.Mapping)
+	}
+	if res.Infeasible {
+		t.Fatal("budget exhaustion misreported as infeasibility proof")
+	}
+	if !res.Exhausted {
+		t.Fatal("budgeted run misreported as timed out")
+	}
+}
+
+func TestSeededRepairInfeasibleIsAProof(t *testing.T) {
+	host := delayHost(topo.Line(3))
+	query := topo.Line(3)
+	// No host edge can satisfy an impossible window: every destroy set up
+	// to the full query must fail, and that is a Broken proof.
+	topo.SetDelayWindow(query, 1, 2)
+	p, err := NewProblem(query, host, delayWindow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SeededRepair(p, Mapping{0, 1, 2}, RepairOptions{})
+	if res.Mapping != nil {
+		t.Fatalf("repair found for infeasible instance: %v", res.Mapping)
+	}
+	if !res.Infeasible || !res.Exhausted {
+		t.Fatalf("want Infeasible+Exhausted, got %+v", res)
+	}
+	if res.Destroyed != 3 {
+		t.Fatalf("proof must cover the full query, destroyed %d", res.Destroyed)
+	}
+}
+
+func TestSeededRepairStopHook(t *testing.T) {
+	p := lineOnCliqueProblem(t, 64)
+	breakHostEdge(t, p.Host, 1, 2)
+	res := SeededRepair(p, Mapping{0, 1, 2}, RepairOptions{Stop: func() bool { return true }})
+	if res.Mapping != nil && res.Exhausted {
+		// A pre-cancelled run may still succeed before the first poll on
+		// tiny instances; what it must never do is claim exhaustion after
+		// being cut short.
+		if err := p.Verify(res.Mapping); err != nil {
+			t.Fatalf("repair invalid: %v", err)
+		}
+	}
+	if res.Mapping == nil && res.Infeasible {
+		t.Fatal("cancelled run claimed an infeasibility proof")
+	}
+}
+
+// TestSeededRepairCrossCheck corrupts known-good embeddings on random
+// instances and checks every repair the searcher returns is valid, agrees
+// with the seed outside Moved, and never misses a trivially-available fix.
+func TestSeededRepairCrossCheck(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := smallProblem(t, seed)
+		all := naiveEmbeddings(p)
+		if len(all) == 0 {
+			continue
+		}
+		old := all[0].Clone()
+		old[0] = -1 // vanish one image; the original is still available
+		res := SeededRepair(p, old, RepairOptions{Timeout: 5 * time.Second})
+		if res.Mapping == nil {
+			t.Fatalf("seed %d: no repair though restoring the original works (%+v)", seed, res)
+		}
+		if err := p.Verify(res.Mapping); err != nil {
+			t.Fatalf("seed %d: repair invalid: %v", seed, err)
+		}
+		moved := map[graph.NodeID]bool{}
+		for _, q := range res.Moved {
+			moved[q] = true
+		}
+		for q := range old {
+			qid := graph.NodeID(q)
+			if !moved[qid] && res.Mapping[q] != old[q] {
+				t.Fatalf("seed %d: node %d silently moved %d→%d", seed, q, old[q], res.Mapping[q])
+			}
+			if moved[qid] && res.Mapping[q] == old[q] {
+				t.Fatalf("seed %d: node %d reported moved but kept its image", seed, q)
+			}
+		}
+	}
+}
+
+func TestFindWitness(t *testing.T) {
+	host := topo.Line(4)
+	for i := 0; i < host.NumEdges(); i++ {
+		host.Edge(graph.EdgeID(i)).Attrs = graph.Attrs{}.SetNum("avgDelay", 10)
+	}
+	query := topo.Line(2)
+	qe := query.Edge(0)
+	qe.Attrs = graph.Attrs{}.SetNum("minDelay", 5).SetNum("maxDelay", 35)
+
+	path, ok := FindWitness(host, qe, 0, 3, PathOptions{MaxHops: 3})
+	if !ok {
+		t.Fatal("no witness on a feasible line")
+	}
+	if len(path.Edges) != 3 || path.Cost != 30 {
+		t.Fatalf("witness %v cost %v, want the 3-hop line at composed delay 30", path.Edges, path.Cost)
+	}
+
+	// Hop bound below the only route: no witness.
+	if _, ok := FindWitness(host, qe, 0, 3, PathOptions{MaxHops: 2}); ok {
+		t.Fatal("witness found past the hop bound")
+	}
+
+	// Window excludes the composed delay: no witness.
+	qe.Attrs = graph.Attrs{}.SetNum("minDelay", 5).SetNum("maxDelay", 25)
+	if _, ok := FindWitness(host, qe, 0, 3, PathOptions{MaxHops: 3}); ok {
+		t.Fatal("witness found outside the delay window")
+	}
+}

@@ -253,6 +253,9 @@ type Engine struct {
 	jobs   map[JobID]*Job
 	nextID int64
 
+	maintMu    sync.Mutex
+	maintainer Maintainer
+
 	workerWG sync.WaitGroup
 	tickStop chan struct{}
 	tickWG   sync.WaitGroup
@@ -638,8 +641,36 @@ func cacheableResponse(req service.Request, resp *service.Response) bool {
 	}
 }
 
-// tick runs the periodic maintenance: prune expired ledger leases and
-// sweep cache entries stranded on stale model versions.
+// Maintainer receives the engine's periodic maintenance tick after the
+// engine's own housekeeping ran: the ledger's clock reading for the
+// round and the lease IDs the expiry sweep just removed. The embedding
+// lifecycle manager hooks in here — expired leases flip their owning
+// embeddings to Expired immediately, and the health/repair pass paces
+// itself off the tick. Implementations must be safe for concurrent use
+// with the rest of their own API; the engine calls them from its tick
+// goroutine only.
+type Maintainer interface {
+	Maintain(now time.Time, prunedLeases []service.LeaseID)
+}
+
+// SetMaintainer attaches (or, with nil, detaches) the maintenance hook.
+// Safe to call on a live engine; the next tick observes the change.
+func (e *Engine) SetMaintainer(m Maintainer) {
+	e.maintMu.Lock()
+	e.maintainer = m
+	e.maintMu.Unlock()
+}
+
+func (e *Engine) currentMaintainer() Maintainer {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	return e.maintainer
+}
+
+// tick runs the periodic maintenance: prune expired ledger leases, sweep
+// cache entries stranded on stale model versions, and hand the round to
+// the attached Maintainer (the embedding lifecycle manager) with the
+// pruned lease IDs.
 func (e *Engine) tick() {
 	defer e.tickWG.Done()
 	ticker := time.NewTicker(e.cfg.TickInterval)
@@ -650,9 +681,14 @@ func (e *Engine) tick() {
 			return
 		case <-ticker.C:
 			led := e.svc.Ledger()
-			e.leasesPruned.Add(int64(led.Prune(led.Now())))
+			now := led.Now()
+			pruned := led.Prune(now)
+			e.leasesPruned.Add(int64(len(pruned)))
 			e.cache.sweep(e.svc.Model().Version())
 			e.expireJobs(time.Now())
+			if m := e.currentMaintainer(); m != nil {
+				m.Maintain(now, pruned)
+			}
 		}
 	}
 }

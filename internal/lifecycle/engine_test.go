@@ -1,0 +1,60 @@
+package lifecycle
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netembed/internal/engine"
+	"netembed/internal/service"
+	"netembed/internal/topo"
+)
+
+// TestEngineTickDrivesLifecycle wires the manager into a live engine as
+// its Maintainer and lets the real maintenance tick do everything: a
+// breaking delta is noticed, repaired and committed with no explicit
+// CheckAll/Migrate calls, and an expiring TTL lease is pruned into the
+// Expired state.
+func TestEngineTickDrivesLifecycle(t *testing.T) {
+	model := service.NewModel(cpuClique(6, nil))
+	svc := service.New(model, service.Config{})
+	eng := engine.New(svc, engine.Config{TickInterval: 5 * time.Millisecond})
+	defer eng.Close(context.Background())
+	m := NewManager(svc, Config{RepairInterval: time.Millisecond})
+	eng.SetMaintainer(m)
+
+	// Start the engine's workers and tick with a real job round-trip.
+	if _, err := eng.SubmitWait(context.Background(), service.Request{
+		Query:          topo.Line(2),
+		NodeConstraint: "rNode.cpu >= 5",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	durable := placeLine3(t, m, "rNode.cpu >= 5")
+	ephemeral, err := m.Place(PlaceRequest{
+		Request: service.Request{Query: topo.Line(2), NodeConstraint: "rNode.cpu >= 5"},
+		TTL:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	setCPU(t, model, durable.Mapping["n1"], 1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := m.Get(durable.ID)
+		exp, _ := m.Get(ephemeral.ID)
+		if got.Health == Healthy && got.Repairs == 1 && exp.Health == Expired {
+			if got.MigratedNodes != 1 {
+				t.Fatalf("tick-driven repair moved %d nodes", got.MigratedNodes)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tick never converged: durable=%+v ephemeral=%+v", got, exp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

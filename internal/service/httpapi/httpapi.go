@@ -40,6 +40,7 @@ import (
 	"netembed/internal/engine"
 	"netembed/internal/graph"
 	"netembed/internal/graphml"
+	"netembed/internal/lifecycle"
 	"netembed/internal/service"
 )
 
@@ -49,6 +50,9 @@ type Server struct {
 	eng       *engine.Engine
 	ownEngine bool
 	mux       *http.ServeMux
+	// lc is the embedding-lifecycle manager, mounted via AttachLifecycle
+	// (nil when the daemon runs without lifecycle management).
+	lc *lifecycle.Manager
 }
 
 // New builds the HTTP front end for svc around a private job engine with

@@ -120,5 +120,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.lc != nil {
+		writeJSON(w, http.StatusOK, foldLifecycleStats(s.eng.Stats(), s.lc.Stats()))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.eng.Stats())
 }

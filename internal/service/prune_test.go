@@ -29,8 +29,8 @@ func TestLedgerPrune(t *testing.T) {
 	if got := len(l.SaturatedNodes()); got != 3 {
 		t.Fatalf("during window: %d saturated nodes, want 3", got)
 	}
-	if pruned := l.Prune(now); pruned != 0 {
-		t.Fatalf("prune before expiry removed %d leases, want 0", pruned)
+	if pruned := l.Prune(now); len(pruned) != 0 {
+		t.Fatalf("prune before expiry removed %v, want none", pruned)
 	}
 	if _, ok := l.Lease(id); !ok {
 		t.Fatal("live windowed lease pruned")
@@ -41,8 +41,8 @@ func TestLedgerPrune(t *testing.T) {
 	if got := l.SaturatedNodes(); len(got) != 1 || got[0] != graph.NodeID(2) {
 		t.Fatalf("after window: saturated = %v, want just node 2", got)
 	}
-	if pruned := l.Prune(now); pruned != 1 {
-		t.Fatalf("prune after expiry removed %d leases, want 1", pruned)
+	if pruned := l.Prune(now); len(pruned) != 1 || pruned[0] != id {
+		t.Fatalf("prune after expiry removed %v, want [%d]", pruned, id)
 	}
 	if _, ok := l.Lease(id); ok {
 		t.Fatal("expired lease still present after Prune")
@@ -68,13 +68,13 @@ func TestLedgerPruneIdempotent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := l.Prune(base.Add(3 * time.Minute)); got != 3 {
-		t.Fatalf("first sweep pruned %d, want 3", got)
+	if got := l.Prune(base.Add(3 * time.Minute)); len(got) != 3 {
+		t.Fatalf("first sweep pruned %v, want 3 leases", got)
 	}
-	if got := l.Prune(base.Add(3 * time.Minute)); got != 0 {
-		t.Fatalf("second sweep pruned %d, want 0", got)
+	if got := l.Prune(base.Add(3 * time.Minute)); len(got) != 0 {
+		t.Fatalf("second sweep pruned %v, want none", got)
 	}
-	if got := l.Prune(base.Add(time.Hour)); got != 2 {
-		t.Fatalf("final sweep pruned %d, want 2", got)
+	if got := l.Prune(base.Add(time.Hour)); len(got) != 2 {
+		t.Fatalf("final sweep pruned %v, want 2 leases", got)
 	}
 }

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netembed/internal/core"
+)
+
+func TestLedgerRenewExtends(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{0, 1}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEnd := end.Add(time.Hour)
+	if err := l.Renew(id, newEnd); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	lease, ok := l.Lease(id)
+	if !ok || !lease.End.Equal(newEnd) {
+		t.Fatalf("lease end = %v, want %v", lease.End, newEnd)
+	}
+	// The original expiry must no longer prune it.
+	if pruned := l.Prune(end); len(pruned) != 0 {
+		t.Fatalf("renewed lease pruned at old expiry: %v", pruned)
+	}
+	if pruned := l.Prune(newEnd); len(pruned) != 1 || pruned[0] != id {
+		t.Fatalf("renewed lease not pruned at new expiry: %v", pruned)
+	}
+}
+
+func TestLedgerRenewErrors(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	open, err := l.Allocate(core.Mapping{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(open, now.Add(time.Hour)); !errors.Is(err, ErrNotWindowed) {
+		t.Fatalf("renew open-ended lease: %v, want ErrNotWindowed", err)
+	}
+	if err := l.Renew(LeaseID(999), now.Add(time.Hour)); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("renew unknown lease: %v, want ErrLeaseNotFound", err)
+	}
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{1}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(id, time.Time{}); err == nil {
+		t.Fatal("renew with zero expiry accepted")
+	}
+	if err := l.Renew(id, end); err == nil {
+		t.Fatal("renew to the unchanged expiry accepted")
+	}
+	if err := l.Renew(id, end.Add(-time.Minute)); err == nil {
+		t.Fatal("renew that shrinks the window accepted")
+	}
+	if lease, _ := l.Lease(id); !lease.End.Equal(end) {
+		t.Fatalf("failed renews mutated the lease: end = %v", lease.End)
+	}
+}
+
+func TestLedgerRenewConflict(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{0}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another tenant booked node 0 right after this lease's window — the
+	// very placement renew-by-release-and-reallocate would have clobbered.
+	if _, err := l.AllocateWindow(core.Mapping{0}, end, end.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(id, end.Add(30*time.Minute)); !errors.Is(err, ErrConflict) {
+		t.Fatalf("renew over a booked slot: %v, want ErrConflict", err)
+	}
+	if lease, _ := l.Lease(id); !lease.End.Equal(end) {
+		t.Fatalf("conflicted renew mutated the lease: end = %v", lease.End)
+	}
+}
+
+// TestLedgerRenewPastExpiry pins revival semantics: a lapsed-but-unpruned
+// lease can be renewed, and only holds overlapping the *future* coverage
+// conflict — bookings that came and went entirely during the lapse don't.
+func TestLedgerRenewPastExpiry(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{0}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A booking entirely inside the lapse [end, end+2h): gone by renew time.
+	if _, err := l.AllocateWindow(core.Mapping{0}, end, end.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	now = end.Add(3 * time.Hour) // the lease lapsed 3h ago, never pruned
+	if err := l.Renew(id, now.Add(time.Hour)); err != nil {
+		t.Fatalf("reviving a lapsed lease past a finished booking: %v", err)
+	}
+	lease, _ := l.Lease(id)
+	if !lease.End.Equal(now.Add(time.Hour)) {
+		t.Fatalf("revived lease end = %v", lease.End)
+	}
+
+	// But a booking active over the future coverage still wins.
+	id2, err := l.AllocateWindow(core.Mapping{1}, now.Add(-time.Hour).Add(-time.Hour), now.Add(-time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = id2 // lapsed as well
+	now = now.Add(2 * time.Hour)
+	if _, err := l.AllocateWindow(core.Mapping{0}, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(id, now.Add(30*time.Minute)); !errors.Is(err, ErrConflict) {
+		t.Fatalf("revival over an active booking: %v, want ErrConflict", err)
+	}
+}
+
+func TestLedgerReplaceSwapsAtomically(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{0, 1}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migrate node 0 → 2 while keeping node 1: the kept node must not
+	// conflict with the lease's own hold.
+	if err := l.Replace(id, core.Mapping{2, 1}); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	lease, _ := l.Lease(id)
+	if len(lease.Nodes) != 2 || lease.Nodes[0] != 2 || lease.Nodes[1] != 1 {
+		t.Fatalf("lease nodes = %v, want [2 1]", lease.Nodes)
+	}
+	if !lease.End.Equal(end) {
+		t.Fatalf("replace clobbered the window: end = %v", lease.End)
+	}
+	// Node 0 is free again, node 2 is not.
+	if _, err := l.AllocateWindow(core.Mapping{0}, now, end); err != nil {
+		t.Fatalf("freed node not allocatable: %v", err)
+	}
+	if _, err := l.AllocateWindow(core.Mapping{2}, now, end); !errors.Is(err, ErrConflict) {
+		t.Fatalf("migrated-to node still allocatable: %v", err)
+	}
+}
+
+func TestLedgerReplaceConflictIsNoop(t *testing.T) {
+	l := NewLedger()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+
+	end := now.Add(time.Hour)
+	id, err := l.AllocateWindow(core.Mapping{0}, now, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent placement steals the migration target before commit.
+	if _, err := l.AllocateWindow(core.Mapping{5}, now, end); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replace(id, core.Mapping{5}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("replace onto stolen target: %v, want ErrConflict", err)
+	}
+	lease, _ := l.Lease(id)
+	if len(lease.Nodes) != 1 || lease.Nodes[0] != 0 {
+		t.Fatalf("conflicted replace mutated the lease: %v", lease.Nodes)
+	}
+	if err := l.Replace(id, core.Mapping{3, 3}); err == nil {
+		t.Fatal("replace with duplicate nodes accepted")
+	}
+	if err := l.Replace(LeaseID(999), core.Mapping{4}); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("replace unknown lease: %v, want ErrLeaseNotFound", err)
+	}
+}

@@ -98,6 +98,9 @@ func (l *Ledger) Now() time.Time {
 var (
 	ErrLeaseNotFound = errors.New("service: lease not found")
 	ErrConflict      = errors.New("service: reservation conflict")
+	// ErrNotWindowed rejects Renew on an open-ended lease: it never
+	// expires, so there is nothing to extend.
+	ErrNotWindowed = errors.New("service: lease has no expiry window")
 )
 
 // Allocate reserves the hosting nodes of m indefinitely. It fails with
@@ -157,21 +160,131 @@ func windowsOverlap(aStart, aEnd, bStart, bEnd time.Time) bool {
 }
 
 // Prune removes leases whose validity windows ended at or before now,
-// returning how many were dropped. Expired windowed leases no longer hold
-// resources (active() already excludes them from saturation queries) but
-// their records otherwise accumulate forever; the job engine calls this
-// from its periodic tick so long-lived services stay lean.
-func (l *Ledger) Prune(now time.Time) int {
+// returning the IDs it dropped so owners of long-lived state keyed by
+// lease — the embedding lifecycle registry — can mark the affected
+// records Expired instead of discovering the loss lazily. Expired
+// windowed leases no longer hold resources (active() already excludes
+// them from saturation queries) but their records otherwise accumulate
+// forever; the job engine calls this from its periodic tick so
+// long-lived services stay lean.
+func (l *Ledger) Prune(now time.Time) []LeaseID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := 0
+	var removed []LeaseID
 	for id, lease := range l.leases {
 		if !lease.End.IsZero() && !now.Before(lease.End) {
 			delete(l.leases, id)
-			n++
+			removed = append(removed, id)
 		}
 	}
-	return n
+	return removed
+}
+
+// Renew extends a windowed lease to end at newEnd instead of its current
+// expiry, holding the lease's nodes continuously — no release window in
+// which a concurrent placement can steal a slot, which is exactly the
+// race release + re-allocate invites. Open-ended leases fail with
+// ErrNotWindowed (nothing expires); newEnd must lie strictly after the
+// current expiry. The extension is conflict-checked like an allocation:
+// if any of the lease's nodes has every slot held by other leases
+// overlapping the added coverage, Renew fails with ErrConflict and the
+// lease is unchanged. A lease whose window already lapsed (but which
+// Prune has not yet swept) can be revived the same way — the added
+// coverage then starts at the current clock, so placements made after
+// the lapse are honored, not clobbered.
+func (l *Ledger) Renew(id LeaseID, newEnd time.Time) error {
+	if newEnd.IsZero() {
+		return fmt.Errorf("service: renew needs a concrete new expiry")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lease, ok := l.leases[id]
+	if !ok {
+		return ErrLeaseNotFound
+	}
+	if lease.End.IsZero() {
+		return ErrNotWindowed
+	}
+	if !newEnd.After(lease.End) {
+		return fmt.Errorf("service: renew expiry %v does not extend current expiry %v", newEnd, lease.End)
+	}
+	// The coverage the renewal adds: [End, newEnd), pushed forward to the
+	// present when the lease already lapsed — holds that came and went
+	// entirely during the lapse cannot conflict with the future.
+	cover := lease.End
+	if now := l.clock(); now.After(cover) {
+		cover = now
+	}
+	want := make(map[graph.NodeID]bool, len(lease.Nodes))
+	for _, r := range lease.Nodes {
+		want[r] = true
+	}
+	holds := make(map[graph.NodeID]int, len(lease.Nodes))
+	for oid, other := range l.leases {
+		if oid == id || !windowsOverlap(other.Start, other.End, cover, newEnd) {
+			continue
+		}
+		for _, r := range other.Nodes {
+			if want[r] {
+				holds[r]++
+			}
+		}
+	}
+	for r, n := range holds {
+		if n+1 > l.capLocked(r) {
+			return fmt.Errorf("%w: host node %d has all %d slot(s) leased over the extension", ErrConflict, r, l.capLocked(r))
+		}
+	}
+	lease.End = newEnd
+	l.leases[id] = lease
+	return nil
+}
+
+// Replace atomically swaps the node set of a live lease — the commit
+// primitive for migration plans. Semantically it is allocate-new-then-
+// release-old executed under one ledger lock: the replacement mapping is
+// conflict-checked against every *other* lease overlapping this lease's
+// window (the lease's own holds are excluded, so nodes kept across the
+// migration never double-count), and only if every node has a free slot
+// does the lease's node set change. On ErrConflict — a concurrent
+// allocation stole a migration target between planning and commit — the
+// lease is untouched and the caller keeps the old placement: rollback is
+// the no-op. The lease's ID and validity window survive the swap.
+func (l *Ledger) Replace(id LeaseID, m core.Mapping) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lease, ok := l.leases[id]
+	if !ok {
+		return ErrLeaseNotFound
+	}
+	want := make(map[graph.NodeID]bool, len(m))
+	for _, r := range m {
+		if want[r] {
+			return fmt.Errorf("service: mapping reserves host node %d twice", r)
+		}
+		want[r] = true
+	}
+	holds := make(map[graph.NodeID]int, len(m))
+	for oid, other := range l.leases {
+		if oid == id || !windowsOverlap(other.Start, other.End, lease.Start, lease.End) {
+			continue
+		}
+		for _, r := range other.Nodes {
+			if want[r] {
+				holds[r]++
+			}
+		}
+	}
+	for r, n := range holds {
+		if n+1 > l.capLocked(r) {
+			return fmt.Errorf("%w: host node %d has all %d slot(s) leased", ErrConflict, r, l.capLocked(r))
+		}
+	}
+	nodes := make([]graph.NodeID, len(m))
+	copy(nodes, m)
+	lease.Nodes = nodes
+	l.leases[id] = lease
+	return nil
 }
 
 // Release frees a lease.

@@ -75,7 +75,7 @@ func (s *Service) Schedule(req ScheduleRequest, now time.Time) (*ScheduleRespons
 		if len(busy) > 0 {
 			snapshot = host.Clone()
 			for _, r := range busy {
-				snapshot.Node(r).Attrs = snapshot.Node(r).Attrs.SetBool(reservedAttr, true)
+				snapshot.Node(r).Attrs = snapshot.Node(r).Attrs.SetBool(ReservedAttr, true)
 			}
 		}
 

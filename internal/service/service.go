@@ -186,8 +186,10 @@ var (
 	ErrBadPathOptions = errors.New("service: bad path options")
 )
 
-// reservedAttr marks hosts hidden from requests with ExcludeReserved.
-const reservedAttr = "netembedReserved"
+// ReservedAttr marks hosts hidden from requests with ExcludeReserved; the
+// lifecycle manager stamps it on saturated hosts when searching repair
+// plans so migrations avoid other tenants.
+const ReservedAttr = "netembedReserved"
 
 // Embed answers one embedding request against the current model snapshot.
 func (s *Service) Embed(req Request) (*Response, error) {
@@ -478,7 +480,7 @@ func attrWarnings(host *graph.Graph, progs ...*expr.Program) []string {
 						fmt.Sprintf("constraint references %s but no hosting edge defines %q", ref, ref.Attr))
 				}
 			case expr.ObjRSource, expr.ObjRTarget, expr.ObjRNode:
-				if ref.Attr == reservedAttr {
+				if ref.Attr == ReservedAttr {
 					continue // injected by ExcludeReserved
 				}
 				if !nodeHas(ref.Attr) {
@@ -503,7 +505,7 @@ func compilePrograms(edgeSrc, nodeSrc string, excludeReserved bool) (*expr.Progr
 		edgeProg = p
 	}
 	if excludeReserved {
-		guard := "!has(rNode." + reservedAttr + ")"
+		guard := "!has(rNode." + ReservedAttr + ")"
 		if strings.TrimSpace(nodeSrc) != "" {
 			nodeSrc = "(" + nodeSrc + ") && " + guard
 		} else {
@@ -530,7 +532,7 @@ func (s *Service) withReservationMarks(host *graph.Graph) *graph.Graph {
 	marked := host.Clone()
 	for _, r := range reserved {
 		if int(r) < marked.NumNodes() {
-			marked.Node(r).Attrs = marked.Node(r).Attrs.SetBool(reservedAttr, true)
+			marked.Node(r).Attrs = marked.Node(r).Attrs.SetBool(ReservedAttr, true)
 		}
 	}
 	return marked
