@@ -9,9 +9,12 @@
 package netembed_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,7 +25,9 @@ import (
 	"netembed/internal/coords"
 	"netembed/internal/core"
 	"netembed/internal/exp"
+	"netembed/internal/graphml"
 	"netembed/internal/service"
+	"netembed/internal/service/httpapi"
 	"netembed/internal/sim"
 	"netembed/internal/topo"
 	"netembed/internal/trace"
@@ -1097,4 +1102,69 @@ func BenchmarkRepair_SeededVsScratch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServePath measures the steady-state HTTP serve path the load
+// harness (cmd/netembedload) hammers: a POST /embed round trip through
+// the full handler stack — JSON decode, query GraphML decode, engine
+// submit, search (or cache hit), JSON encode — against an indexed
+// PlanetLab model. Run with -benchmem: allocs/op here is the number the
+// CI load gate and the AllocsPerRun regression tests pin.
+//
+//   - warm: every request is a fresh search (cache disabled) on a warmed
+//     process, i.e. the pool-recycled search path.
+//   - cached: identical requests served from the model-versioned result
+//     cache, i.e. the pure HTTP + cache overhead.
+func BenchmarkServePath(b *testing.B) {
+	host := planetLab(b)
+	q, _, err := topo.Subgraph(host, 8, 12, rand.New(rand.NewSource(15)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queryXML, err := graphml.EncodeString(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"query":      queryXML,
+		"maxResults": 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"warm", "cached"} {
+		b.Run(mode, func(b *testing.B) {
+			model := netembed.NewModel(host)
+			model.EnableIndex(netembed.IndexConfig{})
+			svc := netembed.NewService(model, netembed.ServiceConfig{})
+			cacheCap := 64
+			if mode == "warm" {
+				cacheCap = -1 // every request runs a real search
+			}
+			eng := netembed.NewEngine(svc, netembed.EngineConfig{
+				Workers:       2,
+				QueueDepth:    64,
+				CacheCapacity: cacheCap,
+			})
+			defer eng.Close(context.Background())
+			api := httpapi.NewWithEngine(svc, eng)
+			// Warm the process: pools primed, cache filled in cached mode.
+			for i := 0; i < 3; i++ {
+				rec := httptest.NewRecorder()
+				api.ServeHTTP(rec, httptest.NewRequest("POST", "/embed", bytes.NewReader(body)))
+				if rec.Code != 200 {
+					b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				api.ServeHTTP(rec, httptest.NewRequest("POST", "/embed", bytes.NewReader(body)))
+				if rec.Code != 200 {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
 }

@@ -31,7 +31,7 @@ BenchmarkFig08_ECF_PlanetLab-16                	      50	  50000000 ns/op
 BenchmarkNew/sub-16                            	      10	    222222 ns/op
 `
 
-func parse(t *testing.T, s string) map[string][]float64 {
+func parse(t *testing.T, s string) map[string]*Samples {
 	t.Helper()
 	m, err := ParseBench(strings.NewReader(s))
 	if err != nil {
@@ -42,11 +42,15 @@ func parse(t *testing.T, s string) map[string][]float64 {
 
 func TestParseBench(t *testing.T) {
 	m := parse(t, baseRun)
-	if got := len(m["BenchmarkRepr_ECF_Search/n512/bitset"]); got != 3 {
+	if got := len(m["BenchmarkRepr_ECF_Search/n512/bitset"].NsOp); got != 3 {
 		t.Fatalf("got %d samples, want 3 (GOMAXPROCS suffix must be stripped)", got)
 	}
-	if got := m["BenchmarkEngineThroughput/w4/warm"]; len(got) != 2 || got[0] != 2000 {
-		t.Fatalf("engine samples = %v", got)
+	eng := m["BenchmarkEngineThroughput/w4/warm"]
+	if len(eng.NsOp) != 2 || eng.NsOp[0] != 2000 {
+		t.Fatalf("engine ns samples = %v", eng.NsOp)
+	}
+	if len(eng.AllocsOp) != 2 || eng.AllocsOp[0] != 3 {
+		t.Fatalf("engine allocs samples = %v — -benchmem columns must parse", eng.AllocsOp)
 	}
 	if _, ok := m["PASS"]; ok {
 		t.Fatal("non-benchmark lines leaked into the parse")
@@ -55,7 +59,7 @@ func TestParseBench(t *testing.T) {
 
 func TestCompareGate(t *testing.T) {
 	gate := regexp.MustCompile(`^BenchmarkRepr_|^BenchmarkEngineThroughput`)
-	report := Compare(parse(t, baseRun), parse(t, headRun), gate, 0.10)
+	report := Compare(parse(t, baseRun), parse(t, headRun), gate, 0.10, 0.10)
 
 	byName := map[string]Result{}
 	for _, r := range report.Results {
@@ -71,10 +75,14 @@ func TestCompareGate(t *testing.T) {
 		t.Fatalf("repr medians = %v -> %v", repr.BaseNsOp, repr.HeadNsOp)
 	}
 
-	// Engine: 2100 -> 3050 = +45%: gated regression.
+	// Engine: 2100 -> 3050 = +45%: gated regression. The head run carries
+	// no -benchmem columns, so allocations must not gate it.
 	eng := byName["BenchmarkEngineThroughput/w4/warm"]
 	if !eng.Regression {
 		t.Fatalf("engine: %+v, want regression", eng)
+	}
+	if eng.HasAllocs {
+		t.Fatalf("engine: %+v, allocs must not compare when one side lacks them", eng)
 	}
 
 	// Fig08 regressed 10x but is not gated.
@@ -93,9 +101,41 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// TestCompareGatesAllocs pins the -benchmem gate: a benchmark whose ns/op
+// held steady but whose allocs/op blew past the allocation threshold must
+// regress, and allocation deltas within threshold must not.
+func TestCompareGatesAllocs(t *testing.T) {
+	const base = `
+BenchmarkServePath/warm-8	1000	 750000 ns/op	103000 B/op	1957 allocs/op
+BenchmarkServePath/cached-8	1000	 620000 ns/op	106000 B/op	 480 allocs/op
+`
+	const head = `
+BenchmarkServePath/warm-8	1000	 760000 ns/op	300000 B/op	4300 allocs/op
+BenchmarkServePath/cached-8	1000	 615000 ns/op	106500 B/op	 500 allocs/op
+`
+	gate := regexp.MustCompile(`^BenchmarkServePath`)
+	report := Compare(parse(t, base), parse(t, head), gate, 0.10, 0.10)
+	byName := map[string]Result{}
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+	warm := byName["BenchmarkServePath/warm"]
+	if !warm.HasAllocs || !warm.Regression {
+		t.Fatalf("warm: %+v, want allocs-driven regression (+%.0f%% allocs at +1%% ns)",
+			warm, warm.AllocsDelta*100)
+	}
+	cached := byName["BenchmarkServePath/cached"]
+	if cached.Regression {
+		t.Fatalf("cached: %+v, +4%% allocs is within the 10%% threshold", cached)
+	}
+	if len(report.Regressions) != 1 || report.Regressions[0] != "BenchmarkServePath/warm" {
+		t.Fatalf("regressions = %v", report.Regressions)
+	}
+}
+
 func TestCompareNoRegression(t *testing.T) {
 	gate := regexp.MustCompile(`^BenchmarkRepr_`)
-	report := Compare(parse(t, baseRun), parse(t, headRun), gate, 0.10)
+	report := Compare(parse(t, baseRun), parse(t, headRun), gate, 0.10, 0.10)
 	if len(report.Regressions) != 0 {
 		t.Fatalf("regressions = %v, want none under a Repr-only gate", report.Regressions)
 	}
@@ -130,6 +170,8 @@ func TestWorkflowGateMatchesSubBenchmarks(t *testing.T) {
 		"BenchmarkPathEmbed_FC_vs_Seed/nomatch128/fc",
 		"BenchmarkRepair_SeededVsScratch/seeded",
 		"BenchmarkRepair_SeededVsScratch/scratch",
+		"BenchmarkServePath/warm",
+		"BenchmarkServePath/cached",
 	} {
 		if !gate.MatchString(name) {
 			t.Errorf("GATE %q does not gate %q", m[1], name)
@@ -152,5 +194,53 @@ func TestMedian(t *testing.T) {
 	}
 	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
 		t.Fatalf("even median = %v", m)
+	}
+}
+
+func loadDocFor(count uint64, p99 uint64, allocs float64) loadDoc {
+	var d loadDoc
+	d.Schema = "netembedload/1"
+	d.Overall.Count = count
+	d.Overall.P99Ns = p99
+	d.Server.AllocsPerRequest = allocs
+	return d
+}
+
+// TestCompareLoad pins the load-mode gate: >15% p99 or >10%
+// allocs/request fails, improvements and in-threshold drift pass, and a
+// head run that completed nothing always fails.
+func TestCompareLoad(t *testing.T) {
+	base := loadDocFor(1000, 10_000_000, 500)
+
+	ok := CompareLoad(base, loadDocFor(900, 11_000_000, 520), 0.15, 0.10, 0)
+	if len(ok.Failures) != 0 {
+		t.Fatalf("+10%% p99 / +4%% allocs failed: %v", ok.Failures)
+	}
+
+	slow := CompareLoad(base, loadDocFor(900, 12_000_000, 500), 0.15, 0.10, 0)
+	if len(slow.Failures) != 1 || !strings.Contains(slow.Failures[0], "p99") {
+		t.Fatalf("+20%% p99 should fail the p99 gate: %v", slow.Failures)
+	}
+
+	leaky := CompareLoad(base, loadDocFor(900, 10_000_000, 600), 0.15, 0.10, 0)
+	if len(leaky.Failures) != 1 || !strings.Contains(leaky.Failures[0], "allocs") {
+		t.Fatalf("+20%% allocs should fail the allocation gate: %v", leaky.Failures)
+	}
+
+	improved := CompareLoad(base, loadDocFor(900, 5_000_000, 100), 0.15, 0.10, 0)
+	if len(improved.Failures) != 0 {
+		t.Fatalf("improvement failed the gate: %v", improved.Failures)
+	}
+
+	empty := CompareLoad(base, loadDocFor(0, 0, 0), 0.15, 0.10, 0)
+	if len(empty.Failures) == 0 {
+		t.Fatal("a head run with zero completions must fail")
+	}
+
+	// The noise floor mutes tiny-latency jitter: both sides under 1ms.
+	quiet := CompareLoad(loadDocFor(1000, 400_000, 100), loadDocFor(1000, 700_000, 100),
+		0.15, 0.10, 1_000_000)
+	if len(quiet.Failures) != 0 {
+		t.Fatalf("sub-floor p99 jitter must not gate: %v", quiet.Failures)
 	}
 }

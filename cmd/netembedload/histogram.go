@@ -1,0 +1,112 @@
+package main
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// histogram is an HDR-style log-bucketed latency histogram: values are
+// binned by the position of their leading bit (the octave) refined by
+// subBits mantissa bits, giving a fixed relative quantile error of at
+// most 2^-subBits (~3% at subBits=5) across the full uint64 range with a
+// small flat array — no per-sample allocation, O(1) record, mergeable
+// across workers by bucket-wise addition. Stdlib only; the layout is the
+// standard HdrHistogram bucketing scheme.
+type histogram struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits // 32 linear sub-buckets per octave
+	// Values below subBuckets are recorded exactly; above, each octave
+	// e >= subBits contributes subBuckets buckets.
+	numBuckets = subBuckets * (65 - subBits)
+)
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // 2^e <= v < 2^(e+1), e >= subBits
+	m := int(v>>(uint(e)-subBits)) - subBuckets
+	return subBuckets + (e-subBits)*subBuckets + m
+}
+
+// bucketUpper returns the largest value mapping to bucket b — the
+// conservative (upper-bound) representative quantiles report.
+func bucketUpper(b int) uint64 {
+	if b < subBuckets {
+		return uint64(b)
+	}
+	k := (b - subBuckets) / subBuckets
+	m := uint64((b-subBuckets)%subBuckets) + subBuckets
+	shift := uint(k)
+	return (m << shift) + (1 << shift) - 1
+}
+
+func (h *histogram) record(d time.Duration) {
+	v := uint64(max(int64(d), 0))
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *histogram) merge(o *histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// quantile returns the value at quantile q in [0, 1] (upper bucket bound,
+// clamped to the observed max). Zero-sample histograms report 0.
+func (h *histogram) quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return min(bucketUpper(b), h.max)
+		}
+	}
+	return h.max
+}
+
+func (h *histogram) mean() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}

@@ -1,0 +1,667 @@
+// Command netembedload is the closed-loop latency harness for a live
+// netembedd: it replays a mixed NETEMBED workload over real HTTP at a
+// target request rate and reports client-side latency quantiles next to
+// the server's own allocation and epoch gauges.
+//
+// Arrivals are open-loop — request start times follow the configured
+// arrival process (Poisson or fixed-interval) at -rps regardless of how
+// fast the server answers, so a slow server accumulates queueing delay in
+// the measured latency instead of silently throttling the load (the
+// coordinated-omission trap closed-loop generators fall into). A worker
+// pool executes the arrivals; per-worker log-bucketed histograms merge
+// into the final report, so the hot path takes no locks and performs no
+// allocation per sample.
+//
+// The op mix covers the serve surface the paper's service model exposes:
+// synchronous /embed, /embed/batch, path-mode embeds, asynchronous
+// submit+poll /jobs round trips, and POST /deltas model churn at its mix
+// share of the arrival rate. Query workloads are derived from the
+// server's own hosting network (GET /model): random connected subgraphs
+// with widened delay windows, the same PlanetLab-derived distributions
+// internal/trace and internal/topo generate.
+//
+// Before and after the run the harness snapshots GET /stats and diffs the
+// server-side runtime counters: mallocs per completed request is the
+// number the CI load gate compares across commits. The report prints
+// human-readable text and, with -out, a machine-readable LOAD_*.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/graphml"
+	"netembed/internal/topo"
+)
+
+// opKind enumerates the workload operations.
+type opKind int
+
+const (
+	opEmbed opKind = iota
+	opBatch
+	opPath
+	opJobs
+	opDelta
+	numOps
+)
+
+var opNames = [numOps]string{"embed", "batch", "path", "jobs", "delta"}
+
+// Config shapes one load run. It is exported through flags by main and
+// filled directly by tests.
+type Config struct {
+	Addr     string        // base URL of the netembedd under test
+	Duration time.Duration // measurement window
+	RPS      float64       // target arrival rate, all ops combined
+	Arrival  string        // "poisson" or "fixed"
+	Workers  int           // executor pool size
+	Mix      string        // op weights, e.g. "embed=55,batch=10,path=10,jobs=20,delta=5"
+
+	QueryVariants int   // distinct query subgraphs to cycle through
+	QueryNodes    int   // nodes per query subgraph
+	QueryEdges    int   // edges per query subgraph
+	MaxResults    int   // maxResults per embed
+	TimeoutMs     int   // per-request search timeout
+	Seed          int64 // workload derivation seed
+
+	// Drain bounds how long workers may keep finishing backlogged
+	// arrivals after the measurement window closes; whatever is still
+	// queued at the deadline is abandoned and reported, so a server
+	// slower than the target rate cannot stall the harness. Zero means
+	// 10s.
+	Drain time.Duration
+
+	Out string // machine-readable report path ("" = none)
+}
+
+func defaultConfig() Config {
+	return Config{
+		Addr:          "http://127.0.0.1:8080",
+		Duration:      30 * time.Second,
+		RPS:           50,
+		Arrival:       "poisson",
+		Workers:       16,
+		Mix:           "embed=55,batch=10,path=10,jobs=20,delta=5",
+		QueryVariants: 8,
+		QueryNodes:    8,
+		QueryEdges:    12,
+		MaxResults:    1,
+		TimeoutMs:     2000,
+		Seed:          1,
+		Drain:         10 * time.Second,
+	}
+}
+
+// OpReport is one operation's (or the overall) latency summary.
+type OpReport struct {
+	Count       uint64  `json:"count"`
+	Errors      uint64  `json:"errors"`
+	Rejected429 uint64  `json:"rejected429"`
+	P50Ns       uint64  `json:"p50Ns"`
+	P95Ns       uint64  `json:"p95Ns"`
+	P99Ns       uint64  `json:"p99Ns"`
+	P999Ns      uint64  `json:"p999Ns"`
+	MaxNs       uint64  `json:"maxNs"`
+	MeanNs      uint64  `json:"meanNs"`
+	Throughput  float64 `json:"throughputRps"`
+}
+
+// ServerReport diffs the server's GET /stats gauges across the run.
+type ServerReport struct {
+	CompletedDelta    uint64  `json:"completedDelta"`
+	CacheHitsDelta    uint64  `json:"cacheHitsDelta"`
+	RejectionsDelta   uint64  `json:"queueFullRejectionsDelta"`
+	MallocsDelta      uint64  `json:"mallocsDelta"`
+	AllocBytesDelta   uint64  `json:"allocBytesDelta"`
+	NumGCDelta        uint32  `json:"numGCDelta"`
+	GCPauseDeltaNs    uint64  `json:"gcPauseDeltaNs"`
+	AllocsPerRequest  float64 `json:"allocsPerRequest"`
+	BytesPerRequest   float64 `json:"bytesPerRequest"`
+	QueryCacheHitRate float64 `json:"queryCacheHitRate"`
+	ModelVersion      uint64  `json:"modelVersion"`
+	RetiredEpochs     uint64  `json:"retiredEpochs"`
+	LiveEpochs        int     `json:"liveEpochs"`
+}
+
+// Report is the machine-readable run summary (the LOAD_*.json schema the
+// CI load gate compares).
+type Report struct {
+	Schema     string              `json:"schema"` // "netembedload/1"
+	Addr       string              `json:"addr"`
+	DurationS  float64             `json:"durationS"`
+	TargetRPS  float64             `json:"targetRps"`
+	Arrival    string              `json:"arrival"`
+	Mix        string              `json:"mix"`
+	Overall    OpReport            `json:"overall"`
+	PerOp      map[string]OpReport `json:"perOp"`
+	Server     ServerReport        `json:"server"`
+	Overflowed uint64              `json:"arrivalOverflow"` // arrivals dropped: executor backlog full
+	Abandoned  uint64              `json:"abandoned"`       // backlog left unexecuted at the drain deadline
+}
+
+// serverStats is the subset of GET /stats the harness diffs. The flat
+// engine counters stay top-level; runtime/model/api are the nested
+// serve-path sections.
+type serverStats struct {
+	Submitted           uint64 `json:"submitted"`
+	Completed           uint64 `json:"completed"`
+	CacheHits           uint64 `json:"cacheHits"`
+	QueueFullRejections uint64 `json:"queueFullRejections"`
+	Runtime             struct {
+		HeapAllocBytes  uint64 `json:"heapAllocBytes"`
+		TotalAllocBytes uint64 `json:"totalAllocBytes"`
+		Mallocs         uint64 `json:"mallocs"`
+		NumGC           uint32 `json:"numGC"`
+		PauseTotalNs    uint64 `json:"pauseTotalNs"`
+	} `json:"runtime"`
+	Model struct {
+		Version       uint64 `json:"version"`
+		LiveEpochs    int    `json:"liveEpochs"`
+		RetiredEpochs uint64 `json:"retiredEpochs"`
+	} `json:"model"`
+	API struct {
+		QueryCacheHits   uint64 `json:"queryCacheHits"`
+		QueryCacheMisses uint64 `json:"queryCacheMisses"`
+	} `json:"api"`
+}
+
+// workload holds the request bodies derived from the server's model.
+type workload struct {
+	embeds  [][]byte // single-query /embed bodies
+	batches [][]byte // /embed/batch bodies
+	paths   [][]byte // path-mode /embed bodies
+	deltas  [][]byte // /deltas churn bodies
+}
+
+const delayWindowConstraint = "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay"
+
+// deriveWorkload fetches the hosting network and builds the request
+// bodies: connected subgraph queries with widened delay windows (so a
+// healthy server finds embeddings) and attribute-drift deltas over the
+// host's own edges (so churn exercises the copy-on-write patch path
+// without reshaping the network).
+func deriveWorkload(client *http.Client, cfg Config) (*workload, error) {
+	resp, err := client.Get(cfg.Addr + "/model")
+	if err != nil {
+		return nil, fmt.Errorf("GET /model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /model: status %d", resp.StatusCode)
+	}
+	host, err := graphml.Decode(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	if host.NumNodes() < cfg.QueryNodes || host.NumEdges() == 0 {
+		return nil, fmt.Errorf("model too small for %d-node queries (%d nodes, %d edges)",
+			cfg.QueryNodes, host.NumNodes(), host.NumEdges())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &workload{}
+	for i := 0; i < cfg.QueryVariants; i++ {
+		q, _, err := topo.Subgraph(host, cfg.QueryNodes, cfg.QueryEdges, rng)
+		if err != nil {
+			return nil, fmt.Errorf("derive query %d: %w", i, err)
+		}
+		topo.WidenDelayWindows(q, 0.2)
+		xml, err := graphml.EncodeString(q)
+		if err != nil {
+			return nil, err
+		}
+		embed := map[string]any{
+			"query":          xml,
+			"edgeConstraint": delayWindowConstraint,
+			"maxResults":     cfg.MaxResults,
+			"timeoutMs":      cfg.TimeoutMs,
+		}
+		w.embeds = append(w.embeds, mustJSON(embed))
+		w.paths = append(w.paths, mustJSON(map[string]any{
+			"query":      xml,
+			"algorithm":  "path",
+			"maxResults": cfg.MaxResults,
+			"timeoutMs":  cfg.TimeoutMs,
+		}))
+	}
+	for i := 0; i < cfg.QueryVariants; i++ {
+		var items []map[string]any
+		for j := 0; j < 3; j++ {
+			var one map[string]any
+			if err := json.Unmarshal(w.embeds[(i+j)%len(w.embeds)], &one); err != nil {
+				return nil, err
+			}
+			items = append(items, one)
+		}
+		w.batches = append(w.batches, mustJSON(map[string]any{"requests": items}))
+	}
+	// Delta churn: drift the delay attributes of a few random host edges,
+	// the monitoring feed's republish pattern.
+	for i := 0; i < cfg.QueryVariants; i++ {
+		var sets []map[string]any
+		for j := 0; j < 4; j++ {
+			e := host.Edge(graph.EdgeID(rng.Intn(host.NumEdges())))
+			avg, _ := e.Attrs.Float("avgDelay")
+			factor := 1 + (rng.Float64()*2-1)*0.05
+			sets = append(sets, map[string]any{
+				"source": host.Node(e.From).Name,
+				"target": host.Node(e.To).Name,
+				"attrs":  map[string]any{"avgDelay": avg * factor},
+			})
+		}
+		w.deltas = append(w.deltas, mustJSON(map[string]any{"setEdgeAttrs": sets}))
+	}
+	return w, nil
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// mixWeights parses "embed=55,batch=10,..." into per-op weights.
+func mixWeights(mix string) ([numOps]float64, error) {
+	var w [numOps]float64
+	total := 0.0
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return w, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || f < 0 {
+			return w, fmt.Errorf("bad mix weight %q", part)
+		}
+		idx := -1
+		for i, n := range opNames {
+			if n == strings.TrimSpace(name) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return w, fmt.Errorf("unknown op %q in mix (have %s)", name, strings.Join(opNames[:], ", "))
+		}
+		w[idx] += f
+		total += f
+	}
+	if total == 0 {
+		return w, fmt.Errorf("mix %q has no positive weights", mix)
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w, nil
+}
+
+// executor is one worker's state: its own histograms and counters, merged
+// after the run.
+type executor struct {
+	hists  [numOps]histogram
+	errs   [numOps]uint64
+	rej429 [numOps]uint64
+}
+
+// runOp issues one operation and returns its wall-clock latency.
+func (ex *executor) runOp(client *http.Client, cfg Config, w *workload, op opKind, i int) {
+	start := time.Now()
+	ok, status := doOp(client, cfg, w, op, i)
+	lat := time.Since(start)
+	if status == http.StatusTooManyRequests {
+		ex.rej429[op]++
+		return // rejected work is backpressure, not latency
+	}
+	if !ok {
+		ex.errs[op]++
+		return
+	}
+	ex.hists[op].record(lat)
+}
+
+func doOp(client *http.Client, cfg Config, w *workload, op opKind, i int) (ok bool, status int) {
+	post := func(path string, body []byte) (int, []byte) {
+		resp, err := client.Post(cfg.Addr+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	switch op {
+	case opEmbed:
+		s, _ := post("/embed", w.embeds[i%len(w.embeds)])
+		return s == http.StatusOK, s
+	case opBatch:
+		s, _ := post("/embed/batch", w.batches[i%len(w.batches)])
+		return s == http.StatusOK, s
+	case opPath:
+		s, _ := post("/embed", w.paths[i%len(w.paths)])
+		return s == http.StatusOK, s
+	case opDelta:
+		s, _ := post("/deltas", w.deltas[i%len(w.deltas)])
+		return s == http.StatusOK, s
+	case opJobs:
+		s, body := post("/jobs", w.embeds[i%len(w.embeds)])
+		if s != http.StatusAccepted && s != http.StatusOK {
+			return false, s
+		}
+		var st struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return false, s
+		}
+		for poll := 0; poll < 10000; poll++ {
+			switch st.State {
+			case "done":
+				return true, http.StatusOK
+			case "failed", "canceled":
+				return false, http.StatusOK
+			}
+			time.Sleep(2 * time.Millisecond)
+			resp, err := client.Get(cfg.Addr + "/jobs/" + st.ID)
+			if err != nil {
+				return false, 0
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return false, resp.StatusCode
+			}
+			if err := json.Unmarshal(b, &st); err != nil {
+				return false, resp.StatusCode
+			}
+		}
+		return false, http.StatusOK
+	}
+	return false, 0
+}
+
+func fetchStats(client *http.Client, addr string) (serverStats, error) {
+	var st serverStats
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		return st, fmt.Errorf("GET /stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// run executes one load run and assembles the report.
+func run(cfg Config) (*Report, error) {
+	weights, err := mixWeights(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Arrival != "poisson" && cfg.Arrival != "fixed" {
+		return nil, fmt.Errorf("unknown arrival process %q (want poisson or fixed)", cfg.Arrival)
+	}
+	if cfg.RPS <= 0 || cfg.Workers <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("rps, workers and duration must be positive")
+	}
+	client := &http.Client{
+		Timeout: time.Duration(cfg.TimeoutMs)*time.Millisecond + 30*time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers * 2,
+			MaxIdleConnsPerHost: cfg.Workers * 2,
+		},
+	}
+	w, err := deriveWorkload(client, cfg)
+	if err != nil {
+		return nil, err
+	}
+	before, err := fetchStats(client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Open-loop arrivals: the generator paces tokens by the arrival
+	// process alone; a full backlog means the server (or the pool) fell
+	// behind the target rate, counted rather than blocked on.
+	type token struct {
+		op opKind
+		i  int
+	}
+	tokens := make(chan token, 8192)
+	var overflow, abandoned atomic.Uint64
+	drained := make(chan struct{}) // closed at the drain deadline
+	execs := make([]*executor, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range execs {
+		execs[i] = &executor{}
+		wg.Add(1)
+		go func(ex *executor) {
+			defer wg.Done()
+			for tk := range tokens {
+				select {
+				case <-drained:
+					abandoned.Add(1)
+					continue // count the rest of the backlog, don't run it
+				default:
+				}
+				ex.runOp(client, cfg, w, tk.op, tk.i)
+			}
+		}(execs[i])
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	pick := func() opKind {
+		x := rng.Float64()
+		for op := opKind(0); op < numOps; op++ {
+			if x -= weights[op]; x < 0 {
+				return op
+			}
+		}
+		return opEmbed
+	}
+	gap := func() time.Duration {
+		mean := float64(time.Second) / cfg.RPS
+		if cfg.Arrival == "fixed" {
+			return time.Duration(mean)
+		}
+		return time.Duration(mean * rng.ExpFloat64())
+	}
+
+	start := time.Now()
+	next := start
+	seq := 0
+	for {
+		next = next.Add(gap())
+		if next.Sub(start) > cfg.Duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		select {
+		case tokens <- token{op: pick(), i: seq}:
+		default:
+			overflow.Add(1)
+		}
+		seq++
+	}
+	close(tokens)
+	drain := cfg.Drain
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	timer := time.AfterFunc(drain, func() { close(drained) })
+	wg.Wait()
+	timer.Stop()
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-worker state.
+	var overall histogram
+	var merged [numOps]histogram
+	var errs, rej [numOps]uint64
+	for _, ex := range execs {
+		for op := 0; op < int(numOps); op++ {
+			merged[op].merge(&ex.hists[op])
+			overall.merge(&ex.hists[op])
+			errs[op] += ex.errs[op]
+			rej[op] += ex.rej429[op]
+		}
+	}
+	summarize := func(h *histogram, errs, rej uint64) OpReport {
+		return OpReport{
+			Count:       h.count,
+			Errors:      errs,
+			Rejected429: rej,
+			P50Ns:       h.quantile(0.50),
+			P95Ns:       h.quantile(0.95),
+			P99Ns:       h.quantile(0.99),
+			P999Ns:      h.quantile(0.999),
+			MaxNs:       h.max,
+			MeanNs:      h.mean(),
+			Throughput:  float64(h.count) / elapsed.Seconds(),
+		}
+	}
+	rep := &Report{
+		Schema:     "netembedload/1",
+		Addr:       cfg.Addr,
+		DurationS:  elapsed.Seconds(),
+		TargetRPS:  cfg.RPS,
+		Arrival:    cfg.Arrival,
+		Mix:        cfg.Mix,
+		PerOp:      map[string]OpReport{},
+		Overflowed: overflow.Load(),
+		Abandoned:  abandoned.Load(),
+	}
+	var totalErrs, totalRej uint64
+	for op := 0; op < int(numOps); op++ {
+		if merged[op].count == 0 && errs[op] == 0 && rej[op] == 0 {
+			continue
+		}
+		rep.PerOp[opNames[op]] = summarize(&merged[op], errs[op], rej[op])
+		totalErrs += errs[op]
+		totalRej += rej[op]
+	}
+	rep.Overall = summarize(&overall, totalErrs, totalRej)
+
+	completed := after.Completed - before.Completed
+	rep.Server = ServerReport{
+		CompletedDelta:  completed,
+		CacheHitsDelta:  after.CacheHits - before.CacheHits,
+		RejectionsDelta: after.QueueFullRejections - before.QueueFullRejections,
+		MallocsDelta:    after.Runtime.Mallocs - before.Runtime.Mallocs,
+		AllocBytesDelta: after.Runtime.TotalAllocBytes - before.Runtime.TotalAllocBytes,
+		NumGCDelta:      after.Runtime.NumGC - before.Runtime.NumGC,
+		GCPauseDeltaNs:  after.Runtime.PauseTotalNs - before.Runtime.PauseTotalNs,
+		ModelVersion:    after.Model.Version,
+		RetiredEpochs:   after.Model.RetiredEpochs,
+		LiveEpochs:      after.Model.LiveEpochs,
+	}
+	if completed > 0 {
+		rep.Server.AllocsPerRequest = float64(rep.Server.MallocsDelta) / float64(completed)
+		rep.Server.BytesPerRequest = float64(rep.Server.AllocBytesDelta) / float64(completed)
+	}
+	if hm := after.API.QueryCacheHits + after.API.QueryCacheMisses; hm > 0 {
+		rep.Server.QueryCacheHitRate = float64(after.API.QueryCacheHits) / float64(hm)
+	}
+	if cfg.Out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(cfg.Out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("write %s: %w", cfg.Out, err)
+		}
+	}
+	return rep, nil
+}
+
+func fmtNs(ns uint64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+func printReport(out io.Writer, rep *Report) {
+	fmt.Fprintf(out, "netembedload: %s for %.1fs at target %.0f rps (%s arrivals), mix %s\n",
+		rep.Addr, rep.DurationS, rep.TargetRPS, rep.Arrival, rep.Mix)
+	names := make([]string, 0, len(rep.PerOp))
+	for name := range rep.PerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-8s %8s %7s %5s %12s %12s %12s %12s %12s\n",
+		"op", "count", "errors", "429", "p50", "p95", "p99", "p99.9", "max")
+	row := func(name string, r OpReport) {
+		fmt.Fprintf(out, "%-8s %8d %7d %5d %12s %12s %12s %12s %12s\n",
+			name, r.Count, r.Errors, r.Rejected429,
+			fmtNs(r.P50Ns), fmtNs(r.P95Ns), fmtNs(r.P99Ns), fmtNs(r.P999Ns), fmtNs(r.MaxNs))
+	}
+	for _, name := range names {
+		row(name, rep.PerOp[name])
+	}
+	row("overall", rep.Overall)
+	fmt.Fprintf(out, "throughput %.1f rps; arrival overflow %d; abandoned at drain %d\n",
+		rep.Overall.Throughput, rep.Overflowed, rep.Abandoned)
+	s := rep.Server
+	fmt.Fprintf(out, "server: %d completed (%d cache hits, %d rejected), %.0f allocs/req, %.0f B/req, %d GCs (%s pause), epochs retired %d live %d, query-cache hit rate %.0f%%\n",
+		s.CompletedDelta, s.CacheHitsDelta, s.RejectionsDelta,
+		s.AllocsPerRequest, s.BytesPerRequest, s.NumGCDelta,
+		time.Duration(s.GCPauseDeltaNs), s.RetiredEpochs, s.LiveEpochs,
+		100*s.QueryCacheHitRate)
+}
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "base URL of the netembedd under test")
+	flag.DurationVar(&cfg.Duration, "duration", cfg.Duration, "measurement window")
+	flag.Float64Var(&cfg.RPS, "rps", cfg.RPS, "target arrival rate (requests/s, all ops)")
+	flag.StringVar(&cfg.Arrival, "arrival", cfg.Arrival, "arrival process: poisson or fixed")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "executor pool size")
+	flag.StringVar(&cfg.Mix, "mix", cfg.Mix, "op mix weights (embed, batch, path, jobs, delta)")
+	flag.IntVar(&cfg.QueryVariants, "queries", cfg.QueryVariants, "distinct query subgraphs to cycle")
+	flag.IntVar(&cfg.QueryNodes, "query-nodes", cfg.QueryNodes, "nodes per query subgraph")
+	flag.IntVar(&cfg.QueryEdges, "query-edges", cfg.QueryEdges, "edges per query subgraph")
+	flag.IntVar(&cfg.MaxResults, "max-results", cfg.MaxResults, "maxResults per embedding request")
+	flag.IntVar(&cfg.TimeoutMs, "timeout-ms", cfg.TimeoutMs, "per-request search timeout (ms)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "workload derivation seed")
+	flag.DurationVar(&cfg.Drain, "drain", cfg.Drain, "post-window backlog drain budget")
+	flag.StringVar(&cfg.Out, "out", cfg.Out, "write machine-readable report JSON here")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netembedload: %v\n", err)
+		os.Exit(1)
+	}
+	printReport(os.Stdout, rep)
+	if cfg.Out != "" {
+		fmt.Printf("report written to %s\n", cfg.Out)
+	}
+	// A run where nothing succeeded is a failed run, exit nonzero so CI
+	// catches a half-booted daemon.
+	if rep.Overall.Count == 0 {
+		fmt.Fprintln(os.Stderr, "netembedload: no request succeeded")
+		os.Exit(1)
+	}
+}

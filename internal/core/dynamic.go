@@ -33,7 +33,10 @@ func DynamicECF(p *Problem, opt Options) *Result {
 		}
 		s := newFCSearcher(p, f, opt, rng, start, true)
 		s.run()
-		return s.result()
+		res := s.result()
+		s.release()
+		f.release()
+		return res
 	}
 	s := &dynSearcher{
 		p:       p,
@@ -64,6 +67,7 @@ func DynamicECF(p *Problem, opt Options) *Result {
 		Stats:     s.stats,
 	}
 	res.Stats.Elapsed = time.Since(start)
+	f.release()
 	return res
 }
 

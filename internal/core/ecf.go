@@ -20,6 +20,7 @@ func ECF(p *Problem, opt Options) *Result {
 	f := BuildFilters(p, &opt)
 	res := searchWithFilters(p, f, opt, nil, start)
 	res.Stats.Elapsed = time.Since(start)
+	f.release()
 	return res
 }
 
@@ -64,6 +65,7 @@ func RWB(p *Problem, opt Options) *Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := searchWithFilters(p, f, opt, rng, start)
 	res.Stats.Elapsed = time.Since(start)
+	f.release()
 	return res
 }
 
@@ -118,7 +120,9 @@ func searchWithFilters(p *Problem, f *Filters, opt Options, rng *rand.Rand, star
 	}
 	s := newFCSearcher(p, f, opt, rng, start, false)
 	s.run()
-	return s.result()
+	res := s.result()
+	s.release()
+	return res
 }
 
 func newSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time) *searcher {
@@ -151,8 +155,14 @@ func newSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time
 // additionally keeps the ordered prefix connected so that every placement
 // after the seed intersects at least one filter row (see OrderAscending).
 func searchOrder(f *Filters, mode OrderMode) []graph.NodeID {
+	return searchOrderInto(nil, f, mode)
+}
+
+// searchOrderInto is searchOrder writing into dst's backing array, so
+// pooled searchers recompute their order without reallocating it.
+func searchOrderInto(dst []graph.NodeID, f *Filters, mode OrderMode) []graph.NodeID {
 	nq := f.nq
-	order := make([]graph.NodeID, nq)
+	order := grow(dst, nq)
 	for i := range order {
 		order[i] = graph.NodeID(i)
 	}
@@ -178,21 +188,20 @@ func searchOrder(f *Filters, mode OrderMode) []graph.NodeID {
 		})
 		return order
 	default:
-		return connectedAscendingOrder(f)
+		return connectedAscendingOrder(order[:0], f)
 	}
 }
 
-// connectedAscendingOrder grows the order greedily: seed with the
-// globally most-constrained node, then repeatedly take the node with the
-// most edges into the ordered prefix, breaking ties by fewer base
-// candidates and then higher query degree. Disconnected queries restart
-// the seed rule per component.
-func connectedAscendingOrder(f *Filters) []graph.NodeID {
+// connectedAscendingOrder grows the order greedily into the provided
+// buffer: seed with the globally most-constrained node, then repeatedly
+// take the node with the most edges into the ordered prefix, breaking
+// ties by fewer base candidates and then higher query degree.
+// Disconnected queries restart the seed rule per component.
+func connectedAscendingOrder(order []graph.NodeID, f *Filters) []graph.NodeID {
 	q := f.p.Query
 	nq := f.nq
 	picked := make([]bool, nq)
 	prefixEdges := make([]int, nq) // edges from node into the ordered prefix
-	order := make([]graph.NodeID, 0, nq)
 
 	better := func(i, best graph.NodeID) bool {
 		if best < 0 {

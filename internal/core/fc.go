@@ -104,6 +104,13 @@ type fcSearcher struct {
 	rowBits *sets.Bitset // sparse-row scratch
 	scratch [][]int32    // per-depth candidate buffers
 
+	// Pool-recycled backing storage (see pool.go): the shared words of
+	// the dom/pastFC/conf bitset tables, and the post-arc dedup stamp.
+	domBacking  []uint64
+	pastBacking []uint64
+	confBacking []uint64
+	stamp       *tableStamp
+
 	stopClock
 	stopped bool
 
@@ -115,27 +122,25 @@ type fcSearcher struct {
 
 func newFCSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time, dynamic bool) *fcSearcher {
 	nq, nr := p.Query.NumNodes(), p.Host.NumNodes()
-	s := &fcSearcher{
-		p:       p,
-		f:       f,
-		opt:     opt,
-		rng:     rng,
-		dynamic: dynamic,
-		nq:      nq,
-		nr:      nr,
-		words:   (nr + 63) / 64,
-		assign:  make(Mapping, nq),
-		depthOf: make([]int32, nq),
-		scratch: make([][]int32, nq),
-		started: start,
-		stats:   f.Stats(),
-	}
+	s := acquireFCSearcher()
+	s.p, s.f, s.opt, s.rng, s.dynamic = p, f, opt, rng, dynamic
+	s.nq, s.nr, s.words = nq, nr, (nr+63)/64
+	s.assign = grow(s.assign, nq)
+	s.depthOf = grow(s.depthOf, nq)
+	s.scratch = grow(s.scratch, nq)
+	s.trail = s.trail[:0]
+	s.arena = s.arena[:0]
+	s.stopped = false
+	s.solutions = nil
+	s.nSol = 0
+	s.started = start
+	s.stats = f.Stats()
 	for i := range s.assign {
 		s.assign[i] = -1
 		s.depthOf[i] = -1
 	}
-	s.dom = sets.MakeBitsets(nr, nq)
-	s.domCount = make([]int32, nq)
+	s.dom, s.domBacking = sets.ReuseBitsets(s.dom, s.domBacking, nr, nq)
+	s.domCount = grow(s.domCount, nq)
 	for q := 0; q < nq; q++ {
 		if f.Dense() {
 			s.dom[q].CopyFrom(f.baseB[q])
@@ -144,48 +149,52 @@ func newFCSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start ti
 		}
 		s.domCount[q] = int32(len(f.base[q]))
 	}
-	s.used = sets.NewBitset(nr)
-	s.candBits = sets.NewBitset(nr)
-	s.pastFC = sets.MakeBitsets(nq, nq)
-	s.conf = sets.MakeBitsets(nq, nq)
-	s.jumpBuf = sets.NewBitset(nq)
+	s.used = sets.ReuseBitset(s.used, nr)
+	s.candBits = sets.ReuseBitset(s.candBits, nr)
+	s.pastFC, s.pastBacking = sets.ReuseBitsets(s.pastFC, s.pastBacking, nq, nq)
+	s.conf, s.confBacking = sets.ReuseBitsets(s.conf, s.confBacking, nq, nq)
+	s.jumpBuf = sets.ReuseBitset(s.jumpBuf, nq)
 	if !f.Dense() {
-		s.rowBits = sets.NewBitset(nr)
+		s.rowBits = sets.ReuseBitset(s.rowBits, nr)
 	}
 	s.arm(start, opt.Timeout, opt.Stop)
 	if dynamic {
-		s.order = make([]graph.NodeID, nq)
+		s.order = grow(s.order, nq)
 	} else {
-		s.order = searchOrder(f, opt.Order)
+		s.order = searchOrderInto(s.order[:0], f, opt.Order)
 		for d, q := range s.order {
 			s.depthOf[q] = int32(d)
 		}
-		s.posts = buildPostArcs(p, f, s.order)
+		s.buildPosts()
 	}
 	return s
 }
 
-// buildPostArcs precomputes, for each depth, the filter tables whose tail
+// buildPosts precomputes, for each depth, the filter tables whose tail
 // is the depth's node and whose head the order places later — the
 // domains forward checking prunes when the node is assigned. It is the
-// mirror image of buildPreArcs, deduplicated with the same stamp mask.
-func buildPostArcs(p *Problem, f *Filters, order []graph.NodeID) [][]postArc {
-	pos := make([]int, len(order))
-	for d, q := range order {
-		pos[q] = d
-	}
+// mirror image of buildPreArcs, deduplicated with the same stamp mask,
+// reading the position of each node from the already-populated depthOf
+// and recycling the per-depth slices across pooled searches.
+func (s *fcSearcher) buildPosts() {
+	p, f := s.p, s.f
 	nTables := len(f.tables) + len(f.tablesB) // exactly one is populated
-	seen := newTableStamp(nTables)
-	posts := make([][]postArc, len(order))
-	for d, q := range order {
-		seen.next()
+	if s.stamp == nil {
+		s.stamp = newTableStamp(nTables)
+	} else {
+		s.stamp.reset(nTables)
+	}
+	s.posts = grow(s.posts, s.nq)
+	for d, q := range s.order {
+		s.stamp.next()
+		post := s.posts[d][:0]
 		add := func(nbr graph.NodeID) {
-			if pos[nbr] <= d {
+			if s.depthOf[nbr] <= int32(d) {
 				return
 			}
 			for _, t := range f.arcTables[arcKey(q, nbr)] {
-				if seen.mark(t) {
-					posts[d] = append(posts[d], postArc{head: nbr, table: t})
+				if s.stamp.mark(t) {
+					post = append(post, postArc{head: nbr, table: t})
 				}
 			}
 		}
@@ -201,11 +210,11 @@ func buildPostArcs(p *Problem, f *Filters, order []graph.NodeID) [][]postArc {
 		// intersected by the most ancestors already, so its domain is the
 		// likeliest to wipe out — detecting that before paying for the
 		// remaining prunes shortens every failed assignment.
-		sort.Slice(posts[d], func(a, b int) bool {
-			return pos[posts[d][a].head] > pos[posts[d][b].head]
+		sort.Slice(post, func(a, b int) bool {
+			return s.depthOf[post[a].head] > s.depthOf[post[b].head]
 		})
+		s.posts[d] = post
 	}
-	return posts
 }
 
 // run drives the search from the root. The return value of search is a
@@ -521,6 +530,18 @@ func newTableStamp(n int) *tableStamp {
 
 // next starts a new deduplication round.
 func (t *tableStamp) next() { t.round++ }
+
+// reset re-shapes the stamp for n table IDs, clearing all generations so
+// a recycled stamp can never confuse a stale mark with a current one.
+func (t *tableStamp) reset(n int) {
+	if cap(t.gen) < n {
+		t.gen = make([]int32, n)
+	} else {
+		t.gen = t.gen[:n]
+		clear(t.gen)
+	}
+	t.round = 0
+}
 
 // mark records table id for the current round and reports whether it was
 // unseen.

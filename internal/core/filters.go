@@ -58,6 +58,18 @@ type Filters struct {
 	nodePass []sets.Set
 
 	stats Stats
+
+	// Pool-recycled scratch (see pool.go): per-node admissibility
+	// bitsets, positional row arenas for the indexed fill, the tableOf
+	// buffer, the incoming-arc dedup stamp with its output buffer, and
+	// the per-arc union accumulator of buildBaseDense.
+	passBits  []*sets.Bitset
+	arenas    []rowArena
+	arenaNext int
+	tableOf   []edgeTables
+	arcStamp  *tableStamp
+	arcsBuf   []int32
+	unionBuf  *sets.Bitset
 }
 
 func arcKey(u, v graph.NodeID) uint64 {
@@ -120,17 +132,23 @@ func BuildFilters(p *Problem, opt *Options) *Filters {
 	if idx != nil {
 		dense = true // index-backed tables are assembled as bitsets
 	}
-	f := &Filters{
-		p:         p,
-		nq:        nq,
-		nr:        nr,
-		dense:     dense,
-		arcTables: make(map[uint64][]int32, 2*p.Query.NumEdges()),
+	f := acquireFilters()
+	f.p = p
+	f.nq, f.nr, f.dense = nq, nr, dense
+	f.stats = Stats{}
+	f.arenaNext = 0
+	f.tables = f.tables[:0]
+	f.tablesB = f.tablesB[:0]
+	if f.arcTables == nil {
+		f.arcTables = make(map[uint64][]int32, 2*p.Query.NumEdges())
+	} else {
+		clear(f.arcTables)
 	}
 
 	// Per-node admissibility: node constraint ∧ degree filter.
-	f.nodePass = make([]sets.Set, nq)
-	passBits := make([]*sets.Bitset, nq)
+	f.nodePass = grow(f.nodePass, nq)
+	f.passBits = grow(f.passBits, nq)
+	passBits := f.passBits
 	if idx != nil {
 		f.buildNodePassIndexed(opt, idx, passBits)
 	} else {
@@ -159,7 +177,7 @@ func (f *Filters) buildNodePassScan(opt *Options, passBits []*sets.Bitset) {
 	useDegree := !opt.NoDegreeFilter
 	for q := 0; q < f.nq; q++ {
 		qid := graph.NodeID(q)
-		var pass sets.Set
+		pass := f.nodePass[q][:0]
 		degQ := p.Query.Degree(qid)
 		outQ := p.Query.OutDegree(qid)
 		for r := 0; r < f.nr; r++ {
@@ -175,7 +193,9 @@ func (f *Filters) buildNodePassScan(opt *Options, passBits []*sets.Bitset) {
 			pass = append(pass, rid)
 		}
 		f.nodePass[q] = pass
-		passBits[q] = sets.FromSet(f.nr, pass)
+		pb := sets.ReuseBitset(passBits[q], f.nr)
+		pb.AddSet(pass)
+		passBits[q] = pb
 	}
 }
 
@@ -186,11 +206,12 @@ func (f *Filters) buildNodePassIndexed(opt *Options, idx *index.Index, passBits 
 	p := f.p
 	for q := 0; q < f.nq; q++ {
 		qid := graph.NodeID(q)
-		var pass *sets.Bitset
+		pass := sets.ReuseBitset(passBits[q], f.nr)
+		passBits[q] = pass
 		if opt.NoDegreeFilter {
-			pass = idx.DegreeAtLeast(0).Clone()
+			pass.CopyFrom(idx.DegreeAtLeast(0))
 		} else {
-			pass = idx.DegreeAtLeast(p.Query.Degree(qid)).Clone()
+			pass.CopyFrom(idx.DegreeAtLeast(p.Query.Degree(qid)))
 			pass.IntersectWith(idx.OutDegreeAtLeast(p.Query.OutDegree(qid)))
 		}
 		if p.NodeConstraint != nil {
@@ -203,8 +224,7 @@ func (f *Filters) buildNodePassIndexed(opt *Options, idx *index.Index, passBits 
 				return true
 			})
 		}
-		passBits[q] = pass
-		f.nodePass[q] = pass.AppendTo(nil)
+		f.nodePass[q] = pass.AppendTo(f.nodePass[q][:0])
 	}
 }
 
@@ -220,16 +240,17 @@ func (f *Filters) newArcTables() []edgeTables {
 		var id int32
 		if f.dense {
 			id = int32(len(f.tablesB))
-			f.tablesB = append(f.tablesB, make([]*sets.Bitset, f.nr))
+			f.tablesB = appendTableB(f.tablesB, f.nr)
 		} else {
 			id = int32(len(f.tables))
-			f.tables = append(f.tables, make([]sets.Set, f.nr))
+			f.tables = appendTable(f.tables, f.nr)
 		}
 		k := arcKey(u, v)
 		f.arcTables[k] = append(f.arcTables[k], id)
 		return id
 	}
-	tableOf := make([]edgeTables, p.Query.NumEdges())
+	f.tableOf = grow(f.tableOf, p.Query.NumEdges())
+	tableOf := f.tableOf
 	for i := 0; i < p.Query.NumEdges(); i++ {
 		qe := p.Query.Edge(graph.EdgeID(i))
 		tableOf[i] = edgeTables{
@@ -364,7 +385,7 @@ func (f *Filters) fillTablesIndexed(idx *index.Index, passBits []*sets.Bitset) {
 		if n == 0 || !headPass.Any() {
 			return
 		}
-		arena := sets.MakeBitsets(f.nr, n)
+		arena := f.nextArena(n)
 		next := 0
 		tailPass.ForEach(func(r graph.NodeID) bool {
 			row := &arena[next]
@@ -391,14 +412,14 @@ func (f *Filters) fillTablesIndexed(idx *index.Index, passBits []*sets.Bitset) {
 // buildBase computes the per-node base candidate sets (formula (1)) on the
 // sorted-slice representation.
 func (f *Filters) buildBase(loose bool) {
-	f.base = make([]sets.Set, f.nq)
+	f.base = grow(f.base, f.nq)
 	var scratchA, scratchB sets.Set
 	for q := 0; q < f.nq; q++ {
 		qid := graph.NodeID(q)
 		arcs := f.incomingArcTables(qid)
 		if len(arcs) == 0 {
 			// Isolated query node: only the node filter constrains it.
-			f.base[q] = sets.Clone(f.nodePass[q])
+			f.base[q] = append(f.base[q][:0], f.nodePass[q]...)
 			continue
 		}
 		var acc sets.Set
@@ -423,25 +444,27 @@ func (f *Filters) buildBase(loose bool) {
 			}
 			acc, scratchB = scratchB, acc
 		}
-		f.base[q] = sets.Clone(acc)
+		f.base[q] = append(f.base[q][:0], acc...)
 	}
 }
 
 // buildBaseDense is buildBase on bitset rows: the per-arc unions are
 // word-wise ORs and the cross-arc combination one AND/OR per arc.
 func (f *Filters) buildBaseDense(loose bool) {
-	f.base = make([]sets.Set, f.nq)
-	f.baseB = make([]*sets.Bitset, f.nq)
-	u := sets.NewBitset(f.nr)
+	f.base = grow(f.base, f.nq)
+	f.baseB = grow(f.baseB, f.nq)
+	u := sets.ReuseBitset(f.unionBuf, f.nr)
+	f.unionBuf = u
 	for q := 0; q < f.nq; q++ {
 		qid := graph.NodeID(q)
 		arcs := f.incomingArcTables(qid)
+		acc := sets.ReuseBitset(f.baseB[q], f.nr)
+		f.baseB[q] = acc
 		if len(arcs) == 0 {
-			f.baseB[q] = sets.FromSet(f.nr, f.nodePass[q])
-			f.base[q] = sets.Clone(f.nodePass[q])
+			acc.AddSet(f.nodePass[q])
+			f.base[q] = append(f.base[q][:0], f.nodePass[q]...)
 			continue
 		}
-		acc := sets.NewBitset(f.nr)
 		for i, t := range arcs {
 			u.Reset()
 			for r := 0; r < f.nr; r++ {
@@ -458,8 +481,7 @@ func (f *Filters) buildBaseDense(loose bool) {
 				acc.IntersectWith(u)
 			}
 		}
-		f.baseB[q] = acc
-		f.base[q] = acc.AppendTo(nil)
+		f.base[q] = acc.AppendTo(f.base[q][:0])
 	}
 }
 
@@ -467,12 +489,17 @@ func (f *Filters) buildBaseDense(loose bool) {
 // q, i.e. the filters constraining q's candidates once a neighbor is
 // placed.
 func (f *Filters) incomingArcTables(q graph.NodeID) []int32 {
-	var out []int32
-	seen := map[int32]bool{}
+	nTables := len(f.tables) + len(f.tablesB)
+	if f.arcStamp == nil {
+		f.arcStamp = newTableStamp(nTables)
+	} else {
+		f.arcStamp.reset(nTables)
+	}
+	f.arcStamp.next()
+	out := f.arcsBuf[:0]
 	appendTables := func(u graph.NodeID) {
 		for _, t := range f.arcTables[arcKey(u, q)] {
-			if !seen[t] {
-				seen[t] = true
+			if f.arcStamp.mark(t) {
 				out = append(out, t)
 			}
 		}
@@ -485,6 +512,7 @@ func (f *Filters) incomingArcTables(q graph.NodeID) []int32 {
 			appendTables(a.To)
 		}
 	}
+	f.arcsBuf = out
 	return out
 }
 

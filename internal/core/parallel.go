@@ -51,12 +51,14 @@ func ParallelECF(p *Problem, opt Options) *Result {
 
 	if p.Query.NumNodes() == 0 {
 		// Degenerate: the empty query has exactly the empty embedding.
-		return &Result{
+		res := &Result{
 			Solutions: []Mapping{{}},
 			Status:    StatusComplete,
 			Exhausted: true,
 			Stats:     withElapsed(f.Stats(), start),
 		}
+		f.release()
+		return res
 	}
 
 	order := searchOrder(f, opt.Order)
@@ -80,7 +82,9 @@ func ParallelECF(p *Problem, opt Options) *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			newStealWorker(p, f, opt, sh).loop()
+			w := newStealWorker(p, f, opt, sh)
+			w.loop()
+			w.s.release()
 		}()
 	}
 	wg.Wait()
@@ -98,6 +102,7 @@ func ParallelECF(p *Problem, opt Options) *Result {
 
 	exhausted := !sh.timedOut.Load() && !sh.stopped.Load()
 	n := len(sh.solutions)
+	f.release()
 	return &Result{
 		Solutions: sh.solutions,
 		Exhausted: exhausted,
@@ -455,12 +460,14 @@ func parallelECFStatic(p *Problem, opt Options) *Result {
 	f := BuildFilters(p, &opt)
 
 	if p.Query.NumNodes() == 0 {
-		return &Result{
+		res := &Result{
 			Solutions: []Mapping{{}},
 			Status:    StatusComplete,
 			Exhausted: true,
 			Stats:     withElapsed(f.Stats(), start),
 		}
+		f.release()
+		return res
 	}
 
 	order := searchOrder(f, opt.Order)
@@ -549,6 +556,7 @@ func parallelECFStatic(p *Problem, opt Options) *Result {
 
 	exhausted := !timedOut.Load() && !stopped.Load()
 	n := len(solutions)
+	f.release()
 	return &Result{
 		Solutions: solutions,
 		Exhausted: exhausted,

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPooledSearchMatchesFresh pins the recycling layer's correctness
+// contract: a search that lands on a recycled fcSearcher/Filters (after
+// the pool has been polluted by differently-shaped problems) must return
+// byte-identical answers — same solutions, same order, same outcome
+// classification — as a search running on freshly allocated state. Any
+// stale bit a release/acquire pair fails to reset shows up here as a
+// divergent solution sequence.
+func TestPooledSearchMatchesFresh(t *testing.T) {
+	defer func() { poolingEnabled = true }()
+
+	algos := []struct {
+		name string
+		run  func(*Problem, Options) *Result
+		opt  Options
+	}{
+		{"ecf", ECF, Options{}},
+		{"ecf-bitset", ECF, Options{Repr: ReprBitset}},
+		{"ecf-capped", ECF, Options{MaxSolutions: 2}},
+		{"rwb", RWB, Options{Seed: 7, MaxSolutions: 1 << 30}},
+		{"dynamic", DynamicECF, Options{}},
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		p := smallProblem(t, seed)
+		for _, a := range algos {
+			poolingEnabled = false
+			fresh := a.run(p, a.opt)
+
+			poolingEnabled = true
+			// Pollute the pool: runs over problems with different node
+			// counts, densities and representations leave their geometry
+			// in the recycled searchers and filters.
+			for _, s := range []int64{seed + 20, seed + 40} {
+				q := smallProblem(t, s)
+				_ = ECF(q, Options{})
+				_ = ECF(q, Options{Repr: ReprBitset})
+			}
+			recycled := a.run(p, a.opt)
+
+			assertSameSequence(t, fmt.Sprintf("seed %d %s", seed, a.name), recycled, fresh)
+		}
+	}
+}
+
+// TestPooledParallelMatchesSequential covers the worker-pool release
+// path: every steal worker returns its searcher to the pool, and repeated
+// parallel runs over reshaped problems must keep answering exactly like a
+// fresh sequential search.
+func TestPooledParallelMatchesSequential(t *testing.T) {
+	defer func() { poolingEnabled = true }()
+	for seed := int64(1); seed <= 6; seed++ {
+		p := smallProblem(t, seed)
+		poolingEnabled = false
+		fresh := ECF(p, Options{})
+		poolingEnabled = true
+		for _, s := range []int64{seed + 11, seed + 23} {
+			_ = ParallelECF(smallProblem(t, s), Options{Workers: 4})
+		}
+		par := ParallelECF(p, Options{Workers: 4})
+		sameSolutionSets(t, fmt.Sprintf("seed %d parallel", seed), par.Solutions, fresh.Solutions)
+	}
+}
+
+// TestReleaseIsNilSafe pins the guard clauses: releasing nil state or
+// releasing with pooling disabled must be a no-op, not a panic, so error
+// paths can call release unconditionally.
+func TestReleaseIsNilSafe(t *testing.T) {
+	var s *fcSearcher
+	s.release()
+	var f *Filters
+	f.release()
+	poolingEnabled = false
+	defer func() { poolingEnabled = true }()
+	p := smallProblem(t, 1)
+	res := ECF(p, Options{})
+	if res == nil {
+		t.Fatal("ECF returned nil with pooling disabled")
+	}
+}

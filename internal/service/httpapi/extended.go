@@ -141,7 +141,10 @@ func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) 
 	if strings.TrimSpace(req.QueryGraphML) == "" {
 		return service.Request{}, fmt.Errorf("missing query GraphML")
 	}
-	query, err := graphml.DecodeString(req.QueryGraphML)
+	// Decoding dominates warm-request allocations; repeats of the same
+	// GraphML text come from the shared LRU. The decoded graph is shared
+	// across requests and must never be mutated downstream.
+	query, err := s.queries.decode(req.QueryGraphML)
 	if err != nil {
 		return service.Request{}, err
 	}

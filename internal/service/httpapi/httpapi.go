@@ -30,6 +30,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -53,6 +54,8 @@ type Server struct {
 	// lc is the embedding-lifecycle manager, mounted via AttachLifecycle
 	// (nil when the daemon runs without lifecycle management).
 	lc *lifecycle.Manager
+	// queries memoizes GraphML query decoding across requests (perf.go).
+	queries *queryCache
 }
 
 // New builds the HTTP front end for svc around a private job engine with
@@ -68,7 +71,7 @@ func New(svc *service.Service) *Server {
 // (the daemon uses this so it can drain the engine during graceful
 // shutdown). The engine must wrap the same svc.
 func NewWithEngine(svc *service.Service, eng *engine.Engine) *Server {
-	s := &Server{svc: svc, eng: eng, mux: http.NewServeMux()}
+	s := &Server{svc: svc, eng: eng, mux: http.NewServeMux(), queries: newQueryCache(0)}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/embed", s.handleEmbed)
@@ -317,11 +320,22 @@ func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf := responseBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Nothing was written yet, so the error can still travel as JSON.
+		buf.Reset()
+		buf.WriteString(`{"error":"response encoding failed"}` + "\n")
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledResponseBuf {
+		responseBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

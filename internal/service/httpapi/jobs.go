@@ -119,10 +119,28 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobStatusJSON(info))
 }
 
+// statsJSON is the GET /stats reply: the flat engine counters (top level,
+// as always) plus the nested serve-path sections (model epochs, runtime
+// memory, query cache). lifecycleStatsEnvelope is the same shape when a
+// lifecycle manager is attached.
+type statsJSON struct {
+	engine.Stats
+	serveStatsJSON
+}
+
+type lifecycleStatsEnvelope struct {
+	lifecycleStatsJSON
+	serveStatsJSON
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sections := s.serveSections()
 	if s.lc != nil {
-		writeJSON(w, http.StatusOK, foldLifecycleStats(s.eng.Stats(), s.lc.Stats()))
+		writeJSON(w, http.StatusOK, lifecycleStatsEnvelope{
+			lifecycleStatsJSON: foldLifecycleStats(s.eng.Stats(), s.lc.Stats()),
+			serveStatsJSON:     sections,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	writeJSON(w, http.StatusOK, statsJSON{Stats: s.eng.Stats(), serveStatsJSON: sections})
 }

@@ -32,6 +32,25 @@ type Model struct {
 	version uint64
 	idx     *index.Index // nil unless EnableIndex was called
 	idxCfg  index.Config
+
+	// epochs tracks in-flight readers per published version so the serve
+	// path can prove superseded (graph, index) snapshots are released —
+	// and therefore collectable — once their last reader departs. It has
+	// its own mutex; it is never taken while holding m.mu (AcquireIndexed
+	// reads the triple under m.mu first, then registers the reader).
+	epochs epochState
+}
+
+// epochState is the reader-tracking side of the model's copy-on-write
+// snapshots. Each AcquireIndexed registers one reader against the version
+// it read; Release unregisters it. When the last reader of a version that
+// has since been superseded departs, nothing in the service pins that
+// snapshot any longer and retired is bumped — the observable signal that
+// delta churn is not accumulating old graphs behind slow requests.
+type epochState struct {
+	mu      sync.Mutex
+	readers map[uint64]int
+	retired uint64
 }
 
 // NewModel wraps an initial hosting network. The graph must not be
@@ -75,6 +94,73 @@ func (m *Model) SnapshotIndexed() (*graph.Graph, *index.Index, uint64) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.g, m.idx, m.version
+}
+
+// AcquireIndexed is SnapshotIndexed plus epoch registration: the caller
+// is counted as a live reader of the returned version until it calls
+// Release(version). Long-running searches should prefer this pair over
+// SnapshotIndexed so EpochStats can distinguish "old snapshot pinned by
+// an in-flight request" from a leak. Acquire/Release are cheap (one
+// mutex, no allocation on the steady path) and panic-safe via defer.
+func (m *Model) AcquireIndexed() (*graph.Graph, *index.Index, uint64) {
+	m.mu.RLock()
+	g, idx, v := m.g, m.idx, m.version
+	m.mu.RUnlock()
+	m.epochs.mu.Lock()
+	if m.epochs.readers == nil {
+		m.epochs.readers = make(map[uint64]int)
+	}
+	m.epochs.readers[v]++
+	m.epochs.mu.Unlock()
+	return g, idx, v
+}
+
+// Release unregisters one reader acquired via AcquireIndexed. When the
+// departing reader is the last on a version the model has since moved
+// past, that epoch is retired: the service holds no remaining reference
+// to its snapshot. Releasing a version with no registered reader is a
+// no-op.
+func (m *Model) Release(version uint64) {
+	m.epochs.mu.Lock()
+	// The version must be read inside the epoch critical section: read
+	// earlier, a releaser that stalls before the lock can perform the
+	// final delete against a stale "current" and a superseded epoch
+	// would vanish without being counted retired. epochs.mu is never
+	// taken with m.mu held, so the nested RLock cannot deadlock.
+	cur := m.Version()
+	switch n := m.epochs.readers[version]; {
+	case n > 1:
+		m.epochs.readers[version] = n - 1
+	case n == 1:
+		delete(m.epochs.readers, version)
+		if version < cur {
+			m.epochs.retired++
+		}
+	}
+	m.epochs.mu.Unlock()
+}
+
+// EpochStats describes the model's snapshot-retirement state: the current
+// version, how many distinct versions still have in-flight readers, the
+// total reader count, and how many superseded epochs have been fully
+// released since the model was built.
+type EpochStats struct {
+	Version     uint64 `json:"version"`
+	LiveEpochs  int    `json:"liveEpochs"`
+	LiveReaders int    `json:"liveReaders"`
+	Retired     uint64 `json:"retiredEpochs"`
+}
+
+// EpochStats returns the current snapshot-retirement gauges.
+func (m *Model) EpochStats() EpochStats {
+	v := m.Version()
+	m.epochs.mu.Lock()
+	defer m.epochs.mu.Unlock()
+	st := EpochStats{Version: v, LiveEpochs: len(m.epochs.readers), Retired: m.epochs.retired}
+	for _, n := range m.epochs.readers {
+		st.LiveReaders += n
+	}
+	return st
 }
 
 // Version returns the current model version.

@@ -192,8 +192,12 @@ var (
 const ReservedAttr = "netembedReserved"
 
 // Embed answers one embedding request against the current model snapshot.
+// The snapshot is acquired as an epoch (Model.AcquireIndexed) and released
+// when the request finishes, so superseded snapshots retire as soon as
+// their last in-flight request drains.
 func (s *Service) Embed(req Request) (*Response, error) {
-	host, idx, version := s.model.SnapshotIndexed()
+	host, idx, version := s.model.AcquireIndexed()
+	defer s.model.Release(version)
 	return s.embedOn(host, idx, version, req)
 }
 
@@ -212,7 +216,8 @@ type BatchResult struct {
 // per-item failures land in the matching BatchResult without aborting
 // the rest. The shared version is returned alongside the results.
 func (s *Service) EmbedBatch(reqs []Request) ([]BatchResult, uint64) {
-	host, idx, version := s.model.SnapshotIndexed()
+	host, idx, version := s.model.AcquireIndexed()
+	defer s.model.Release(version)
 	out := make([]BatchResult, len(reqs))
 	for i, req := range reqs {
 		resp, err := s.embedOn(host, idx, version, req)

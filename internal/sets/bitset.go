@@ -44,6 +44,49 @@ func FromSet(n int, s Set) *Bitset {
 	return b
 }
 
+// ReuseBitsets is MakeBitsets recycling prior backing storage: rows and
+// backing come from an earlier call (or are nil) and are re-sliced into
+// count zeroed bitsets over [0, n), allocating only when the recycled
+// capacity is too small. It is the allocation-free steady state of the
+// pooled search structures — a warm worker re-shapes the same two
+// allocations for every query instead of paying MakeBitsets per search.
+func ReuseBitsets(rows []Bitset, backing []uint64, n, count int) ([]Bitset, []uint64) {
+	words := (n + 63) / 64
+	need := words * count
+	if cap(backing) < need {
+		backing = make([]uint64, need)
+	} else {
+		backing = backing[:need]
+		clear(backing)
+	}
+	if cap(rows) < count {
+		rows = make([]Bitset, count)
+	} else {
+		rows = rows[:count]
+	}
+	for i := range rows {
+		rows[i] = Bitset{words: backing[i*words : (i+1)*words : (i+1)*words], n: n}
+	}
+	return rows, backing
+}
+
+// ReuseBitset re-shapes b into an empty bitset over [0, n), reusing its
+// words when they fit and allocating otherwise. A nil b allocates fresh.
+func ReuseBitset(b *Bitset, n int) *Bitset {
+	words := (n + 63) / 64
+	if b == nil {
+		return NewBitset(n)
+	}
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		clear(b.words)
+	}
+	b.n = n
+	return b
+}
+
 // Len returns the universe size n.
 func (b *Bitset) Len() int { return b.n }
 
