@@ -280,7 +280,9 @@ func Compare(base, head map[string]*Samples, gate *regexp.Regexp, threshold, all
 }
 
 // loadDoc is the slice of a netembedload LOAD_*.json report the gate
-// reads (schema "netembedload/1").
+// reads (schemas "netembedload/1" and "netembedload/2" — the /2 bump
+// only added the optimize op to the mix, the gated fields are
+// unchanged, so old baselines stay comparable).
 type loadDoc struct {
 	Schema  string `json:"schema"`
 	Overall struct {
@@ -351,7 +353,7 @@ func readLoadDoc(path string) (loadDoc, error) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return doc, fmt.Errorf("%s: %v", path, err)
 	}
-	if doc.Schema != "netembedload/1" {
+	if doc.Schema != "netembedload/1" && doc.Schema != "netembedload/2" {
 		return doc, fmt.Errorf("%s: unexpected schema %q", path, doc.Schema)
 	}
 	return doc, nil

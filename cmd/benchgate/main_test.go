@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"regexp"
 	"strings"
@@ -172,6 +173,8 @@ func TestWorkflowGateMatchesSubBenchmarks(t *testing.T) {
 		"BenchmarkRepair_SeededVsScratch/scratch",
 		"BenchmarkServePath/warm",
 		"BenchmarkServePath/cached",
+		"BenchmarkOptimize_BnB_vs_Enumerate/n512/bnb",
+		"BenchmarkOptimize_BnB_vs_Enumerate/n512/enumerate",
 	} {
 		if !gate.MatchString(name) {
 			t.Errorf("GATE %q does not gate %q", m[1], name)
@@ -199,11 +202,40 @@ func TestMedian(t *testing.T) {
 
 func loadDocFor(count uint64, p99 uint64, allocs float64) loadDoc {
 	var d loadDoc
-	d.Schema = "netembedload/1"
+	d.Schema = "netembedload/2"
 	d.Overall.Count = count
 	d.Overall.P99Ns = p99
 	d.Server.AllocsPerRequest = allocs
 	return d
+}
+
+// TestReadLoadDocSchemas pins which LOAD_*.json schemas the gate reads:
+// both netembedload/1 (pre-optimize baselines) and netembedload/2 decode
+// to the same gated fields; anything else is refused so a harness/gate
+// version skew fails loudly instead of comparing garbage.
+func TestReadLoadDocSchemas(t *testing.T) {
+	const body = `{"schema":%q,"overall":{"count":42,"errors":1,"p50Ns":100,"p99Ns":900},"server":{"allocsPerRequest":7.5}}`
+	dir := t.TempDir()
+	for _, schema := range []string{"netembedload/1", "netembedload/2"} {
+		path := dir + "/" + strings.ReplaceAll(schema, "/", "_") + ".json"
+		if err := os.WriteFile(path, []byte(fmt.Sprintf(body, schema)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := readLoadDoc(path)
+		if err != nil {
+			t.Fatalf("schema %s refused: %v", schema, err)
+		}
+		if doc.Overall.Count != 42 || doc.Overall.P99Ns != 900 || doc.Server.AllocsPerRequest != 7.5 {
+			t.Fatalf("schema %s decoded wrong: %+v", schema, doc)
+		}
+	}
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte(fmt.Sprintf(body, "netembedload/3")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readLoadDoc(bad); err == nil {
+		t.Fatal("unknown schema netembedload/3 must be refused")
+	}
 }
 
 // TestCompareLoad pins the load-mode gate: >15% p99 or >10%

@@ -23,6 +23,12 @@
 // edges onto multi-hop hosting paths; -path-hops sets the default
 // witness hop bound for requests that carry no maxHops.
 //
+// Embedding queries that carry an "objective" run as branch-and-bound
+// optimizing searches and return the single cheapest embedding with its
+// objectiveCost; polling a running optimizing job returns the feasible
+// best-so-far mapping and cost. -repair-objective applies the same
+// objective as the lifecycle repair planner's tie-break.
+//
 // Every embedding query runs on the asynchronous job engine: a bounded
 // queue (-queue) drained by a worker pool (-workers) with a
 // model-versioned result cache (-cache) in front. Saturation answers
@@ -50,16 +56,44 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"netembed"
+	"netembed/internal/core"
 	"netembed/internal/engine"
 	"netembed/internal/lifecycle"
 	"netembed/internal/service"
 	"netembed/internal/service/httpapi"
 )
+
+// parseRepairObjective translates the -repair-objective flag: empty
+// disables the tie-break, "attr-cost:<attr>" minimizes the named host
+// attribute over repaired placements, "load-balance" and "energy" use
+// their built-in attribute defaults (an optional :<attr> overrides).
+func parseRepairObjective(s string) (core.Objective, error) {
+	if s == "" {
+		return core.Objective{}, nil
+	}
+	kindName, attr, _ := strings.Cut(s, ":")
+	var kind core.ObjectiveKind
+	switch kindName {
+	case "attr-cost":
+		if attr == "" {
+			return core.Objective{}, fmt.Errorf("-repair-objective attr-cost needs an attribute (attr-cost:<attr>)")
+		}
+		kind = core.ObjectiveAttrCost
+	case "load-balance":
+		kind = core.ObjectiveLoadBalance
+	case "energy":
+		kind = core.ObjectiveEnergy
+	default:
+		return core.Objective{}, fmt.Errorf("-repair-objective: unknown kind %q (want attr-cost:<attr>, load-balance or energy)", kindName)
+	}
+	return core.Objective{Kind: kind, Attr: attr}, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -84,6 +118,7 @@ func run() error {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 		repairInt = flag.Duration("repair-interval", 5*time.Second, "pace of the embedding lifecycle's background repair pass (0 = lifecycle disabled)")
 		maxMigr   = flag.Float64("max-migration-frac", 1, "repair-plan migration budget as a fraction of each embedding's query nodes (>= 1 = unbounded)")
+		repairObj = flag.String("repair-objective", "", "repair-plan tie-break objective: attr-cost:<attr>, load-balance, energy, or empty = first feasible plan")
 	)
 	flag.Parse()
 
@@ -151,6 +186,10 @@ func run() error {
 	if *maxMigr <= 0 {
 		return fmt.Errorf("-max-migration-frac %v is not positive", *maxMigr)
 	}
+	repairObjective, err := parseRepairObjective(*repairObj)
+	if err != nil {
+		return err
+	}
 	if *repairInt > 0 {
 		// The lifecycle manager rides the engine's maintenance tick: every
 		// model publish triggers a health sweep over the managed
@@ -159,6 +198,7 @@ func run() error {
 		mgr := lifecycle.NewManager(svc, lifecycle.Config{
 			RepairInterval:   *repairInt,
 			MaxMigrationFrac: *maxMigr,
+			Objective:        repairObjective,
 		})
 		eng.SetMaintainer(mgr)
 		api.AttachLifecycle(mgr)

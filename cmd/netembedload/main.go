@@ -56,10 +56,11 @@ const (
 	opPath
 	opJobs
 	opDelta
+	opOptimize
 	numOps
 )
 
-var opNames = [numOps]string{"embed", "batch", "path", "jobs", "delta"}
+var opNames = [numOps]string{"embed", "batch", "path", "jobs", "delta", "optimize"}
 
 // Config shapes one load run. It is exported through flags by main and
 // filled directly by tests.
@@ -95,7 +96,7 @@ func defaultConfig() Config {
 		RPS:           50,
 		Arrival:       "poisson",
 		Workers:       16,
-		Mix:           "embed=55,batch=10,path=10,jobs=20,delta=5",
+		Mix:           "embed=50,batch=10,path=10,jobs=20,delta=5,optimize=5",
 		QueryVariants: 8,
 		QueryNodes:    8,
 		QueryEdges:    12,
@@ -138,9 +139,11 @@ type ServerReport struct {
 }
 
 // Report is the machine-readable run summary (the LOAD_*.json schema the
-// CI load gate compares).
+// CI load gate compares). Schema "netembedload/2" added the optimize op
+// to the mix; the gate still accepts /1 documents (same field layout) so
+// baselines recorded before the bump keep comparing.
 type Report struct {
-	Schema     string              `json:"schema"` // "netembedload/1"
+	Schema     string              `json:"schema"` // "netembedload/2"
 	Addr       string              `json:"addr"`
 	DurationS  float64             `json:"durationS"`
 	TargetRPS  float64             `json:"targetRps"`
@@ -181,10 +184,11 @@ type serverStats struct {
 
 // workload holds the request bodies derived from the server's model.
 type workload struct {
-	embeds  [][]byte // single-query /embed bodies
-	batches [][]byte // /embed/batch bodies
-	paths   [][]byte // path-mode /embed bodies
-	deltas  [][]byte // /deltas churn bodies
+	embeds    [][]byte // single-query /embed bodies
+	batches   [][]byte // /embed/batch bodies
+	paths     [][]byte // path-mode /embed bodies
+	deltas    [][]byte // /deltas churn bodies
+	optimizes [][]byte // optimizing /embed bodies (branch-and-bound)
 }
 
 const delayWindowConstraint = "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay"
@@ -230,6 +234,15 @@ func deriveWorkload(client *http.Client, cfg Config) (*workload, error) {
 			"timeoutMs":      cfg.TimeoutMs,
 		}
 		w.embeds = append(w.embeds, mustJSON(embed))
+		// Optimizing variant of the same query: branch-and-bound for the
+		// least-loaded placement. load-balance needs no model attributes
+		// (missing "slots" reads as 1), so it runs against any host.
+		w.optimizes = append(w.optimizes, mustJSON(map[string]any{
+			"query":          xml,
+			"edgeConstraint": delayWindowConstraint,
+			"timeoutMs":      cfg.TimeoutMs,
+			"objective":      map[string]any{"kind": "load-balance"},
+		}))
 		w.paths = append(w.paths, mustJSON(map[string]any{
 			"query":      xml,
 			"algorithm":  "path",
@@ -359,6 +372,9 @@ func doOp(client *http.Client, cfg Config, w *workload, op opKind, i int) (ok bo
 		return s == http.StatusOK, s
 	case opDelta:
 		s, _ := post("/deltas", w.deltas[i%len(w.deltas)])
+		return s == http.StatusOK, s
+	case opOptimize:
+		s, _ := post("/embed", w.optimizes[i%len(w.optimizes)])
 		return s == http.StatusOK, s
 	case opJobs:
 		s, body := post("/jobs", w.embeds[i%len(w.embeds)])
@@ -545,7 +561,7 @@ func run(cfg Config) (*Report, error) {
 		}
 	}
 	rep := &Report{
-		Schema:     "netembedload/1",
+		Schema:     "netembedload/2",
 		Addr:       cfg.Addr,
 		DurationS:  elapsed.Seconds(),
 		TargetRPS:  cfg.RPS,

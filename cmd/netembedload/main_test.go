@@ -144,7 +144,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if rep.Overall.Errors > 0 {
 		t.Errorf("%d errors against a healthy server: %+v", rep.Overall.Errors, rep.PerOp)
 	}
-	for _, op := range []string{"embed", "batch", "path", "jobs", "delta"} {
+	for _, op := range []string{"embed", "batch", "path", "jobs", "delta", "optimize"} {
 		r, ok := rep.PerOp[op]
 		if !ok || r.Count == 0 {
 			t.Errorf("op %s: no completions (report %+v)", op, rep.PerOp[op])
@@ -184,7 +184,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != "netembedload/1" || back.Overall.Count != rep.Overall.Count {
+	if back.Schema != "netembedload/2" || back.Overall.Count != rep.Overall.Count {
 		t.Errorf("report round trip mismatch: %+v vs %+v", back.Overall, rep.Overall)
 	}
 }

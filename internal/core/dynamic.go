@@ -23,6 +23,11 @@ import (
 func DynamicECF(p *Problem, opt Options) *Result {
 	start := time.Now()
 	f := BuildFilters(p, &opt)
+	optimize := opt.Optimize && opt.Objective.Enabled()
+	if optimize {
+		opt.MaxSolutions = 0 // optimality needs the exhausted tree
+		opt.OnSolution = nil
+	}
 	if opt.Engine != SearchChrono {
 		// FC engine in dynamic mode: the live domain counts make the MRV
 		// pick an O(nq) read instead of a full re-intersection per open
@@ -65,6 +70,9 @@ func DynamicECF(p *Problem, opt Options) *Result {
 		Exhausted: exhausted,
 		Status:    classify(exhausted, s.nSol),
 		Stats:     s.stats,
+	}
+	if optimize {
+		reduceToArgmin(p.Host, opt.Objective, res)
 	}
 	res.Stats.Elapsed = time.Since(start)
 	f.release()

@@ -113,16 +113,49 @@ type searcher struct {
 // recompute-per-visit DFS below, kept as the property-test oracle and
 // ablation baseline. Both enumerate identical solution sequences.
 func searchWithFilters(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time) *Result {
+	optimize := opt.Optimize && opt.Objective.Enabled()
+	if optimize {
+		// Optimality requires the exhausted tree, so a solution cap cannot
+		// apply; OnSolution streams enumerations, not incumbents, and is
+		// superseded by OnImprove here.
+		opt.MaxSolutions = 0
+		opt.OnSolution = nil
+	}
 	if opt.Engine == SearchChrono {
+		// The chronological engine has no bound machinery: enumerate
+		// everything, then take the argmin — the oracle semantics the B&B
+		// property tests pin against.
 		s := newSearcher(p, f, opt, rng, start)
 		s.search(0)
-		return s.result()
+		res := s.result()
+		if optimize {
+			reduceToArgmin(p.Host, opt.Objective, res)
+		}
+		return res
 	}
 	s := newFCSearcher(p, f, opt, rng, start, false)
 	s.run()
 	res := s.result()
 	s.release()
 	return res
+}
+
+// reduceToArgmin collapses an enumerated Result to its single cheapest
+// solution under obj (first minimum wins, matching the strict-<
+// incumbent rule of the B&B engine) and records the cost. A Result with
+// no solutions is left untouched.
+func reduceToArgmin(host *graph.Graph, obj Objective, res *Result) {
+	if len(res.Solutions) == 0 {
+		return
+	}
+	bestI, bestC := 0, obj.Cost(host, res.Solutions[0])
+	for i := 1; i < len(res.Solutions); i++ {
+		if c := obj.Cost(host, res.Solutions[i]); c < bestC {
+			bestI, bestC = i, c
+		}
+	}
+	res.Solutions = []Mapping{res.Solutions[bestI]}
+	res.Cost = bestC
 }
 
 func newSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start time.Time) *searcher {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"netembed/internal/graph"
@@ -114,6 +116,23 @@ type fcSearcher struct {
 	stopClock
 	stopped bool
 
+	// Branch-and-bound state (Options.Optimize; see objective.go). The
+	// incremental partial cost rides the expand stack in costAt exactly
+	// like domain words ride the trail: costAt[d+1] is written before
+	// descending and simply abandoned on backtrack. Per-node lower
+	// bounds are cached per domain generation — domGen[q] bumps on every
+	// prune or undo touching q's domain, invalidating lbVal[q].
+	optimize  bool
+	obj       *objectiveEval
+	costAt    []float64
+	lbVal     []float64
+	lbGen     []uint32
+	domGen    []uint32
+	bbShared  *atomic.Uint64 // ParallelECF's shared incumbent (Float64bits), nil sequentially
+	incumbent float64        // best cost seen locally (+Inf until the first solution)
+	best      Mapping        // incumbent mapping (recycled buffer; clone to return)
+	hasBest   bool
+
 	started   time.Time
 	solutions []Mapping
 	nSol      int
@@ -135,6 +154,24 @@ func newFCSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start ti
 	s.nSol = 0
 	s.started = start
 	s.stats = f.Stats()
+	s.optimize = opt.Optimize && opt.Objective.Enabled()
+	s.obj = nil
+	s.bbShared = nil
+	s.hasBest = false
+	s.incumbent = math.Inf(1)
+	if s.optimize {
+		s.obj = compileObjective(opt.Objective, p.Host, opt.Index)
+		s.costAt = grow(s.costAt, nq+1)
+		s.costAt[0] = 0
+		s.lbVal = grow(s.lbVal, nq)
+		s.lbGen = grow(s.lbGen, nq)
+		s.domGen = grow(s.domGen, nq)
+		for q := 0; q < nq; q++ {
+			s.lbGen[q] = ^uint32(0) // invalid: never matches a generation
+			s.domGen[q] = 0
+		}
+		s.best = s.best[:0]
+	}
 	for i := range s.assign {
 		s.assign[i] = -1
 		s.depthOf[i] = -1
@@ -234,6 +271,9 @@ func (s *fcSearcher) undoTo(mark, amark, d int) {
 		if e.clearFC {
 			s.pastFC[e.node].Clear(int32(d))
 		}
+		if s.optimize {
+			s.domGen[e.node]++ // domain changed back: cached lower bound is stale
+		}
 	}
 	s.trail = s.trail[:mark]
 	s.arena = s.arena[:amark]
@@ -290,6 +330,9 @@ func (s *fcSearcher) pruneRow(d int, head graph.NodeID, table, r int32) bool {
 			node: int32(head), w0: 0, nw: int32(s.words), off: int32(off),
 			prevCount: prev, clearFC: clearFC,
 		})
+		if s.optimize {
+			s.domGen[head]++
+		}
 		return true
 	}
 
@@ -310,6 +353,9 @@ func (s *fcSearcher) pruneRow(d int, head graph.NodeID, table, r int32) bool {
 		node: int32(head), w0: 0, nw: int32(s.words), off: int32(off),
 		prevCount: prev, clearFC: clearFC,
 	})
+	if s.optimize {
+		s.domGen[head]++
+	}
 	s.domCount[head] = int32(cnt)
 	if cnt == 0 {
 		s.wipeout(d, head)
@@ -425,6 +471,7 @@ func (s *fcSearcher) expand(d int, node graph.NodeID) int {
 		s.rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
 	}
 	nSolBefore := s.nSol
+	cutsBefore := s.stats.BoundCuts
 	for _, r := range buf {
 		if s.checkDeadline() || s.stopped {
 			return -1
@@ -433,7 +480,7 @@ func (s *fcSearcher) expand(d int, node graph.NodeID) int {
 		mark, amark := len(s.trail), len(s.arena)
 		s.assign[node] = r
 		s.used.Set(r)
-		if s.forwardCheck(d, node, r) {
+		if s.forwardCheck(d, node, r) && s.boundOK(d, r) {
 			jd := s.search(d + 1)
 			if jd < d {
 				s.undoTo(mark, amark, d)
@@ -446,9 +493,12 @@ func (s *fcSearcher) expand(d int, node graph.NodeID) int {
 		s.used.Clear(r)
 		s.assign[node] = -1
 	}
-	if s.nSol > nSolBefore || s.timedOut || s.stopped {
+	if s.nSol > nSolBefore || s.stats.BoundCuts > cutsBefore || s.timedOut || s.stopped {
 		// Solutions below (or an abort): chronological, so enumeration
-		// stays complete.
+		// stays complete. Likewise any bound cut in the subtree: a cut
+		// abandons values without proving the subtree solution-free, so a
+		// conflict-directed jump across it would be unsound — taint the
+		// whole subtree chronological instead.
 		return d - 1
 	}
 	s.stats.Backtracks++ // a dead-ended subtree root: no solution below
@@ -488,6 +538,10 @@ func (s *fcSearcher) expand(d int, node graph.NodeID) int {
 }
 
 func (s *fcSearcher) record() {
+	if s.optimize {
+		s.recordIncumbent()
+		return
+	}
 	if s.nSol == 0 {
 		s.stats.TimeToFirst = time.Since(s.started)
 	}
@@ -504,8 +558,145 @@ func (s *fcSearcher) record() {
 	}
 }
 
+// boundOK admits the assignment node ↦ r made at depth d only if the
+// partial cost so far plus the sum (or max) of the per-node lower bounds
+// of every still-unassigned node can still beat the incumbent. It also
+// extends the incremental cost stack: costAt[d+1] is valid from here
+// down. Strict pruning (≥, not >) is safe because an equal-cost
+// completion cannot improve the strict-< incumbent either.
+func (s *fcSearcher) boundOK(d int, r int32) bool {
+	if !s.optimize {
+		return true
+	}
+	partial := s.obj.combine(s.costAt[d], s.obj.terms[r])
+	s.costAt[d+1] = partial
+	inc := s.curIncumbent()
+	if math.IsInf(inc, 1) {
+		return true // nothing to beat yet: every branch is worth exploring
+	}
+	// Under a monotone fold a partial bound already under-estimates every
+	// completion, so the cut can fire as soon as it crosses the
+	// incumbent; with negative additive terms the comparison is only
+	// sound after ALL remaining nodes are folded in.
+	bound := partial
+	if s.obj.monotone && bound >= inc {
+		s.stats.BoundCuts++
+		return false
+	}
+	if s.dynamic {
+		for q := 0; q < s.nq; q++ {
+			if s.depthOf[q] >= 0 {
+				continue
+			}
+			bound = s.obj.combine(bound, s.nodeLB(graph.NodeID(q)))
+			if s.obj.monotone && bound >= inc {
+				s.stats.BoundCuts++
+				return false
+			}
+		}
+	} else {
+		for dd := d + 1; dd < s.nq; dd++ {
+			bound = s.obj.combine(bound, s.nodeLB(s.order[dd]))
+			if s.obj.monotone && bound >= inc {
+				s.stats.BoundCuts++
+				return false
+			}
+		}
+	}
+	if bound >= inc {
+		s.stats.BoundCuts++
+		return false
+	}
+	return true
+}
+
+// nodeLB returns the admissible lower bound on q's term over its live
+// domain, cached per domain generation.
+func (s *fcSearcher) nodeLB(q graph.NodeID) float64 {
+	if s.lbGen[q] == s.domGen[q] {
+		return s.lbVal[q]
+	}
+	lb, probes := s.obj.lowerBound(&s.dom[q])
+	s.stats.BoundProbes += probes
+	s.lbVal[q], s.lbGen[q] = lb, s.domGen[q]
+	return lb
+}
+
+// curIncumbent returns the tightest bound visible to this searcher: the
+// local incumbent, further tightened by the fleet-shared bound when
+// ParallelECF wired one in.
+func (s *fcSearcher) curIncumbent() float64 {
+	inc := s.incumbent
+	if s.bbShared != nil {
+		if g := math.Float64frombits(s.bbShared.Load()); g < inc {
+			inc = g
+		}
+	}
+	return inc
+}
+
+// tightenIncumbent publishes cost into the shared incumbent word iff it
+// strictly improves it, looping on CAS so concurrent improvements stay
+// monotone decreasing. It reports whether cost won.
+func tightenIncumbent(shared *atomic.Uint64, cost float64) bool {
+	for {
+		old := shared.Load()
+		if cost >= math.Float64frombits(old) {
+			return false
+		}
+		if shared.CompareAndSwap(old, math.Float64bits(cost)) {
+			return true
+		}
+	}
+}
+
+// recordIncumbent handles a complete assignment under Optimize: keep it
+// only when it strictly beats the best seen, so the search degrades into
+// pure pruning once the optimum is found. The cost comes from the
+// incremental stack — identical arithmetic to the bounds it is compared
+// against.
+func (s *fcSearcher) recordIncumbent() {
+	cost := s.costAt[s.nq]
+	if s.nSol == 0 {
+		s.stats.TimeToFirst = time.Since(s.started)
+	}
+	s.nSol++
+	if s.bbShared != nil {
+		if !tightenIncumbent(s.bbShared, cost) {
+			// A sibling worker already holds something at least as good;
+			// still tighten the local copy so future probes skip the load.
+			if cost < s.incumbent {
+				s.incumbent = cost
+			}
+			return
+		}
+	} else if cost >= s.incumbent {
+		return
+	}
+	s.incumbent = cost
+	s.best = append(s.best[:0], s.assign...)
+	s.hasBest = true
+	s.stats.IncumbentUpdates++
+	if s.opt.OnImprove != nil {
+		s.opt.OnImprove(s.assign, cost)
+	}
+}
+
 func (s *fcSearcher) result() *Result {
 	exhausted := !s.timedOut && !s.stopped
+	if s.optimize {
+		res := &Result{
+			Exhausted: exhausted,
+			Stats:     s.stats,
+		}
+		if s.hasBest {
+			res.Solutions = []Mapping{s.best.Clone()}
+			res.Cost = s.incumbent
+		}
+		res.Status = classify(exhausted, len(res.Solutions))
+		res.Stats.Elapsed = time.Since(s.started)
+		return res
+	}
 	res := &Result{
 		Solutions: s.solutions,
 		Exhausted: exhausted,

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+
+	"netembed/internal/graph"
+	"netembed/internal/index"
+	"netembed/internal/sets"
+)
+
+// This file is the objective layer behind Options.Optimize: three
+// built-in cost functions over complete mappings, a canonical evaluator
+// (the enumerate-and-argmin oracle and the repair tie-break both use
+// it), and the compiled per-search form the branch-and-bound engine in
+// fc.go consults on its hot path — precomputed per-host terms, plus
+// admissible per-node lower bounds derived from the live candidate
+// domains via the index's sorted attribute postings.
+
+// ObjectiveKind names a built-in objective function.
+type ObjectiveKind int
+
+// The built-in objectives.
+const (
+	// ObjectiveNone is the zero value: no objective, plain enumeration.
+	ObjectiveNone ObjectiveKind = iota
+	// ObjectiveAttrCost minimizes the weighted sum of a numeric host
+	// attribute (Attr, e.g. a per-node price) over the assigned hosts.
+	// Hosts lacking the attribute cost 0. Additive.
+	ObjectiveAttrCost
+	// ObjectiveLoadBalance minimizes the worst per-host slot utilization:
+	// the cost is max over assigned hosts of Weight/slots(r), with slots
+	// read from Attr (default "slots", missing or <1 reads as 1). Since
+	// the search is injective each host carries one query node, so
+	// utilization is 1/slots and the optimum packs the embedding onto the
+	// roomiest hosts. Max-composed.
+	ObjectiveLoadBalance
+	// ObjectiveEnergy minimizes the hosts a plan must power on: every
+	// distinct assigned host that is not already active (Attr, default
+	// "active", ≥ 1) costs Weight. Consolidating onto the powered-on
+	// fleet — LNS/Consolidate's goal — becomes the search objective; with
+	// no host marked active every used host counts, i.e. the cost is the
+	// number of distinct hosts used. Additive.
+	ObjectiveEnergy
+)
+
+// Objective selects and parameterizes an optimizing search's cost
+// function. It is a pure value (no closures) so it can join the engine's
+// request fingerprint byte-for-byte.
+type Objective struct {
+	// Kind picks the built-in; ObjectiveNone disables optimization.
+	Kind ObjectiveKind
+	// Attr is the host attribute the objective reads. Defaults per kind:
+	// required for ObjectiveAttrCost, "slots" for ObjectiveLoadBalance,
+	// "active" for ObjectiveEnergy.
+	Attr string
+	// Weight scales every term (default 1). ObjectiveAttrCost accepts
+	// negative weights (maximize the attribute sum).
+	Weight float64
+}
+
+// Enabled reports whether the objective selects a real cost function.
+func (o Objective) Enabled() bool { return o.Kind != ObjectiveNone }
+
+// normalized applies the per-kind Attr/Weight defaults.
+func (o Objective) normalized() Objective {
+	if o.Weight == 0 {
+		o.Weight = 1
+	}
+	if o.Attr == "" {
+		switch o.Kind {
+		case ObjectiveLoadBalance:
+			o.Attr = "slots"
+		case ObjectiveEnergy:
+			o.Attr = "active"
+		}
+	}
+	return o
+}
+
+// additive reports the composition: additive objectives sum their
+// per-assignment terms, the rest (load balance) take the maximum.
+func (o Objective) additive() bool { return o.Kind != ObjectiveLoadBalance }
+
+// termOn evaluates one assignment's contribution on host node r. The
+// receiver must be normalized.
+func (o Objective) termOn(host *graph.Graph, r graph.NodeID) float64 {
+	switch o.Kind {
+	case ObjectiveAttrCost:
+		v, _ := host.Node(r).Attrs.Float(o.Attr) // missing = 0
+		return o.Weight * v
+	case ObjectiveLoadBalance:
+		slots, ok := host.Node(r).Attrs.Float(o.Attr)
+		if !ok || slots < 1 {
+			slots = 1
+		}
+		return o.Weight / slots
+	case ObjectiveEnergy:
+		if v, ok := host.Node(r).Attrs.Float(o.Attr); ok && v >= 1 {
+			return 0
+		}
+		return o.Weight
+	default:
+		return 0
+	}
+}
+
+// Cost evaluates the objective over a complete mapping on host. It is
+// the canonical (order-independent for the built-ins) evaluation every
+// layer agrees on: the B&B incumbent's reported cost, the exhaustive
+// enumerate-and-argmin oracle, and SeededRepair's tie-break all call it.
+func (o Objective) Cost(host *graph.Graph, m Mapping) float64 {
+	o = o.normalized()
+	if !o.Enabled() {
+		return 0
+	}
+	cost := 0.0
+	for i, r := range m {
+		t := o.termOn(host, r)
+		if o.additive() {
+			cost += t
+		} else if i == 0 || t > cost {
+			cost = t
+		}
+	}
+	return cost
+}
+
+// objectiveEval is the compiled per-search form: per-host terms
+// materialized once, the composition mode resolved, and — when the
+// options carry a matching index — the sorted postings that answer
+// "cheapest term still in this domain" without scanning it.
+type objectiveEval struct {
+	obj      Objective // normalized
+	additive bool
+	// terms[r] is the objective contribution of assigning any query node
+	// to host r.
+	terms []float64
+	// postings, when non-nil, fully covers the host (Len == len(terms)),
+	// so an ascending/descending walk probing domain membership yields
+	// the exact domain minimum; ascending is true when terms grow with
+	// the posted attribute value (AttrCost, Weight ≥ 0).
+	postings  *index.Postings
+	ascending bool
+	// active, for ObjectiveEnergy, is the powered-on host set: a domain
+	// intersecting it has lower bound 0, otherwise Weight.
+	active *sets.Bitset
+	// monotone is true when folding further terms can never lower a
+	// partial bound — max composition, or additive with no negative term.
+	// Only then is a prefix cost itself a valid lower bound on its
+	// completions, letting the search cut before folding every remaining
+	// node; with negative terms in play the comparison must wait for the
+	// full fold.
+	monotone bool
+}
+
+// compileObjective materializes the evaluator for one search run.
+// ix may be nil (or describe another graph — callers pass the options
+// index only when it matches the host).
+func compileObjective(o Objective, host *graph.Graph, ix *index.Index) *objectiveEval {
+	o = o.normalized()
+	nr := host.NumNodes()
+	e := &objectiveEval{obj: o, additive: o.additive(), terms: make([]float64, nr)}
+	e.monotone = true
+	for r := 0; r < nr; r++ {
+		e.terms[r] = o.termOn(host, graph.NodeID(r))
+		if e.additive && e.terms[r] < 0 {
+			e.monotone = false
+		}
+	}
+	switch o.Kind {
+	case ObjectiveAttrCost, ObjectiveLoadBalance:
+		if o.Kind == ObjectiveLoadBalance && o.Weight < 0 {
+			// Negative-weight load balance inverts the term's monotonicity
+			// in the posted attribute; only the domain scan is admissible.
+			break
+		}
+		if ix != nil && ix.NumNodes() == nr {
+			if pp := ix.AttrPostings(o.Attr); pp != nil && pp.Len() == nr {
+				// Full coverage: every host is posted, so the walk's first
+				// domain member is the true domain extremum. Partial
+				// coverage would miss the implicit terms of unposted hosts
+				// (0 for AttrCost, Weight for LoadBalance) and the walk
+				// could overestimate — fall back to the domain scan there.
+				e.postings = pp
+				e.ascending = o.Kind == ObjectiveAttrCost && o.Weight >= 0
+			}
+		}
+	case ObjectiveEnergy:
+		if o.Weight < 0 {
+			// Negative weight flips the extremum: the cheapest term is an
+			// inactive host's, which the intersects-active probe cannot
+			// see — only the domain scan is admissible.
+			break
+		}
+		e.active = sets.NewBitset(nr)
+		for r := 0; r < nr; r++ {
+			if e.terms[r] == 0 {
+				e.active.Set(graph.NodeID(r))
+			}
+		}
+	}
+	return e
+}
+
+// combine folds one term into a partial cost under the composition.
+func (e *objectiveEval) combine(partial, term float64) float64 {
+	if e.additive {
+		return partial + term
+	}
+	return math.Max(partial, term)
+}
+
+// lowerBound computes an admissible bound on the term any completion can
+// contribute for a query node whose live domain is dom: the minimum term
+// over the domain. Injectivity only shrinks the usable domain, so the
+// unrestricted minimum stays a valid lower bound. probes reports the
+// membership tests spent (the BoundProbes counter's currency).
+func (e *objectiveEval) lowerBound(dom *sets.Bitset) (lb float64, probes int64) {
+	switch {
+	case e.active != nil:
+		// Energy: any still-reachable active host zeroes the term.
+		if dom.Intersects(e.active) {
+			return 0, 1
+		}
+		return e.obj.Weight, 1
+	case e.postings != nil:
+		var (
+			v  float64
+			n  int
+			ok bool
+		)
+		if e.ascending {
+			v, n, ok = e.postings.MinWhere(dom.Has)
+		} else {
+			v, n, ok = e.postings.MaxWhere(dom.Has)
+		}
+		if !ok {
+			// Empty domain: the caller is about to wipe out anyway.
+			return 0, int64(n)
+		}
+		switch e.obj.Kind {
+		case ObjectiveLoadBalance:
+			if v < 1 {
+				v = 1
+			}
+			return e.obj.Weight / v, int64(n)
+		default:
+			return e.obj.Weight * v, int64(n)
+		}
+	default:
+		v, ok := dom.MinOver(e.terms)
+		if !ok {
+			return 0, 1
+		}
+		return v, 1
+	}
+}

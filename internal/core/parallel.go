@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -46,6 +47,11 @@ func ParallelECF(p *Problem, opt Options) *Result {
 	if workers <= 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	optimize := opt.Optimize && opt.Objective.Enabled()
+	if optimize {
+		opt.MaxSolutions = 0 // optimality needs the exhausted tree
+		opt.OnSolution = nil
+	}
 	start := time.Now()
 	f := BuildFilters(p, &opt)
 
@@ -70,7 +76,9 @@ func ParallelECF(p *Problem, opt Options) *Result {
 		budget:   int64(opt.MaxSolutions),
 		start:    start,
 		userStop: opt.Stop,
+		optimize: optimize,
 	}
+	sh.incumbent.Store(math.Float64bits(math.Inf(1)))
 	sh.cond = sync.NewCond(&sh.mu)
 	sh.pending.Store(int64(len(rootCands)))
 	if len(rootCands) == 0 {
@@ -98,11 +106,23 @@ func ParallelECF(p *Problem, opt Options) *Result {
 	stats.WipeoutDepthSum += sh.wipeoutDepth.Load()
 	stats.Backjumps += sh.backjumps.Load()
 	stats.Steals = sh.steals.Load()
+	stats.BoundCuts += sh.boundCuts.Load()
+	stats.IncumbentUpdates += sh.incumbentUpdates.Load()
+	stats.BoundProbes += sh.boundProbes.Load()
 	stats.TimeToFirst = time.Duration(sh.first.Load())
 
 	exhausted := !sh.timedOut.Load() && !sh.stopped.Load()
-	n := len(sh.solutions)
 	f.release()
+	if optimize {
+		res := &Result{Exhausted: exhausted, Stats: stats}
+		if sh.hasBest {
+			res.Solutions = []Mapping{sh.best.Clone()}
+			res.Cost = sh.bestCost
+		}
+		res.Status = classify(exhausted, len(res.Solutions))
+		return res
+	}
+	n := len(sh.solutions)
 	return &Result{
 		Solutions: sh.solutions,
 		Exhausted: exhausted,
@@ -140,16 +160,30 @@ type stealShared struct {
 	first     atomic.Int64
 	start     time.Time
 
+	// Branch-and-bound pool state (Options.Optimize). The fleet incumbent
+	// bound lives in one atomic word (Float64bits, monotone decreasing via
+	// tightenIncumbent's CAS loop) so every worker's boundOK probe is a
+	// single atomic load — never torn, never locked. The incumbent
+	// *mapping* is colder (only improvements touch it) and rides under mu.
+	optimize  bool
+	incumbent atomic.Uint64
+	best      Mapping // guarded by mu
+	bestCost  float64 // guarded by mu
+	hasBest   bool    // guarded by mu
+
 	timedOut atomic.Bool
 	stopped  atomic.Bool
 
-	visited      atomic.Int64
-	backtracks   atomic.Int64
-	pruneOps     atomic.Int64
-	wipeouts     atomic.Int64
-	wipeoutDepth atomic.Int64
-	backjumps    atomic.Int64
-	steals       atomic.Int64
+	visited          atomic.Int64
+	backtracks       atomic.Int64
+	pruneOps         atomic.Int64
+	wipeouts         atomic.Int64
+	wipeoutDepth     atomic.Int64
+	backjumps        atomic.Int64
+	steals           atomic.Int64
+	boundCuts        atomic.Int64
+	incumbentUpdates atomic.Int64
+	boundProbes      atomic.Int64
 }
 
 // close wakes every waiter so the pool can exit.
@@ -257,6 +291,40 @@ func newStealWorker(p *Problem, f *Filters, opt Options, sh *stealShared) *steal
 	// Per-worker counters start at zero: the filter-build stats are folded
 	// in exactly once by the pool's final merge, not once per worker.
 	s.stats = Stats{}
+	if sh.optimize {
+		// Workers race toward one shared bound: a local improvement first
+		// tightens the fleet incumbent (recordIncumbent's monotone CAS on
+		// sh.incumbent), and only the winner reaches this hook to publish
+		// its mapping. The mu-guarded re-check absorbs the window between
+		// winning the CAS and acquiring mu, in which a still-better
+		// incumbent may have published first.
+		s.bbShared = &sh.incumbent
+		userImprove := opt.OnImprove
+		s.opt.OnImprove = func(m Mapping, cost float64) {
+			ns := time.Since(sh.start).Nanoseconds()
+			if !sh.first.CompareAndSwap(0, ns) {
+				for {
+					cur := sh.first.Load()
+					if cur <= ns || sh.first.CompareAndSwap(cur, ns) {
+						break
+					}
+				}
+			}
+			sh.mu.Lock()
+			if !sh.hasBest || cost < sh.bestCost {
+				sh.best = append(sh.best[:0], m...)
+				sh.bestCost = cost
+				sh.hasBest = true
+				if userImprove != nil {
+					// Forwarded under mu so the caller observes a strictly
+					// improving (monotone) sequence of incumbents.
+					userImprove(sh.best, cost)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		return &stealWorker{sh: sh, s: s, nq: p.Query.NumNodes()}
+	}
 	s.opt.OnSolution = func(m Mapping) bool {
 		n := sh.taken.Add(1)
 		if sh.budget > 0 && n > sh.budget {
@@ -322,6 +390,9 @@ func (w *stealWorker) loop() {
 	sh.wipeouts.Add(s.stats.Wipeouts)
 	sh.wipeoutDepth.Add(s.stats.WipeoutDepthSum)
 	sh.backjumps.Add(s.stats.Backjumps)
+	sh.boundCuts.Add(s.stats.BoundCuts)
+	sh.incumbentUpdates.Add(s.stats.IncumbentUpdates)
+	sh.boundProbes.Add(s.stats.BoundProbes)
 }
 
 // noteJump inspects a subtree's backjump target: -1 from a clean
@@ -347,7 +418,10 @@ func (w *stealWorker) runRoot(r int32) {
 	mark, amark := len(s.trail), len(s.arena)
 	s.assign[node] = r
 	s.used.Set(r)
-	if s.forwardCheck(0, node, r) {
+	// boundOK both prunes against the fleet incumbent and extends the
+	// incremental cost stack the subtree's bound checks read — the manual
+	// depth-0/1 loops here bypass expand, so they must call it themselves.
+	if s.forwardCheck(0, node, r) && s.boundOK(0, r) {
 		if w.nq == 1 {
 			s.record()
 		} else {
@@ -394,7 +468,7 @@ func (w *stealWorker) expandRootSecondLevel(r int32) {
 		mark, amark := len(s.trail), len(s.arena)
 		s.assign[node2] = c
 		s.used.Set(c)
-		if s.forwardCheck(1, node2, c) {
+		if s.forwardCheck(1, node2, c) && s.boundOK(1, c) {
 			jd := s.search(2)
 			if jd < 1 {
 				s.undoTo(mark, amark, 1)
@@ -425,13 +499,13 @@ func (w *stealWorker) runSteal(t stealTask) {
 	mark, amark := len(s.trail), len(s.arena)
 	s.assign[node] = t.root
 	s.used.Set(t.root)
-	if s.forwardCheck(0, node, t.root) {
+	if s.forwardCheck(0, node, t.root) && s.boundOK(0, t.root) {
 		s.conf[1].Reset()
 		s.stats.NodesVisited++
 		mark2, amark2 := len(s.trail), len(s.arena)
 		s.assign[node2] = t.second
 		s.used.Set(t.second)
-		if s.forwardCheck(1, node2, t.second) {
+		if s.forwardCheck(1, node2, t.second) && s.boundOK(1, t.second) {
 			jd := s.search(2)
 			if jd < 1 && !s.timedOut && !s.stopped {
 				w.sh.retract(t.root) // siblings of a proven-dead root
@@ -455,6 +529,14 @@ func parallelECFStatic(p *Problem, opt Options) *Result {
 	workers := opt.Workers
 	if workers <= 1 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	optimize := opt.Optimize && opt.Objective.Enabled()
+	if optimize {
+		// No bound machinery in the chronological ablation: enumerate
+		// everything (no cap — optimality needs the exhausted tree), then
+		// reduce to the argmin below.
+		opt.MaxSolutions = 0
+		opt.OnSolution = nil
 	}
 	start := time.Now()
 	f := BuildFilters(p, &opt)
@@ -557,12 +639,18 @@ func parallelECFStatic(p *Problem, opt Options) *Result {
 	exhausted := !timedOut.Load() && !stopped.Load()
 	n := len(solutions)
 	f.release()
-	return &Result{
+	res := &Result{
 		Solutions: solutions,
 		Exhausted: exhausted,
 		Status:    classify(exhausted, n),
 		Stats:     stats,
 	}
+	if optimize {
+		// solutions are already sorted, so the first-minimum argmin is
+		// deterministic across worker interleavings.
+		reduceToArgmin(p.Host, opt.Objective, res)
+	}
+	return res
 }
 
 // searchShard runs the standard DFS with the root level fixed to the given

@@ -59,6 +59,8 @@ func (s *fcSearcher) release() {
 	s.opt = Options{}
 	s.rng = nil
 	s.solutions = nil
+	s.obj = nil      // holds the caller's index postings
+	s.bbShared = nil // points into ParallelECF's shared state
 	s.stopClock = stopClock{}
 	fcPool.Put(s)
 }

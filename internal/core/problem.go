@@ -325,26 +325,46 @@ type Options struct {
 	// chronological recompute-per-visit searcher for oracle tests and
 	// ablation benchmarks; both enumerate identical solution sets.
 	Engine SearchEngine // cachekey:ignore both engines provably enumerate identical solutions
+	// Objective selects the cost function an optimizing search minimizes
+	// (see Objective). It is ignored unless Optimize is set.
+	Objective Objective
+	// Optimize turns the enumerating search into branch-and-bound: the
+	// result carries the single minimum-Objective embedding (plus its
+	// cost in Result.Cost) instead of the full solution set, with
+	// StatusComplete doubling as the proof of optimality. MaxSolutions is
+	// ignored (optimality needs the exhausted tree); Timeout/Stop still
+	// truncate, returning the best incumbent with StatusPartial.
+	// OnImprove streams incumbent improvements.
+	Optimize bool
+	// OnImprove, when non-nil, receives every incumbent improvement of an
+	// optimizing search: the strictly-cheaper mapping (valid only during
+	// the call — clone to retain) and its objective cost. It is the
+	// anytime hook behind GET /jobs/{id} best-so-far polling. The hook
+	// must be safe for concurrent use when Workers > 1.
+	OnImprove func(Mapping, float64)
 }
 
 // Stats reports search effort counters.
 type Stats struct {
-	FilterBuild     time.Duration // time spent building filter matrices (ECF/RWB)
-	EdgePairsEval   int64         // constraint evaluations during filter build
-	FilterEntries   int64         // total candidate entries stored in F
-	NodesVisited    int64         // permutation-tree nodes expanded
-	Backtracks      int64         // dead ends requiring backtracking
-	ConstraintChk   int64         // on-demand constraint evaluations (LNS)
-	PruneOps        int64         // forward-checking domain AND-prunes
-	Wipeouts        int64         // future-domain wipeouts caught before descending
-	WipeoutDepthSum int64         // sum of depths at which wipeouts fired
-	Backjumps       int64         // conflict-directed jumps skipping ≥1 level
-	Steals          int64         // subtrees stolen by idle parallel workers
-	WitnessProbes   int64         // path-mode witness DFS enumerations actually run
-	WitnessHits     int64         // path-mode witness answers served from the memo
-	ReachPrunes     int64         // witness probes rejected by the reachability/bound oracle
-	TimeToFirst     time.Duration // elapsed time when the first solution appeared
-	Elapsed         time.Duration // total search time, filter build included
+	FilterBuild      time.Duration // time spent building filter matrices (ECF/RWB)
+	EdgePairsEval    int64         // constraint evaluations during filter build
+	FilterEntries    int64         // total candidate entries stored in F
+	NodesVisited     int64         // permutation-tree nodes expanded
+	Backtracks       int64         // dead ends requiring backtracking
+	ConstraintChk    int64         // on-demand constraint evaluations (LNS)
+	PruneOps         int64         // forward-checking domain AND-prunes
+	Wipeouts         int64         // future-domain wipeouts caught before descending
+	WipeoutDepthSum  int64         // sum of depths at which wipeouts fired
+	Backjumps        int64         // conflict-directed jumps skipping ≥1 level
+	Steals           int64         // subtrees stolen by idle parallel workers
+	WitnessProbes    int64         // path-mode witness DFS enumerations actually run
+	WitnessHits      int64         // path-mode witness answers served from the memo
+	ReachPrunes      int64         // witness probes rejected by the reachability/bound oracle
+	BoundCuts        int64         // branch-and-bound subtrees cut by partial cost + lower bounds
+	IncumbentUpdates int64         // strictly-improving incumbents found by an optimizing search
+	BoundProbes      int64         // per-node lower-bound recomputations (postings/domain probes)
+	TimeToFirst      time.Duration // elapsed time when the first solution appeared
+	Elapsed          time.Duration // total search time, filter build included
 }
 
 // Result is the outcome of one search run.
@@ -352,7 +372,10 @@ type Result struct {
 	Solutions []Mapping
 	Status    Status
 	Exhausted bool // the whole search space was covered
-	Stats     Stats
+	// Cost is the objective value of Solutions[0] when the run optimized
+	// (Options.Optimize with a non-empty solution set); zero otherwise.
+	Cost  float64
+	Stats Stats
 }
 
 // classify derives the §VII-E status from how the search ended.

@@ -38,6 +38,12 @@ type RepairOptions struct {
 	// Stop is the cooperative-cancellation hook, polled on the standard
 	// deadline-check cadence (see Options.Stop).
 	Stop func() bool
+	// Objective, when enabled, breaks ties among repair plans: the repair
+	// pass enumerates every completion of the minimal destroy set and
+	// returns the one with the fewest migrations, then the lowest
+	// objective cost (first found wins exact ties, deterministically).
+	// Disabled, the first completion wins as before — no extra search.
+	Objective Objective
 }
 
 // RepairResult reports one SeededRepair run.
@@ -69,6 +75,7 @@ type repairSearcher struct {
 	nq  int
 	nr  int
 	old Mapping
+	obj Objective // tie-break objective, ObjectiveNone = first completion wins
 
 	stopClock
 	stats *Stats
@@ -87,6 +94,7 @@ func SeededRepair(p *Problem, old Mapping, opt RepairOptions) *RepairResult {
 		nq:    p.Query.NumNodes(),
 		nr:    p.Host.NumNodes(),
 		old:   old,
+		obj:   opt.Objective,
 		stats: &res.Stats,
 	}
 	s.arm(start, opt.Timeout, opt.Stop)
@@ -307,13 +315,42 @@ func (s *repairSearcher) repairWith(inSet map[graph.NodeID]bool) (Mapping, bool)
 		}
 	}
 
+	// Objective tie-break (RepairOptions.Objective): rather than stopping
+	// at the first completion, enumerate every completion of this destroy
+	// set and keep the (fewest-migrations, lowest-cost) one — the destroy
+	// set is already minimal, so the enumeration ranges only over the
+	// plans the migration-minimality proof admits.
+	var (
+		bestAssign Mapping
+		bestMoved  int
+		bestCost   float64
+		haveBest   bool
+	)
+	movedOf := func() int {
+		n := 0
+		for _, q := range destroyed {
+			if assign[q] != s.old[q] {
+				n++
+			}
+		}
+		return n
+	}
+
 	var rec func(d int) bool
 	rec = func(d int) bool {
 		if s.checkDeadline() {
 			return false
 		}
 		if d == len(order) {
-			return true
+			if !s.obj.Enabled() {
+				return true
+			}
+			moved, cost := movedOf(), s.obj.Cost(s.p.Host, assign)
+			if !haveBest || moved < bestMoved || (moved == bestMoved && cost < bestCost) {
+				bestAssign = append(bestAssign[:0], assign...)
+				bestMoved, bestCost, haveBest = moved, cost, true
+			}
+			return false // keep enumerating completions
 		}
 		q := order[d]
 		found := false
@@ -344,6 +381,9 @@ func (s *repairSearcher) repairWith(inSet map[graph.NodeID]bool) (Mapping, bool)
 	}
 	if rec(0) {
 		return assign.Clone(), true
+	}
+	if haveBest && !s.timedOut {
+		return bestAssign, true
 	}
 	return nil, false
 }

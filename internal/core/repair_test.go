@@ -276,3 +276,93 @@ func TestFindWitness(t *testing.T) {
 		t.Fatal("witness found outside the delay window")
 	}
 }
+
+// priceHosts stamps per-host "price" attributes in node-ID order.
+func priceHosts(g *graph.Graph, prices ...float64) {
+	for i, v := range prices {
+		g.Node(graph.NodeID(i)).Attrs = g.Node(graph.NodeID(i)).Attrs.SetNum("price", v)
+	}
+}
+
+// TestSeededRepairObjectiveTieBreak pins the objective-aware tie-break:
+// among the equal-migration repairs of the minimal destroy set, the one
+// with the lowest objective cost must win.
+func TestSeededRepairObjectiveTieBreak(t *testing.T) {
+	p := lineOnCliqueProblem(t, 6)
+	// Hosts 3, 4, 5 are the candidate refuges for the single endpoint the
+	// broken 1-2 link forces off; host 4 is the cheapest.
+	priceHosts(p.Host, 5, 5, 5, 9, 2, 7)
+	breakHostEdge(t, p.Host, 1, 2)
+	old := Mapping{0, 1, 2}
+	obj := Objective{Kind: ObjectiveAttrCost, Attr: "price"}
+
+	res := SeededRepair(p, old, RepairOptions{Objective: obj})
+	if res.Mapping == nil {
+		t.Fatalf("no repair found: %+v", res)
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("repair invalid: %v", err)
+	}
+	if len(res.Moved) != 1 {
+		t.Fatalf("moved %v, want exactly one node", res.Moved)
+	}
+	// Whichever endpoint moved, it must have landed on the cheap host:
+	// total price 5 (kept root) + 5 (kept endpoint) + 2 (host 4) = 12.
+	if c := obj.Cost(p.Host, res.Mapping); c != 12 {
+		t.Fatalf("repair cost %v (mapping %v), want the cheapest plan at 12", c, res.Mapping)
+	}
+}
+
+// TestSeededRepairObjectiveMovedStillPrimary pins the lexicographic
+// order: migration count dominates cost. A two-move plan onto bargain
+// hosts must lose to the one-move plan even when it is far cheaper.
+func TestSeededRepairObjectiveMovedStillPrimary(t *testing.T) {
+	p := lineOnCliqueProblem(t, 6)
+	// The old endpoints sit on expensive hosts; the refuges are cheap, so
+	// evacuating both endpoints would cost 1+1+1=3 versus the one-move
+	// plan's 1+100+1=102. Migration count must still win.
+	priceHosts(p.Host, 1, 100, 100, 1, 1, 1)
+	breakHostEdge(t, p.Host, 1, 2)
+	old := Mapping{0, 1, 2}
+	obj := Objective{Kind: ObjectiveAttrCost, Attr: "price"}
+
+	res := SeededRepair(p, old, RepairOptions{Objective: obj})
+	if res.Mapping == nil {
+		t.Fatalf("no repair found: %+v", res)
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("repair invalid: %v", err)
+	}
+	if len(res.Moved) != 1 {
+		t.Fatalf("moved %v — a cheaper two-move plan must not beat fewer migrations", res.Moved)
+	}
+	if c := obj.Cost(p.Host, res.Mapping); c != 102 {
+		t.Fatalf("repair cost %v (mapping %v), want 102", c, res.Mapping)
+	}
+}
+
+// TestSeededRepairObjectiveDisabledUnchanged pins that the zero-value
+// objective keeps the historic behavior byte-for-byte: first completion
+// wins, no extra enumeration.
+func TestSeededRepairObjectiveDisabledUnchanged(t *testing.T) {
+	mk := func() (*Problem, Mapping) {
+		p := lineOnCliqueProblem(t, 6)
+		priceHosts(p.Host, 5, 5, 5, 9, 2, 7)
+		breakHostEdge(t, p.Host, 1, 2)
+		return p, Mapping{0, 1, 2}
+	}
+	p1, old1 := mk()
+	plain := SeededRepair(p1, old1, RepairOptions{})
+	p2, old2 := mk()
+	zero := SeededRepair(p2, old2, RepairOptions{Objective: Objective{}})
+	if plain.Mapping == nil || zero.Mapping == nil {
+		t.Fatal("no repair found")
+	}
+	if mappingKey(plain.Mapping) != mappingKey(zero.Mapping) {
+		t.Fatalf("zero objective changed the answer: %v vs %v", plain.Mapping, zero.Mapping)
+	}
+	if plain.Stats.NodesVisited != zero.Stats.NodesVisited {
+		t.Fatalf("zero objective changed the search effort: %d vs %d nodes",
+			plain.Stats.NodesVisited, zero.Stats.NodesVisited)
+	}
+}

@@ -38,8 +38,9 @@ import (
 //keycomplete:fingerprint service.PathRequestOptions
 //keycomplete:fingerprint core.ConsolidateOptions
 //keycomplete:fingerprint core.MetricSpec
+//keycomplete:fingerprint core.Objective
 func requestKey(req service.Request) (string, bool) {
-	if req.Query == nil || req.ExcludeReserved || req.Stop != nil {
+	if req.Query == nil || req.ExcludeReserved || req.Stop != nil || req.OnImprove != nil {
 		return "", false
 	}
 	h := sha256.New()
@@ -47,6 +48,13 @@ func requestKey(req service.Request) (string, bool) {
 	writeString(h, req.EdgeConstraint)
 	writeString(h, req.NodeConstraint)
 	writeString(h, string(req.Algorithm))
+	// Optimizing-search knobs: the objective is a pure value, so it joins
+	// the fingerprint field-by-field — two requests differing only in
+	// objective kind, attribute or weight must never alias.
+	writeUint(h, boolBit(req.Optimize))
+	writeUint(h, uint64(req.Objective.Kind))
+	writeString(h, req.Objective.Attr)
+	writeUint(h, math.Float64bits(req.Objective.Weight))
 	writeString(h, req.Consolidate.CapacityAttr)
 	writeString(h, req.Consolidate.DemandAttr)
 	writeUint(h, uint64(req.Timeout))

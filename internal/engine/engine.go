@@ -99,6 +99,13 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Anytime incumbent of an optimizing job: the best feasible embedding
+	// (by names) found so far and its objective cost, streamed in by the
+	// search's OnImprove hook so GET /jobs/{id} can answer best-so-far
+	// while the optimality proof is still running.
+	bestSoFar service.NamedMapping
+	bestCost  float64
 }
 
 // Info is an immutable snapshot of a job, safe to hand to encoders.
@@ -111,6 +118,12 @@ type Info struct {
 	Finished  time.Time // zero until terminal
 	Response  *service.Response
 	Err       error
+	// BestSoFar/BestCost carry an optimizing job's anytime incumbent: nil
+	// until the search finds its first feasible embedding, then the best
+	// one seen (by names) and its objective cost. Once the job is done,
+	// Response is authoritative.
+	BestSoFar service.NamedMapping
+	BestCost  float64
 }
 
 // ID returns the job's identifier.
@@ -132,7 +145,20 @@ func (j *Job) Info() Info {
 		Finished:  j.finished,
 		Response:  j.resp,
 		Err:       j.err,
+		BestSoFar: j.bestSoFar,
+		BestCost:  j.bestCost,
 	}
+}
+
+// noteBest records an incumbent improvement. Improvements can arrive out
+// of order when ParallelECF workers race, so only a strictly better cost
+// replaces the stored incumbent.
+func (j *Job) noteBest(nm service.NamedMapping, cost float64) {
+	j.mu.Lock()
+	if j.bestSoFar == nil || cost < j.bestCost {
+		j.bestSoFar, j.bestCost = nm, cost
+	}
+	j.mu.Unlock()
 }
 
 // finish performs the terminal transition exactly once; later calls
@@ -235,6 +261,13 @@ type Stats struct {
 	SearchWitnessProbes int64 `json:"searchWitnessProbes"`
 	SearchWitnessHits   int64 `json:"searchWitnessHits"`
 	SearchReachPrunes   int64 `json:"searchReachPrunes"`
+
+	// Branch-and-bound counters for optimizing searches: subtrees cut by
+	// the incumbent bound, strict incumbent improvements, and lower-bound
+	// recomputation probes (postings walks / domain scans).
+	SearchBoundCuts        int64 `json:"searchBoundCuts"`
+	SearchIncumbentUpdates int64 `json:"searchIncumbentUpdates"`
+	SearchBoundProbes      int64 `json:"searchBoundProbes"`
 }
 
 // Engine runs embedding jobs asynchronously against a service. Safe for
@@ -271,19 +304,22 @@ type Engine struct {
 	rejections   atomic.Int64
 	leasesPruned atomic.Int64
 
-	searchPruneOps        atomic.Int64
-	searchBackjumps       atomic.Int64
-	searchWipeouts        atomic.Int64
-	searchSteals          atomic.Int64
-	searchWitnessProbes   atomic.Int64
-	searchWitnessHits     atomic.Int64
-	searchReachPrunes     atomic.Int64
-	searchNodesVisited    atomic.Int64
-	searchBacktracks      atomic.Int64
-	searchEdgePairsEval   atomic.Int64
-	searchFilterEntries   atomic.Int64
-	searchConstraintChk   atomic.Int64
-	searchWipeoutDepthSum atomic.Int64
+	searchPruneOps         atomic.Int64
+	searchBackjumps        atomic.Int64
+	searchWipeouts         atomic.Int64
+	searchSteals           atomic.Int64
+	searchWitnessProbes    atomic.Int64
+	searchWitnessHits      atomic.Int64
+	searchReachPrunes      atomic.Int64
+	searchNodesVisited     atomic.Int64
+	searchBacktracks       atomic.Int64
+	searchEdgePairsEval    atomic.Int64
+	searchFilterEntries    atomic.Int64
+	searchConstraintChk    atomic.Int64
+	searchWipeoutDepthSum  atomic.Int64
+	searchBoundCuts        atomic.Int64
+	searchIncumbentUpdates atomic.Int64
+	searchBoundProbes      atomic.Int64
 }
 
 // New builds an engine over svc. The worker pool and maintenance tick
@@ -476,6 +512,10 @@ func (e *Engine) Stats() Stats {
 		SearchFilterEntries:   e.searchFilterEntries.Load(),
 		SearchConstraintChk:   e.searchConstraintChk.Load(),
 		SearchWipeoutDepthSum: e.searchWipeoutDepthSum.Load(),
+
+		SearchBoundCuts:        e.searchBoundCuts.Load(),
+		SearchIncumbentUpdates: e.searchIncumbentUpdates.Load(),
+		SearchBoundProbes:      e.searchBoundProbes.Load(),
 	}
 }
 
@@ -588,6 +628,18 @@ func (e *Engine) run(job *Job) {
 	req.Stop = func() bool {
 		return job.cancelFlag.Load() || (prevStop != nil && prevStop())
 	}
+	if req.Optimize && req.Objective.Enabled() {
+		// Anytime hook, injected here — after the cache key was fixed at
+		// Submit, exactly like the Stop wrap above — so polling a running
+		// optimize job surfaces its best incumbent.
+		prevImprove := req.OnImprove
+		req.OnImprove = func(nm service.NamedMapping, cost float64) {
+			job.noteBest(nm, cost)
+			if prevImprove != nil {
+				prevImprove(nm, cost)
+			}
+		}
+	}
 
 	resp, err := e.svc.Embed(req)
 	switch {
@@ -616,6 +668,9 @@ func (e *Engine) run(job *Job) {
 		e.searchFilterEntries.Add(resp.Stats.FilterEntries)
 		e.searchConstraintChk.Add(resp.Stats.ConstraintChk)
 		e.searchWipeoutDepthSum.Add(resp.Stats.WipeoutDepthSum)
+		e.searchBoundCuts.Add(resp.Stats.BoundCuts)
+		e.searchIncumbentUpdates.Add(resp.Stats.IncumbentUpdates)
+		e.searchBoundProbes.Add(resp.Stats.BoundProbes)
 		if job.cacheable && cacheableResponse(req, resp) {
 			e.cache.put(job.cacheKey, resp.ModelVersion, resp)
 		}

@@ -66,6 +66,35 @@ func (p *Postings) ge(x float64, minID graph.NodeID) int {
 	})
 }
 
+// MinWhere walks the postings in ascending (value, id) order and returns
+// the first value whose node satisfies has, together with the number of
+// membership probes spent. ok is false when no indexed node satisfies
+// has. It is the optimizing search's lower-bound primitive: with a live
+// candidate domain as the predicate, the answer is the minimum attribute
+// value attainable in that domain, found after as many probes as there
+// are cheaper non-members.
+func (p *Postings) MinWhere(has func(graph.NodeID) bool) (val float64, probes int, ok bool) {
+	for i := range p.ids {
+		probes++
+		if has(p.ids[i]) {
+			return p.vals[i], probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// MaxWhere is MinWhere's descending twin: the largest attribute value
+// among the nodes satisfying has.
+func (p *Postings) MaxWhere(has func(graph.NodeID) bool) (val float64, probes int, ok bool) {
+	for i := len(p.ids) - 1; i >= 0; i-- {
+		probes++
+		if has(p.ids[i]) {
+			return p.vals[i], probes, true
+		}
+	}
+	return 0, probes, false
+}
+
 // clone returns a private copy of p safe to splice.
 func (p *Postings) clone() *Postings {
 	return &Postings{

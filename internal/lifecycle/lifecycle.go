@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netembed/internal/core"
 	"netembed/internal/expr"
 	"netembed/internal/graph"
 	"netembed/internal/service"
@@ -149,6 +150,10 @@ type Config struct {
 	// tests can interpose a concurrent allocation that steals a repair
 	// target; production configs leave it nil.
 	BeforeCommit func(id string)
+	// Objective, when enabled, tie-breaks repair plans: among the
+	// minimal-migration completions SeededRepair finds, the lowest-cost
+	// one under this objective wins (see core.RepairOptions.Objective).
+	Objective core.Objective
 }
 
 // applyDefaults normalizes a Config in place.
@@ -165,6 +170,7 @@ func (c *Config) applyDefaults() {
 		c.RepairTimeout = 2 * time.Second
 	}
 	_ = c.BeforeCommit // test seam; nil stays nil
+	_ = c.Objective    // zero value = disabled; normalized by the repair search
 }
 
 // record is the mutable registry entry behind an Info. All fields are

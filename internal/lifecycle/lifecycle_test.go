@@ -530,3 +530,58 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// TestMigrateUsesConfiguredObjective pins the Config.Objective plumbing
+// end to end: when a repair must move a node and several refuge hosts
+// are feasible, the manager's configured objective picks the cheapest,
+// not merely the first found.
+func TestMigrateUsesConfiguredObjective(t *testing.T) {
+	host := cpuClique(7, nil)
+	for i := 0; i < host.NumNodes(); i++ {
+		// Distinct prices so "cheapest refuge" is unambiguous.
+		id := graph.NodeID(i)
+		host.Node(id).Attrs = host.Node(id).Attrs.SetNum("price", float64(3+2*i))
+	}
+	model, _, m := newManager(t, host, Config{
+		Objective: core.Objective{Kind: core.ObjectiveAttrCost, Attr: "price"},
+	})
+	info := placeLine3(t, m, "rNode.cpu >= 5")
+
+	brokenName := info.Mapping["n1"]
+	setCPU(t, model, brokenName, 1)
+
+	// The cheapest host that is unused and still satisfies the
+	// constraint is where the repaired node must land.
+	snap, _ := model.Snapshot()
+	used := map[string]bool{}
+	for _, name := range info.Mapping {
+		used[name] = true
+	}
+	wantName, wantPrice := "", 0.0
+	for i := 0; i < snap.NumNodes(); i++ {
+		n := snap.Node(graph.NodeID(i))
+		cpu, _ := n.Attrs.Float("cpu")
+		if used[n.Name] || cpu < 5 {
+			continue
+		}
+		price, _ := n.Attrs.Float("price")
+		if wantName == "" || price < wantPrice {
+			wantName, wantPrice = n.Name, price
+		}
+	}
+	if wantName == "" {
+		t.Fatal("no refuge host available")
+	}
+
+	got, err := m.Migrate(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Health != Healthy || got.MigratedNodes != 1 {
+		t.Fatalf("after migrate: %+v", got)
+	}
+	if got.Mapping["n1"] != wantName {
+		t.Errorf("repair landed on %s, want cheapest refuge %s (price %v)",
+			got.Mapping["n1"], wantName, wantPrice)
+	}
+}

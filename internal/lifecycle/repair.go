@@ -156,8 +156,9 @@ func (m *Manager) repairLocked(rec *record, host *graph.Graph, idx *index.Index,
 	}
 
 	res := core.SeededRepair(p, old, core.RepairOptions{
-		Timeout:  m.cfg.RepairTimeout,
-		MaxMoved: m.maxMoved(rec),
+		Timeout:   m.cfg.RepairTimeout,
+		MaxMoved:  m.maxMoved(rec),
+		Objective: m.cfg.Objective,
 	})
 	if res.Mapping == nil {
 		if res.Infeasible {

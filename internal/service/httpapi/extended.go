@@ -155,6 +155,10 @@ func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) 
 	if err != nil {
 		return service.Request{}, err
 	}
+	objective, optimize, err := decodeObjective(req.Objective)
+	if err != nil {
+		return service.Request{}, err
+	}
 	return service.Request{
 		Query:           query,
 		EdgeConstraint:  req.EdgeConstraint,
@@ -175,7 +179,30 @@ func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) 
 			WindowHi:  req.WindowHi,
 			Metrics:   metrics,
 		},
+		Objective: objective,
+		Optimize:  optimize,
 	}, nil
+}
+
+// decodeObjective translates the wire objective, rejecting unknown kinds
+// up front so the handler answers 400 instead of the searcher silently
+// enumerating. Presence of the objective implies optimization.
+func decodeObjective(o *ObjectiveJSON) (core.Objective, bool, error) {
+	if o == nil {
+		return core.Objective{}, false, nil
+	}
+	var kind core.ObjectiveKind
+	switch o.Kind {
+	case "attr-cost":
+		kind = core.ObjectiveAttrCost
+	case "load-balance":
+		kind = core.ObjectiveLoadBalance
+	case "energy":
+		kind = core.ObjectiveEnergy
+	default:
+		return core.Objective{}, false, fmt.Errorf("objective: unknown kind %q (want attr-cost, load-balance or energy)", o.Kind)
+	}
+	return core.Objective{Kind: kind, Attr: o.Attr, Weight: o.Weight}, true, nil
 }
 
 // decodeMetricSpecs translates the wire metric constraints, rejecting
@@ -223,21 +250,26 @@ func embedResponseJSON(resp *service.Response) EmbedResponse {
 		ModelVersion: resp.ModelVersion,
 		ElapsedMs:    float64(resp.Elapsed) / float64(time.Millisecond),
 		Stats: map[string]interface{}{
-			"nodesVisited":    resp.Stats.NodesVisited,
-			"backtracks":      resp.Stats.Backtracks,
-			"edgePairsEval":   resp.Stats.EdgePairsEval,
-			"filterEntries":   resp.Stats.FilterEntries,
-			"constraintChk":   resp.Stats.ConstraintChk,
-			"pruneOps":        resp.Stats.PruneOps,
-			"wipeouts":        resp.Stats.Wipeouts,
-			"wipeoutDepthSum": resp.Stats.WipeoutDepthSum,
-			"backjumps":       resp.Stats.Backjumps,
-			"steals":          resp.Stats.Steals,
-			"witnessProbes":   resp.Stats.WitnessProbes,
-			"witnessHits":     resp.Stats.WitnessHits,
-			"reachPrunes":     resp.Stats.ReachPrunes,
-			"timeToFirstMs":   float64(resp.Stats.TimeToFirst) / float64(time.Millisecond),
+			"nodesVisited":     resp.Stats.NodesVisited,
+			"backtracks":       resp.Stats.Backtracks,
+			"edgePairsEval":    resp.Stats.EdgePairsEval,
+			"filterEntries":    resp.Stats.FilterEntries,
+			"constraintChk":    resp.Stats.ConstraintChk,
+			"pruneOps":         resp.Stats.PruneOps,
+			"wipeouts":         resp.Stats.Wipeouts,
+			"wipeoutDepthSum":  resp.Stats.WipeoutDepthSum,
+			"backjumps":        resp.Stats.Backjumps,
+			"steals":           resp.Stats.Steals,
+			"witnessProbes":    resp.Stats.WitnessProbes,
+			"witnessHits":      resp.Stats.WitnessHits,
+			"reachPrunes":      resp.Stats.ReachPrunes,
+			"boundCuts":        resp.Stats.BoundCuts,
+			"incumbentUpdates": resp.Stats.IncumbentUpdates,
+			"boundProbes":      resp.Stats.BoundProbes,
+			"timeToFirstMs":    float64(resp.Stats.TimeToFirst) / float64(time.Millisecond),
 		},
+		ObjectiveCost: resp.ObjectiveCost,
+		Warnings:      resp.Warnings,
 	}
 	for i, nm := range resp.Named {
 		out.Mappings[i] = map[string]string(nm)

@@ -166,6 +166,22 @@ type EmbedRequest struct {
 	// Metrics, when non-empty, replaces the delay window with a
 	// conjunction of composed-metric constraints for the path algorithm.
 	Metrics []MetricSpecJSON `json:"metrics,omitempty"`
+	// Objective, when present, switches the search from enumeration to
+	// branch-and-bound optimization: the answer is the single cheapest
+	// embedding under the objective, with its cost in objectiveCost.
+	Objective *ObjectiveJSON `json:"objective,omitempty"`
+}
+
+// ObjectiveJSON is the wire form of an optimization objective.
+type ObjectiveJSON struct {
+	// Kind is one of attr-cost, load-balance, energy.
+	Kind string `json:"kind"`
+	// Attr names the hosting-node attribute the objective reads
+	// (defaults: "cost" for attr-cost, "slots" for load-balance,
+	// "active" for energy).
+	Attr string `json:"attr,omitempty"`
+	// Weight scales each term (default 1).
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // MetricSpecJSON is the wire form of one composed-metric constraint for
@@ -210,6 +226,12 @@ type EmbedResponse struct {
 	// Cached is true when the answer came from the engine's result cache
 	// (same query fingerprint, same model version) without a new search.
 	Cached bool `json:"cached,omitempty"`
+	// ObjectiveCost is the objective value of Mappings[0] for optimizing
+	// requests; absent otherwise.
+	ObjectiveCost *float64 `json:"objectiveCost,omitempty"`
+	// Warnings flags suspicious-but-legal requests (unknown attribute
+	// names, objectives on algorithms that ignore them).
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {

@@ -41,6 +41,12 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Result is the embedding answer, present once State is done.
 	Result *EmbedResponse `json:"result,omitempty"`
+	// BestSoFar / BestCost expose a running optimizing job's current
+	// incumbent — a feasible embedding and its objective value — so
+	// anytime callers can act before the search proves optimality. They
+	// appear only while an optimizing job runs (Result supersedes them).
+	BestSoFar map[string]string `json:"bestSoFar,omitempty"`
+	BestCost  *float64          `json:"bestCost,omitempty"`
 }
 
 func jobStatusJSON(info engine.Info) JobStatus {
@@ -63,6 +69,10 @@ func jobStatusJSON(info engine.Info) JobStatus {
 		r := embedResponseJSON(info.Response)
 		r.Cached = info.FromCache
 		out.Result = &r
+	} else if info.BestSoFar != nil {
+		out.BestSoFar = map[string]string(info.BestSoFar)
+		cost := info.BestCost
+		out.BestCost = &cost
 	}
 	return out
 }

@@ -82,6 +82,20 @@ type Request struct {
 	// cadence and halts early when it returns true. The async job engine
 	// wires job cancellation through here.
 	Stop func() bool
+	// Objective selects the cost function an optimizing request minimizes
+	// (ignored unless Optimize is set; see core.Objective).
+	Objective core.Objective
+	// Optimize turns the search into branch-and-bound: the response
+	// carries the single minimum-Objective embedding plus its cost in
+	// ObjectiveCost, with StatusComplete doubling as the optimality
+	// proof. Supported by the injective search algorithms (ecf, rwb,
+	// parallel-ecf); the others answer with a warning and ignore it.
+	Optimize bool
+	// OnImprove, when non-nil, receives every incumbent improvement of an
+	// optimizing search by names — the anytime hook the job engine wires
+	// to surface best-so-far on GET /jobs/{id}. Must be safe for
+	// concurrent use (parallel-ecf improves from several workers).
+	OnImprove func(NamedMapping, float64)
 }
 
 // NamedMapping renders an embedding by node names: query node name ->
@@ -116,6 +130,9 @@ type Response struct {
 	ModelVersion uint64
 	// Stats carries the search effort counters.
 	Stats core.Stats
+	// ObjectiveCost is the objective value of Mappings[0] when the
+	// request optimized and a feasible embedding was found; nil otherwise.
+	ObjectiveCost *float64
 	// Elapsed is the end-to-end service time for the request.
 	Elapsed time.Duration
 	// Warnings flags suspicious-but-legal requests, e.g. a constraint
@@ -273,9 +290,28 @@ func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, r
 		Seed:         req.Seed,
 		Stop:         req.Stop,
 		Index:        idx,
+		Objective:    req.Objective,
+		Optimize:     req.Optimize,
 	}
 	if opt.Timeout == 0 {
 		opt.Timeout = s.defaultTimeout
+	}
+	var optWarnings []string
+	optimizing := req.Optimize && req.Objective.Enabled()
+	switch {
+	case req.Optimize && !req.Objective.Enabled():
+		optWarnings = append(optWarnings,
+			"optimize requested without an objective; running plain enumeration")
+	case optimizing && (req.Algorithm == AlgoLNS || req.Algorithm == AlgoConsolidate):
+		optWarnings = append(optWarnings,
+			fmt.Sprintf("algorithm %q does not support optimizing search; objective ignored", req.Algorithm))
+		opt.Optimize, opt.Objective, optimizing = false, core.Objective{}, false
+	}
+	if optimizing && req.OnImprove != nil {
+		onImprove := req.OnImprove
+		opt.OnImprove = func(m core.Mapping, cost float64) {
+			onImprove(nameMapping(req.Query, host, m), cost)
+		}
 	}
 
 	var res *core.Result
@@ -300,7 +336,11 @@ func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, r
 		ModelVersion: version,
 		Stats:        res.Stats,
 		Elapsed:      time.Since(start),
-		Warnings:     attrWarnings(host, edgeProg, nodeProg),
+		Warnings:     append(optWarnings, attrWarnings(host, edgeProg, nodeProg)...),
+	}
+	if optimizing && len(res.Solutions) > 0 {
+		cost := res.Cost
+		resp.ObjectiveCost = &cost
 	}
 	if req.DedupeSymmetric && len(resp.Mappings) > 1 {
 		autos, complete := core.AutomorphismsBounded(req.Query, core.Options{
@@ -372,6 +412,10 @@ func (s *Service) embedPath(host *graph.Graph, idx *index.Index, version uint64,
 	if req.DedupeSymmetric {
 		resp.Warnings = append(resp.Warnings,
 			"symmetry dedupe is not applied in path mode")
+	}
+	if req.Optimize {
+		resp.Warnings = append(resp.Warnings,
+			"path mode does not support optimizing search; objective ignored")
 	}
 	resp.Mappings = make([]core.Mapping, len(res.Solutions))
 	resp.Named = make([]NamedMapping, len(res.Solutions))

@@ -290,3 +290,21 @@ func (b *Bitset) ForEach(visit func(x int32) bool) {
 		}
 	}
 }
+
+// MinOver returns the minimum of vals[x] over b's members (ok=false for
+// the empty set). It is the branch-and-bound lower-bound reduction: with
+// vals holding per-host objective terms and b a live candidate domain,
+// the answer is the cheapest assignment the domain still admits.
+func (b *Bitset) MinOver(vals []float64) (min float64, ok bool) {
+	for i, w := range b.words {
+		base := int32(i << 6)
+		for w != 0 {
+			v := vals[base+int32(bits.TrailingZeros64(w))]
+			if !ok || v < min {
+				min, ok = v, true
+			}
+			w &= w - 1
+		}
+	}
+	return min, ok
+}
