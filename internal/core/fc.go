@@ -163,6 +163,14 @@ func newFCSearcher(p *Problem, f *Filters, opt Options, rng *rand.Rand, start ti
 		s.obj = compileObjective(opt.Objective, p.Host, opt.Index)
 		s.costAt = grow(s.costAt, nq+1)
 		s.costAt[0] = 0
+		if !s.obj.additive && nq > 0 {
+			// Max composition seeds at -Inf so the first folded term wins
+			// outright, mirroring Cost's i==0 case; a zero seed would
+			// absorb all-negative terms (load balance with Weight < 0) and
+			// fake a 0-cost optimum. The empty query keeps the 0 seed:
+			// Cost of the empty mapping is 0.
+			s.costAt[0] = math.Inf(-1)
+		}
 		s.lbVal = grow(s.lbVal, nq)
 		s.lbGen = grow(s.lbGen, nq)
 		s.domGen = grow(s.domGen, nq)

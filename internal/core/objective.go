@@ -61,8 +61,11 @@ type Objective struct {
 // Enabled reports whether the objective selects a real cost function.
 func (o Objective) Enabled() bool { return o.Kind != ObjectiveNone }
 
-// normalized applies the per-kind Attr/Weight defaults.
-func (o Objective) normalized() Objective {
+// Normalized returns the objective with the per-kind Attr/Weight
+// defaults applied — the exact form the search evaluates, so callers
+// (e.g. the service layer's attribute-typo warnings) can inspect which
+// attribute a request will actually read.
+func (o Objective) Normalized() Objective {
 	if o.Weight == 0 {
 		o.Weight = 1
 	}
@@ -109,7 +112,7 @@ func (o Objective) termOn(host *graph.Graph, r graph.NodeID) float64 {
 // layer agrees on: the B&B incumbent's reported cost, the exhaustive
 // enumerate-and-argmin oracle, and SeededRepair's tie-break all call it.
 func (o Objective) Cost(host *graph.Graph, m Mapping) float64 {
-	o = o.normalized()
+	o = o.Normalized()
 	if !o.Enabled() {
 		return 0
 	}
@@ -157,7 +160,7 @@ type objectiveEval struct {
 // ix may be nil (or describe another graph — callers pass the options
 // index only when it matches the host).
 func compileObjective(o Objective, host *graph.Graph, ix *index.Index) *objectiveEval {
-	o = o.normalized()
+	o = o.Normalized()
 	nr := host.NumNodes()
 	e := &objectiveEval{obj: o, additive: o.additive(), terms: make([]float64, nr)}
 	e.monotone = true

@@ -65,13 +65,17 @@ func objectiveProblem(t *testing.T, seed int64, directed bool) *Problem {
 }
 
 // testObjectives is the matrix every equivalence test sweeps: the three
-// kinds plus a negative-weight attr-cost (maximize), which exercises the
-// descending postings walk.
+// kinds plus negative-weight variants of each — attr-cost exercises the
+// descending postings walk, load balance the max composition over
+// all-negative terms (the -Inf cost seed), and energy the
+// non-monotone additive full fold.
 var testObjectives = []Objective{
 	{Kind: ObjectiveAttrCost, Attr: "price"},
 	{Kind: ObjectiveAttrCost, Attr: "price", Weight: -1},
 	{Kind: ObjectiveLoadBalance, Attr: "cpu"},
+	{Kind: ObjectiveLoadBalance, Attr: "cpu", Weight: -1},
 	{Kind: ObjectiveEnergy},
+	{Kind: ObjectiveEnergy, Weight: -1},
 }
 
 func objLabel(o Objective) string {

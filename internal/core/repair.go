@@ -131,12 +131,12 @@ func SeededRepair(p *Problem, old Mapping, opt RepairOptions) *RepairResult {
 			return res
 		}
 		m, ok := s.repairWith(inSet)
-		if s.timedOut {
-			res.Exhausted = false
-			res.Destroyed = size
-			return res
-		}
 		if ok {
+			if s.timedOut {
+				// The repair is feasible but the tie-break enumeration was
+				// cut short: the plan may not be the lowest-cost one.
+				res.Exhausted = false
+			}
 			res.Mapping = m
 			res.Destroyed = size
 			for q := 0; q < s.nq; q++ {
@@ -144,6 +144,11 @@ func SeededRepair(p *Problem, old Mapping, opt RepairOptions) *RepairResult {
 					res.Moved = append(res.Moved, graph.NodeID(q))
 				}
 			}
+			return res
+		}
+		if s.timedOut {
+			res.Exhausted = false
+			res.Destroyed = size
 			return res
 		}
 		if size == s.nq {
@@ -382,7 +387,11 @@ func (s *repairSearcher) repairWith(inSet map[graph.NodeID]bool) (Mapping, bool)
 	if rec(0) {
 		return assign.Clone(), true
 	}
-	if haveBest && !s.timedOut {
+	if haveBest {
+		// Even when the deadline fired mid-enumeration: bestAssign is a
+		// verified feasible repair, and the objective is only a best-effort
+		// tie-break — without one the first completion would already have
+		// been returned, so a timeout must not turn success into failure.
 		return bestAssign, true
 	}
 	return nil, false

@@ -341,6 +341,47 @@ func TestSeededRepairObjectiveMovedStillPrimary(t *testing.T) {
 	}
 }
 
+// TestSeededRepairObjectiveCutoffKeepsRepair pins that cancellation
+// mid-tie-break cannot turn success into failure: once the enumeration
+// has verified any feasible repair, a deadline/Stop cut returns that
+// repair (Exhausted=false) instead of nil — without an objective the
+// first completion would have been returned immediately, so wiring a
+// repair objective must never lose a repair to the clock.
+func TestSeededRepairObjectiveCutoffKeepsRepair(t *testing.T) {
+	// One destroyed query node with 200 feasible hosts. The stop hook
+	// returns true from the first poll, but the cancellation cadence
+	// (stopClock: every 256 checkDeadline calls) means the first poll
+	// lands mid-enumeration: 200 calls building the candidate list, then
+	// one per completion — dozens of feasible plans are recorded before
+	// the cut fires.
+	host := graph.NewUndirected()
+	for i := 0; i < 200; i++ {
+		host.AddNode("", graph.Attrs{}.SetNum("price", float64(200-i)))
+	}
+	query := graph.NewUndirected()
+	query.AddNode("", nil)
+	p, err := NewProblem(query, host, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SeededRepair(p, Mapping{-1}, RepairOptions{
+		Objective: Objective{Kind: ObjectiveAttrCost, Attr: "price"},
+		Stop:      func() bool { return true },
+	})
+	if res.Mapping == nil {
+		t.Fatalf("cut-off tie-break dropped an already-found feasible repair: %+v", res)
+	}
+	if err := p.Verify(res.Mapping); err != nil {
+		t.Fatalf("returned repair invalid: %v", err)
+	}
+	if res.Exhausted {
+		t.Fatal("cut-short tie-break claimed exhaustion")
+	}
+	if len(res.Moved) != 1 || res.Moved[0] != 0 {
+		t.Fatalf("moved %v, want exactly the destroyed node", res.Moved)
+	}
+}
+
 // TestSeededRepairObjectiveDisabledUnchanged pins that the zero-value
 // objective keeps the historic behavior byte-for-byte: first completion
 // wins, no extra enumeration.

@@ -195,6 +195,13 @@ func decodeObjective(o *ObjectiveJSON) (core.Objective, bool, error) {
 	switch o.Kind {
 	case "attr-cost":
 		kind = core.ObjectiveAttrCost
+		if o.Attr == "" {
+			// No sensible default exists (unlike load-balance/energy): an
+			// empty attr reads 0 on every host, degenerating the search
+			// into 'optimizing' a constant — reject like a missing metrics
+			// attr instead.
+			return core.Objective{}, false, fmt.Errorf("objective: attr-cost requires attr")
+		}
 	case "load-balance":
 		kind = core.ObjectiveLoadBalance
 	case "energy":

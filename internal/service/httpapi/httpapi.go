@@ -177,7 +177,7 @@ type ObjectiveJSON struct {
 	// Kind is one of attr-cost, load-balance, energy.
 	Kind string `json:"kind"`
 	// Attr names the hosting-node attribute the objective reads
-	// (defaults: "cost" for attr-cost, "slots" for load-balance,
+	// (required for attr-cost; defaults: "slots" for load-balance,
 	// "active" for energy).
 	Attr string `json:"attr,omitempty"`
 	// Weight scales each term (default 1).

@@ -85,6 +85,21 @@ func TestEmbedObjectiveBadKind(t *testing.T) {
 	}
 }
 
+// TestEmbedObjectiveMissingAttr pins the other validation edge: attr-cost
+// has no default attribute, so omitting it answers 400 instead of
+// silently optimizing the constant-zero objective.
+func TestEmbedObjectiveMissingAttr(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := EmbedRequest{
+		QueryGraphML: mustGraphML(t, topo.Line(2)),
+		Objective:    &ObjectiveJSON{Kind: "attr-cost"},
+	}
+	resp, raw := postJSON(t, ts.URL+"/embed", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("attr-cost without attr: %d %s, want 400", resp.StatusCode, raw)
+	}
+}
+
 // TestJobAnytimeBestSoFar is the acceptance-criterion test: polling a
 // running optimizing job returns the feasible best-so-far mapping with
 // its cost. The fixture makes the first incumbent both immediate and

@@ -307,6 +307,9 @@ func (s *Service) embedOn(host *graph.Graph, idx *index.Index, version uint64, r
 			fmt.Sprintf("algorithm %q does not support optimizing search; objective ignored", req.Algorithm))
 		opt.Optimize, opt.Objective, optimizing = false, core.Objective{}, false
 	}
+	if optimizing {
+		optWarnings = append(optWarnings, objectiveAttrWarnings(host, req.Objective)...)
+	}
 	if optimizing && req.OnImprove != nil {
 		onImprove := req.OnImprove
 		opt.OnImprove = func(m core.Mapping, cost float64) {
@@ -509,14 +512,7 @@ func attrWarnings(host *graph.Graph, progs ...*expr.Program) []string {
 		}
 		return host.NumEdges() == 0
 	}
-	nodeHas := func(attr string) bool {
-		for i := 0; i < host.NumNodes(); i++ {
-			if host.Node(graph.NodeID(i)).Attrs.Has(attr) {
-				return true
-			}
-		}
-		return host.NumNodes() == 0
-	}
+	nodeHas := func(attr string) bool { return hostNodeDefines(host, attr) }
 	for _, prog := range progs {
 		if prog == nil {
 			continue
@@ -540,6 +536,38 @@ func attrWarnings(host *graph.Graph, progs ...*expr.Program) []string {
 		}
 	}
 	return warnings
+}
+
+// hostNodeDefines reports whether any hosting node carries attr
+// (vacuously true on an empty host, matching the constraint-warning
+// convention: nothing to contradict).
+func hostNodeDefines(host *graph.Graph, attr string) bool {
+	for i := 0; i < host.NumNodes(); i++ {
+		if host.Node(graph.NodeID(i)).Attrs.Has(attr) {
+			return true
+		}
+	}
+	return host.NumNodes() == 0
+}
+
+// objectiveAttrWarnings flags an optimizing request whose objective reads
+// a host-node attribute nothing defines — the same silent footgun
+// attrWarnings surfaces for constraint programs: a typo ("prise" for
+// "price") degenerates every term to its missing-attribute fallback, so
+// the objective is constant and the 'optimal' mapping arbitrary. The one
+// legitimate silence is energy with its implicit "active" default: no
+// active marks anywhere is the documented consolidate-from-cold mode
+// (every used host counts), so only an explicitly named attribute warns.
+func objectiveAttrWarnings(host *graph.Graph, obj core.Objective) []string {
+	norm := obj.Normalized()
+	if norm.Kind == core.ObjectiveEnergy && obj.Attr == "" {
+		return nil
+	}
+	if hostNodeDefines(host, norm.Attr) {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"objective reads rNode.%s but no hosting node defines %q", norm.Attr, norm.Attr)}
 }
 
 // compilePrograms compiles the request's constraint sources, appending the

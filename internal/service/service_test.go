@@ -519,3 +519,53 @@ func TestConcurrentEmbedsAndMonitor(t *testing.T) {
 		}
 	}
 }
+
+// TestObjectiveAttrWarnings pins the optimizing-request warning pass: a
+// typo'd objective attribute silently degenerates the objective to a
+// constant (every term its missing-attribute fallback), so the service
+// must flag it exactly like constraint-program attribute typos — while a
+// defined attribute and energy's implicit cold-fleet default stay silent.
+func TestObjectiveAttrWarnings(t *testing.T) {
+	host := testHost(t, 12, 3)
+	svc := New(NewModel(host), Config{})
+	q := testQuery(t, host, 3, 2, 4)
+
+	embed := func(o core.Objective) *Response {
+		t.Helper()
+		resp, err := svc.Embed(Request{
+			Query: q, EdgeConstraint: delayWindowSrc,
+			Optimize: true, Objective: o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	typo := embed(core.Objective{Kind: core.ObjectiveAttrCost, Attr: "prise"})
+	if !warningsContain(typo.Warnings, "prise") {
+		t.Errorf("no warning for typo'd objective attr in %v", typo.Warnings)
+	}
+	defined := embed(core.Objective{Kind: core.ObjectiveAttrCost, Attr: "cpu"})
+	if warningsContain(defined.Warnings, "objective reads") {
+		t.Errorf("defined objective attr warned: %v", defined.Warnings)
+	}
+	// Load balance defaults to "slots", which PlanetLab hosts never
+	// define: every term clamps to Weight/1 — constant, so warn.
+	lb := embed(core.Objective{Kind: core.ObjectiveLoadBalance})
+	if !warningsContain(lb.Warnings, "slots") {
+		t.Errorf("no warning for missing slots attr in %v", lb.Warnings)
+	}
+	// Energy's implicit "active" default on a host with no active marks
+	// is the documented cold-fleet mode (every used host powers on).
+	energy := embed(core.Objective{Kind: core.ObjectiveEnergy})
+	if warningsContain(energy.Warnings, "objective reads") {
+		t.Errorf("energy cold-fleet default warned: %v", energy.Warnings)
+	}
+	// ...but an explicitly named energy attribute nothing defines is a
+	// typo like any other.
+	energyTypo := embed(core.Objective{Kind: core.ObjectiveEnergy, Attr: "actve"})
+	if !warningsContain(energyTypo.Warnings, "actve") {
+		t.Errorf("no warning for typo'd energy attr in %v", energyTypo.Warnings)
+	}
+}
