@@ -280,8 +280,9 @@ func Compare(base, head map[string]*Samples, gate *regexp.Regexp, threshold, all
 }
 
 // loadDoc is the slice of a netembedload LOAD_*.json report the gate
-// reads (schemas "netembedload/1" and "netembedload/2" — the /2 bump
-// only added the optimize op to the mix, the gated fields are
+// reads (schemas "netembedload/1" through "netembedload/3" — the /2
+// bump only added the optimize op to the mix and /3 only added the
+// per-shard routing counts of federated runs; the gated fields are
 // unchanged, so old baselines stay comparable).
 type loadDoc struct {
 	Schema  string `json:"schema"`
@@ -353,7 +354,9 @@ func readLoadDoc(path string) (loadDoc, error) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return doc, fmt.Errorf("%s: %v", path, err)
 	}
-	if doc.Schema != "netembedload/1" && doc.Schema != "netembedload/2" {
+	switch doc.Schema {
+	case "netembedload/1", "netembedload/2", "netembedload/3":
+	default:
 		return doc, fmt.Errorf("%s: unexpected schema %q", path, doc.Schema)
 	}
 	return doc, nil

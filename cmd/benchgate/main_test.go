@@ -210,13 +210,14 @@ func loadDocFor(count uint64, p99 uint64, allocs float64) loadDoc {
 }
 
 // TestReadLoadDocSchemas pins which LOAD_*.json schemas the gate reads:
-// both netembedload/1 (pre-optimize baselines) and netembedload/2 decode
-// to the same gated fields; anything else is refused so a harness/gate
-// version skew fails loudly instead of comparing garbage.
+// netembedload/1 (pre-optimize baselines), /2 (optimize op) and /3
+// (per-shard routing counts) all decode to the same gated fields;
+// anything else is refused so a harness/gate version skew fails loudly
+// instead of comparing garbage.
 func TestReadLoadDocSchemas(t *testing.T) {
 	const body = `{"schema":%q,"overall":{"count":42,"errors":1,"p50Ns":100,"p99Ns":900},"server":{"allocsPerRequest":7.5}}`
 	dir := t.TempDir()
-	for _, schema := range []string{"netembedload/1", "netembedload/2"} {
+	for _, schema := range []string{"netembedload/1", "netembedload/2", "netembedload/3"} {
 		path := dir + "/" + strings.ReplaceAll(schema, "/", "_") + ".json"
 		if err := os.WriteFile(path, []byte(fmt.Sprintf(body, schema)), 0o644); err != nil {
 			t.Fatal(err)
@@ -230,11 +231,11 @@ func TestReadLoadDocSchemas(t *testing.T) {
 		}
 	}
 	bad := dir + "/bad.json"
-	if err := os.WriteFile(bad, []byte(fmt.Sprintf(body, "netembedload/3")), 0o644); err != nil {
+	if err := os.WriteFile(bad, []byte(fmt.Sprintf(body, "netembedload/4")), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := readLoadDoc(bad); err == nil {
-		t.Fatal("unknown schema netembedload/3 must be refused")
+		t.Fatal("unknown schema netembedload/4 must be refused")
 	}
 }
 

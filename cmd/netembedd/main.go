@@ -7,6 +7,9 @@
 //
 //	netembedd -listen :8080 -host planetlab
 //	netembedd -listen :8080 -host infra.graphml -monitor 5s
+//	netembedd -listen :8081 -host west.graphml -shard-name west -shard-region west
+//	netembedd -listen :8080 -federate -peers west=localhost:8081,east=localhost:8082 \
+//	    -host full.graphml -region-attr region
 //
 // Endpoints: GET /healthz, GET/PUT /model, POST /deltas, POST /embed,
 // POST /embed/batch, POST /jobs, GET/DELETE /jobs/{id}, GET /stats,
@@ -44,6 +47,23 @@
 // get a drain window, the job engine finishes running jobs and fails
 // queued ones, the monitoring goroutine is stopped, and the process
 // exits cleanly.
+//
+// # Distributed tier
+//
+// -shard-name/-shard-region give a single-process daemon a shard
+// identity: it keeps serving the full public API and additionally
+// answers the /internal/shard/* peer protocol with that identity, so a
+// coordinator can route to it. -shard-region also restricts the loaded
+// host to the nodes labeled with those regions, so every member of a
+// federation can be pointed at the same full host file.
+//
+// -federate flips the daemon into coordinator mode: instead of loading a
+// model it builds RemoteShard clients for every -peers entry, derives
+// the inter-shard cut edges by partitioning the -host description on
+// -region-attr, then discards the graph — the coordinator holds no model
+// copy. It serves the operator API (POST /embed, POST /deltas,
+// GET /cluster) and refreshes its routing table from the peers
+// periodically (-refresh-routes) and on stale-delta conflicts.
 package main
 
 import (
@@ -64,6 +84,7 @@ import (
 	"netembed"
 	"netembed/internal/core"
 	"netembed/internal/engine"
+	"netembed/internal/graph"
 	"netembed/internal/lifecycle"
 	"netembed/internal/service"
 	"netembed/internal/service/httpapi"
@@ -119,12 +140,44 @@ func run() error {
 		repairInt = flag.Duration("repair-interval", 5*time.Second, "pace of the embedding lifecycle's background repair pass (0 = lifecycle disabled)")
 		maxMigr   = flag.Float64("max-migration-frac", 1, "repair-plan migration budget as a fraction of each embedding's query nodes (>= 1 = unbounded)")
 		repairObj = flag.String("repair-objective", "", "repair-plan tie-break objective: attr-cost:<attr>, load-balance, energy, or empty = first feasible plan")
+
+		federate    = flag.Bool("federate", false, "run as a coordinator over -peers instead of serving a local model")
+		peers       = flag.String("peers", "", "federate: comma-separated shard peers, each 'host:port' or 'name=host:port'")
+		regionAttr  = flag.String("region-attr", "region", "node attribute that partitions the hosting network into shard regions")
+		refreshInt  = flag.Duration("refresh-routes", 10*time.Second, "federate: routing-table refresh period (0 = boot-time only)")
+		shardName   = flag.String("shard-name", "", "shard identity this daemon reports to coordinators")
+		shardRegion = flag.String("shard-region", "", "comma-separated region labels this shard hosts")
 	)
 	flag.Parse()
+
+	if *federate {
+		return runFederate(federateConfig{
+			listen:     *listen,
+			peers:      splitList(*peers),
+			regionAttr: *regionAttr,
+			hostPath:   *hostPath,
+			seed:       *seed,
+			timeout:    *timeout,
+			refresh:    *refreshInt,
+			drain:      *drain,
+			hdrLimit:   *hdrLimit,
+		})
+	}
 
 	host, err := loadHost(*hostPath, *seed)
 	if err != nil {
 		return err
+	}
+	if regions := splitList(*shardRegion); len(regions) > 0 {
+		restricted, err := restrictToRegions(host, *regionAttr, regions)
+		if err != nil {
+			return err
+		}
+		if restricted != host {
+			log.Printf("restricted host to regions %v: kept %d of %d nodes",
+				regions, restricted.NumNodes(), host.NumNodes())
+		}
+		host = restricted
 	}
 	model := netembed.NewModel(host)
 	if *useIndex {
@@ -183,6 +236,11 @@ func run() error {
 	}
 
 	api := httpapi.NewWithEngine(svc, eng)
+	if *shardName != "" || *shardRegion != "" {
+		regions := splitList(*shardRegion)
+		api.ConfigureShard(*shardName, regions)
+		log.Printf("shard identity %q (regions %v)", *shardName, regions)
+	}
 	if *maxMigr <= 0 {
 		return fmt.Errorf("-max-migration-frac %v is not positive", *maxMigr)
 	}
@@ -247,6 +305,172 @@ func run() error {
 		log.Print("shutdown complete")
 		return nil
 	}
+}
+
+// federateConfig carries the coordinator-mode flags into runFederate.
+type federateConfig struct {
+	listen     string
+	peers      []string
+	regionAttr string
+	hostPath   string
+	seed       int64
+	timeout    time.Duration
+	refresh    time.Duration
+	drain      time.Duration
+	hdrLimit   time.Duration
+}
+
+// runFederate boots the coordinator tier: RemoteShard clients for every
+// peer, cut edges from partitioning the hosting description, and the
+// operator API in front. The hosting graph is loaded only to extract the
+// inter-region cut edges and then dropped — the coordinator keeps no
+// model copy (GET /cluster reports coordinatorNodes: 0).
+func runFederate(cfg federateConfig) error {
+	if len(cfg.peers) == 0 {
+		return fmt.Errorf("-federate needs -peers host:port[,host:port...]")
+	}
+	shards := make([]service.Shard, 0, len(cfg.peers))
+	for _, peer := range cfg.peers {
+		// 'west=host:port' names the peer to match its -shard-name (the
+		// key /cluster and delta version maps report it under); a bare
+		// address is named after its host:port.
+		var rsCfg httpapi.RemoteShardConfig
+		addr := peer
+		if name, rest, ok := strings.Cut(peer, "="); ok {
+			rsCfg.Name = name
+			addr = rest
+		}
+		rs, err := httpapi.NewRemoteShard(addr, rsCfg)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, rs)
+	}
+
+	host, err := loadHost(cfg.hostPath, cfg.seed)
+	if err != nil {
+		return err
+	}
+	part, err := graph.PartitionByAttr(host, cfg.regionAttr, "unassigned", nil)
+	if err != nil {
+		return err
+	}
+	cuts := part.Cuts
+	directed := host.Directed()
+	log.Printf("hosting description: %d nodes across %d regions, %d cut edges (graph discarded)",
+		host.NumNodes(), len(part.Parts), len(cuts))
+
+	// Only the cut edges survive past this point; the coordinator below
+	// is constructed without any reference to the graph or partition.
+	coord, err := service.NewCoordinator(shards, service.CoordinatorConfig{
+		RegionAttr:     cfg.regionAttr,
+		DefaultTimeout: cfg.timeout,
+		Boundary:       cuts,
+		Directed:       directed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Peers that were down at boot join on a later refresh; the ticker
+	// also keeps /cluster's node counts and versions converging after
+	// deltas land directly on shards.
+	refreshStop := make(chan struct{})
+	var refreshWG sync.WaitGroup
+	if cfg.refresh > 0 {
+		refreshWG.Add(1)
+		go func() {
+			defer refreshWG.Done()
+			tick := time.NewTicker(cfg.refresh)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					coord.RefreshRoutes()
+				case <-refreshStop:
+					return
+				}
+			}
+		}()
+	}
+	stopRefresh := func() {
+		close(refreshStop)
+		refreshWG.Wait()
+	}
+
+	srv := &http.Server{
+		Addr:              cfg.listen,
+		Handler:           httpapi.NewClusterServer(coord),
+		ReadHeaderTimeout: cfg.hdrLimit,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("coordinating %d shards on %s (region attr %q, %d boundary edges)",
+			len(shards), cfg.listen, cfg.regionAttr, len(cuts))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		stopRefresh()
+		return err
+	case <-ctx.Done():
+		log.Printf("shutdown signal received, draining for up to %v", cfg.drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		stopRefresh()
+		if err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
+		}
+		log.Print("shutdown complete")
+		return nil
+	}
+}
+
+// restrictToRegions cuts the hosting network down to the nodes labeled
+// with one of the shard's regions. Every member of a federation can then
+// share one full host file: each shard daemon keeps only its slice, and
+// the coordinator keeps only the cut edges. A host already reduced to
+// the shard's regions passes through untouched.
+func restrictToRegions(host *netembed.Graph, attr string, regions []string) (*netembed.Graph, error) {
+	want := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		want[r] = true
+	}
+	var ids []graph.NodeID
+	for i := 0; i < host.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		if label, ok := host.Node(id).Attrs.Text(attr); ok && want[label] {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-shard-region %v: no host node carries a matching %q attribute", regions, attr)
+	}
+	if len(ids) == host.NumNodes() {
+		return host, nil
+	}
+	sub, _, err := host.InducedSubgraph(ids)
+	return sub, err
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // drainEngine bounds an engine shutdown on the error exit path.

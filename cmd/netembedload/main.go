@@ -24,6 +24,13 @@
 // server-side runtime counters: mallocs per completed request is the
 // number the CI load gate compares across commits. The report prints
 // human-readable text and, with -out, a machine-readable LOAD_*.json.
+//
+// With -target the harness drives a federated coordinator instead: the
+// embed/path/optimize/delta load goes through the coordinator's routing
+// tier (batch and jobs, which a coordinator does not serve, fold into
+// the embed share), the workload derives from the -host GraphML, and the
+// report's server section carries the per-shard routing counts diffed
+// from GET /cluster (schema netembedload/3).
 package main
 
 import (
@@ -78,6 +85,16 @@ type Config struct {
 	MaxResults    int   // maxResults per embed
 	TimeoutMs     int   // per-request search timeout
 	Seed          int64 // workload derivation seed
+
+	// Target points the harness at a federated coordinator instead of a
+	// single daemon: the load goes to the coordinator's /embed and
+	// /deltas, batch/jobs ops (which a coordinator does not serve) fold
+	// into the embed share, and the report's server section carries
+	// per-shard routing counts diffed from GET /cluster.
+	Target string
+	// HostPath derives the query workload from a GraphML file instead of
+	// GET /model. Required with Target — a coordinator holds no model.
+	HostPath string
 
 	// Drain bounds how long workers may keep finishing backlogged
 	// arrivals after the measurement window closes; whatever is still
@@ -136,14 +153,48 @@ type ServerReport struct {
 	ModelVersion      uint64  `json:"modelVersion"`
 	RetiredEpochs     uint64  `json:"retiredEpochs"`
 	LiveEpochs        int     `json:"liveEpochs"`
+
+	// Shards carries the per-shard routing counts of a -target run,
+	// diffed from the coordinator's GET /cluster across the window
+	// (schema netembedload/3; absent on single-daemon runs).
+	Shards           []ShardLoadReport `json:"shards,omitempty"`
+	CrossEmbedsDelta uint64            `json:"crossShardEmbedsDelta,omitempty"`
+}
+
+// ShardLoadReport is one shard's slice of a federated run: how much of
+// the window's traffic the coordinator routed to it.
+type ShardLoadReport struct {
+	Name         string `json:"name"`
+	Healthy      bool   `json:"healthy"`
+	EmbedsDelta  uint64 `json:"embedsDelta"`
+	DeltasDelta  uint64 `json:"deltasDelta"`
+	ErrorsDelta  uint64 `json:"errorsDelta"`
+	NodeCount    int    `json:"nodeCount"`
+	ModelVersion uint64 `json:"modelVersion"`
+}
+
+// clusterInfo is the slice of the coordinator's GET /cluster the harness
+// diffs for the per-shard routing counts.
+type clusterInfo struct {
+	Shards []struct {
+		Name         string `json:"name"`
+		Healthy      bool   `json:"healthy"`
+		NodeCount    int    `json:"nodeCount"`
+		ModelVersion uint64 `json:"modelVersion"`
+		Embeds       uint64 `json:"embeds"`
+		Deltas       uint64 `json:"deltas"`
+		Errors       uint64 `json:"errors"`
+	} `json:"shards"`
+	CrossEmbeds uint64 `json:"crossShardEmbeds"`
 }
 
 // Report is the machine-readable run summary (the LOAD_*.json schema the
 // CI load gate compares). Schema "netembedload/2" added the optimize op
-// to the mix; the gate still accepts /1 documents (same field layout) so
-// baselines recorded before the bump keep comparing.
+// to the mix; "netembedload/3" added the server section's per-shard
+// routing counts for -target runs. The gated fields are unchanged across
+// /1–/3, so baselines recorded before either bump keep comparing.
 type Report struct {
-	Schema     string              `json:"schema"` // "netembedload/2"
+	Schema     string              `json:"schema"` // "netembedload/3"
 	Addr       string              `json:"addr"`
 	DurationS  float64             `json:"durationS"`
 	TargetRPS  float64             `json:"targetRps"`
@@ -199,17 +250,9 @@ const delayWindowConstraint = "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDela
 // host's own edges (so churn exercises the copy-on-write patch path
 // without reshaping the network).
 func deriveWorkload(client *http.Client, cfg Config) (*workload, error) {
-	resp, err := client.Get(cfg.Addr + "/model")
+	host, err := loadWorkloadHost(client, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("GET /model: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /model: status %d", resp.StatusCode)
-	}
-	host, err := graphml.Decode(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("decode model: %w", err)
+		return nil, err
 	}
 	if host.NumNodes() < cfg.QueryNodes || host.NumEdges() == 0 {
 		return nil, fmt.Errorf("model too small for %d-node queries (%d nodes, %d edges)",
@@ -278,6 +321,37 @@ func deriveWorkload(client *http.Client, cfg Config) (*workload, error) {
 		w.deltas = append(w.deltas, mustJSON(map[string]any{"setEdgeAttrs": sets}))
 	}
 	return w, nil
+}
+
+// loadWorkloadHost reads the hosting network the workload is derived
+// from: -host GraphML when given (the federated case — a coordinator
+// serves no /model), GET /model from the daemon under test otherwise.
+func loadWorkloadHost(client *http.Client, cfg Config) (*graph.Graph, error) {
+	if cfg.HostPath != "" {
+		f, err := os.Open(cfg.HostPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		host, err := graphml.Decode(f)
+		if err != nil {
+			return nil, fmt.Errorf("host %s: %w", cfg.HostPath, err)
+		}
+		return host, nil
+	}
+	resp, err := client.Get(cfg.Addr + "/model")
+	if err != nil {
+		return nil, fmt.Errorf("GET /model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /model: status %d", resp.StatusCode)
+	}
+	host, err := graphml.Decode(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	return host, nil
 }
 
 func mustJSON(v any) []byte {
@@ -414,6 +488,45 @@ func doOp(client *http.Client, cfg Config, w *workload, op opKind, i int) (ok bo
 	return false, 0
 }
 
+// fetchCluster snapshots the coordinator's GET /cluster for the
+// per-shard routing diff of a -target run.
+func fetchCluster(client *http.Client, addr string) (clusterInfo, error) {
+	var ci clusterInfo
+	resp, err := client.Get(addr + "/cluster")
+	if err != nil {
+		return ci, fmt.Errorf("GET /cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ci, fmt.Errorf("GET /cluster: status %d (is -target a federated coordinator?)", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ci)
+	return ci, err
+}
+
+// shardDiffs turns two /cluster snapshots into per-shard routing counts
+// for the window between them.
+func shardDiffs(before, after clusterInfo) []ShardLoadReport {
+	prev := make(map[string]struct{ embeds, deltas, errors uint64 }, len(before.Shards))
+	for _, s := range before.Shards {
+		prev[s.Name] = struct{ embeds, deltas, errors uint64 }{s.Embeds, s.Deltas, s.Errors}
+	}
+	out := make([]ShardLoadReport, 0, len(after.Shards))
+	for _, s := range after.Shards {
+		p := prev[s.Name]
+		out = append(out, ShardLoadReport{
+			Name:         s.Name,
+			Healthy:      s.Healthy,
+			EmbedsDelta:  s.Embeds - p.embeds,
+			DeltasDelta:  s.Deltas - p.deltas,
+			ErrorsDelta:  s.Errors - p.errors,
+			NodeCount:    s.NodeCount,
+			ModelVersion: s.ModelVersion,
+		})
+	}
+	return out
+}
+
 func fetchStats(client *http.Client, addr string) (serverStats, error) {
 	var st serverStats
 	resp, err := client.Get(addr + "/stats")
@@ -440,6 +553,16 @@ func run(cfg Config) (*Report, error) {
 	if cfg.RPS <= 0 || cfg.Workers <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("rps, workers and duration must be positive")
 	}
+	if cfg.Target != "" {
+		if cfg.HostPath == "" {
+			return nil, fmt.Errorf("-target needs -host: a coordinator serves no /model to derive the workload from")
+		}
+		cfg.Addr = strings.TrimSuffix(cfg.Target, "/")
+		// A coordinator serves /embed and /deltas only: the batch and
+		// jobs shares fold into embed so the target rate is preserved.
+		weights[opEmbed] += weights[opBatch] + weights[opJobs]
+		weights[opBatch], weights[opJobs] = 0, 0
+	}
 	client := &http.Client{
 		Timeout: time.Duration(cfg.TimeoutMs)*time.Millisecond + 30*time.Second,
 		Transport: &http.Transport{
@@ -451,8 +574,13 @@ func run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	before, err := fetchStats(client, cfg.Addr)
-	if err != nil {
+	var before serverStats
+	var clusterBefore clusterInfo
+	if cfg.Target == "" {
+		if before, err = fetchStats(client, cfg.Addr); err != nil {
+			return nil, err
+		}
+	} else if clusterBefore, err = fetchCluster(client, cfg.Addr); err != nil {
 		return nil, err
 	}
 
@@ -529,8 +657,13 @@ func run(cfg Config) (*Report, error) {
 	timer.Stop()
 	elapsed := time.Since(start)
 
-	after, err := fetchStats(client, cfg.Addr)
-	if err != nil {
+	var after serverStats
+	var clusterAfter clusterInfo
+	if cfg.Target == "" {
+		if after, err = fetchStats(client, cfg.Addr); err != nil {
+			return nil, err
+		}
+	} else if clusterAfter, err = fetchCluster(client, cfg.Addr); err != nil {
 		return nil, err
 	}
 
@@ -561,7 +694,7 @@ func run(cfg Config) (*Report, error) {
 		}
 	}
 	rep := &Report{
-		Schema:     "netembedload/2",
+		Schema:     "netembedload/3",
 		Addr:       cfg.Addr,
 		DurationS:  elapsed.Seconds(),
 		TargetRPS:  cfg.RPS,
@@ -582,25 +715,35 @@ func run(cfg Config) (*Report, error) {
 	}
 	rep.Overall = summarize(&overall, totalErrs, totalRej)
 
-	completed := after.Completed - before.Completed
-	rep.Server = ServerReport{
-		CompletedDelta:  completed,
-		CacheHitsDelta:  after.CacheHits - before.CacheHits,
-		RejectionsDelta: after.QueueFullRejections - before.QueueFullRejections,
-		MallocsDelta:    after.Runtime.Mallocs - before.Runtime.Mallocs,
-		AllocBytesDelta: after.Runtime.TotalAllocBytes - before.Runtime.TotalAllocBytes,
-		NumGCDelta:      after.Runtime.NumGC - before.Runtime.NumGC,
-		GCPauseDeltaNs:  after.Runtime.PauseTotalNs - before.Runtime.PauseTotalNs,
-		ModelVersion:    after.Model.Version,
-		RetiredEpochs:   after.Model.RetiredEpochs,
-		LiveEpochs:      after.Model.LiveEpochs,
-	}
-	if completed > 0 {
-		rep.Server.AllocsPerRequest = float64(rep.Server.MallocsDelta) / float64(completed)
-		rep.Server.BytesPerRequest = float64(rep.Server.AllocBytesDelta) / float64(completed)
-	}
-	if hm := after.API.QueryCacheHits + after.API.QueryCacheMisses; hm > 0 {
-		rep.Server.QueryCacheHitRate = float64(after.API.QueryCacheHits) / float64(hm)
+	if cfg.Target != "" {
+		// Federated run: the server section is the routing breakdown —
+		// how the coordinator spread the window across its shards.
+		rep.Server.Shards = shardDiffs(clusterBefore, clusterAfter)
+		rep.Server.CrossEmbedsDelta = clusterAfter.CrossEmbeds - clusterBefore.CrossEmbeds
+		for _, s := range rep.Server.Shards {
+			rep.Server.CompletedDelta += s.EmbedsDelta + s.DeltasDelta
+		}
+	} else {
+		completed := after.Completed - before.Completed
+		rep.Server = ServerReport{
+			CompletedDelta:  completed,
+			CacheHitsDelta:  after.CacheHits - before.CacheHits,
+			RejectionsDelta: after.QueueFullRejections - before.QueueFullRejections,
+			MallocsDelta:    after.Runtime.Mallocs - before.Runtime.Mallocs,
+			AllocBytesDelta: after.Runtime.TotalAllocBytes - before.Runtime.TotalAllocBytes,
+			NumGCDelta:      after.Runtime.NumGC - before.Runtime.NumGC,
+			GCPauseDeltaNs:  after.Runtime.PauseTotalNs - before.Runtime.PauseTotalNs,
+			ModelVersion:    after.Model.Version,
+			RetiredEpochs:   after.Model.RetiredEpochs,
+			LiveEpochs:      after.Model.LiveEpochs,
+		}
+		if completed > 0 {
+			rep.Server.AllocsPerRequest = float64(rep.Server.MallocsDelta) / float64(completed)
+			rep.Server.BytesPerRequest = float64(rep.Server.AllocBytesDelta) / float64(completed)
+		}
+		if hm := after.API.QueryCacheHits + after.API.QueryCacheMisses; hm > 0 {
+			rep.Server.QueryCacheHitRate = float64(after.API.QueryCacheHits) / float64(hm)
+		}
 	}
 	if cfg.Out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -640,6 +783,19 @@ func printReport(out io.Writer, rep *Report) {
 	fmt.Fprintf(out, "throughput %.1f rps; arrival overflow %d; abandoned at drain %d\n",
 		rep.Overall.Throughput, rep.Overflowed, rep.Abandoned)
 	s := rep.Server
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(out, "cluster: %d requests routed, %d cross-shard embeds\n",
+			s.CompletedDelta, s.CrossEmbedsDelta)
+		for _, sh := range s.Shards {
+			state := "healthy"
+			if !sh.Healthy {
+				state = "UNHEALTHY"
+			}
+			fmt.Fprintf(out, "  shard %-12s %s: %d embeds, %d deltas, %d errors (%d nodes, model v%d)\n",
+				sh.Name, state, sh.EmbedsDelta, sh.DeltasDelta, sh.ErrorsDelta, sh.NodeCount, sh.ModelVersion)
+		}
+		return
+	}
 	fmt.Fprintf(out, "server: %d completed (%d cache hits, %d rejected), %.0f allocs/req, %.0f B/req, %d GCs (%s pause), epochs retired %d live %d, query-cache hit rate %.0f%%\n",
 		s.CompletedDelta, s.CacheHitsDelta, s.RejectionsDelta,
 		s.AllocsPerRequest, s.BytesPerRequest, s.NumGCDelta,
@@ -663,6 +819,8 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "workload derivation seed")
 	flag.DurationVar(&cfg.Drain, "drain", cfg.Drain, "post-window backlog drain budget")
 	flag.StringVar(&cfg.Out, "out", cfg.Out, "write machine-readable report JSON here")
+	flag.StringVar(&cfg.Target, "target", cfg.Target, "base URL of a federated coordinator: load its /embed + /deltas, report per-shard routing from /cluster")
+	flag.StringVar(&cfg.HostPath, "host", cfg.HostPath, "derive the workload from this GraphML instead of GET /model (required with -target)")
 	flag.Parse()
 
 	rep, err := run(cfg)

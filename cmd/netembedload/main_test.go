@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"netembed/internal/engine"
+	"netembed/internal/graph"
+	"netembed/internal/graphml"
 	"netembed/internal/index"
 	"netembed/internal/service"
 	"netembed/internal/service/httpapi"
@@ -184,7 +186,98 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != "netembedload/2" || back.Overall.Count != rep.Overall.Count {
+	if back.Schema != "netembedload/3" || back.Overall.Count != rep.Overall.Count {
 		t.Errorf("report round trip mismatch: %+v vs %+v", back.Overall, rep.Overall)
+	}
+}
+
+// TestRunAgainstCoordinator drives the harness in -target mode against
+// an in-process federated tier: the load flows through the coordinator's
+// /embed + /deltas, the workload derives from the -host file, and the
+// report's server section must carry the per-shard routing breakdown.
+func TestRunAgainstCoordinator(t *testing.T) {
+	host := graph.NewUndirected()
+	attrs := func(d float64) graph.Attrs {
+		return graph.Attrs{}.
+			SetNum("minDelay", d*0.9).SetNum("avgDelay", d).SetNum("maxDelay", d*1.1)
+	}
+	for i := 0; i < 6; i++ {
+		g := "west"
+		if i >= 3 {
+			g = "east"
+		}
+		host.AddNode("", graph.Attrs{}.SetStr("region", g))
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			host.MustAddEdge(graph.NodeID(a), graph.NodeID(b), attrs(10))
+			host.MustAddEdge(graph.NodeID(3+a), graph.NodeID(3+b), attrs(10))
+		}
+	}
+	host.MustAddEdge(0, 3, attrs(200))
+
+	coord, err := service.NewFederation(host, "region", service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.NewClusterServer(coord))
+	defer ts.Close()
+
+	hostML, err := graphml.EncodeString(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostPath := filepath.Join(t.TempDir(), "host.graphml")
+	if err := os.WriteFile(hostPath, []byte(hostML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := defaultConfig()
+	cfg.Target = ts.URL
+	cfg.HostPath = hostPath
+	cfg.Duration = 1200 * time.Millisecond
+	cfg.RPS = 60
+	cfg.Arrival = "fixed"
+	cfg.Workers = 4
+	cfg.Mix = "embed=70,delta=30"
+	cfg.QueryVariants = 3
+	cfg.QueryNodes = 3
+	cfg.QueryEdges = 3
+
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "netembedload/3" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Overall.Count == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Overall.Errors > 0 {
+		t.Errorf("%d errors against a healthy tier: %+v", rep.Overall.Errors, rep.PerOp)
+	}
+	if len(rep.Server.Shards) != 2 {
+		t.Fatalf("shard breakdown = %+v, want 2 shards", rep.Server.Shards)
+	}
+	var embeds uint64
+	for _, s := range rep.Server.Shards {
+		if !s.Healthy {
+			t.Errorf("shard %s unhealthy after the run", s.Name)
+		}
+		embeds += s.EmbedsDelta
+	}
+	if embeds == 0 {
+		t.Error("no embeds routed to any shard")
+	}
+	if rep.Server.CompletedDelta == 0 {
+		t.Error("completedDelta zero in federated mode")
+	}
+
+	// -target without -host cannot derive a workload.
+	bad := cfg
+	bad.HostPath = ""
+	if _, err := run(bad); err == nil {
+		t.Error("-target without -host accepted")
 	}
 }

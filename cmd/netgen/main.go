@@ -10,6 +10,7 @@
 //	netgen -kind composite -root ring -root-size 4 -leaf star -leaf-size 5 -out query.graphml
 //	netgen -kind subgraph -host host.graphml -n 40 -e 80 -slack 0.1 -out query.graphml
 //	netgen -kind planetlab -capacity 4 -out host.graphml   # consolidation-ready host
+//	netgen -kind planetlab -sites 40 -regions west,east -out host.graphml  # federation-ready host
 package main
 
 import (
@@ -47,6 +48,8 @@ func main() {
 		hostPath = flag.String("host", "", "subgraph: hosting network GraphML to sample from")
 		slack    = flag.Float64("slack", 0.1, "subgraph: delay window widening")
 		model    = flag.String("model", "ba", "brite: ba | waxman")
+		regions  = flag.String("regions", "", "stamp nodes with contiguous region labels 'west,east[,...]' (federated shard hosts)")
+		regAttr  = flag.String("region-attr", "region", "attribute name used by -regions")
 	)
 	flag.Parse()
 
@@ -63,6 +66,9 @@ func main() {
 	}
 	if err == nil && *demand > 0 {
 		stampNodes(g, "demand", *demand)
+	}
+	if err == nil && *regions != "" {
+		err = stampRegions(g, *regAttr, *regions)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
@@ -169,6 +175,28 @@ func applyWindow(g *graph.Graph, spec string) error {
 }
 
 // stampNodes sets a numeric attribute on every node of g.
+// stampRegions labels the nodes with contiguous region blocks: node i
+// gets labels[i*k/n]. Contiguous blocks keep synthetic site clusters
+// intact, so the inter-region boundary stays a small cut instead of a
+// striped mesh.
+func stampRegions(g *graph.Graph, attr, spec string) error {
+	var labels []string
+	for _, l := range strings.Split(spec, ",") {
+		if l = strings.TrimSpace(l); l != "" {
+			labels = append(labels, l)
+		}
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("bad -regions %q, want 'west,east[,...]'", spec)
+	}
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		node := g.Node(graph.NodeID(i))
+		node.Attrs = node.Attrs.SetStr(attr, labels[i*len(labels)/n])
+	}
+	return nil
+}
+
 func stampNodes(g *graph.Graph, name string, v float64) {
 	for i := 0; i < g.NumNodes(); i++ {
 		node := g.Node(graph.NodeID(i))

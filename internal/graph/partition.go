@@ -1,0 +1,112 @@
+package graph
+
+import "fmt"
+
+// CutEdge is an edge crossing a partition boundary: its endpoints landed
+// in different parts, so neither part's induced subgraph contains it. Cut
+// edges are addressed by node names (the identity that survives
+// re-partitioning) and carry a snapshot of the edge's attribute bag plus
+// the endpoint attribute bags, so a coordinator holding only the boundary
+// can still evaluate edge constraints that read rEdge/rSource/rTarget —
+// without keeping any copy of the full graph.
+type CutEdge struct {
+	Source, Target         string
+	SourcePart, TargetPart string
+	Attrs                  Attrs
+	SourceAttrs            Attrs
+	TargetAttrs            Attrs
+}
+
+// PartitionResult is the outcome of Partition: one induced subgraph per
+// part label, the local→original node-ID translation per part, the node
+// membership (name → part label), and the cut edges between parts.
+type PartitionResult struct {
+	// Parts maps each part label to the induced subgraph of its nodes.
+	Parts map[string]*Graph
+	// Back maps each part label to its local→original NodeID translation
+	// (parallel to the part's node IDs).
+	Back map[string][]NodeID
+	// Owner maps every node name to its part label.
+	Owner map[string]string
+	// Cuts lists the edges whose endpoints landed in different parts, in
+	// the original graph's edge order.
+	Cuts []CutEdge
+}
+
+// Partition splits g by the classify function (node → part label) into
+// per-part induced subgraphs plus the cut edges between parts. Every part
+// label returned by classify must be non-empty. The subgraphs deep-copy
+// their attribute bags, so the partition stays valid when g's successor
+// snapshots are published.
+func Partition(g *Graph, classify func(NodeID) string) (*PartitionResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: partition needs a graph")
+	}
+	groups := map[string][]NodeID{}
+	labels := make([]string, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		id := NodeID(i)
+		label := classify(id)
+		if label == "" {
+			return nil, fmt.Errorf("graph: partition label for node %q is empty", g.Node(id).Name)
+		}
+		labels[i] = label
+		groups[label] = append(groups[label], id)
+	}
+	res := &PartitionResult{
+		Parts: make(map[string]*Graph, len(groups)),
+		Back:  make(map[string][]NodeID, len(groups)),
+		Owner: make(map[string]string, g.NumNodes()),
+	}
+	for label, ids := range groups {
+		sub, back, err := g.InducedSubgraph(ids)
+		if err != nil {
+			return nil, err
+		}
+		res.Parts[label] = sub
+		res.Back[label] = back
+		for _, id := range ids {
+			res.Owner[g.Node(id).Name] = label
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		lu, lv := labels[e.From], labels[e.To]
+		if lu == lv {
+			continue
+		}
+		res.Cuts = append(res.Cuts, CutEdge{
+			Source:      g.Node(e.From).Name,
+			Target:      g.Node(e.To).Name,
+			SourcePart:  lu,
+			TargetPart:  lv,
+			Attrs:       e.Attrs.Clone(),
+			SourceAttrs: g.Node(e.From).Attrs.Clone(),
+			TargetAttrs: g.Node(e.To).Attrs.Clone(),
+		})
+	}
+	return res, nil
+}
+
+// PartitionByAttr partitions by the string values of a node attribute;
+// nodes lacking the attribute land in the part named by fallback (or, when
+// fallback itself is empty, are assigned by assign — the consistent-hash
+// hook the distributed tier routes unlabeled nodes with). At least one of
+// fallback/assign must be usable.
+func PartitionByAttr(g *Graph, attr, fallback string, assign func(name string) string) (*PartitionResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: partition needs a graph")
+	}
+	return Partition(g, func(id NodeID) string {
+		if label, ok := g.Node(id).Attrs.Text(attr); ok && label != "" {
+			return label
+		}
+		if fallback != "" {
+			return fallback
+		}
+		if assign != nil {
+			return assign(g.Node(id).Name)
+		}
+		return ""
+	})
+}

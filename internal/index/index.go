@@ -318,6 +318,17 @@ func (ix *Index) DegreeAtLeast(d int) *sets.Bitset {
 	return ladderAt(ix.degAtLeast, d, ix.zero)
 }
 
+// MaxDegree returns the host's largest node degree — the top rung of the
+// degree strata ladder (0 on an empty host). The distributed coordinator
+// screens shard eligibility with it: a shard whose densest node cannot
+// carry the query's sparsest one can never answer.
+func (ix *Index) MaxDegree() int {
+	if len(ix.degAtLeast) == 0 {
+		return 0
+	}
+	return len(ix.degAtLeast) - 1
+}
+
 // OutDegreeAtLeast returns the nodes with OutDegree ≥ d. Read-only.
 func (ix *Index) OutDegreeAtLeast(d int) *sets.Bitset {
 	return ladderAt(ix.outDegAtLeast, d, ix.zero)

@@ -1,0 +1,658 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"netembed/internal/core"
+	"netembed/internal/expr"
+	"netembed/internal/graph"
+	"netembed/internal/index"
+	"netembed/internal/sets"
+)
+
+// Cross-shard query decomposition (the Esposito/Matta-style architecture
+// NETEMBED §VIII gestures at): a query no single region can satisfy is
+// split at cut edges into per-shard fragments; every shard embeds its
+// fragment against its own partial view and proposes up to TopK boundary
+// placements; the coordinator joins the candidate sets by checking each
+// query cut edge against its boundary set — the inter-region hosting
+// edges no shard's view contains. Path-mode queries get their cut edges
+// stitched with witness paths over the boundary graph, pre-screened by
+// the hop-bounded reachability oracle (index.BuildReach).
+
+// maxCrossAssignments bounds how many fragment assignments one request
+// may try; the request deadline is checked between assignments too.
+const maxCrossAssignments = 128
+
+// maxJoinCombos bounds the candidate-exchange join per assignment.
+const maxJoinCombos = 4096
+
+// shardSnap is a consistent snapshot of one shard's routing facts, taken
+// under the coordinator lock so decomposition never races delta traffic.
+type shardSnap struct {
+	cs        *coordShard
+	name      string
+	nodeCount int
+	maxDegree int
+}
+
+// fragResult is one shard's answer for its query fragment: up to TopK
+// named candidate placements the coordinator joins across shards.
+type fragResult struct {
+	shard *coordShard
+	name  string
+	resp  *Response
+}
+
+// addStats folds one shard response's search counters into the
+// coordinator-side accumulator for a cross-shard request.
+//
+//statsthread:fold core.Stats
+func addStats(dst, src *core.Stats) {
+	dst.FilterBuild += src.FilterBuild
+	dst.EdgePairsEval += src.EdgePairsEval
+	dst.FilterEntries += src.FilterEntries
+	dst.NodesVisited += src.NodesVisited
+	dst.Backtracks += src.Backtracks
+	dst.ConstraintChk += src.ConstraintChk
+	dst.PruneOps += src.PruneOps
+	dst.Wipeouts += src.Wipeouts
+	dst.WipeoutDepthSum += src.WipeoutDepthSum
+	dst.Backjumps += src.Backjumps
+	dst.Steals += src.Steals
+	dst.WitnessProbes += src.WitnessProbes
+	dst.WitnessHits += src.WitnessHits
+	dst.ReachPrunes += src.ReachPrunes
+	dst.BoundCuts += src.BoundCuts
+	dst.IncumbentUpdates += src.IncumbentUpdates
+	dst.BoundProbes += src.BoundProbes
+	dst.TimeToFirst += src.TimeToFirst
+	dst.Elapsed += src.Elapsed
+}
+
+// embedAcrossShards answers a request no single shard satisfied by
+// decomposing the query across shards. req.Timeout is the remaining
+// budget. The returned location is "cross:a+b" on success, "coordinator"
+// for a no-answer.
+func (c *Coordinator) embedAcrossShards(req Request, edgeProg *expr.Program) (*Response, string, error) {
+	start := time.Now()
+	deadline := start.Add(req.Timeout)
+	var warnings []string
+	var stats core.Stats
+
+	give := func(warning string) (*Response, string, error) {
+		return &Response{
+			Status:   core.StatusInconclusive,
+			Stats:    stats,
+			Elapsed:  time.Since(start),
+			Warnings: append(warnings, warning),
+		}, "coordinator", nil
+	}
+
+	if req.Algorithm == AlgoConsolidate {
+		return give("no shard answered locally; cross-shard decomposition does not support consolidate")
+	}
+	if req.Optimize {
+		warnings = append(warnings, "cross-shard answers are feasibility-only; objective ignored")
+	}
+
+	c.mu.RLock()
+	snaps := make([]shardSnap, 0, len(c.shards))
+	for _, cs := range c.shards {
+		if cs.healthy {
+			snaps = append(snaps, shardSnap{
+				cs:        cs,
+				name:      cs.shard.Name(),
+				nodeCount: cs.nodeCount,
+				maxDegree: cs.maxDegree,
+			})
+		}
+	}
+	boundary := c.boundary
+	byRegion := c.byRegion
+	c.mu.RUnlock()
+
+	if len(snaps) < 2 {
+		return give("no shard answered locally and fewer than two shards are healthy")
+	}
+	if len(boundary) == 0 {
+		return give("no shard answered locally and the tier has no cut edges to decompose across")
+	}
+
+	assignments, aw := c.crossAssignments(req.Query, snaps, boundary, byRegion)
+	warnings = append(warnings, aw...)
+	if len(assignments) == 0 {
+		return give("no shard answered locally and no cross-shard split is possible")
+	}
+
+	bv := newBoundaryView(boundary, c.directed)
+	expired := func() bool {
+		return !time.Now().Before(deadline) || (req.Stop != nil && req.Stop())
+	}
+	for _, assign := range assignments {
+		if expired() {
+			break
+		}
+		resp, where, found := c.tryAssignment(req, assign, edgeProg, bv, deadline, &stats, warnings)
+		if found {
+			resp.Elapsed = time.Since(start)
+			return resp, where, nil
+		}
+	}
+	return give("no shard answered locally and cross-shard decomposition found no join")
+}
+
+// crossAssignments produces the fragment assignments (query node index →
+// shard name) worth trying, cheapest cut first. Fully region-labeled
+// queries yield exactly their pinned assignment; otherwise bipartitions
+// across boundary-connected shard pairs are enumerated up to
+// MaxSplitNodes query nodes.
+func (c *Coordinator) crossAssignments(q *graph.Graph, snaps []shardSnap, boundary []graph.CutEdge, byRegion map[string]*coordShard) ([][]string, []string) {
+	n := q.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	var warnings []string
+	pinned := make([]string, n)
+	allPinned := true
+	pinnedShards := map[string]bool{}
+	snapByName := make(map[string]shardSnap, len(snaps))
+	for _, sn := range snaps {
+		snapByName[sn.name] = sn
+	}
+	for i := 0; i < n; i++ {
+		label, ok := q.Node(graph.NodeID(i)).Attrs.Text(c.regionAttr)
+		if !ok || label == "" {
+			allPinned = false
+			continue
+		}
+		cs, known := byRegion[label]
+		if !known {
+			allPinned = false
+			warnings = append(warnings,
+				fmt.Sprintf("query node %q pins unknown region %q; treating it as unlabeled", q.Node(graph.NodeID(i)).Name, label))
+			continue
+		}
+		name := cs.shard.Name()
+		if _, healthy := snapByName[name]; !healthy {
+			allPinned = false
+			warnings = append(warnings,
+				fmt.Sprintf("query node %q pins unhealthy shard %q; treating it as unlabeled", q.Node(graph.NodeID(i)).Name, name))
+			continue
+		}
+		pinned[i] = name
+		pinnedShards[name] = true
+	}
+	if allPinned {
+		if len(pinnedShards) < 2 {
+			// Purely local: the shard round already tried (and failed) it.
+			return nil, warnings
+		}
+		return [][]string{pinned}, warnings
+	}
+	if n > c.maxSplitNodes {
+		warnings = append(warnings,
+			fmt.Sprintf("query has %d nodes; unlabeled cross-shard splitting is capped at %d", n, c.maxSplitNodes))
+		return nil, warnings
+	}
+
+	// Shard pairs connected by at least one cut edge.
+	pairSeen := map[string]bool{}
+	var pairs [][2]shardSnap
+	for _, cut := range boundary {
+		a, okA := byRegion[cut.SourcePart]
+		b, okB := byRegion[cut.TargetPart]
+		if !okA || !okB || a == b {
+			continue
+		}
+		n1, n2 := a.shard.Name(), b.shard.Name()
+		if n2 < n1 {
+			n1, n2 = n2, n1
+		}
+		s1, ok1 := snapByName[n1]
+		s2, ok2 := snapByName[n2]
+		if !ok1 || !ok2 {
+			continue
+		}
+		key := n1 + "\x00" + n2
+		if pairSeen[key] {
+			continue
+		}
+		pairSeen[key] = true
+		pairs = append(pairs, [2]shardSnap{s1, s2})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0].name != pairs[j][0].name {
+			return pairs[i][0].name < pairs[j][0].name
+		}
+		return pairs[i][1].name < pairs[j][1].name
+	})
+
+	type cand struct {
+		assign []string
+		cuts   int
+	}
+	var cands []cand
+	for _, pair := range pairs {
+		a, b := pair[0], pair[1]
+		for mask := 1; mask < 1<<n-1 && len(cands) < maxCrossAssignments; mask++ {
+			assign := make([]string, n)
+			sizeA := 0
+			ok := true
+			for i := 0; i < n; i++ {
+				shard := b.name
+				if mask>>i&1 == 1 {
+					shard = a.name
+					sizeA++
+				}
+				if pinned[i] != "" && pinned[i] != shard {
+					ok = false
+					break
+				}
+				assign[i] = shard
+			}
+			if !ok || sizeA > a.nodeCount || n-sizeA > b.nodeCount {
+				continue
+			}
+			cuts := 0
+			for e := 0; e < q.NumEdges(); e++ {
+				ed := q.Edge(graph.EdgeID(e))
+				if (mask>>ed.From)&1 != (mask>>ed.To)&1 {
+					cuts++
+				}
+			}
+			cands = append(cands, cand{assign: assign, cuts: cuts})
+		}
+	}
+	// Cheapest cut first: fewer boundary negotiations, likelier joins.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].cuts < cands[j].cuts })
+	out := make([][]string, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.assign
+	}
+	return out, warnings
+}
+
+// tryAssignment embeds the query's fragments per shard and joins the
+// candidate boundary placements. It returns found=false when any
+// fragment has no candidates or no combination satisfies the cut edges.
+func (c *Coordinator) tryAssignment(req Request, assign []string, edgeProg *expr.Program, bv *boundaryView, deadline time.Time, stats *core.Stats, warnings []string) (*Response, string, bool) {
+	part, err := graph.Partition(req.Query, func(id graph.NodeID) string { return assign[id] })
+	if err != nil || len(part.Parts) < 2 {
+		return nil, "", false
+	}
+	names := make([]string, 0, len(part.Parts))
+	for name := range part.Parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pathMode := req.Algorithm == AlgoPathEmbed
+	var specs []core.MetricSpec
+	maxHops := 0
+	if pathMode {
+		specs = core.PathOptions{
+			MaxHops:   req.Path.MaxHops,
+			DelayAttr: req.Path.DelayAttr,
+			WindowLo:  req.Path.WindowLo,
+			WindowHi:  req.Path.WindowHi,
+			Metrics:   req.Path.Metrics,
+		}.EffectiveMetrics()
+		maxHops = req.Path.MaxHops
+		if maxHops <= 0 {
+			maxHops = 3
+		}
+		bv.ensurePathState(maxHops)
+	} else if !bv.prescreen(part.Cuts, edgeProg) {
+		// No boundary edge can carry some query cut edge under the
+		// constraint — don't spend shard budget on this split.
+		return nil, "", false
+	}
+
+	// Candidate exchange: every fragment comes back with up to TopK
+	// feasible placements from its shard.
+	frags := make([]fragResult, 0, len(names))
+	remaining := time.Until(deadline)
+	if remaining < time.Millisecond {
+		remaining = time.Millisecond
+	}
+	fragBudget := remaining / time.Duration(len(names)+1)
+	if fragBudget < time.Millisecond {
+		fragBudget = time.Millisecond
+	}
+	for _, name := range names {
+		cs := c.byName[name]
+		if cs == nil {
+			return nil, "", false
+		}
+		sreq := req
+		sreq.Query = part.Parts[name]
+		sreq.Timeout = fragBudget
+		sreq.MaxResults = c.topK
+		sreq.Optimize = false
+		sreq.Objective = core.Objective{}
+		sreq.OnImprove = nil
+		resp, err := cs.shard.Embed(sreq)
+		if err != nil {
+			c.recordFailure(cs, err)
+			return nil, "", false
+		}
+		c.recordSuccess(cs, resp.ModelVersion)
+		addStats(stats, &resp.Stats)
+		if len(resp.Named) == 0 {
+			return nil, "", false
+		}
+		frags = append(frags, fragResult{shard: cs, name: name, resp: resp})
+	}
+
+	// Join: walk the cartesian product of fragment candidates, first
+	// combination whose cut edges all land on acceptable boundary edges
+	// (or stitched boundary paths) wins.
+	counts := make([]int, len(frags))
+	for i, f := range frags {
+		counts[i] = len(f.resp.Named)
+	}
+	pick := make([]int, len(frags))
+	combos := 0
+	for {
+		if combos >= maxJoinCombos || !time.Now().Before(deadline) {
+			return nil, "", false
+		}
+		combos++
+		merged, witnesses, ok := c.joinCombo(part.Cuts, frags, pick, edgeProg, bv, specs, maxHops, pathMode)
+		if ok {
+			shardNames := make([]string, len(frags))
+			versions := make([]string, len(frags))
+			c.mu.Lock()
+			c.crossEmbeds++
+			for i, f := range frags {
+				f.shard.embeds++
+				shardNames[i] = f.name
+				versions[i] = fmt.Sprintf("%s=%d", f.name, f.resp.ModelVersion)
+			}
+			c.mu.Unlock()
+			resp := &Response{
+				Status: core.StatusPartial,
+				Named:  []NamedMapping{merged},
+				Stats:  *stats,
+				Warnings: append(append([]string(nil), warnings...),
+					"cross-shard answer: named mappings are authoritative (raw IDs do not span shards)",
+					"answer spans shard versions "+strings.Join(versions, " ")),
+			}
+			if pathMode {
+				resp.Paths = [][]PathWitness{witnesses}
+			}
+			return resp, "cross:" + strings.Join(shardNames, "+"), true
+		}
+		// odometer
+		i := len(pick) - 1
+		for ; i >= 0; i-- {
+			pick[i]++
+			if pick[i] < counts[i] {
+				break
+			}
+			pick[i] = 0
+		}
+		if i < 0 {
+			return nil, "", false
+		}
+	}
+}
+
+// joinCombo validates one candidate combination: merges the fragment
+// mappings and checks every query cut edge against the boundary.
+func (c *Coordinator) joinCombo(cuts []graph.CutEdge, frags []fragResult, pick []int, edgeProg *expr.Program, bv *boundaryView, specs []core.MetricSpec, maxHops int, pathMode bool) (NamedMapping, []PathWitness, bool) {
+	merged := NamedMapping{}
+	used := map[string]bool{}
+	for i, f := range frags {
+		for q, r := range f.resp.Named[pick[i]] {
+			if used[r] {
+				// Host names are globally unique, so this only trips if two
+				// shards ever report overlapping views — reject, injectivity
+				// would be silently violated.
+				return nil, nil, false
+			}
+			used[r] = true
+			merged[q] = r
+		}
+	}
+	// Fragment witnesses first; cut-edge witnesses stitched below.
+	var witnesses []PathWitness
+	if pathMode {
+		for i, f := range frags {
+			if pick[i] < len(f.resp.Paths) {
+				witnesses = append(witnesses, f.resp.Paths[pick[i]]...)
+			}
+		}
+	}
+	for _, qcut := range cuts {
+		hu, okU := merged[qcut.Source]
+		hv, okV := merged[qcut.Target]
+		if !okU || !okV {
+			return nil, nil, false
+		}
+		if pathMode {
+			w, ok := bv.stitchWitness(hu, hv, qcut.Attrs, specs, maxHops)
+			if !ok {
+				return nil, nil, false
+			}
+			w.Source, w.Target = qcut.Source, qcut.Target
+			witnesses = append(witnesses, w)
+			continue
+		}
+		if !bv.matchEdge(hu, hv, qcut, edgeProg) {
+			return nil, nil, false
+		}
+	}
+	return merged, witnesses, true
+}
+
+// boundaryView wraps the coordinator's cut-edge snapshot with the lookup
+// and stitching machinery one cross-shard request needs.
+type boundaryView struct {
+	cuts     []graph.CutEdge
+	directed bool
+	idx      *boundaryIndexMap
+
+	// Path-mode stitching state, built on demand: the boundary graph
+	// (nodes = cut endpoints, edges = cut edges) and its hop-bounded
+	// reachability oracle.
+	bg   *graph.Graph
+	ids  map[string]graph.NodeID
+	fwd  []sets.Bitset
+	hops int
+}
+
+func newBoundaryView(cuts []graph.CutEdge, directed bool) *boundaryView {
+	return &boundaryView{
+		cuts:     cuts,
+		directed: directed,
+		idx:      boundaryIndex(cuts, directed),
+	}
+}
+
+// prescreen checks that every query cut edge has at least one boundary
+// edge it could ride under the edge constraint, so hopeless assignments
+// are rejected before any shard budget is spent.
+func (bv *boundaryView) prescreen(cuts []graph.CutEdge, prog *expr.Program) bool {
+	for _, qcut := range cuts {
+		ok := false
+		for i := range bv.cuts {
+			if bv.acceptEdge(i, qcut, prog, false) || (!bv.directed && bv.acceptEdge(i, qcut, prog, true)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// acceptEdge evaluates the edge constraint for one query cut edge riding
+// boundary edge i (optionally reversed, for undirected hosts).
+func (bv *boundaryView) acceptEdge(i int, qcut graph.CutEdge, prog *expr.Program, reversed bool) bool {
+	if prog == nil {
+		return true
+	}
+	cut := bv.cuts[i]
+	bind := expr.EdgeBinding{
+		VEdge:   qcut.Attrs,
+		VSource: qcut.SourceAttrs,
+		VTarget: qcut.TargetAttrs,
+		REdge:   cut.Attrs,
+		RSource: cut.SourceAttrs,
+		RTarget: cut.TargetAttrs,
+	}
+	if reversed {
+		bind.RSource, bind.RTarget = cut.TargetAttrs, cut.SourceAttrs
+	}
+	return prog.EvalEdge(&bind)
+}
+
+// matchEdge finds a boundary edge carrying one query cut edge between the
+// chosen hosting nodes and evaluates the edge constraint on it.
+func (bv *boundaryView) matchEdge(hu, hv string, qcut graph.CutEdge, prog *expr.Program) bool {
+	i, ok := bv.idx.lookup(hu, hv)
+	if !ok {
+		return false
+	}
+	reversed := bv.cuts[i].Source != hu
+	return bv.acceptEdge(i, qcut, prog, reversed)
+}
+
+// ensurePathState builds the boundary graph and its reachability oracle
+// for path-mode stitching.
+func (bv *boundaryView) ensurePathState(maxHops int) {
+	if bv.bg != nil && bv.hops == maxHops {
+		return
+	}
+	bg := graph.New(bv.directed)
+	ids := map[string]graph.NodeID{}
+	node := func(name string, attrs graph.Attrs) graph.NodeID {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		id := bg.AddNode(name, attrs.Clone())
+		ids[name] = id
+		return id
+	}
+	for _, cut := range bv.cuts {
+		u := node(cut.Source, cut.SourceAttrs)
+		v := node(cut.Target, cut.TargetAttrs)
+		if _, err := bg.AddEdge(u, v, cut.Attrs.Clone()); err != nil {
+			continue // duplicate cut edge rows collapse to the first
+		}
+	}
+	fwd, _ := index.BuildReach(bg, maxHops)
+	bv.bg, bv.ids, bv.fwd, bv.hops = bg, ids, fwd, maxHops
+}
+
+// stitchWitness finds a witness path for one query cut edge across the
+// boundary graph: at most maxHops boundary edges whose composed metrics
+// satisfy the query edge's windows. The reachability oracle screens out
+// unreachable pairs before the DFS runs.
+func (bv *boundaryView) stitchWitness(hu, hv string, qAttrs graph.Attrs, specs []core.MetricSpec, maxHops int) (PathWitness, bool) {
+	bu, okU := bv.ids[hu]
+	bv2, okV := bv.ids[hv]
+	if !okU || !okV {
+		return PathWitness{}, false
+	}
+	if int(bu) < len(bv.fwd) && !bv.fwd[bu].Has(int32(bv2)) {
+		return PathWitness{}, false
+	}
+	visited := make(map[graph.NodeID]bool, maxHops+1)
+	visited[bu] = true
+	pathNodes := []graph.NodeID{bu}
+	var pathEdges []graph.EdgeID
+	var found *PathWitness
+	var dfs func(u graph.NodeID, depth int) bool
+	dfs = func(u graph.NodeID, depth int) bool {
+		if u == bv2 && depth > 0 {
+			if cost, ok := bv.composedOK(pathEdges, qAttrs, specs); ok {
+				names := make([]string, len(pathNodes))
+				for i, id := range pathNodes {
+					names[i] = bv.bg.Node(id).Name
+				}
+				found = &PathWitness{Path: names, Cost: cost}
+				return true
+			}
+			return false
+		}
+		if depth == maxHops {
+			return false
+		}
+		for _, arc := range bv.bg.Arcs(u) {
+			if visited[arc.To] {
+				continue
+			}
+			visited[arc.To] = true
+			pathNodes = append(pathNodes, arc.To)
+			pathEdges = append(pathEdges, arc.Edge)
+			if dfs(arc.To, depth+1) {
+				return true
+			}
+			visited[arc.To] = false
+			pathNodes = pathNodes[:len(pathNodes)-1]
+			pathEdges = pathEdges[:len(pathEdges)-1]
+		}
+		return false
+	}
+	if !dfs(bu, 0) {
+		return PathWitness{}, false
+	}
+	return *found, true
+}
+
+// composedOK folds each metric spec along the boundary path and checks
+// the query edge's window. The first spec's composed value is the
+// witness cost (matching core.PathEmbed's convention).
+func (bv *boundaryView) composedOK(edges []graph.EdgeID, qAttrs graph.Attrs, specs []core.MetricSpec) (float64, bool) {
+	cost := 0.0
+	for si, spec := range specs {
+		var acc float64
+		switch spec.Rule {
+		case core.Multiplicative:
+			acc = 1
+		default:
+			acc = 0
+		}
+		for i, e := range edges {
+			v, ok := bv.bg.Edge(e).Attrs.Float(spec.Attr)
+			if !ok {
+				if spec.MissingFails {
+					return 0, false
+				}
+				v = spec.MissingEdge
+			}
+			switch spec.Rule {
+			case core.Bottleneck:
+				if i == 0 || v < acc {
+					acc = v
+				}
+			case core.Multiplicative:
+				acc *= v
+			default:
+				acc += v
+			}
+		}
+		if spec.LoAttr != "" {
+			if lo, ok := qAttrs.Float(spec.LoAttr); ok && acc < lo {
+				return 0, false
+			}
+		}
+		if spec.HiAttr != "" {
+			if hi, ok := qAttrs.Float(spec.HiAttr); ok && acc > hi {
+				return 0, false
+			}
+		}
+		if si == 0 {
+			cost = acc
+		}
+	}
+	return cost, true
+}

@@ -1,7 +1,11 @@
 package service
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,7 +17,8 @@ import (
 )
 
 // federationHost builds a host with two well-connected regions joined by
-// a few slow links: intra-region delays ~10ms, inter-region ~200ms.
+// a few slow links: intra-region delays ~10ms, inter-region ~200ms. Nodes
+// n0..n4 are west, n5..n9 east; the cut edges are n0-n5 and n1-n6.
 func federationHost() *graph.Graph {
 	g := graph.NewUndirected()
 	attrs := func(d float64) graph.Attrs {
@@ -39,6 +44,29 @@ func federationHost() *graph.Graph {
 	return g
 }
 
+const avgDelayWindowSrc = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+// namedToMapping reconstructs a core.Mapping against the global host from
+// a coordinator answer's authoritative named mapping, so it can be
+// verified with core.NewProblem(query, host, ...).Verify.
+func namedToMapping(t *testing.T, q, host *graph.Graph, named NamedMapping) core.Mapping {
+	t.Helper()
+	m := make(core.Mapping, q.NumNodes())
+	for i := 0; i < q.NumNodes(); i++ {
+		qName := q.Node(graph.NodeID(i)).Name
+		rName, ok := named[qName]
+		if !ok {
+			t.Fatalf("named mapping misses query node %q", qName)
+		}
+		rid, ok := host.NodeByName(rName)
+		if !ok {
+			t.Fatalf("named mapping targets unknown host node %q", rName)
+		}
+		m[i] = rid
+	}
+	return m
+}
+
 func TestFederationPartitions(t *testing.T) {
 	f, err := NewFederation(federationHost(), "region", Config{})
 	if err != nil {
@@ -60,6 +88,25 @@ func TestFederationPartitions(t *testing.T) {
 	if got := f2.Shards(); len(got) != 1 || got[0] != "unassigned" {
 		t.Errorf("unattributed shards = %v", got)
 	}
+	// The coordinator's routing table covers every node; the boundary is
+	// exactly the inter-region links; the coordinator holds no graph.
+	info := f.Cluster()
+	if info.RoutedNodes != 10 {
+		t.Errorf("routed nodes = %d, want 10", info.RoutedNodes)
+	}
+	if info.BoundaryEdges != 2 {
+		t.Errorf("boundary edges = %d, want 2", info.BoundaryEdges)
+	}
+	if info.CoordinatorNodes != 0 {
+		t.Errorf("coordinator models %d nodes, want 0 (no global copy)", info.CoordinatorNodes)
+	}
+	total := 0
+	for _, s := range info.Shards {
+		total += s.NodeCount
+	}
+	if total != 10 {
+		t.Errorf("shard node counts sum to %d, want 10", total)
+	}
 }
 
 func TestRemainingBudget(t *testing.T) {
@@ -77,66 +124,6 @@ func TestRemainingBudget(t *testing.T) {
 	}
 }
 
-// TestFederationFallbackGetsFullBudget is the regression test for the
-// halved fallback budget: with no eligible shard nothing consumes any of
-// the timeout, so the global service must get (essentially) all of it.
-// The old code handed it a flat timeout/2, so a global search on an
-// instance too large to exhaust stopped at half time; the run time of
-// the whole Embed call is the observable.
-func TestFederationFallbackGetsFullBudget(t *testing.T) {
-	// K26 minus a perfect matching, each node its own singleton region:
-	// every shard is smaller than the query, so the fallback starts with
-	// the budget untouched. Embedding K14 into this host is infeasible
-	// but the proof tree is ~5e13 nodes (see core's cancellation
-	// fixture), so the global search is guaranteed to run out its full
-	// timeout without accumulating solutions.
-	const n = 26
-	g := graph.NewUndirected()
-	for i := 0; i < n; i++ {
-		g.AddNode("", graph.Attrs{}.SetStr("region", string(rune('A'+i))))
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if i%2 == 0 && j == i+1 {
-				continue // the removed matching edge
-			}
-			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), nil)
-		}
-	}
-	f, err := NewFederation(g, "region", Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	query := topo.Clique(14)
-	for _, s := range f.shards {
-		if s.svc.mustNodeCount() >= query.NumNodes() {
-			t.Fatalf("shard %s unexpectedly eligible", s.name)
-		}
-	}
-	const timeout = 400 * time.Millisecond
-	start := time.Now()
-	resp, where, err := f.Embed(Request{Query: query, Timeout: timeout})
-	elapsed := time.Since(start)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if where != "global" {
-		t.Fatalf("answered by %q, want global", where)
-	}
-	if resp.Status == core.StatusComplete {
-		t.Fatal("instance exhausted early; it no longer exercises the budget")
-	}
-	// Generous lower bound: well above the timeout/2 the old code
-	// granted, well below the timeout plus scheduling slack.
-	if elapsed < 300*time.Millisecond {
-		t.Errorf("fallback ran %v, want ≥300ms of the %v budget (old code stopped near %v)",
-			elapsed, timeout, timeout/2)
-	}
-	if elapsed > 5*time.Second {
-		t.Errorf("fallback ran %v, timeout not honored", elapsed)
-	}
-}
-
 func TestFederationAnswersLocallyWhenPossible(t *testing.T) {
 	host := federationHost()
 	f, err := NewFederation(host, "region", Config{})
@@ -148,21 +135,21 @@ func TestFederationAnswersLocallyWhenPossible(t *testing.T) {
 	topo.SetDelayWindow(q, 5, 20)
 	resp, where, err := f.Embed(Request{
 		Query:          q,
-		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		EdgeConstraint: avgDelayWindowSrc,
 		MaxResults:     1,
 		Timeout:        5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if where == "global" {
-		t.Errorf("regional query answered globally")
+	if where != "west" && where != "east" {
+		t.Errorf("regional query answered by %q, want a single shard", where)
 	}
 	if len(resp.Mappings) == 0 {
 		t.Fatal("no mapping")
 	}
 	// The translated mapping must verify against the *global* host.
-	prog := expr.MustCompile("rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	prog := expr.MustCompile(avgDelayWindowSrc)
 	p, err := core.NewProblem(q, host, prog, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -178,56 +165,335 @@ func TestFederationAnswersLocallyWhenPossible(t *testing.T) {
 	}
 }
 
-func TestFederationFallsBackForCrossRegionQueries(t *testing.T) {
+func TestCoordinatorDecomposesCrossRegionQuery(t *testing.T) {
 	host := federationHost()
 	f, err := NewFederation(host, "region", Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A query needing one slow (~200ms) link can only span regions.
+	// A query needing one slow (~200ms) link can only span regions: no
+	// shard's partial view contains any qualifying edge, so the answer
+	// must come from cut-edge decomposition.
 	q := topo.Line(2)
 	topo.SetDelayWindow(q, 150, 250)
 	resp, where, err := f.Embed(Request{
 		Query:          q,
-		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		EdgeConstraint: avgDelayWindowSrc,
 		MaxResults:     1,
 		Timeout:        5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if where != "global" {
-		t.Errorf("cross-region query answered by shard %q", where)
+	if !strings.HasPrefix(where, "cross:") {
+		t.Fatalf("cross-region query answered by %q, want cross:...", where)
 	}
-	if len(resp.Mappings) == 0 {
-		t.Fatal("global fallback found nothing")
+	if len(resp.Named) == 0 {
+		t.Fatal("decomposition found nothing")
+	}
+	// The stitched answer must verify edge-by-edge against the global
+	// host — the coordinator never saw that graph.
+	prog := expr.MustCompile(avgDelayWindowSrc)
+	p, err := core.NewProblem(q, host, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(namedToMapping(t, q, host, resp.Named[0])); err != nil {
+		t.Fatalf("stitched mapping invalid globally: %v", err)
+	}
+	if f.Cluster().CrossEmbeds != 1 {
+		t.Errorf("crossEmbeds = %d, want 1", f.Cluster().CrossEmbeds)
 	}
 }
 
-func TestFederationOversizedQuerySkipsShards(t *testing.T) {
+func TestCoordinatorRejectsInfeasibleSpanningQuery(t *testing.T) {
 	host := federationHost()
 	f, err := NewFederation(host, "region", Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 7 nodes exceed every 5-node region.
+	// 7 nodes exceed every 5-node region, and the 1-50ms window rules out
+	// the 200ms cut edges — the boundary prescreen must reject every
+	// split without burning shard budget.
 	q := topo.Line(7)
-	topo.SetDelayWindow(q, 1, 1000)
-	_, where, err := f.Embed(Request{
+	topo.SetDelayWindow(q, 1, 50)
+	start := time.Now()
+	resp, where, err := f.Embed(Request{
 		Query:          q,
-		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		EdgeConstraint: avgDelayWindowSrc,
 		MaxResults:     1,
-		Timeout:        5 * time.Second,
+		Timeout:        30 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if where != "global" {
-		t.Errorf("oversized query answered by shard %q", where)
+	if where != "coordinator" {
+		t.Errorf("infeasible spanning query answered by %q", where)
+	}
+	if resp.Status != core.StatusInconclusive {
+		t.Errorf("status = %v, want inconclusive", resp.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("prescreen took %v; boundary rejection should not burn the budget", elapsed)
 	}
 }
 
-func TestFederationReservedGoesGlobal(t *testing.T) {
+func TestCoordinatorSplitCapWarns(t *testing.T) {
+	// 26 singleton regions: every shard is smaller than the query and the
+	// unlabeled bipartition enumeration is capped well below 14 nodes, so
+	// the coordinator must give up quickly — with a warning — instead of
+	// enumerating 2^14 splits.
+	const n = 26
+	g := graph.NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddNode("", graph.Attrs{}.SetStr("region", string(rune('A'+i))))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), nil)
+		}
+	}
+	f, err := NewFederation(g, "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, where, err := f.Embed(Request{Query: topo.Clique(14), Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "coordinator" {
+		t.Fatalf("answered by %q, want coordinator", where)
+	}
+	if resp.Status != core.StatusInconclusive {
+		t.Errorf("status = %v, want inconclusive", resp.Status)
+	}
+	capped := false
+	for _, w := range resp.Warnings {
+		if strings.Contains(w, "capped") {
+			capped = true
+		}
+	}
+	if !capped {
+		t.Errorf("no split-cap warning in %v", resp.Warnings)
+	}
+}
+
+// failShard implements Shard and fails every Embed — the injected fault
+// for the skip-on-error regression test.
+type failShard struct {
+	name   string
+	embeds atomic.Int64
+}
+
+func (s *failShard) Name() string      { return s.name }
+func (s *failShard) Regions() []string { return []string{s.name} }
+func (s *failShard) NodeCount() int    { return 100 }
+func (s *failShard) Stats() (ShardStats, error) {
+	return ShardStats{Name: s.name, Regions: []string{s.name}, NodeCount: 100, MaxDegree: 99}, nil
+}
+func (s *failShard) NodeNames() ([]string, uint64, error) { return nil, 1, nil }
+func (s *failShard) Embed(req Request) (*Response, error) {
+	s.embeds.Add(1)
+	return nil, errors.New("injected shard failure")
+}
+func (s *failShard) ApplyDelta(d *graph.Delta) (uint64, error) {
+	return 0, errors.New("injected shard failure")
+}
+
+// TestCoordinatorSkipsErroringShard is the regression test for the old
+// Federation aborting on the first shard error: a failing shard must be
+// skipped (and recorded) while the remaining shards still answer.
+func TestCoordinatorSkipsErroringShard(t *testing.T) {
+	bad := &failShard{name: "flaky"}
+	host := topo.Clique(5)
+	topo.SetDelayWindow(host, 5, 20)
+	good := NewLocalShard("good", []string{"good"}, New(NewModel(host), Config{}))
+	// The failing shard reports the larger view, so routing order tries it
+	// first — exactly the case the old code aborted on.
+	f, err := NewCoordinator([]Shard{bad, good}, CoordinatorConfig{RegionAttr: "region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Shards(); got[0] != "flaky" {
+		t.Fatalf("routing order = %v, want flaky first", got)
+	}
+	q := topo.Clique(3)
+	resp, where, err := f.Embed(Request{Query: q, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "good" {
+		t.Fatalf("answered by %q, want good", where)
+	}
+	if len(resp.Named) == 0 {
+		t.Fatal("no mapping from the healthy shard")
+	}
+	var flaky ClusterShardInfo
+	for _, s := range f.Cluster().Shards {
+		if s.Name == "flaky" {
+			flaky = s
+		}
+	}
+	if flaky.Errors == 0 {
+		t.Error("shard failure not recorded in the error counter")
+	}
+	if flaky.LastError == "" {
+		t.Error("shard failure detail not recorded")
+	}
+	// Repeated failures mark the shard unhealthy and stop routing to it.
+	for i := 0; i < 5; i++ {
+		if _, _, err := f.Embed(Request{Query: q, Timeout: 5 * time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range f.Cluster().Shards {
+		if s.Name == "flaky" && s.Healthy {
+			t.Error("shard still healthy after repeated failures")
+		}
+	}
+	calls := bad.embeds.Load()
+	if _, _, err := f.Embed(Request{Query: q, Timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.embeds.Load() != calls {
+		t.Error("unhealthy shard still receives embed traffic")
+	}
+}
+
+// countingShard wraps a Shard and counts Embed calls.
+type countingShard struct {
+	Shard
+	embeds atomic.Int64
+}
+
+func (s *countingShard) Embed(req Request) (*Response, error) {
+	s.embeds.Add(1)
+	return s.Shard.Embed(req)
+}
+
+// TestCoordinatorDegreeScreenSkipsSparseShard pins the eligibility
+// screen's degree stratum: a 40-node ring (max degree 2) can never host a
+// 4-clique (min degree 3), so the coordinator must not spend any of the
+// timeout budget asking it.
+func TestCoordinatorDegreeScreenSkipsSparseShard(t *testing.T) {
+	sparse := &countingShard{Shard: NewLocalShard("sparse", []string{"sparse"},
+		New(NewModel(topo.Ring(40)), Config{}))}
+	dense := NewLocalShard("dense", []string{"dense"},
+		New(NewModel(topo.Clique(6)), Config{}))
+	f, err := NewCoordinator([]Shard{sparse, dense}, CoordinatorConfig{RegionAttr: "region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sparse shard is 40 nodes to dense's 6: it leads the routing
+	// order, so only the degree screen keeps it out of the query path.
+	if got := f.Shards(); got[0] != "sparse" {
+		t.Fatalf("routing order = %v, want sparse first", got)
+	}
+	resp, where, err := f.Embed(Request{Query: topo.Clique(4), Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "dense" {
+		t.Fatalf("answered by %q, want dense", where)
+	}
+	if len(resp.Named) == 0 {
+		t.Fatal("no mapping")
+	}
+	if n := sparse.embeds.Load(); n != 0 {
+		t.Errorf("sparse shard got %d embed calls; the degree screen should skip it", n)
+	}
+	// The ring still serves queries it could host.
+	if _, where, err := f.Embed(Request{Query: topo.Line(12), Timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	} else if where != "sparse" {
+		t.Errorf("12-path answered by %q, want sparse", where)
+	}
+	if sparse.embeds.Load() == 0 {
+		t.Error("sparse shard never consulted for a feasible query")
+	}
+}
+
+func TestCoordinatorDeltaRouting(t *testing.T) {
+	f, err := NewFederation(federationHost(), "region", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string]uint64{}
+	for _, s := range f.Cluster().Shards {
+		baseline[s.Name] = s.ModelVersion
+	}
+
+	// An attribute touch on a west node must reach the west shard only.
+	versions, err := f.ApplyDelta(&graph.Delta{
+		SetNodeAttrs: []graph.NodeAttrUpdate{{Node: "n2", Set: graph.Attrs{}.SetNum("cpu", 4)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 {
+		t.Fatalf("delta touched shards %v, want west only", versions)
+	}
+	if v, ok := versions["west"]; !ok || v <= baseline["west"] {
+		t.Fatalf("west version = %v (baseline %d)", versions, baseline["west"])
+	}
+	for _, s := range f.Cluster().Shards {
+		if s.Name == "east" && s.ModelVersion != baseline["east"] {
+			t.Errorf("east version moved to %d on a west-only delta", s.ModelVersion)
+		}
+	}
+
+	// A labeled node addition routes by region; a labeled edge between two
+	// east nodes stays in east.
+	versions, err = f.ApplyDelta(&graph.Delta{
+		AddNodes: []graph.NodeSpec{{Name: "n10", Attrs: graph.Attrs{}.SetStr("region", "east")}},
+		AddEdges: []graph.EdgeSpec{{Source: "n10", Target: "n7", Attrs: graph.Attrs{}.SetNum("avgDelay", 10)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := versions["east"]; !ok || len(versions) != 1 {
+		t.Fatalf("east-labeled addition touched %v", versions)
+	}
+	if got := f.Cluster().RoutedNodes; got != 11 {
+		t.Errorf("routed nodes = %d, want 11", got)
+	}
+
+	// A new inter-region edge lands in the coordinator's boundary set, not
+	// in any shard.
+	before := f.Cluster().BoundaryEdges
+	versions, err = f.ApplyDelta(&graph.Delta{
+		AddEdges: []graph.EdgeSpec{{Source: "n2", Target: "n7", Attrs: graph.Attrs{}.SetNum("avgDelay", 180)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 0 {
+		t.Errorf("cut-edge addition propagated to shards %v", versions)
+	}
+	if got := f.Cluster().BoundaryEdges; got != before+1 {
+		t.Errorf("boundary edges = %d, want %d", got, before+1)
+	}
+	// ... and removing it shrinks the boundary again.
+	if _, err := f.ApplyDelta(&graph.Delta{
+		RemoveEdges: []graph.EdgeRef{{Source: "n2", Target: "n7"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Cluster().BoundaryEdges; got != before {
+		t.Errorf("boundary edges = %d after cut removal, want %d", got, before)
+	}
+
+	// Unknown names are the 409 class.
+	if _, err := f.ApplyDelta(&graph.Delta{RemoveNodes: []string{"ghost"}}); !errors.Is(err, ErrStaleRouting) {
+		t.Errorf("unrouted name: err = %v, want ErrStaleRouting", err)
+	}
+}
+
+// TestCoordinatorEmbedDeltaRace interleaves Embed traffic with delta
+// propagation under -race (mirroring model_apply_test.go): every answer
+// must be consistent with either the pre- or the post-delta snapshot —
+// never a torn mix.
+func TestCoordinatorEmbedDeltaRace(t *testing.T) {
 	host := federationHost()
 	f, err := NewFederation(host, "region", Config{})
 	if err != nil {
@@ -235,20 +501,100 @@ func TestFederationReservedGoesGlobal(t *testing.T) {
 	}
 	q := topo.Clique(3)
 	topo.SetDelayWindow(q, 5, 20)
-	_, where, err := f.Embed(Request{
-		Query:           q,
-		EdgeConstraint:  "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
-		MaxResults:      1,
-		ExcludeReserved: true,
-	})
-	if err != nil {
-		t.Fatal(err)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var applied atomic.Int64
+
+	wg.Add(1)
+	go func() { // delta writer: retunes one west edge in and out of range
+		defer wg.Done()
+		fast := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			delay := 500.0 // out of every query window
+			if fast {
+				delay = 10
+			}
+			_, err := f.ApplyDelta(&graph.Delta{
+				SetEdgeAttrs: []graph.EdgeAttrUpdate{{
+					Source: "n2", Target: "n3",
+					Set: graph.Attrs{}.SetNum("avgDelay", delay),
+				}},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fast = !fast
+			applied.Add(1)
+		}
+	}()
+
+	prog := expr.MustCompile(avgDelayWindowSrc)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // embed readers
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, _, err := f.Embed(Request{
+					Query:          q,
+					EdgeConstraint: avgDelayWindowSrc,
+					MaxResults:     1,
+					Timeout:        time.Second,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(resp.Named) == 0 {
+					continue
+				}
+				// Any answer must verify against SOME consistent host state:
+				// the mapping either avoids the retuned edge or uses it at a
+				// legal delay. Both host variants are checked; a torn answer
+				// (constraint held mid-apply but on no snapshot) fails both.
+				mapping := namedToMapping(t, q, host, resp.Named[0])
+				okOnSome := false
+				for _, delay := range []float64{10, 500, 200} {
+					variant := host.Clone()
+					u, _ := variant.NodeByName("n2")
+					v, _ := variant.NodeByName("n3")
+					if e, ok := variant.EdgeBetween(u, v); ok {
+						variant.Edge(e).Attrs = variant.Edge(e).Attrs.SetNum("avgDelay", delay)
+					}
+					p, err := core.NewProblem(q, variant, prog, nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if p.Verify(mapping) == nil {
+						okOnSome = true
+						break
+					}
+				}
+				if !okOnSome {
+					t.Errorf("answer %v consistent with no delta snapshot", resp.Named[0])
+					return
+				}
+			}
+		}()
 	}
-	if where != "global" {
-		t.Errorf("reservation-aware query answered by shard %q", where)
-	}
-	if _, _, err := f.Embed(Request{}); err != ErrNoQuery {
-		t.Errorf("no query: %v", err)
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if applied.Load() == 0 {
+		t.Error("no deltas applied during the race window")
 	}
 }
 
@@ -267,23 +613,23 @@ func TestFederationOnSyntheticTrace(t *testing.T) {
 	topo.SetDelayWindow(q, 1, 60)
 	resp, where, err := f.Embed(Request{
 		Query:          q,
-		EdgeConstraint: "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+		EdgeConstraint: avgDelayWindowSrc,
 		MaxResults:     1,
 		Timeout:        5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Mappings) == 0 {
+	if len(resp.Named) == 0 {
 		t.Fatal("no mapping on trace")
 	}
 	t.Logf("answered by %s", where)
-	prog := expr.MustCompile("rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+	prog := expr.MustCompile(avgDelayWindowSrc)
 	p, err := core.NewProblem(q, host, prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Verify(resp.Mappings[0]); err != nil {
+	if err := p.Verify(namedToMapping(t, q, host, resp.Named[0])); err != nil {
 		t.Fatalf("federated mapping invalid: %v", err)
 	}
 }

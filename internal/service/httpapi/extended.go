@@ -138,13 +138,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 // decodeEmbedRequest translates the wire form into a service.Request.
 func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) {
+	return decodeEmbedRequestCached(s.queries, req)
+}
+
+// decodeEmbedRequestCached is decodeEmbedRequest for any handler owning a
+// query cache (the per-shard Server and the coordinator's ClusterServer).
+func decodeEmbedRequestCached(queries *queryCache, req *EmbedRequest) (service.Request, error) {
 	if strings.TrimSpace(req.QueryGraphML) == "" {
 		return service.Request{}, fmt.Errorf("missing query GraphML")
 	}
 	// Decoding dominates warm-request allocations; repeats of the same
 	// GraphML text come from the shared LRU. The decoded graph is shared
 	// across requests and must never be mutated downstream.
-	query, err := s.queries.decode(req.QueryGraphML)
+	query, err := queries.decode(req.QueryGraphML)
 	if err != nil {
 		return service.Request{}, err
 	}
@@ -168,6 +174,7 @@ func (s *Server) decodeEmbedRequest(req *EmbedRequest) (service.Request, error) 
 		MaxResults:      req.MaxResults,
 		Seed:            req.Seed,
 		ExcludeReserved: req.ExcludeReserved,
+		DedupeSymmetric: req.DedupeSymmetric,
 		Consolidate: core.ConsolidateOptions{
 			CapacityAttr: req.CapacityAttr,
 			DemandAttr:   req.DemandAttr,

@@ -56,6 +56,9 @@ type Server struct {
 	lc *lifecycle.Manager
 	// queries memoizes GraphML query decoding across requests (perf.go).
 	queries *queryCache
+	// identity is the shard identity this server answers /internal/shard/*
+	// with (shard.go); defaults to an anonymous single-shard identity.
+	identity *service.LocalShard
 }
 
 // New builds the HTTP front end for svc around a private job engine with
@@ -79,6 +82,7 @@ func NewWithEngine(svc *service.Service, eng *engine.Engine) *Server {
 	s.registerJobs()
 	s.registerDeltas()
 	s.registerExtended()
+	s.registerShard()
 	return s
 }
 
@@ -150,6 +154,9 @@ type EmbedRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// ExcludeReserved hides hosts with active leases.
 	ExcludeReserved bool `json:"excludeReserved,omitempty"`
+	// DedupeSymmetric collapses embeddings equivalent up to query
+	// automorphism.
+	DedupeSymmetric bool `json:"dedupeSymmetric,omitempty"`
 	// CapacityAttr / DemandAttr rename the attributes the consolidate
 	// algorithm packs against (defaults "capacity" / "demand"); ignored
 	// by the injective algorithms.

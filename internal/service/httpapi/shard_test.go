@@ -1,0 +1,422 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"netembed/internal/graph"
+	"netembed/internal/graphml"
+	"netembed/internal/service"
+	"netembed/internal/topo"
+)
+
+const avgDelayWindowSrc = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+// twoRegionHost builds the canonical distributed-tier fixture: two 5-node
+// cliques (west: n0..n4, east: n5..n9) at ~10ms intra-region, joined by
+// two ~200ms cut edges n0-n5 and n1-n6.
+func twoRegionHost() *graph.Graph {
+	g := graph.NewUndirected()
+	attrs := func(d float64) graph.Attrs {
+		return graph.Attrs{}.
+			SetNum("minDelay", d*0.9).SetNum("avgDelay", d).SetNum("maxDelay", d*1.1)
+	}
+	for i := 0; i < 5; i++ {
+		g.AddNode("", graph.Attrs{}.SetStr("region", "west"))
+	}
+	for i := 0; i < 5; i++ {
+		g.AddNode("", graph.Attrs{}.SetStr("region", "east"))
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			g.MustAddEdge(graph.NodeID(a), graph.NodeID(b), attrs(10))
+			g.MustAddEdge(graph.NodeID(5+a), graph.NodeID(5+b), attrs(10))
+		}
+	}
+	g.MustAddEdge(0, 5, attrs(200))
+	g.MustAddEdge(1, 6, attrs(200))
+	return g
+}
+
+func TestShardPeerEndpoints(t *testing.T) {
+	host := twoRegionHost()
+	svc := service.New(service.NewModel(host), service.Config{})
+	srv := New(svc)
+	srv.ConfigureShard("west", []string{"west"})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var st service.ShardStats
+	resp, err := http.Get(ts.URL + "/internal/shard/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Name != "west" || st.NodeCount != 10 || st.MaxDegree < 5 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	var nodes ShardNodesResponse
+	resp, err = http.Get(ts.URL + "/internal/shard/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes.Names) != 10 || nodes.Version != 1 {
+		t.Errorf("nodes = %d names v%d", len(nodes.Names), nodes.Version)
+	}
+
+	// A delta naming an unknown node is the 409 stale class on the peer
+	// protocol, exactly like the public /deltas.
+	resp, _ = postJSON(t, ts.URL+"/internal/shard/delta", DeltaRequest{
+		RemoveNodes: []string{"ghost"},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale delta answered %d, want 409", resp.StatusCode)
+	}
+	resp, body := postJSON(t, ts.URL+"/internal/shard/delta", DeltaRequest{
+		SetNodeAttrs: []DeltaNodeAttrs{{Node: "n0", Attrs: map[string]any{"cpu": 8.0}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta answered %d: %s", resp.StatusCode, body)
+	}
+
+	var ver map[string]uint64
+	resp, err = http.Get(ts.URL + "/internal/shard/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ver["version"] != 2 {
+		t.Errorf("version = %d, want 2 after one delta", ver["version"])
+	}
+}
+
+// remoteTier partitions the host by region and boots one real HTTP shard
+// server per part, returning a coordinator over RemoteShard clients.
+func remoteTier(t *testing.T, host *graph.Graph) *service.Coordinator {
+	t.Helper()
+	part, err := graph.PartitionByAttr(host, "region", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, 0, len(part.Parts))
+	for label := range part.Parts {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	shards := make([]service.Shard, 0, len(labels))
+	for _, label := range labels {
+		svc := service.New(service.NewModel(part.Parts[label]), service.Config{})
+		srv := New(svc)
+		srv.ConfigureShard(label, []string{label})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		rs, err := NewRemoteShard(ts.URL, RemoteShardConfig{Name: label, Client: ts.Client()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, rs)
+	}
+	coord, err := service.NewCoordinator(shards, service.CoordinatorConfig{
+		RegionAttr: "region",
+		Boundary:   part.Cuts,
+		Directed:   host.Directed(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestCoordinatorEquivalence is the distributed tier's acceptance
+// property: on a partitioned host, the coordinator over LocalShards and
+// the coordinator over loopback-HTTP RemoteShards both find a mapping iff
+// the single-process global Service does — including a query whose only
+// solutions span a cut edge — and region-local queries get identical
+// named mappings from both tiers.
+func TestCoordinatorEquivalence(t *testing.T) {
+	host := twoRegionHost()
+	global := service.New(service.NewModel(host), service.Config{})
+	local, err := service.NewFederation(host, "region", service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := remoteTier(t, host)
+
+	cases := []struct {
+		name     string
+		lo, hi   float64
+		queryGen func() *graph.Graph
+		spanning bool
+	}{
+		{"region-local triangle", 5, 20, func() *graph.Graph { return topo.Clique(3) }, false},
+		{"cut-spanning pair", 150, 250, func() *graph.Graph { return topo.Line(2) }, true},
+		{"infeasible window", 300, 400, func() *graph.Graph { return topo.Line(2) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := tc.queryGen()
+			topo.SetDelayWindow(q, tc.lo, tc.hi)
+			req := service.Request{
+				Query:          q,
+				EdgeConstraint: avgDelayWindowSrc,
+				MaxResults:     1,
+				Timeout:        10 * time.Second,
+			}
+			gresp, err := global.Embed(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			globalFound := len(gresp.Named) > 0
+
+			lresp, lwhere, err := local.Embed(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rresp, rwhere, err := remote.Embed(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found := len(lresp.Named) > 0; found != globalFound {
+				t.Errorf("local tier found=%v, global found=%v", found, globalFound)
+			}
+			if found := len(rresp.Named) > 0; found != globalFound {
+				t.Errorf("remote tier found=%v, global found=%v", found, globalFound)
+			}
+			if tc.spanning && globalFound {
+				if !strings.HasPrefix(lwhere, "cross:") || !strings.HasPrefix(rwhere, "cross:") {
+					t.Errorf("spanning query answered by %q / %q, want cross:*", lwhere, rwhere)
+				}
+			}
+			if !tc.spanning && globalFound {
+				// Region-local answers must be identical across the tiers:
+				// same shard, same named mapping.
+				if lwhere != rwhere {
+					t.Errorf("answered by %q locally, %q remotely", lwhere, rwhere)
+				}
+				if len(lresp.Named) != len(rresp.Named) {
+					t.Fatalf("local %d mappings, remote %d", len(lresp.Named), len(rresp.Named))
+				}
+				for qName, rName := range lresp.Named[0] {
+					if rresp.Named[0][qName] != rName {
+						t.Errorf("named mapping diverges at %q: local %q, remote %q",
+							qName, rName, rresp.Named[0][qName])
+					}
+				}
+			}
+			// Every found mapping must verify edge-by-edge on the global
+			// host via names.
+			for _, resp := range []*service.Response{lresp, rresp} {
+				if len(resp.Named) == 0 {
+					continue
+				}
+				assertNamedValid(t, q, host, resp.Named[0])
+			}
+		})
+	}
+}
+
+// assertNamedValid checks a named mapping's adjacency and delay windows
+// against the global host by names.
+func assertNamedValid(t *testing.T, q, host *graph.Graph, named service.NamedMapping) {
+	t.Helper()
+	for e := 0; e < q.NumEdges(); e++ {
+		ed := q.Edge(graph.EdgeID(e))
+		hu, ok1 := host.NodeByName(named[q.Node(ed.From).Name])
+		hv, ok2 := host.NodeByName(named[q.Node(ed.To).Name])
+		if !ok1 || !ok2 {
+			t.Fatalf("named mapping references unknown hosts: %v", named)
+		}
+		he, ok := host.EdgeBetween(hu, hv)
+		if !ok {
+			t.Fatalf("query edge %d mapped to non-adjacent hosts %v-%v", e, hu, hv)
+		}
+		avg, _ := host.Edge(he).Attrs.Float("avgDelay")
+		lo, _ := ed.Attrs.Float("minDelay")
+		hi, _ := ed.Attrs.Float("maxDelay")
+		if avg < lo || avg > hi {
+			t.Errorf("query edge %d rides a %vms host edge outside [%v, %v]", e, avg, lo, hi)
+		}
+	}
+}
+
+func TestRemoteShardTransport(t *testing.T) {
+	// Retry-with-backoff: the first two attempts hit a dead socket; the
+	// peer protocol client must absorb transport failures on idempotent
+	// calls. (A dead server forever exhausts retries and errors.)
+	rs, err := NewRemoteShard("127.0.0.1:1", RemoteShardConfig{
+		Timeout: 200 * time.Millisecond,
+		Retries: 1,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Stats(); err == nil {
+		t.Error("dead peer produced no error")
+	}
+	if rs.Name() != "127.0.0.1:1" {
+		t.Errorf("default name = %q", rs.Name())
+	}
+	if _, err := NewRemoteShard("://", RemoteShardConfig{}); err == nil {
+		t.Error("bad URL accepted")
+	}
+
+	// A live peer: stats round-trip updates the cached routing facts.
+	host := topo.Clique(4)
+	svc := service.New(service.NewModel(host), service.Config{})
+	srv := New(svc)
+	srv.ConfigureShard("solo", []string{"solo"})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	live, err := NewRemoteShard(ts.URL, RemoteShardConfig{Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := live.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "solo" || st.NodeCount != 4 || st.MaxDegree != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if live.NodeCount() != 4 {
+		t.Errorf("cached node count = %d", live.NodeCount())
+	}
+	if got := live.Regions(); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("cached regions = %v", got)
+	}
+
+	// Deltas round-trip; a stale name surfaces as ErrStaleRouting.
+	v, err := live.ApplyDelta(&graph.Delta{
+		SetNodeAttrs: []graph.NodeAttrUpdate{{Node: "n0", Set: graph.Attrs{}.SetNum("cpu", 2)}},
+	})
+	if err != nil || v != 2 {
+		t.Fatalf("ApplyDelta = (%d, %v), want (2, nil)", v, err)
+	}
+	if _, err := live.ApplyDelta(&graph.Delta{RemoveNodes: []string{"ghost"}}); err == nil {
+		t.Error("stale delta produced no error")
+	} else if !strings.Contains(err.Error(), service.ErrStaleRouting.Error()) {
+		t.Errorf("stale delta error = %v, want ErrStaleRouting class", err)
+	}
+}
+
+func TestClusterServer(t *testing.T) {
+	host := twoRegionHost()
+	coord, err := service.NewFederation(host, "region", service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewClusterServer(coord))
+	t.Cleanup(ts.Close)
+
+	// A region-local query routes to one shard.
+	q := topo.Clique(3)
+	topo.SetDelayWindow(q, 5, 20)
+	queryML, err := graphml.EncodeString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/embed", EmbedRequest{
+		QueryGraphML:   queryML,
+		EdgeConstraint: avgDelayWindowSrc,
+		MaxResults:     1,
+		TimeoutMs:      10000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed answered %d: %s", resp.StatusCode, body)
+	}
+	if by := resp.Header.Get(AnsweredByHeader); by != "west" && by != "east" {
+		t.Errorf("answered by %q, want a single shard", by)
+	}
+	var er EmbedResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Mappings) == 0 {
+		t.Fatal("no mapping over HTTP")
+	}
+
+	// A spanning query comes back stitched.
+	q2 := topo.Line(2)
+	topo.SetDelayWindow(q2, 150, 250)
+	queryML2, err := graphml.EncodeString(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/embed", EmbedRequest{
+		QueryGraphML:   queryML2,
+		EdgeConstraint: avgDelayWindowSrc,
+		MaxResults:     1,
+		TimeoutMs:      10000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed answered %d: %s", resp.StatusCode, body)
+	}
+	if by := resp.Header.Get(AnsweredByHeader); !strings.HasPrefix(by, "cross:") {
+		t.Errorf("spanning query answered by %q", by)
+	}
+
+	// A delta routes to its owning shard only; /cluster reports the new
+	// version and the routing summary.
+	resp, body = postJSON(t, ts.URL+"/deltas", DeltaRequest{
+		SetNodeAttrs: []DeltaNodeAttrs{{Node: "n7", Attrs: map[string]any{"cpu": 4.0}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta answered %d: %s", resp.StatusCode, body)
+	}
+	var dr ClusterDeltaResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Versions) != 1 {
+		t.Errorf("delta touched %v, want the east shard only", dr.Versions)
+	}
+	if _, ok := dr.Versions["east"]; !ok {
+		t.Errorf("delta versions = %v, want east", dr.Versions)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/deltas", DeltaRequest{RemoveNodes: []string{"ghost"}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale delta answered %d, want 409", resp.StatusCode)
+	}
+
+	var info service.ClusterInfo
+	hresp, err := http.Get(ts.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if len(info.Shards) != 2 || info.RoutedNodes != 10 || info.BoundaryEdges != 2 {
+		t.Errorf("cluster = %+v", info)
+	}
+	if info.CoordinatorNodes != 0 {
+		t.Errorf("coordinator models %d nodes, want 0", info.CoordinatorNodes)
+	}
+	if info.CrossEmbeds == 0 {
+		t.Error("cross-shard embed not counted")
+	}
+	for _, s := range info.Shards {
+		if s.Name == "east" && s.ModelVersion < 2 {
+			t.Errorf("east version = %d, want ≥2 after the delta", s.ModelVersion)
+		}
+	}
+}

@@ -284,8 +284,24 @@ type (
 	ScheduleRequest = service.ScheduleRequest
 	// ScheduleResponse reports the scheduled window, mapping and lease.
 	ScheduleResponse = service.ScheduleResponse
-	// Federation is the hierarchical multi-region deployment (§VIII).
-	Federation = service.Federation
+	// Coordinator is the distributed embedding tier's routing head: it
+	// owns no graph copy, routes deltas to owning shards, and decomposes
+	// spanning queries across shards (§VIII).
+	Coordinator = service.Coordinator
+	// Federation is the legacy name for the hierarchical multi-region
+	// deployment (§VIII); it is now the Coordinator.
+	Federation = service.Coordinator
+	// Shard is one member of the distributed tier — in-process
+	// (LocalShard) or a remote netembedd peer (httpapi.RemoteShard).
+	Shard = service.Shard
+	// LocalShard wraps an in-process Service as a Shard.
+	LocalShard = service.LocalShard
+	// ShardStats is a shard's routing-relevant summary.
+	ShardStats = service.ShardStats
+	// CoordinatorConfig tunes a Coordinator built over explicit shards.
+	CoordinatorConfig = service.CoordinatorConfig
+	// ClusterInfo is the operator-facing cluster summary (GET /cluster).
+	ClusterInfo = service.ClusterInfo
 	// NegotiateRequest drives the §III constraint-relaxation loop.
 	NegotiateRequest = service.NegotiateRequest
 	// NegotiateResponse reports the embedding and relaxation applied.
@@ -315,8 +331,14 @@ var (
 	NewModel = service.NewModel
 	// NewMonitor builds a simulated monitoring feed.
 	NewMonitor = service.NewMonitor
-	// NewFederation partitions a host into per-region shard services.
+	// NewFederation partitions a host into per-region local shards under
+	// a Coordinator (single-process distributed tier).
 	NewFederation = service.NewFederation
+	// NewCoordinator builds a Coordinator over explicit shards (local,
+	// remote, or mixed).
+	NewCoordinator = service.NewCoordinator
+	// NewLocalShard wraps an in-process Service as a Shard.
+	NewLocalShard = service.NewLocalShard
 	// SelectBest picks the min-cost embedding among candidates (§VIII).
 	SelectBest = service.SelectBest
 	// CompleteModel densifies a partially measured model with
